@@ -1,0 +1,53 @@
+//! Workload models for `botwall`: the traffic sources that exercise the
+//! detector.
+//!
+//! The paper evaluates on live CoDeeN traffic — humans behind real
+//! browsers and a zoo of robots abusing an open proxy. This crate is the
+//! synthetic stand-in: behavioural models that issue the same request
+//! patterns against any [`ClientWorld`] (implemented by the proxy
+//! simulation in `botwall-codeen` and by [`testutil::MockWorld`] for
+//! tests).
+//!
+//! * [`human`] — browser-driving humans: asset fetching per
+//!   [`browser::BrowserProfile`], think times, mouse events (at most one
+//!   beacon, per the generated script's `do_once` flag), visible-link
+//!   navigation, optional CAPTCHA attempts.
+//! * [`robots`] — one module per species from the paper's abuse taxonomy:
+//!   crawlers (blind, byte-scanning, hidden-link-tripping), polite REP
+//!   spiders, e-mail harvesters, referrer spammers, click-fraud bots,
+//!   vulnerability scanners, password crackers, offline browsers (the
+//!   acknowledged false-positive source), JS-capable smart bots (§4.1's
+//!   adversary), and DDoS zombies.
+//! * [`population`] — weighted mixes, including the Table-1 calibration.
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall_agents::population::Population;
+//! use botwall_agents::testutil::MockWorld;
+//! use rand_chacha::rand_core::SeedableRng;
+//!
+//! let population = Population::demo();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut agent = population.sample(&mut rng);
+//! let mut world = MockWorld::new(1);
+//! agent.run_session(&mut world, &mut rng);
+//! assert!(world.total_fetches > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod browser;
+pub mod human;
+pub mod population;
+pub mod robots;
+pub mod testutil;
+pub mod world;
+
+pub use agent::{Agent, AgentKind};
+pub use browser::BrowserProfile;
+pub use human::{HumanAgent, HumanConfig};
+pub use population::{AgentSpec, Population};
+pub use world::{ClientWorld, FetchOutcome, FetchSpec, PageView};

@@ -1,0 +1,27 @@
+//! Robot species simulators.
+//!
+//! One module per species; each reproduces the behavioural *tell* that the
+//! paper's detectors and Table-2 features key on. See
+//! [`crate::agent::AgentKind`] for the taxonomy.
+
+pub mod click_fraud;
+pub mod crawler;
+pub mod ddos_zombie;
+pub mod email_harvester;
+pub mod offline_browser;
+pub mod password_cracker;
+pub mod polite_spider;
+pub mod referrer_spammer;
+pub mod smart_bot;
+pub mod vuln_scanner;
+
+pub use click_fraud::ClickFraudBot;
+pub use crawler::CrawlerBot;
+pub use ddos_zombie::DdosZombie;
+pub use email_harvester::EmailHarvester;
+pub use offline_browser::OfflineBrowser;
+pub use password_cracker::PasswordCracker;
+pub use polite_spider::PoliteSpider;
+pub use referrer_spammer::ReferrerSpammer;
+pub use smart_bot::SmartBot;
+pub use vuln_scanner::VulnScanner;

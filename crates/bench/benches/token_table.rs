@@ -1,0 +1,72 @@
+//! Token-table and probe-registry costs — the per-page server-side state
+//! §2.1 introduces. The paper's design goal is detection "without
+//! overburdening the server"; issuing and redeeming must be O(1)-ish.
+
+use botwall_http::request::ClientIp;
+use botwall_instrument::probe::{ProbeKind, ProbeRegistry, ProbeRegistryConfig};
+use botwall_instrument::token::{BeaconKey, TokenTable, TokenTableConfig};
+use botwall_sessions::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_token_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_table");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("issue", |b| {
+        let mut table = TokenTable::new(TokenTableConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let key = BeaconKey::random(&mut rng);
+            table.issue(
+                ClientIp::new(i % 10_000),
+                "/index.html",
+                key,
+                vec![BeaconKey::random(&mut rng); 5],
+                SimTime::from_millis(i as u64),
+            );
+            black_box(&table);
+        })
+    });
+    group.bench_function("issue_then_redeem", |b| {
+        let mut table = TokenTable::new(TokenTableConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let ip = ClientIp::new(i % 10_000);
+            let key = BeaconKey::random(&mut rng);
+            table.issue(ip, "/p", key, Vec::new(), SimTime::from_millis(i as u64));
+            black_box(table.redeem(ip, key, SimTime::from_millis(i as u64 + 1)))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("probe_registry");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("issue_and_classify", |b| {
+        let mut reg = ProbeRegistry::new(ProbeRegistryConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let url = reg.issue(
+                ProbeKind::CssProbe,
+                "h.example",
+                SimTime::from_millis(t),
+                &mut rng,
+            );
+            let req = botwall_http::Request::builder(botwall_http::Method::Get, url.to_string())
+                .build()
+                .unwrap();
+            black_box(reg.classify(&req))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_table);
+criterion_main!(benches);

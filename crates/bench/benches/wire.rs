@@ -1,0 +1,48 @@
+//! HTTP substrate costs: wire parse/serialize and content classification,
+//! which sit on every request the proxy handles.
+
+use botwall_http::request::ClientIp;
+use botwall_http::{wire, ContentClass, Method, Request, Response, StatusCode};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let req = Request::builder(Method::Get, "http://www.example.com/pages/page_7.html")
+        .header("User-Agent", "Mozilla/5.0 (Windows; U) Firefox/1.5.0.1")
+        .header("Referer", "http://www.example.com/index.html")
+        .header("Accept", "text/html,image/*,*/*")
+        .header("Host", "www.example.com")
+        .client(ClientIp::new(7))
+        .build()
+        .unwrap();
+    let resp = Response::builder(StatusCode::OK)
+        .header("Content-Type", "text/html")
+        .body_bytes(vec![b'x'; 4096])
+        .build();
+    let req_bytes = wire::serialize_request(&req);
+    let resp_bytes = wire::serialize_response(&resp);
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(req_bytes.len() as u64));
+    group.bench_function("serialize_request", |b| {
+        b.iter(|| black_box(wire::serialize_request(black_box(&req))))
+    });
+    group.bench_function("parse_request", |b| {
+        b.iter(|| black_box(wire::parse_request(black_box(&req_bytes), ClientIp::new(7))))
+    });
+    group.throughput(Throughput::Bytes(resp_bytes.len() as u64));
+    group.bench_function("parse_response_4k", |b| {
+        b.iter(|| black_box(wire::parse_response(black_box(&resp_bytes))))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("content_class", |b| {
+        b.iter(|| black_box(ContentClass::of(black_box(&req), Some(black_box(&resp)))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ablation: decoy count `m` versus blind-robot catch probability
+//! (§2.1's `m/(m+1)` claim) and script bloat.
+//!
+//! Usage: `cargo run --release -p botwall-bench --bin decoys [trials]`
+
+use botwall_bench::{run_decoys, SEED};
+
+fn main() {
+    let trials: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!("== Decoy-count ablation ({trials} Monte-Carlo trials, seed {SEED}) ==\n");
+    println!(
+        "{:<6}{:>12}{:>12}{:>14}",
+        "m", "analytic", "empirical", "script bytes"
+    );
+    for row in run_decoys(trials, SEED) {
+        println!(
+            "{:<6}{:>12.4}{:>12.4}{:>14}",
+            row.m, row.analytic, row.empirical, row.script_bytes
+        );
+    }
+    println!("\nPaper reference: a blind fetcher is caught with probability m/(m+1).");
+}

@@ -1,0 +1,23 @@
+//! Ablation: the §4.1 staged pipeline versus its parts — browser test
+//! alone, plain set algebra, and staged with an AdaBoost boundary stage.
+//!
+//! Usage: `cargo run --release -p botwall-bench --bin staged [sessions]`
+
+use botwall_bench::{run_staged, SEED};
+
+fn main() {
+    let sessions: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    println!("== Staged-pipeline ablation ({sessions} sessions, seed {SEED}) ==\n");
+    println!("{:<24}{:>12}{:>14}", "strategy", "accuracy%", "fast-path%");
+    for row in run_staged(sessions, SEED) {
+        println!(
+            "{:<24}{:>12.2}{:>14.2}",
+            row.strategy, row.accuracy_pct, row.fast_path_pct
+        );
+    }
+    println!("\nPaper reference (§4.1): fast analysis first, careful decisions on");
+    println!("boundary cases only — accuracy without paying ML cost on every session.");
+}

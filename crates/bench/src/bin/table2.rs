@@ -1,0 +1,23 @@
+//! Regenerates Table 2's discussion: the 12 attributes and their
+//! AdaBoost importance ranking (paper: RESPCODE 3XX %, REFERRER % and
+//! UNSEEN REFERRER % were the most contributing).
+//!
+//! Usage: `cargo run --release -p botwall-bench --bin table2 [corpus_sessions]`
+
+use botwall_bench::{run_table2, SEED};
+
+fn main() {
+    let sessions: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(800);
+    println!("== Table 2 attributes + importance ({sessions} corpus sessions, seed {SEED}) ==\n");
+    let importance = run_table2(sessions, SEED);
+    println!("{:<22}{:>12}", "attribute", "importance");
+    for (attr, weight) in &importance {
+        println!("{:<22}{:>12.4}", attr.name(), weight);
+    }
+    println!(
+        "\nPaper reference: RESPCODE 3XX %, REFERRER % and UNSEEN REFERRER % most contributing."
+    );
+}

@@ -1,0 +1,15 @@
+//! Experiment harnesses for the `botwall` reproduction.
+//!
+//! One public function per paper table/figure, shared between the binary
+//! targets (`table1`, `figure2`, `figure3`, `figure4`, `table2`,
+//! `overhead`, `decoys`, `staged`, `ablate_ml`) and the integration tests.
+//! Every harness is deterministic in its seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod experiments;
+
+pub use corpus::{build_ml_corpus, CorpusConfig};
+pub use experiments::*;

@@ -1,0 +1,140 @@
+//! Abstract distorted-text challenges.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single challenge: a distorted rendering of a secret answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Challenge {
+    /// Unique id for correlating answers.
+    pub id: u64,
+    /// The "distorted image", abstracted as an obfuscated string. Humans
+    /// read through the noise; naive OCR trips over it. Solvability is
+    /// modelled by [`crate::oracle::SolverProfile`], not by parsing this.
+    pub distorted: String,
+    /// Difficulty in `[0, 1]`; raises the bar for OCR-capable robots.
+    pub difficulty: f64,
+    answer: String,
+}
+
+impl Challenge {
+    /// Checks an answer (case-insensitive, as captchas.net did).
+    pub fn check(&self, answer: &str) -> bool {
+        answer.trim().eq_ignore_ascii_case(&self.answer)
+    }
+
+    /// The answer — exposed for the solver oracle (which *models* reading
+    /// the image) and for tests. Real deployments keep this server-side;
+    /// so does the simulation: agents never see it, only the oracle does.
+    pub fn answer(&self) -> &str {
+        &self.answer
+    }
+}
+
+/// Deterministic challenge generator.
+#[derive(Debug)]
+pub struct ChallengeGenerator {
+    rng: ChaCha8Rng,
+    next_id: u64,
+    difficulty: f64,
+}
+
+impl ChallengeGenerator {
+    /// Creates a generator with default difficulty 0.5.
+    pub fn new(seed: u64) -> ChallengeGenerator {
+        ChallengeGenerator {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            next_id: 1,
+            difficulty: 0.5,
+        }
+    }
+
+    /// Overrides the difficulty of subsequently issued challenges.
+    pub fn set_difficulty(&mut self, difficulty: f64) {
+        self.difficulty = difficulty.clamp(0.0, 1.0);
+    }
+
+    /// Issues a fresh challenge.
+    pub fn issue(&mut self) -> Challenge {
+        const ALPHABET: &[u8] = b"abcdefghjkmnpqrstuvwxyz23456789";
+        let len = self.rng.gen_range(5..=7);
+        let answer: String = (0..len)
+            .map(|_| ALPHABET[self.rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
+        // "Distortion": interleave noise characters proportional to
+        // difficulty.
+        let mut distorted = String::new();
+        for c in answer.chars() {
+            distorted.push(c);
+            if self.rng.gen_bool(self.difficulty) {
+                distorted.push(match self.rng.gen_range(0..3) {
+                    0 => '~',
+                    1 => '/',
+                    _ => '\\',
+                });
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        Challenge {
+            id,
+            distorted,
+            difficulty: self.difficulty,
+            answer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn answers_verify_case_insensitively() {
+        let mut g = ChallengeGenerator::new(1);
+        let ch = g.issue();
+        assert!(ch.check(ch.answer()));
+        assert!(ch.check(&ch.answer().to_uppercase()));
+        assert!(ch.check(&format!("  {}  ", ch.answer())));
+        assert!(!ch.check("wrong"));
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut g = ChallengeGenerator::new(2);
+        let a = g.issue();
+        let b = g.issue();
+        assert!(b.id > a.id);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut g1 = ChallengeGenerator::new(3);
+        let mut g2 = ChallengeGenerator::new(3);
+        for _ in 0..10 {
+            assert_eq!(g1.issue(), g2.issue());
+        }
+    }
+
+    #[test]
+    fn difficulty_adds_noise() {
+        let mut g = ChallengeGenerator::new(4);
+        g.set_difficulty(1.0);
+        let ch = g.issue();
+        assert!(ch.distorted.len() >= ch.answer().len() * 2 - 1);
+        g.set_difficulty(0.0);
+        let ch = g.issue();
+        assert_eq!(ch.distorted, ch.answer());
+    }
+
+    #[test]
+    fn difficulty_is_clamped() {
+        let mut g = ChallengeGenerator::new(5);
+        g.set_difficulty(7.5);
+        assert_eq!(g.issue().difficulty, 1.0);
+        g.set_difficulty(-1.0);
+        assert_eq!(g.issue().difficulty, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! CAPTCHA substrate for `botwall`.
+//!
+//! The paper uses CAPTCHA in two roles, both reproduced here:
+//!
+//! 1. **Labelling oracle** (§3.1, §4.2): an *optional* test with a
+//!    bandwidth incentive; 9.1% of sessions passed it and those passes are
+//!    treated as ground-truth humans (95.8% of passers executed JS, 99.2%
+//!    fetched CSS — numbers the Table-1 harness reproduces).
+//! 2. **Related-work comparison** (§5): Kandula et al. serve CAPTCHAs to
+//!    everyone during DDoS; the paper argues always-on quizzes are
+//!    impractical for normal operation. [`policy::ServingPolicy`] models
+//!    both strategies so the ablation bench can compare them.
+//!
+//! The actual image distortion is abstracted: what matters to every
+//! consumer is *who can solve it with what probability*, modelled by
+//! [`oracle::SolverProfile`].
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall_captcha::{ChallengeGenerator, SolverProfile};
+//! use rand_chacha::rand_core::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut gen = ChallengeGenerator::new(7);
+//! let ch = gen.issue();
+//! let human = SolverProfile::human_default();
+//! // Opt-in is probabilistic; when attempted, humans usually pass.
+//! let _outcome: Option<bool> = human.attempt(&ch, &mut rng);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod challenge;
+pub mod oracle;
+pub mod policy;
+
+pub use challenge::{Challenge, ChallengeGenerator};
+pub use oracle::SolverProfile;
+pub use policy::{CaptchaService, ServingPolicy};

@@ -1,0 +1,161 @@
+//! CAPTCHA serving strategies.
+
+use crate::challenge::{Challenge, ChallengeGenerator};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// When challenges are offered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingPolicy {
+    /// The paper's deployment: optional, incentivized with a bandwidth
+    /// boost, offered at most once per session.
+    OptionalWithIncentive,
+    /// Kandula-style: served to every client while under attack
+    /// (impractical for normal operation, per §5 — "human users do not
+    /// want to solve a quiz every time they access a Web page").
+    MandatoryUnderAttack,
+    /// Never serve (control).
+    Disabled,
+}
+
+/// Tracks challenge issue/verify flow and pass statistics.
+#[derive(Debug)]
+pub struct CaptchaService {
+    generator: ChallengeGenerator,
+    policy: ServingPolicy,
+    under_attack: bool,
+    outstanding: HashMap<u64, Challenge>,
+    max_outstanding: usize,
+    issued: u64,
+    passed: u64,
+    failed: u64,
+}
+
+impl CaptchaService {
+    /// Creates a service.
+    pub fn new(policy: ServingPolicy, seed: u64) -> CaptchaService {
+        CaptchaService {
+            generator: ChallengeGenerator::new(seed),
+            policy,
+            under_attack: false,
+            outstanding: HashMap::new(),
+            max_outstanding: 100_000,
+            issued: 0,
+            passed: 0,
+            failed: 0,
+        }
+    }
+
+    /// Sets the attack flag consulted by
+    /// [`ServingPolicy::MandatoryUnderAttack`].
+    pub fn set_under_attack(&mut self, yes: bool) {
+        self.under_attack = yes;
+    }
+
+    /// Whether a challenge should be offered to a session that has not
+    /// seen one yet.
+    pub fn should_offer(&self) -> bool {
+        match self.policy {
+            ServingPolicy::OptionalWithIncentive => true,
+            ServingPolicy::MandatoryUnderAttack => self.under_attack,
+            ServingPolicy::Disabled => false,
+        }
+    }
+
+    /// Whether solving is compulsory to proceed (vs. opt-in).
+    pub fn is_mandatory(&self) -> bool {
+        matches!(self.policy, ServingPolicy::MandatoryUnderAttack) && self.under_attack
+    }
+
+    /// Issues a challenge.
+    pub fn issue(&mut self) -> Challenge {
+        if self.outstanding.len() >= self.max_outstanding {
+            // Drop an arbitrary entry to stay bounded.
+            if let Some(&k) = self.outstanding.keys().next() {
+                self.outstanding.remove(&k);
+            }
+        }
+        let ch = self.generator.issue();
+        self.outstanding.insert(ch.id, ch.clone());
+        self.issued += 1;
+        ch
+    }
+
+    /// Verifies an answer; each challenge can be answered once.
+    pub fn verify(&mut self, id: u64, answer: &str) -> bool {
+        let Some(ch) = self.outstanding.remove(&id) else {
+            self.failed += 1;
+            return false;
+        };
+        let ok = ch.check(answer);
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+        ok
+    }
+
+    /// `(issued, passed, failed)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.issued, self.passed, self.failed)
+    }
+
+    /// Pass rate over answered challenges.
+    pub fn pass_rate(&self) -> f64 {
+        let answered = self.passed + self.failed;
+        if answered == 0 {
+            0.0
+        } else {
+            self.passed as f64 / answered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optional_policy_always_offers() {
+        let s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 1);
+        assert!(s.should_offer());
+        assert!(!s.is_mandatory());
+    }
+
+    #[test]
+    fn mandatory_policy_tracks_attack_state() {
+        let mut s = CaptchaService::new(ServingPolicy::MandatoryUnderAttack, 1);
+        assert!(!s.should_offer());
+        s.set_under_attack(true);
+        assert!(s.should_offer());
+        assert!(s.is_mandatory());
+    }
+
+    #[test]
+    fn disabled_never_offers() {
+        let mut s = CaptchaService::new(ServingPolicy::Disabled, 1);
+        s.set_under_attack(true);
+        assert!(!s.should_offer());
+    }
+
+    #[test]
+    fn verify_lifecycle() {
+        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 2);
+        let ch = s.issue();
+        let answer = ch.answer().to_string();
+        assert!(s.verify(ch.id, &answer));
+        // Single-use: a second answer fails.
+        assert!(!s.verify(ch.id, &answer));
+        let ch2 = s.issue();
+        assert!(!s.verify(ch2.id, "nope"));
+        assert_eq!(s.stats(), (2, 1, 2));
+        assert!((s.pass_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_id_fails() {
+        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 3);
+        assert!(!s.verify(999, "anything"));
+    }
+}

@@ -1,0 +1,603 @@
+//! A single proxy node: instrumentation, detection, and policy in the
+//! request path.
+//!
+//! CoDeeN nodes sit between clients and origin servers; our node does the
+//! same — it resolves origin content from the [`Web`] substrate, rewrites
+//! HTML through the [`Instrumenter`], recognizes probe traffic, feeds the
+//! [`Detector`], and consults the [`PolicyEngine`] before serving.
+
+use crate::metrics::{BandwidthLedger, NodeStats};
+use botwall_agents::world::{ClientWorld, FetchOutcome, FetchSpec, PageView};
+use botwall_captcha::{CaptchaService, Challenge, ServingPolicy};
+use botwall_core::{
+    Action, CompletedSession, Detector, DetectorConfig, PolicyConfig, PolicyEngine,
+};
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode, Uri};
+use botwall_instrument::{Classified, InstrumentConfig, Instrumenter};
+use botwall_sessions::{SessionKey, SimTime};
+use botwall_webgraph::{render, Web};
+use std::sync::Arc;
+
+/// Which detection features a node has deployed (drives the Figure-3
+/// timeline: browser test arrived late August 2005, mouse detection
+/// January 2006).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deployment {
+    /// CSS probe + hidden link + JS-file tracking (standard browser test).
+    pub browser_test: bool,
+    /// Mouse-event beacons (human activity detection).
+    pub mouse_detection: bool,
+    /// Rate limiting + behavioural blocking of robot sessions.
+    pub enforcement: bool,
+    /// Optional CAPTCHA offers.
+    pub captcha: bool,
+}
+
+impl Deployment {
+    /// Nothing deployed (the pre-August-2005 state).
+    pub fn none() -> Deployment {
+        Deployment {
+            browser_test: false,
+            mouse_detection: false,
+            enforcement: false,
+            captcha: false,
+        }
+    }
+
+    /// Browser test + enforcement (the late-August-2005 state).
+    pub fn browser_test_only() -> Deployment {
+        Deployment {
+            browser_test: true,
+            mouse_detection: false,
+            enforcement: true,
+            captcha: false,
+        }
+    }
+
+    /// Everything (the January-2006 state, as measured in Table 1).
+    pub fn full() -> Deployment {
+        Deployment {
+            browser_test: true,
+            mouse_detection: true,
+            enforcement: true,
+            captcha: true,
+        }
+    }
+}
+
+/// One proxy node.
+#[derive(Debug)]
+pub struct ProxyNode {
+    id: u32,
+    web: Arc<Web>,
+    instrumenter: Instrumenter,
+    detector: Detector,
+    policy: PolicyEngine,
+    captcha: CaptchaService,
+    deployment: Deployment,
+    stats: NodeStats,
+    bandwidth: BandwidthLedger,
+}
+
+impl ProxyNode {
+    /// Creates a node over the shared web substrate.
+    pub fn new(id: u32, web: Arc<Web>, deployment: Deployment, seed: u64) -> ProxyNode {
+        let instrument_config = InstrumentConfig {
+            css_probe: deployment.browser_test,
+            hidden_link: deployment.browser_test,
+            mouse_beacon: deployment.mouse_detection,
+            ..InstrumentConfig::default()
+        };
+        ProxyNode {
+            id,
+            web,
+            instrumenter: Instrumenter::new(instrument_config, seed),
+            detector: Detector::new(DetectorConfig::default()),
+            policy: PolicyEngine::new(PolicyConfig::default()),
+            captcha: CaptchaService::new(
+                if deployment.captcha {
+                    ServingPolicy::OptionalWithIncentive
+                } else {
+                    ServingPolicy::Disabled
+                },
+                seed ^ 0x0c47_c4a0,
+            ),
+            deployment,
+            stats: NodeStats::default(),
+            bandwidth: BandwidthLedger::default(),
+        }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Node statistics.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Bandwidth ledger.
+    pub fn bandwidth(&self) -> BandwidthLedger {
+        self.bandwidth
+    }
+
+    /// The deployment state.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
+    }
+
+    /// Immutable access to the detector (verdicts, evidence).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Marks a CAPTCHA pass for a session.
+    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
+        self.detector.record_captcha_pass(key, now);
+    }
+
+    /// Expires idle sessions.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
+        self.instrumenter.sweep(now);
+        self.detector.sweep(now)
+    }
+
+    /// Finalizes everything at the end of an experiment.
+    pub fn drain(&mut self) -> Vec<CompletedSession> {
+        self.detector.drain()
+    }
+
+    /// Serves one request end to end. This is the request path of §2:
+    /// classify against instrumentation, let the detector observe, apply
+    /// policy, and produce the response (origin content, probe body, or a
+    /// policy error).
+    pub fn serve(&mut self, request: &Request, now: SimTime) -> (Response, Option<PageViewParts>) {
+        let classified = self.instrumenter.classify(request, now);
+        let key = SessionKey::of(request);
+        // Policy gate first (using the verdict as of the previous request:
+        // the node decides before doing origin work).
+        let action = if self.deployment.enforcement {
+            let verdict = self.detector.verdict(&key);
+            let (counters, rate) = self
+                .detector
+                .tracker()
+                .get(&key)
+                .map(|s| (s.counters().clone(), s.request_rate()))
+                .unwrap_or_default();
+            self.policy.decide(&key, verdict, &counters, rate, now)
+        } else {
+            Action::Allow
+        };
+        let (response, parts) = match action {
+            Action::Block => {
+                self.stats.blocked += 1;
+                (Response::empty(StatusCode::FORBIDDEN), None)
+            }
+            Action::Throttle => {
+                self.stats.throttled += 1;
+                (Response::empty(StatusCode::TOO_MANY_REQUESTS), None)
+            }
+            Action::Allow => {
+                self.stats.allowed += 1;
+                self.respond(request, &classified, now)
+            }
+        };
+        // The detector observes everything, including rejected requests —
+        // error responses feed the behavioural thresholds.
+        self.detector.observe(request, &response, &classified, now);
+        let bytes = (request.wire_len() + response.wire_len()) as u64;
+        match &classified {
+            Classified::Ordinary => self.bandwidth.add_traffic(bytes),
+            _ => self.bandwidth.add_overhead(bytes),
+        }
+        (response, parts)
+    }
+
+    /// Produces the content response for an allowed request.
+    fn respond(
+        &mut self,
+        request: &Request,
+        classified: &Classified,
+        now: SimTime,
+    ) -> (Response, Option<PageViewParts>) {
+        if let Some(resp) = self.instrumenter.respond(classified) {
+            return (resp, None);
+        }
+        let uri = request.uri();
+        let web = Arc::clone(&self.web);
+        let Some(site) = web.site_for(uri) else {
+            return (Response::empty(StatusCode::BAD_GATEWAY), None);
+        };
+        let path = uri.path().to_string();
+        if path.eq_ignore_ascii_case("/favicon.ico") {
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "image/x-icon")
+                .body_bytes(vec![0u8; 318])
+                .build();
+            return (resp, None);
+        }
+        if path.eq_ignore_ascii_case("/robots.txt") {
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/plain")
+                .body_bytes(b"User-agent: *\nDisallow: /cgi-bin/\n".to_vec())
+                .build();
+            return (resp, None);
+        }
+        if let Some(page) = site.page_by_path(&path) {
+            // Redirect stubs answer 302 (the RESPCODE 3XX % signal).
+            if let Some(target) = page.redirect_to {
+                if let Some(t) = site.page(target) {
+                    let resp = Response::builder(StatusCode::FOUND)
+                        .header("Location", format!("http://{}{}", site.host(), t.path))
+                        .build();
+                    return (resp, None);
+                }
+            }
+            let host = site.host().to_string();
+            let raw = render::render_page(site, page);
+            let (html, manifest) =
+                self.instrumenter
+                    .instrument_page(&raw, uri, request.client(), now);
+            // The page's wire bytes are tallied by `serve`; only move the
+            // injected share into the instrumentation column here.
+            self.bandwidth.instrumentation_bytes += manifest.html_overhead as u64;
+            let links = page
+                .links
+                .iter()
+                .filter_map(|id| site.page(*id))
+                .map(|p| Uri::absolute(&host, p.path.clone()))
+                .collect();
+            let embedded = page
+                .assets
+                .iter()
+                .map(|a| Uri::absolute(&host, a.path.clone()))
+                .collect();
+            let cgi = page
+                .cgi_endpoint
+                .as_ref()
+                .map(|c| Uri::absolute(&host, c.clone()));
+            let mut resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/html")
+                .body_bytes(html.clone().into_bytes())
+                .build();
+            Instrumenter::mark_uncacheable(&mut resp);
+            return (
+                resp,
+                Some(PageViewParts {
+                    links,
+                    embedded,
+                    cgi,
+                    manifest: Some(manifest),
+                    html,
+                }),
+            );
+        }
+        if let Some((_, body)) = render::render_asset(site, &path) {
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "application/octet-stream")
+                .body_bytes(body)
+                .build();
+            return (resp, None);
+        }
+        // A known CGI endpoint answers; unknown dynamic paths 404.
+        let is_known_cgi = site
+            .pages()
+            .filter_map(|p| p.cgi_endpoint.as_deref())
+            .any(|c| path.starts_with(c));
+        if is_known_cgi {
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/html")
+                .body_bytes(b"<html><body>ok</body></html>".to_vec())
+                .build();
+            return (resp, None);
+        }
+        (Response::empty(StatusCode::NOT_FOUND), None)
+    }
+
+    /// Offers a CAPTCHA if the deployment serves them.
+    pub fn offer_captcha(&mut self) -> Option<Challenge> {
+        if !self.captcha.should_offer() {
+            return None;
+        }
+        Some(self.captcha.issue())
+    }
+
+    /// Verifies a CAPTCHA answer; on success the session is marked
+    /// ground-truth human.
+    pub fn answer_captcha(
+        &mut self,
+        key: &SessionKey,
+        id: u64,
+        answer: &str,
+        now: SimTime,
+    ) -> bool {
+        let ok = self.captcha.verify(id, answer);
+        if ok {
+            self.detector.record_captcha_pass(key, now);
+        }
+        ok
+    }
+
+    /// Notes that a session finished (stats bookkeeping).
+    pub fn finish_session(&mut self) {
+        self.stats.sessions += 1;
+    }
+}
+
+/// The pieces a [`NodeSession`] needs to build a
+/// [`botwall_agents::world::PageView`].
+#[derive(Debug, Clone)]
+pub struct PageViewParts {
+    /// Visible links.
+    pub links: Vec<Uri>,
+    /// Origin embedded objects.
+    pub embedded: Vec<Uri>,
+    /// CGI endpoint.
+    pub cgi: Option<Uri>,
+    /// Instrumentation manifest.
+    pub manifest: Option<botwall_instrument::ProbeManifest>,
+    /// Raw HTML as served.
+    pub html: String,
+}
+
+/// A per-session [`ClientWorld`] binding an agent to a node.
+#[derive(Debug)]
+pub struct NodeSession<'a> {
+    node: &'a mut ProxyNode,
+    ip: ClientIp,
+    user_agent: String,
+    entry: Uri,
+    now: SimTime,
+    captcha_offered: bool,
+    /// Requests the policy allowed.
+    pub allowed: u64,
+    /// Requests throttled.
+    pub throttled: u64,
+    /// Requests blocked.
+    pub blocked: u64,
+    /// Total requests issued.
+    pub requests: u64,
+    /// Whether a CAPTCHA was passed.
+    pub captcha_passed: bool,
+}
+
+impl<'a> NodeSession<'a> {
+    /// Binds a session for `ip`/`user_agent` starting at `start`.
+    pub fn new(
+        node: &'a mut ProxyNode,
+        ip: ClientIp,
+        user_agent: String,
+        entry: Uri,
+        start: SimTime,
+    ) -> NodeSession<'a> {
+        NodeSession {
+            node,
+            ip,
+            user_agent,
+            entry,
+            now: start,
+            captcha_offered: false,
+            allowed: 0,
+            throttled: 0,
+            blocked: 0,
+            requests: 0,
+            captcha_passed: false,
+        }
+    }
+
+    /// The session key this world produces.
+    pub fn key(&self) -> SessionKey {
+        SessionKey::new(self.ip, self.user_agent.clone())
+    }
+
+    /// The session's current clock.
+    pub fn clock(&self) -> SimTime {
+        self.now
+    }
+}
+
+impl ClientWorld for NodeSession<'_> {
+    fn fetch(&mut self, spec: FetchSpec) -> FetchOutcome {
+        self.now += 40; // Network round trip.
+        self.requests += 1;
+        let mut b = Request::builder(spec.method.clone(), spec.uri.to_string())
+            .header("User-Agent", self.user_agent.clone())
+            .client(self.ip);
+        if let Some(r) = &spec.referer {
+            b = b.header("Referer", r.clone());
+        }
+        if spec.method == Method::Post && !spec.body.is_empty() {
+            b = b.body_bytes(spec.body.clone());
+        }
+        let Ok(request) = b.build() else {
+            return FetchOutcome::default();
+        };
+        let (response, parts) = self.node.serve(&request, self.now);
+        match response.status() {
+            StatusCode::TOO_MANY_REQUESTS => self.throttled += 1,
+            StatusCode::FORBIDDEN => self.blocked += 1,
+            _ => self.allowed += 1,
+        }
+        FetchOutcome {
+            status: response.status(),
+            body_len: response.body().len(),
+            page: parts.map(|p| PageView {
+                links: p.links,
+                embedded: p.embedded,
+                cgi: p.cgi,
+                manifest: p.manifest,
+                html: p.html,
+            }),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn sleep(&mut self, ms: u64) {
+        self.now += ms;
+    }
+
+    fn client_ip(&self) -> ClientIp {
+        self.ip
+    }
+
+    fn entry_point(&self) -> Uri {
+        self.entry.clone()
+    }
+
+    fn offer_captcha(&mut self) -> Option<Challenge> {
+        if self.captcha_offered {
+            return None;
+        }
+        self.captcha_offered = true;
+        self.node.offer_captcha()
+    }
+
+    fn answer_captcha(&mut self, id: u64, answer: &str) -> bool {
+        let key = self.key();
+        let ok = self.node.answer_captcha(&key, id, answer, self.now);
+        if ok {
+            self.captcha_passed = true;
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_webgraph::WebConfig;
+
+    fn node(deployment: Deployment) -> ProxyNode {
+        let web = Arc::new(Web::generate(&WebConfig::small(), 5));
+        ProxyNode::new(0, web, deployment, 42)
+    }
+
+    fn entry(node: &ProxyNode) -> Uri {
+        let host = node.web.sites().next().unwrap().host().to_string();
+        Uri::absolute(&host, "/index.html")
+    }
+
+    #[test]
+    fn serves_instrumented_pages_under_full_deployment() {
+        let mut n = node(Deployment::full());
+        let e = entry(&n);
+        let mut s = NodeSession::new(
+            &mut n,
+            ClientIp::new(1),
+            "ua".into(),
+            e.clone(),
+            SimTime::ZERO,
+        );
+        let out = s.fetch(FetchSpec::get(e));
+        assert_eq!(out.status, StatusCode::OK);
+        let view = out.page.expect("page");
+        let m = view.manifest.expect("manifest");
+        assert!(m.css_probe.is_some());
+        assert!(m.mouse_beacon.is_some());
+    }
+
+    #[test]
+    fn browser_test_only_has_no_mouse_beacon() {
+        let mut n = node(Deployment::browser_test_only());
+        let e = entry(&n);
+        let mut s = NodeSession::new(
+            &mut n,
+            ClientIp::new(1),
+            "ua".into(),
+            e.clone(),
+            SimTime::ZERO,
+        );
+        let view = s.fetch(FetchSpec::get(e)).page.expect("page");
+        let m = view.manifest.expect("manifest");
+        assert!(m.css_probe.is_some());
+        assert!(m.mouse_beacon.is_none(), "mouse detection not deployed");
+    }
+
+    #[test]
+    fn no_deployment_serves_untouched_pages() {
+        let mut n = node(Deployment::none());
+        let e = entry(&n);
+        let mut s = NodeSession::new(
+            &mut n,
+            ClientIp::new(1),
+            "ua".into(),
+            e.clone(),
+            SimTime::ZERO,
+        );
+        let view = s.fetch(FetchSpec::get(e)).page.expect("page");
+        let m = view.manifest.expect("manifest always present");
+        assert!(m.css_probe.is_none());
+        assert!(m.mouse_beacon.is_none());
+        assert!(m.hidden_link.is_none());
+    }
+
+    #[test]
+    fn unknown_host_is_bad_gateway() {
+        let mut n = node(Deployment::full());
+        let e = entry(&n);
+        let mut s = NodeSession::new(&mut n, ClientIp::new(1), "ua".into(), e, SimTime::ZERO);
+        let uri: Uri = "http://unknown.example/".parse().unwrap();
+        let out = s.fetch(FetchSpec::get(uri));
+        assert_eq!(out.status, StatusCode::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn vuln_paths_404_and_eventually_block() {
+        let mut n = node(Deployment::full());
+        let e = entry(&n);
+        let host = e.host().unwrap().to_string();
+        let mut s = NodeSession::new(&mut n, ClientIp::new(9), "scanner".into(), e, SimTime::ZERO);
+        let mut saw_block = false;
+        for i in 0..60 {
+            let uri = Uri::absolute(&host, format!("/exploit_{i}.php"));
+            let out = s.fetch(FetchSpec::get(uri));
+            s.sleep(20);
+            if out.status == StatusCode::FORBIDDEN {
+                saw_block = true;
+                break;
+            }
+        }
+        assert!(saw_block, "an error storm must trip the blocking threshold");
+    }
+
+    #[test]
+    fn redirect_pages_answer_302() {
+        let mut n = node(Deployment::full());
+        let web = n.web.clone();
+        let site = web.sites().next().unwrap();
+        let Some(stub) = site.pages().find(|p| p.redirect_to.is_some()) else {
+            return; // This seed generated no redirect stubs; fine.
+        };
+        let uri = Uri::absolute(site.host(), stub.path.clone());
+        let e = entry(&n);
+        let mut s = NodeSession::new(&mut n, ClientIp::new(2), "ua".into(), e, SimTime::ZERO);
+        let out = s.fetch(FetchSpec::get(uri));
+        assert_eq!(out.status, StatusCode::FOUND);
+    }
+
+    #[test]
+    fn bandwidth_ledger_tracks_overhead() {
+        let mut n = node(Deployment::full());
+        let e = entry(&n);
+        let mut s = NodeSession::new(
+            &mut n,
+            ClientIp::new(1),
+            "ua".into(),
+            e.clone(),
+            SimTime::ZERO,
+        );
+        let view = s.fetch(FetchSpec::get(e)).page.unwrap();
+        let css = view.manifest.unwrap().css_probe.unwrap();
+        s.fetch(FetchSpec::get(css));
+        let bw = n.bandwidth();
+        assert!(bw.total_bytes > 0);
+        assert!(bw.instrumentation_bytes > 0);
+        assert!(bw.instrumentation_bytes < bw.total_bytes);
+    }
+}

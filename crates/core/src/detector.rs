@@ -1,0 +1,432 @@
+//! The online detection engine.
+//!
+//! [`Detector`] wires together the session tracker, the instrumentation
+//! classification stream, and the set-algebra classifier, producing verdict
+//! transitions in real time — the paper's core claim is that this works
+//! "on-line at data request rates".
+
+use crate::classifier::{self, Label, Reason, Verdict};
+use crate::evidence::{EvidenceKind, EvidenceSet};
+use botwall_http::{Request, Response, UserAgent};
+use botwall_instrument::{Classified, KeyOutcome, ProbeKind};
+use botwall_sessions::{Session, SessionKey, SessionTracker, SimTime, TrackerConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for [`Detector`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DetectorConfig {
+    /// Session tracking parameters (idle timeout, classification minimum).
+    pub tracker: TrackerConfig,
+}
+
+/// What [`Detector::observe`] reports about one exchange.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveOutcome {
+    /// The session this exchange belongs to.
+    pub key: SessionKey,
+    /// The verdict after folding in this exchange.
+    pub verdict: Verdict,
+    /// Whether the verdict changed on this exchange.
+    pub transitioned: bool,
+    /// The request index within the session.
+    pub request_index: u32,
+}
+
+/// A finished session with its evidence and final label.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompletedSession {
+    /// The underlying session (records + counters).
+    pub session: Session,
+    /// All evidence collected.
+    pub evidence: EvidenceSet,
+    /// The final label per the set-algebra classifier.
+    pub label: Label,
+    /// The reason backing the label.
+    pub reason: Reason,
+    /// Whether the session met the >10-request classification minimum.
+    pub classifiable: bool,
+}
+
+/// The online human/robot detector.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_core::{Detector, DetectorConfig};
+/// use botwall_core::classifier::Verdict;
+/// use botwall_http::request::ClientIp;
+/// use botwall_http::{Method, Request, Response, StatusCode};
+/// use botwall_instrument::Classified;
+/// use botwall_sessions::SimTime;
+///
+/// let mut det = Detector::new(DetectorConfig::default());
+/// let req = Request::builder(Method::Get, "http://h/a.html")
+///     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+///     .client(ClientIp::new(1))
+///     .build()
+///     .unwrap();
+/// let resp = Response::empty(StatusCode::OK);
+/// let out = det.observe(&req, &resp, &Classified::Ordinary, SimTime::ZERO);
+/// assert_eq!(out.verdict, Verdict::Undecided);
+/// ```
+#[derive(Debug)]
+pub struct Detector {
+    tracker: SessionTracker,
+    evidence: HashMap<SessionKey, EvidenceSet>,
+    verdicts: HashMap<SessionKey, Verdict>,
+}
+
+impl Detector {
+    /// Creates a detector.
+    pub fn new(config: DetectorConfig) -> Detector {
+        Detector {
+            tracker: SessionTracker::new(config.tracker),
+            evidence: HashMap::new(),
+            verdicts: HashMap::new(),
+        }
+    }
+
+    /// Feeds one exchange plus its instrumentation classification.
+    ///
+    /// `classified` should come from
+    /// [`botwall_instrument::Instrumenter::classify`] on the same request.
+    pub fn observe(
+        &mut self,
+        request: &Request,
+        response: &Response,
+        classified: &Classified,
+        now: SimTime,
+    ) -> ObserveOutcome {
+        let key = self.tracker.observe(request, response, now);
+        let session = self.tracker.get(&key).expect("session just observed");
+        let index = session.request_count() as u32;
+        let evidence = self.evidence.entry(key.clone()).or_default();
+
+        match classified {
+            Classified::MouseBeacon { outcome, .. } => {
+                let kind = match outcome {
+                    KeyOutcome::Valid => EvidenceKind::MouseEvent,
+                    KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
+                    KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
+                    KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
+                };
+                evidence.record(kind, index, now);
+            }
+            Classified::Probe(hit) => match hit.kind {
+                ProbeKind::CssProbe => evidence.record(EvidenceKind::DownloadedCss, index, now),
+                ProbeKind::JsFile => evidence.record(EvidenceKind::DownloadedJsFile, index, now),
+                ProbeKind::AgentBeacon => {
+                    evidence.record(EvidenceKind::ExecutedJs, index, now);
+                    if let Some(reported) = &hit.reported_agent {
+                        let header = request.user_agent().unwrap_or("");
+                        if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
+                            evidence.record(EvidenceKind::UaMismatch, index, now);
+                        }
+                    }
+                }
+                ProbeKind::HiddenLink => {
+                    evidence.record(EvidenceKind::HiddenLinkFollowed, index, now)
+                }
+                ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
+            },
+            Classified::Ordinary => {}
+        }
+
+        let mut verdict = classifier::classify_online(evidence);
+        // A session past the classification minimum with no browser
+        // signals at all is robot-leaning: crawlers, spammers and
+        // scanners never touch a probe, and waiting longer cannot
+        // exonerate them (§3.1's noise rule doubles as the browser-test
+        // window).
+        if verdict == Verdict::Undecided
+            && session.request_count() > self.tracker.config().min_requests_to_classify
+        {
+            verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
+        }
+        let prev = self.verdicts.insert(key.clone(), verdict);
+        ObserveOutcome {
+            transitioned: prev != Some(verdict),
+            key,
+            verdict,
+            request_index: index,
+        }
+    }
+
+    /// Records a CAPTCHA pass for a session (ground-truth human).
+    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
+        let index = self
+            .tracker
+            .get(key)
+            .map(|s| s.request_count() as u32)
+            .unwrap_or(0);
+        self.evidence.entry(key.clone()).or_default().record(
+            EvidenceKind::PassedCaptcha,
+            index,
+            now,
+        );
+        self.verdicts.insert(
+            key.clone(),
+            classifier::classify_online(&self.evidence[key]),
+        );
+    }
+
+    /// The current verdict for a live session.
+    pub fn verdict(&self, key: &SessionKey) -> Verdict {
+        self.verdicts
+            .get(key)
+            .copied()
+            .unwrap_or(Verdict::Undecided)
+    }
+
+    /// The evidence collected so far for a live session.
+    pub fn evidence(&self, key: &SessionKey) -> Option<&EvidenceSet> {
+        self.evidence.get(key)
+    }
+
+    /// Read access to the underlying session tracker.
+    pub fn tracker(&self) -> &SessionTracker {
+        &self.tracker
+    }
+
+    /// Expires idle sessions as of `now`, finalizing their labels.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
+        let finished = self.tracker.sweep(now);
+        self.complete(finished)
+    }
+
+    /// Finalizes everything (end of experiment).
+    pub fn drain(&mut self) -> Vec<CompletedSession> {
+        let finished = self.tracker.drain();
+        let mut out = self.complete(finished);
+        self.evidence.clear();
+        self.verdicts.clear();
+        out.sort_by(|a, b| a.session.key().cmp(b.session.key()));
+        out
+    }
+
+    fn complete(&mut self, finished: Vec<Session>) -> Vec<CompletedSession> {
+        finished
+            .into_iter()
+            .map(|session| {
+                let key = session.key().clone();
+                let evidence = self.evidence.remove(&key).unwrap_or_default();
+                self.verdicts.remove(&key);
+                let verdict = classifier::classify_online(&evidence);
+                let (label, reason) = classifier::finalize(verdict);
+                let classifiable = self.tracker.classifiable(&session);
+                CompletedSession {
+                    session,
+                    evidence,
+                    label,
+                    reason,
+                    classifiable,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::request::ClientIp;
+    use botwall_http::{Method, StatusCode, Uri};
+    use botwall_instrument::{InstrumentConfig, Instrumenter};
+
+    fn req(ip: u32, uri: &str, ua: &str) -> Request {
+        Request::builder(Method::Get, uri)
+            .header("User-Agent", ua)
+            .client(ClientIp::new(ip))
+            .build()
+            .unwrap()
+    }
+
+    fn ok() -> Response {
+        Response::builder(StatusCode::OK)
+            .header("Content-Type", "text/html")
+            .build()
+    }
+
+    /// Drives a full instrument → classify → detect loop for one client.
+    fn pipeline() -> (Instrumenter, Detector) {
+        (
+            Instrumenter::new(InstrumentConfig::default(), 5),
+            Detector::new(DetectorConfig::default()),
+        )
+    }
+
+    #[test]
+    fn mouse_beacon_yields_human_verdict() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(1);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        // Page fetch.
+        let r0 = req(1, "http://h/index.html", "Mozilla/5.0 Firefox/1.5");
+        let c0 = ins.classify(&r0, SimTime::ZERO);
+        det.observe(&r0, &ok(), &c0, SimTime::ZERO);
+        // Beacon fetch after mouse movement.
+        let beacon = manifest.mouse_beacon.unwrap();
+        let r1 = req(1, &beacon.to_string(), "Mozilla/5.0 Firefox/1.5");
+        let c1 = ins.classify(&r1, SimTime::from_secs(2));
+        let out = det.observe(&r1, &ok(), &c1, SimTime::from_secs(2));
+        assert_eq!(out.verdict, Verdict::Human(Reason::MouseActivity));
+        assert!(out.transitioned);
+        assert_eq!(out.request_index, 2);
+    }
+
+    #[test]
+    fn decoy_fetch_yields_robot_verdict() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(2);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let decoy = manifest.decoy_beacons[0].clone();
+        let r = req(2, &decoy.to_string(), "Mozilla/5.0");
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::DecoyFetched));
+    }
+
+    #[test]
+    fn ua_mismatch_detected_via_agent_beacon() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(3);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        // The robot's JS engine reports its true agent, but the header
+        // claims IE.
+        let agent_url = manifest.agent_beacon.unwrap();
+        let honest = "evilbot/1.0";
+        let fetch = format!("{agent_url}?agent={}", UserAgent::canonicalize(honest));
+        let r = req(3, &fetch, "Mozilla/4.0 (compatible; MSIE 6.0)");
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::BrowserTypeMismatch));
+    }
+
+    #[test]
+    fn matching_agent_reports_executed_js_only() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(4);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let ua = "Mozilla/5.0 (Windows) Firefox/1.5";
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let agent_url = manifest.agent_beacon.unwrap();
+        let fetch = format!("{agent_url}?agent={}", UserAgent::canonicalize(ua));
+        let r = req(4, &fetch, ua);
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        // JS executed, no mouse yet: provisionally robot.
+        assert_eq!(
+            out.verdict,
+            Verdict::ProvisionalRobot(Reason::JsWithoutMouse)
+        );
+        let e = det.evidence(&out.key).unwrap();
+        assert!(e.has(EvidenceKind::ExecutedJs));
+        assert!(!e.has(EvidenceKind::UaMismatch));
+    }
+
+    #[test]
+    fn css_probe_gives_provisional_human() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(5);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let css = manifest.css_probe.unwrap();
+        let r = req(5, &css.to_string(), "Mozilla/5.0");
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(
+            out.verdict,
+            Verdict::ProvisionalHuman(Reason::BrowserTestPassed)
+        );
+    }
+
+    #[test]
+    fn hidden_link_is_robot() {
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(6);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let hidden = manifest.hidden_link.unwrap();
+        let r = req(6, &hidden.to_string(), "crawler/2.0");
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::HiddenLink));
+    }
+
+    #[test]
+    fn captcha_pass_recorded() {
+        let mut det = Detector::new(DetectorConfig::default());
+        let r = req(7, "http://h/a.html", "x");
+        let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        det.record_captcha_pass(&out.key, SimTime::from_secs(1));
+        assert_eq!(det.verdict(&out.key), Verdict::Human(Reason::CaptchaPassed));
+    }
+
+    #[test]
+    fn drain_labels_sessions() {
+        let mut det = Detector::new(DetectorConfig::default());
+        // Session with zero probe evidence across 12 requests: robot.
+        for i in 0..12 {
+            let r = req(8, &format!("http://h/{i}.html"), "wget/1.0");
+            det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(i));
+        }
+        let done = det.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].label, Label::Robot);
+        assert_eq!(done[0].reason, Reason::NoBrowserSignals);
+        assert!(done[0].classifiable);
+    }
+
+    #[test]
+    fn short_sessions_marked_unclassifiable() {
+        let mut det = Detector::new(DetectorConfig::default());
+        let r = req(9, "http://h/a.html", "x");
+        det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        let done = det.drain();
+        assert!(!done[0].classifiable, "1 request < minimum of >10");
+    }
+
+    #[test]
+    fn sweep_respects_idle_timeout() {
+        let mut det = Detector::new(DetectorConfig::default());
+        let r = req(10, "http://h/a.html", "x");
+        det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        assert!(det.sweep(SimTime::from_secs(10)).is_empty());
+        let done = det.sweep(SimTime::from_hours(2));
+        assert_eq!(done.len(), 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-session evidence accumulation.
+//!
+//! Every detection signal the paper uses is an *evidence kind*; the
+//! detector records the first occurrence of each kind together with the
+//! request index at which it arrived — that index is exactly what
+//! Figure 2 plots ("number of requests required to detect").
+
+use botwall_sessions::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A detection signal observed within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvidenceKind {
+    /// Fetched the injected empty CSS probe (standard-browser behaviour).
+    DownloadedCss,
+    /// Fetched the injected external JavaScript file.
+    DownloadedJsFile,
+    /// Fired the agent beacon — proves JavaScript execution.
+    ExecutedJs,
+    /// Redeemed a valid mouse-event beacon key — proves human activity.
+    MouseEvent,
+    /// Fetched one of the decoy beacon URLs — a blind robot.
+    FetchedDecoy,
+    /// Presented an already-redeemed beacon key — a replay attack.
+    ReplayedBeacon,
+    /// Presented a beacon-shaped key never issued to this client — key
+    /// guessing or cross-client theft.
+    ForgedBeacon,
+    /// Followed the hidden link humans cannot see.
+    HiddenLinkFollowed,
+    /// The JavaScript-reported agent string contradicts the User-Agent
+    /// header (browser type mismatch, Table 1).
+    UaMismatch,
+    /// Passed a CAPTCHA challenge (ground-truth human, §3.1).
+    PassedCaptcha,
+}
+
+impl EvidenceKind {
+    /// Evidence kinds that prove (or near-prove) a robot on their own.
+    pub fn is_hard_robot_evidence(self) -> bool {
+        matches!(
+            self,
+            EvidenceKind::FetchedDecoy
+                | EvidenceKind::ReplayedBeacon
+                | EvidenceKind::ForgedBeacon
+                | EvidenceKind::HiddenLinkFollowed
+                | EvidenceKind::UaMismatch
+        )
+    }
+
+    /// Evidence kinds that prove a human on their own.
+    pub fn is_hard_human_evidence(self) -> bool {
+        matches!(self, EvidenceKind::MouseEvent | EvidenceKind::PassedCaptcha)
+    }
+}
+
+/// First observation of one evidence kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// 1-based request index within the session when first observed.
+    pub at_request: u32,
+    /// Simulated time when first observed.
+    pub at_time: SimTime,
+}
+
+/// The set of evidence collected for one session.
+///
+/// Only the *first* observation per kind is retained (Figure 2 needs
+/// first-detection indices) along with a per-kind count.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_core::evidence::{EvidenceKind, EvidenceSet};
+/// use botwall_sessions::SimTime;
+///
+/// let mut e = EvidenceSet::new();
+/// e.record(EvidenceKind::DownloadedCss, 3, SimTime::from_secs(1));
+/// e.record(EvidenceKind::DownloadedCss, 9, SimTime::from_secs(2));
+/// assert_eq!(e.first(EvidenceKind::DownloadedCss).unwrap().at_request, 3);
+/// assert_eq!(e.count(EvidenceKind::DownloadedCss), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceSet {
+    entries: Vec<(EvidenceKind, Observation, u32)>,
+}
+
+impl EvidenceSet {
+    /// Creates an empty set.
+    pub fn new() -> EvidenceSet {
+        EvidenceSet::default()
+    }
+
+    /// Records an observation of `kind` at request `index`.
+    pub fn record(&mut self, kind: EvidenceKind, index: u32, time: SimTime) {
+        for (k, _, count) in self.entries.iter_mut() {
+            if *k == kind {
+                *count += 1;
+                return;
+            }
+        }
+        self.entries.push((
+            kind,
+            Observation {
+                at_request: index,
+                at_time: time,
+            },
+            1,
+        ));
+    }
+
+    /// Whether `kind` has been observed.
+    pub fn has(&self, kind: EvidenceKind) -> bool {
+        self.entries.iter().any(|(k, _, _)| *k == kind)
+    }
+
+    /// First observation of `kind`, if any.
+    pub fn first(&self, kind: EvidenceKind) -> Option<Observation> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, o, _)| *o)
+    }
+
+    /// How many times `kind` was observed.
+    pub fn count(&self, kind: EvidenceKind) -> u32 {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| *k == kind)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Iterates `(kind, first observation, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (EvidenceKind, Observation, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Whether any hard robot evidence is present.
+    pub fn any_hard_robot(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(k, _, _)| k.is_hard_robot_evidence())
+    }
+
+    /// Whether any hard human evidence is present.
+    pub fn any_hard_human(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|(k, _, _)| k.is_hard_human_evidence())
+    }
+
+    /// Number of distinct evidence kinds observed.
+    pub fn distinct_kinds(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_occurrence_is_kept() {
+        let mut e = EvidenceSet::new();
+        e.record(EvidenceKind::MouseEvent, 17, SimTime::from_secs(5));
+        e.record(EvidenceKind::MouseEvent, 40, SimTime::from_secs(9));
+        let o = e.first(EvidenceKind::MouseEvent).unwrap();
+        assert_eq!(o.at_request, 17);
+        assert_eq!(o.at_time, SimTime::from_secs(5));
+        assert_eq!(e.count(EvidenceKind::MouseEvent), 2);
+    }
+
+    #[test]
+    fn absent_kind() {
+        let e = EvidenceSet::new();
+        assert!(!e.has(EvidenceKind::DownloadedCss));
+        assert_eq!(e.first(EvidenceKind::DownloadedCss), None);
+        assert_eq!(e.count(EvidenceKind::DownloadedCss), 0);
+    }
+
+    #[test]
+    fn hard_evidence_partition() {
+        assert!(EvidenceKind::MouseEvent.is_hard_human_evidence());
+        assert!(EvidenceKind::PassedCaptcha.is_hard_human_evidence());
+        assert!(EvidenceKind::FetchedDecoy.is_hard_robot_evidence());
+        assert!(EvidenceKind::HiddenLinkFollowed.is_hard_robot_evidence());
+        assert!(EvidenceKind::UaMismatch.is_hard_robot_evidence());
+        assert!(EvidenceKind::ReplayedBeacon.is_hard_robot_evidence());
+        assert!(EvidenceKind::ForgedBeacon.is_hard_robot_evidence());
+        // Soft signals are neither.
+        for k in [
+            EvidenceKind::DownloadedCss,
+            EvidenceKind::DownloadedJsFile,
+            EvidenceKind::ExecutedJs,
+        ] {
+            assert!(!k.is_hard_robot_evidence());
+            assert!(!k.is_hard_human_evidence());
+        }
+    }
+
+    #[test]
+    fn any_hard_flags() {
+        let mut e = EvidenceSet::new();
+        e.record(EvidenceKind::DownloadedCss, 1, SimTime::ZERO);
+        assert!(!e.any_hard_robot());
+        assert!(!e.any_hard_human());
+        e.record(EvidenceKind::FetchedDecoy, 2, SimTime::ZERO);
+        assert!(e.any_hard_robot());
+        e.record(EvidenceKind::MouseEvent, 3, SimTime::ZERO);
+        assert!(e.any_hard_human());
+        assert_eq!(e.distinct_kinds(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! The `botwall` detector: the primary contribution of Park, Pai, Lee &
+//! Calo, *Securing Web Service by Automatic Robot Detection* (USENIX
+//! 2006), as a reusable library.
+//!
+//! The paper frames robot detection as a practical Turing test over HTTP
+//! request streams and contributes two real-time algorithms:
+//!
+//! 1. **Human activity detection** (§2.1): injected JavaScript fetches a
+//!    keyed beacon on mouse/keyboard events; a valid key proves a human.
+//! 2. **Standard browser testing** (§2.2): probes (an empty CSS file, the
+//!    script file, hidden links) separate clients that behave like stock
+//!    browsers from goal-oriented robots.
+//!
+//! Sessions are then classified with the set-algebra rule
+//! `S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM)` and robot sessions are rate
+//! limited and blocked on behavioural thresholds (§3.2). A staged
+//! pipeline (§4.1) escalates boundary cases to a machine-learning
+//! classifier (`botwall-ml`).
+//!
+//! # Architecture
+//!
+//! * [`evidence`] — per-session evidence sets with first-detection indices
+//! * [`classifier`] — the set-algebra rule, online and final forms
+//! * [`detector`] — the streaming engine over `<IP, User-Agent>` sessions
+//! * [`policy`] — rate limiting and behavioural blocking
+//! * [`staged`] — fast-path/boundary-case escalation
+//! * [`report`] — Table-1 and Figure-2 aggregation
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall_core::{Detector, DetectorConfig};
+//! use botwall_core::classifier::{Reason, Verdict};
+//! use botwall_http::request::ClientIp;
+//! use botwall_http::{Method, Request, Response, StatusCode, Uri};
+//! use botwall_instrument::{InstrumentConfig, Instrumenter};
+//! use botwall_sessions::SimTime;
+//!
+//! let mut ins = Instrumenter::new(InstrumentConfig::default(), 7);
+//! let mut det = Detector::new(DetectorConfig::default());
+//!
+//! // Server side: instrument a page for client 1.
+//! let page: Uri = "http://site.example/index.html".parse().unwrap();
+//! let (_html, manifest) = ins.instrument_page(
+//!     "<html><head></head><body></body></html>",
+//!     &page,
+//!     ClientIp::new(1),
+//!     SimTime::ZERO,
+//! );
+//!
+//! // Client side: a human moves the mouse, firing the beacon.
+//! let beacon = manifest.mouse_beacon.unwrap();
+//! let req = Request::builder(Method::Get, beacon.to_string())
+//!     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+//!     .client(ClientIp::new(1))
+//!     .build()
+//!     .unwrap();
+//! let classified = ins.classify(&req, SimTime::from_secs(3));
+//! let out = det.observe(
+//!     &req,
+//!     &Response::empty(StatusCode::OK),
+//!     &classified,
+//!     SimTime::from_secs(3),
+//! );
+//! assert_eq!(out.verdict, Verdict::Human(Reason::MouseActivity));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod detector;
+pub mod evidence;
+pub mod policy;
+pub mod report;
+pub mod staged;
+
+pub use classifier::{Label, Reason, Verdict};
+pub use detector::{CompletedSession, Detector, DetectorConfig, ObserveOutcome};
+pub use evidence::{EvidenceKind, EvidenceSet};
+pub use policy::{Action, PolicyConfig, PolicyEngine};
+pub use report::{Figure2Report, RequestCdf, Table1Report};
+pub use staged::{BoundaryClassifier, Stage, StagedConfig, StagedDecision, StagedPipeline};

@@ -1,0 +1,467 @@
+//! Policy enforcement (§3.2).
+//!
+//! After classifying a session as robot, CoDeeN "enforced aggressive rate
+//! limiting on the robot traffic … and blocked its traffic as soon as its
+//! behavior deviated from predefined thresholds" (CGI request rate, GET
+//! request rate, error response codes). This module implements that
+//! enforcement: per-verdict token-bucket rate limits plus behavioural
+//! blocking thresholds.
+
+use crate::classifier::Verdict;
+use botwall_sessions::{SessionCounters, SessionKey, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// What the policy engine decides for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action {
+    /// Serve normally.
+    Allow,
+    /// Reject this request (rate limit exceeded); serve a 429-style error.
+    Throttle,
+    /// The session is blocked outright; serve a 403-style error.
+    Block,
+}
+
+/// Tunables for [`PolicyEngine`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyConfig {
+    /// Sustained requests/second allowed for robot-classified sessions.
+    pub robot_rate_per_sec: f64,
+    /// Burst size for robot-classified sessions.
+    pub robot_burst: f64,
+    /// Sustained requests/second for undecided sessions (lenient).
+    pub undecided_rate_per_sec: f64,
+    /// Burst size for undecided sessions.
+    pub undecided_burst: f64,
+    /// Block a robot session once its CGI request share exceeds this.
+    pub cgi_ratio_threshold: f64,
+    /// Block a robot session once its 4xx share exceeds this.
+    pub error_ratio_threshold: f64,
+    /// Block a robot session once its sustained request rate (req/s over
+    /// the whole session) exceeds this.
+    pub rate_threshold: f64,
+    /// Behavioural thresholds only engage after this many requests.
+    pub min_requests_for_thresholds: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            robot_rate_per_sec: 0.2,
+            robot_burst: 2.0,
+            undecided_rate_per_sec: 20.0,
+            undecided_burst: 60.0,
+            cgi_ratio_threshold: 0.5,
+            error_ratio_threshold: 0.4,
+            rate_threshold: 10.0,
+            min_requests_for_thresholds: 10,
+        }
+    }
+}
+
+/// A classic token bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    rate_per_ms: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket with `capacity` tokens refilling at
+    /// `rate_per_sec`.
+    pub fn new(capacity: f64, rate_per_sec: f64, now: SimTime) -> TokenBucket {
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            rate_per_ms: rate_per_sec / 1000.0,
+            last_refill: now,
+        }
+    }
+
+    /// Attempts to take one token; returns `false` when empty.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        let elapsed = now.since(self.last_refill) as f64;
+        self.tokens = (self.tokens + elapsed * self.rate_per_ms).min(self.capacity);
+        self.last_refill = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current token count (after a refill to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.last_refill) as f64;
+        self.tokens = (self.tokens + elapsed * self.rate_per_ms).min(self.capacity);
+        self.last_refill = now;
+        self.tokens
+    }
+}
+
+// Which rate class a bucket was provisioned for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RateClass {
+    Robot,
+    Undecided,
+}
+
+/// Per-session enforcement state.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_core::classifier::{Reason, Verdict};
+/// use botwall_core::policy::{Action, PolicyConfig, PolicyEngine};
+/// use botwall_http::request::ClientIp;
+/// use botwall_sessions::{SessionCounters, SessionKey, SimTime};
+///
+/// let mut engine = PolicyEngine::new(PolicyConfig::default());
+/// let key = SessionKey::new(ClientIp::new(1), "ua");
+/// let counters = SessionCounters::new();
+/// let action = engine.decide(
+///     &key,
+///     Verdict::Human(Reason::MouseActivity),
+///     &counters,
+///     0.0,
+///     SimTime::ZERO,
+/// );
+/// assert_eq!(action, Action::Allow);
+/// ```
+#[derive(Debug)]
+pub struct PolicyEngine {
+    config: PolicyConfig,
+    buckets: HashMap<SessionKey, (RateClass, TokenBucket)>,
+    blocked: HashSet<SessionKey>,
+    throttled_total: u64,
+    blocked_total: u64,
+}
+
+impl PolicyEngine {
+    /// Creates an engine.
+    pub fn new(config: PolicyConfig) -> PolicyEngine {
+        PolicyEngine {
+            config,
+            buckets: HashMap::new(),
+            blocked: HashSet::new(),
+            throttled_total: 0,
+            blocked_total: 0,
+        }
+    }
+
+    /// Decides the fate of the current request for `key`.
+    ///
+    /// `session_rate` is the session's sustained request rate in req/s
+    /// (see [`botwall_sessions::Session::request_rate`]).
+    pub fn decide(
+        &mut self,
+        key: &SessionKey,
+        verdict: Verdict,
+        counters: &SessionCounters,
+        session_rate: f64,
+        now: SimTime,
+    ) -> Action {
+        if self.blocked.contains(key) {
+            return Action::Block;
+        }
+        let is_robot = matches!(verdict, Verdict::Robot(_) | Verdict::ProvisionalRobot(_));
+        // Behavioural blocking thresholds apply to robot-classified
+        // sessions with enough history.
+        if is_robot && counters.total >= self.config.min_requests_for_thresholds {
+            let over_cgi = counters.cgi_ratio() > self.config.cgi_ratio_threshold;
+            let over_err = counters.error_ratio() > self.config.error_ratio_threshold;
+            let over_rate = session_rate > self.config.rate_threshold;
+            if over_cgi || over_err || over_rate {
+                self.blocked.insert(key.clone());
+                self.blocked_total += 1;
+                return Action::Block;
+            }
+        }
+        // Rate limiting: humans unlimited; robots tight; undecided loose.
+        let (class, rate, burst) = match verdict {
+            Verdict::Human(_) | Verdict::ProvisionalHuman(_) => return Action::Allow,
+            Verdict::Robot(_) | Verdict::ProvisionalRobot(_) => (
+                RateClass::Robot,
+                self.config.robot_rate_per_sec,
+                self.config.robot_burst,
+            ),
+            Verdict::Undecided => (
+                RateClass::Undecided,
+                self.config.undecided_rate_per_sec,
+                self.config.undecided_burst,
+            ),
+        };
+        // A verdict change re-provisions the bucket: a session promoted to
+        // robot must not keep coasting on its undecided allowance.
+        let entry = self
+            .buckets
+            .entry(key.clone())
+            .or_insert_with(|| (class, TokenBucket::new(burst, rate, now)));
+        if entry.0 != class {
+            *entry = (class, TokenBucket::new(burst, rate, now));
+        }
+        if entry.1.try_take(now) {
+            Action::Allow
+        } else {
+            self.throttled_total += 1;
+            Action::Throttle
+        }
+    }
+
+    /// Explicitly blocks a session (operator action).
+    pub fn block(&mut self, key: &SessionKey) {
+        if self.blocked.insert(key.clone()) {
+            self.blocked_total += 1;
+        }
+    }
+
+    /// Whether a session is blocked.
+    pub fn is_blocked(&self, key: &SessionKey) -> bool {
+        self.blocked.contains(key)
+    }
+
+    /// Forgets per-session state (when a session expires).
+    pub fn forget(&mut self, key: &SessionKey) {
+        self.buckets.remove(key);
+        self.blocked.remove(key);
+    }
+
+    /// Total requests throttled so far.
+    pub fn throttled_total(&self) -> u64 {
+        self.throttled_total
+    }
+
+    /// Total sessions blocked so far.
+    pub fn blocked_total(&self) -> u64 {
+        self.blocked_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Reason;
+    use botwall_http::request::ClientIp;
+
+    fn key(ip: u32) -> SessionKey {
+        SessionKey::new(ClientIp::new(ip), "ua")
+    }
+
+    fn engine() -> PolicyEngine {
+        PolicyEngine::new(PolicyConfig::default())
+    }
+
+    #[test]
+    fn token_bucket_drains_and_refills() {
+        let mut b = TokenBucket::new(2.0, 1.0, SimTime::ZERO);
+        assert!(b.try_take(SimTime::ZERO));
+        assert!(b.try_take(SimTime::ZERO));
+        assert!(!b.try_take(SimTime::ZERO), "burst exhausted");
+        // One second refills one token.
+        assert!(b.try_take(SimTime::from_secs(1)));
+        assert!(!b.try_take(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(3.0, 100.0, SimTime::ZERO);
+        assert!((b.available(SimTime::from_hours(5)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn humans_are_never_limited() {
+        let mut e = engine();
+        let k = key(1);
+        let c = SessionCounters::new();
+        for _ in 0..1000 {
+            assert_eq!(
+                e.decide(
+                    &k,
+                    Verdict::Human(Reason::MouseActivity),
+                    &c,
+                    100.0,
+                    SimTime::ZERO
+                ),
+                Action::Allow
+            );
+        }
+        assert_eq!(e.throttled_total(), 0);
+    }
+
+    #[test]
+    fn robots_hit_the_rate_limit() {
+        let mut e = engine();
+        let k = key(2);
+        let c = SessionCounters::new();
+        let mut throttled = 0;
+        for _ in 0..20 {
+            if e.decide(
+                &k,
+                Verdict::Robot(Reason::DecoyFetched),
+                &c,
+                1.0,
+                SimTime::ZERO,
+            ) == Action::Throttle
+            {
+                throttled += 1;
+            }
+        }
+        // Burst of 2 allowed, the rest throttled.
+        assert_eq!(throttled, 18);
+        assert_eq!(e.throttled_total(), 18);
+    }
+
+    #[test]
+    fn verdict_change_reprovisions_the_bucket() {
+        // A session that coasts as Undecided must drop to the robot
+        // allowance the moment it is classified.
+        let mut e = engine();
+        let k = key(11);
+        let c = SessionCounters::new();
+        for _ in 0..10 {
+            assert_eq!(
+                e.decide(&k, Verdict::Undecided, &c, 1.0, SimTime::ZERO),
+                Action::Allow
+            );
+        }
+        let mut allowed = 0;
+        for _ in 0..10 {
+            if e.decide(
+                &k,
+                Verdict::ProvisionalRobot(Reason::NoBrowserSignals),
+                &c,
+                1.0,
+                SimTime::ZERO,
+            ) == Action::Allow
+            {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 2, "fresh robot bucket: burst of 2 only");
+    }
+
+    #[test]
+    fn cgi_storm_gets_blocked() {
+        let mut e = engine();
+        let k = key(3);
+        let mut c = SessionCounters::new();
+        c.total = 20;
+        c.cgi = 15; // 75% CGI.
+        let a = e.decide(
+            &k,
+            Verdict::Robot(Reason::NoBrowserSignals),
+            &c,
+            1.0,
+            SimTime::ZERO,
+        );
+        assert_eq!(a, Action::Block);
+        assert!(e.is_blocked(&k));
+        // Subsequent requests stay blocked.
+        assert_eq!(
+            e.decide(&k, Verdict::Undecided, &c, 0.0, SimTime::from_secs(9)),
+            Action::Block
+        );
+    }
+
+    #[test]
+    fn error_storm_gets_blocked() {
+        let mut e = engine();
+        let k = key(4);
+        let mut c = SessionCounters::new();
+        c.total = 50;
+        c.resp_4xx = 30;
+        assert_eq!(
+            e.decide(
+                &k,
+                Verdict::ProvisionalRobot(Reason::JsWithoutMouse),
+                &c,
+                0.1,
+                SimTime::ZERO
+            ),
+            Action::Block
+        );
+    }
+
+    #[test]
+    fn high_request_rate_gets_blocked() {
+        let mut e = engine();
+        let k = key(5);
+        let mut c = SessionCounters::new();
+        c.total = 100;
+        assert_eq!(
+            e.decide(
+                &k,
+                Verdict::Robot(Reason::HiddenLink),
+                &c,
+                50.0,
+                SimTime::ZERO
+            ),
+            Action::Block
+        );
+    }
+
+    #[test]
+    fn thresholds_require_history() {
+        let mut e = engine();
+        let k = key(6);
+        let mut c = SessionCounters::new();
+        c.total = 5; // Below min_requests_for_thresholds.
+        c.cgi = 5;
+        let a = e.decide(
+            &k,
+            Verdict::Robot(Reason::NoBrowserSignals),
+            &c,
+            1.0,
+            SimTime::ZERO,
+        );
+        assert_ne!(a, Action::Block, "not enough history to block");
+    }
+
+    #[test]
+    fn thresholds_do_not_block_humans() {
+        let mut e = engine();
+        let k = key(7);
+        let mut c = SessionCounters::new();
+        c.total = 100;
+        c.cgi = 90;
+        assert_eq!(
+            e.decide(
+                &k,
+                Verdict::Human(Reason::MouseActivity),
+                &c,
+                50.0,
+                SimTime::ZERO
+            ),
+            Action::Allow,
+            "humans are exempt from robot thresholds"
+        );
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut e = engine();
+        let k = key(8);
+        e.block(&k);
+        assert!(e.is_blocked(&k));
+        e.forget(&k);
+        assert!(!e.is_blocked(&k));
+    }
+
+    #[test]
+    fn undecided_sessions_get_loose_limit() {
+        let mut e = engine();
+        let k = key(9);
+        let c = SessionCounters::new();
+        let mut throttled = 0;
+        for _ in 0..100 {
+            if e.decide(&k, Verdict::Undecided, &c, 1.0, SimTime::ZERO) == Action::Throttle {
+                throttled += 1;
+            }
+        }
+        assert_eq!(throttled, 40, "burst of 60 allowed out of 100");
+    }
+}

@@ -1,0 +1,297 @@
+//! The staged decision pipeline (§4.1).
+//!
+//! "A more practical solution may combine multiple approaches in a staged
+//! manner — making quick decisions by fast analysis (e.g., standard
+//! browser test), then perform a careful decision algorithm for boundary
+//! cases (e.g., AI-based techniques)."
+//!
+//! Stage 1 is the browser test: cheap, early, covers most sessions.
+//! Stage 2 is human-activity evidence: definitive when present.
+//! Stage 3 hands *boundary* sessions to a pluggable classifier (the
+//! AdaBoost model from `botwall-ml` implements [`BoundaryClassifier`]).
+
+use crate::classifier::{self, Label};
+use crate::evidence::{EvidenceKind, EvidenceSet};
+use botwall_sessions::Session;
+use serde::{Deserialize, Serialize};
+
+/// Which stage produced a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Hard evidence (mouse event, CAPTCHA, decoy, hidden link, replay,
+    /// mismatch) decided immediately.
+    HardEvidence,
+    /// The fast standard-browser test decided.
+    BrowserTest,
+    /// The boundary classifier (machine learning) decided.
+    MlBoundary,
+    /// No stage could decide; the set-algebra default applied.
+    Fallback,
+}
+
+/// A staged decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagedDecision {
+    /// The label assigned.
+    pub label: Label,
+    /// The stage that produced it.
+    pub stage: Stage,
+}
+
+/// A pluggable classifier consulted for boundary cases.
+///
+/// Implemented by `botwall-ml`'s AdaBoost model; `None` means the
+/// classifier abstains and the pipeline falls back to set algebra.
+pub trait BoundaryClassifier {
+    /// Classifies a session, or abstains with `None`.
+    fn classify_session(&self, session: &Session) -> Option<Label>;
+}
+
+/// A boundary classifier that always abstains.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBoundary;
+
+impl BoundaryClassifier for NoBoundary {
+    fn classify_session(&self, _session: &Session) -> Option<Label> {
+        None
+    }
+}
+
+impl<F> BoundaryClassifier for F
+where
+    F: Fn(&Session) -> Option<Label>,
+{
+    fn classify_session(&self, session: &Session) -> Option<Label> {
+        self(session)
+    }
+}
+
+/// Configuration for [`StagedPipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StagedConfig {
+    /// The browser test is trusted once a session has at least this many
+    /// requests without contradicting signals (Figure 2: CSS downloads
+    /// classify 95% of browser users within 19 requests).
+    pub browser_test_window: u64,
+}
+
+impl Default for StagedConfig {
+    fn default() -> Self {
+        StagedConfig {
+            browser_test_window: 19,
+        }
+    }
+}
+
+/// The staged decision pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_core::staged::{NoBoundary, StagedConfig, StagedPipeline, Stage};
+/// use botwall_core::evidence::{EvidenceKind, EvidenceSet};
+/// use botwall_core::classifier::Label;
+/// use botwall_http::request::ClientIp;
+/// use botwall_sessions::SimTime;
+///
+/// let pipeline = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+/// let mut e = EvidenceSet::new();
+/// e.record(EvidenceKind::MouseEvent, 5, SimTime::ZERO);
+/// // A session object is only needed for the ML stage; hard evidence
+/// // decides without one.
+/// let d = pipeline.decide_evidence_only(&e);
+/// assert_eq!(d.label, Label::Human);
+/// assert_eq!(d.stage, Stage::HardEvidence);
+/// ```
+#[derive(Debug)]
+pub struct StagedPipeline<C> {
+    config: StagedConfig,
+    boundary: C,
+}
+
+impl<C: BoundaryClassifier> StagedPipeline<C> {
+    /// Creates a pipeline with the given boundary classifier.
+    pub fn new(config: StagedConfig, boundary: C) -> StagedPipeline<C> {
+        StagedPipeline { config, boundary }
+    }
+
+    /// Decides a session using evidence plus (for boundary cases) the
+    /// session's request history.
+    pub fn decide(&self, session: &Session, evidence: &EvidenceSet) -> StagedDecision {
+        // Stage 1: hard evidence.
+        if let Some(d) = Self::hard_stage(evidence) {
+            return d;
+        }
+        // Stage 2: fast browser test.
+        if let Some(d) = self.browser_stage(session.request_count(), evidence) {
+            return d;
+        }
+        // Stage 3: ML on boundary cases.
+        if let Some(label) = self.boundary.classify_session(session) {
+            return StagedDecision {
+                label,
+                stage: Stage::MlBoundary,
+            };
+        }
+        // Fallback: set algebra.
+        StagedDecision {
+            label: classifier::classify_final(evidence),
+            stage: Stage::Fallback,
+        }
+    }
+
+    /// Decides from evidence alone (no ML stage possible).
+    pub fn decide_evidence_only(&self, evidence: &EvidenceSet) -> StagedDecision {
+        if let Some(d) = Self::hard_stage(evidence) {
+            return d;
+        }
+        if let Some(d) = self.browser_stage(u64::MAX, evidence) {
+            return d;
+        }
+        StagedDecision {
+            label: classifier::classify_final(evidence),
+            stage: Stage::Fallback,
+        }
+    }
+
+    fn hard_stage(evidence: &EvidenceSet) -> Option<StagedDecision> {
+        if evidence.any_hard_robot() {
+            return Some(StagedDecision {
+                label: Label::Robot,
+                stage: Stage::HardEvidence,
+            });
+        }
+        if evidence.any_hard_human() {
+            return Some(StagedDecision {
+                label: Label::Human,
+                stage: Stage::HardEvidence,
+            });
+        }
+        None
+    }
+
+    fn browser_stage(&self, request_count: u64, evidence: &EvidenceSet) -> Option<StagedDecision> {
+        let css = evidence.has(EvidenceKind::DownloadedCss);
+        let js = evidence.has(EvidenceKind::ExecutedJs);
+        // Clean browser signal with no contradiction: human.
+        if css && !js {
+            return Some(StagedDecision {
+                label: Label::Human,
+                stage: Stage::BrowserTest,
+            });
+        }
+        // A long session that never touched any browser probe: robot.
+        if !css
+            && !js
+            && !evidence.has(EvidenceKind::DownloadedJsFile)
+            && request_count >= self.config.browser_test_window
+        {
+            return Some(StagedDecision {
+                label: Label::Robot,
+                stage: Stage::BrowserTest,
+            });
+        }
+        // JS-without-mouse and short no-signal sessions are boundary
+        // cases: fall through to ML.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::request::ClientIp;
+    use botwall_http::{Method, Request, Response, StatusCode};
+    use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
+
+    fn session(requests: u64) -> Session {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        let mut key = None;
+        for i in 0..requests {
+            let r = Request::builder(Method::Get, format!("http://h/{i}.html"))
+                .header("User-Agent", "x")
+                .client(ClientIp::new(1))
+                .build()
+                .unwrap();
+            key = Some(t.observe(&r, &Response::empty(StatusCode::OK), SimTime::from_secs(i)));
+        }
+        t.get(&key.unwrap()).unwrap().clone()
+    }
+
+    fn ev(kinds: &[EvidenceKind]) -> EvidenceSet {
+        let mut e = EvidenceSet::new();
+        for (i, k) in kinds.iter().enumerate() {
+            e.record(*k, (i + 1) as u32, SimTime::ZERO);
+        }
+        e
+    }
+
+    #[test]
+    fn hard_evidence_short_circuits() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let d = p.decide(&session(5), &ev(&[EvidenceKind::HiddenLinkFollowed]));
+        assert_eq!(d.stage, Stage::HardEvidence);
+        assert_eq!(d.label, Label::Robot);
+        let d = p.decide(&session(5), &ev(&[EvidenceKind::MouseEvent]));
+        assert_eq!(d.label, Label::Human);
+    }
+
+    #[test]
+    fn browser_test_decides_css_sessions() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let d = p.decide(&session(8), &ev(&[EvidenceKind::DownloadedCss]));
+        assert_eq!(d.stage, Stage::BrowserTest);
+        assert_eq!(d.label, Label::Human);
+    }
+
+    #[test]
+    fn long_signalless_sessions_are_robots_via_browser_test() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let d = p.decide(&session(25), &EvidenceSet::new());
+        assert_eq!(d.stage, Stage::BrowserTest);
+        assert_eq!(d.label, Label::Robot);
+    }
+
+    #[test]
+    fn short_signalless_sessions_fall_through() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let d = p.decide(&session(5), &EvidenceSet::new());
+        assert_eq!(d.stage, Stage::Fallback);
+    }
+
+    #[test]
+    fn boundary_classifier_gets_js_without_mouse() {
+        // An ML stage that labels everything human, to prove it is
+        // consulted for the boundary case.
+        let ml = |_: &Session| Some(Label::Human);
+        let p = StagedPipeline::new(StagedConfig::default(), ml);
+        let d = p.decide(
+            &session(30),
+            &ev(&[EvidenceKind::DownloadedCss, EvidenceKind::ExecutedJs]),
+        );
+        assert_eq!(d.stage, Stage::MlBoundary);
+        assert_eq!(d.label, Label::Human);
+    }
+
+    #[test]
+    fn abstaining_ml_falls_back_to_set_algebra() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let e = ev(&[EvidenceKind::DownloadedCss, EvidenceKind::ExecutedJs]);
+        let d = p.decide(&session(30), &e);
+        assert_eq!(d.stage, Stage::Fallback);
+        // Set algebra: JS without mouse ⇒ robot.
+        assert_eq!(d.label, Label::Robot);
+    }
+
+    #[test]
+    fn evidence_only_decides_without_session() {
+        let p = StagedPipeline::new(StagedConfig::default(), NoBoundary);
+        let d = p.decide_evidence_only(&ev(&[EvidenceKind::DownloadedCss]));
+        assert_eq!(d.label, Label::Human);
+        // No-signal evidence-only decisions lean robot via the (infinite)
+        // window browser test.
+        let d = p.decide_evidence_only(&EvidenceSet::new());
+        assert_eq!(d.label, Label::Robot);
+        assert_eq!(d.stage, Stage::BrowserTest);
+    }
+}

@@ -1,0 +1,271 @@
+//! Request content classification.
+//!
+//! The detector and the Table-2 feature extractor both need to know *what
+//! kind of thing* a request asked for: HTML pages, embedded images, CSS,
+//! JavaScript, CGI programs, or the favicon. Robots reveal themselves by
+//! the mix they fetch — crawlers and email harvesters request only HTML,
+//! referrer spammers fetch nothing presentation-related, off-line browsers
+//! fetch everything.
+
+use crate::request::Request;
+use crate::response::Response;
+use crate::uri::Uri;
+use serde::{Deserialize, Serialize};
+
+/// The content class of a requested resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentClass {
+    /// An HTML page (including directory indexes).
+    Html,
+    /// A cascading style sheet.
+    Css,
+    /// A JavaScript file.
+    Script,
+    /// An image (`image/*`, or an image extension).
+    Image,
+    /// The special `/favicon.ico` request browsers issue spontaneously.
+    Favicon,
+    /// A CGI/dynamic endpoint (path contains `cgi-bin`, `.cgi`, `.php`,
+    /// `.asp`, `.jsp`, or carries a query string on an executable path).
+    Cgi,
+    /// Audio content (the paper suggests silent audio probes).
+    Audio,
+    /// Anything else (downloads, archives, unknown types).
+    Other,
+}
+
+impl ContentClass {
+    /// Classifies a request, preferring the response `Content-Type` when a
+    /// response is available and falling back to URI heuristics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use botwall_http::{ContentClass, Method, Request};
+    /// let r = Request::builder(Method::Get, "http://h/style/main.css")
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(ContentClass::of(&r, None), ContentClass::Css);
+    /// ```
+    pub fn of(request: &Request, response: Option<&Response>) -> ContentClass {
+        // Favicon is special-cased by path: browsers fetch it unprompted
+        // and Table 2 counts it separately (`FAVICON %`).
+        if request
+            .uri()
+            .file_name()
+            .eq_ignore_ascii_case("favicon.ico")
+        {
+            return ContentClass::Favicon;
+        }
+        if Self::is_cgi_path(request.uri()) {
+            return ContentClass::Cgi;
+        }
+        if let Some(ct) = response.and_then(|r| r.content_type()) {
+            if let Some(c) = Self::from_content_type(ct) {
+                return c;
+            }
+        }
+        Self::from_uri(request.uri())
+    }
+
+    /// Classifies by MIME type alone. Returns `None` for types that need
+    /// URI context.
+    pub fn from_content_type(ct: &str) -> Option<ContentClass> {
+        let ct = ct
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        match ct.as_str() {
+            "text/html" | "application/xhtml+xml" => Some(ContentClass::Html),
+            "text/css" => Some(ContentClass::Css),
+            "text/javascript" | "application/javascript" | "application/x-javascript" => {
+                Some(ContentClass::Script)
+            }
+            _ if ct.starts_with("image/") => Some(ContentClass::Image),
+            _ if ct.starts_with("audio/") => Some(ContentClass::Audio),
+            "" => None,
+            _ => Some(ContentClass::Other),
+        }
+    }
+
+    /// Classifies by URI heuristics (extension, path shape).
+    pub fn from_uri(uri: &Uri) -> ContentClass {
+        if uri.file_name().eq_ignore_ascii_case("favicon.ico") {
+            return ContentClass::Favicon;
+        }
+        if Self::is_cgi_path(uri) {
+            return ContentClass::Cgi;
+        }
+        match uri.extension().as_deref() {
+            Some("html") | Some("htm") | Some("xhtml") => ContentClass::Html,
+            Some("css") => ContentClass::Css,
+            Some("js") => ContentClass::Script,
+            Some("jpg") | Some("jpeg") | Some("gif") | Some("png") | Some("bmp") | Some("ico")
+            | Some("svg") => ContentClass::Image,
+            Some("wav") | Some("mp3") | Some("ogg") | Some("au") => ContentClass::Audio,
+            Some(_) => ContentClass::Other,
+            // Extensionless paths ending in `/` (or bare) are pages.
+            None => ContentClass::Html,
+        }
+    }
+
+    fn is_cgi_path(uri: &Uri) -> bool {
+        let path = uri.path().to_ascii_lowercase();
+        path.contains("/cgi-bin/")
+            || matches!(
+                uri.extension().as_deref(),
+                Some("cgi") | Some("php") | Some("asp") | Some("jsp") | Some("pl")
+            )
+    }
+
+    /// Returns `true` for classes that exist only to render a page
+    /// (CSS, images, scripts, favicon, audio).
+    ///
+    /// The paper's browser test keys on exactly this distinction:
+    /// goal-oriented robots skip presentation content.
+    pub fn is_presentation(self) -> bool {
+        matches!(
+            self,
+            ContentClass::Css
+                | ContentClass::Image
+                | ContentClass::Script
+                | ContentClass::Favicon
+                | ContentClass::Audio
+        )
+    }
+
+    /// Returns `true` for embedded-object classes (anything a page pulls in
+    /// automatically rather than via a followed link).
+    pub fn is_embedded_object(self) -> bool {
+        matches!(
+            self,
+            ContentClass::Css | ContentClass::Image | ContentClass::Script | ContentClass::Audio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Method;
+
+    fn req(uri: &str) -> Request {
+        Request::builder(Method::Get, uri).build().unwrap()
+    }
+
+    #[test]
+    fn classifies_by_extension() {
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.html"), None),
+            ContentClass::Html
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.css"), None),
+            ContentClass::Css
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.js"), None),
+            ContentClass::Script
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.png"), None),
+            ContentClass::Image
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.wav"), None),
+            ContentClass::Audio
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/a.zip"), None),
+            ContentClass::Other
+        );
+    }
+
+    #[test]
+    fn favicon_wins_over_image_extension() {
+        assert_eq!(
+            ContentClass::of(&req("http://h/favicon.ico"), None),
+            ContentClass::Favicon
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/sub/FAVICON.ICO"), None),
+            ContentClass::Favicon
+        );
+        // Some other .ico is just an image.
+        assert_eq!(
+            ContentClass::of(&req("http://h/logo.ico"), None),
+            ContentClass::Image
+        );
+    }
+
+    #[test]
+    fn cgi_detection() {
+        assert_eq!(
+            ContentClass::of(&req("http://h/cgi-bin/search"), None),
+            ContentClass::Cgi
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/login.php"), None),
+            ContentClass::Cgi
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/x.asp?q=1"), None),
+            ContentClass::Cgi
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/x.jsp"), None),
+            ContentClass::Cgi
+        );
+    }
+
+    #[test]
+    fn extensionless_paths_are_pages() {
+        assert_eq!(
+            ContentClass::of(&req("http://h/"), None),
+            ContentClass::Html
+        );
+        assert_eq!(
+            ContentClass::of(&req("http://h/articles/today"), None),
+            ContentClass::Html
+        );
+    }
+
+    #[test]
+    fn content_type_overrides_uri() {
+        use crate::response::Response;
+        use crate::status::StatusCode;
+        let resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", "image/jpeg")
+            .build();
+        // Path suggests HTML; Content-Type says image.
+        assert_eq!(
+            ContentClass::of(&req("http://h/weird"), Some(&resp)),
+            ContentClass::Image
+        );
+    }
+
+    #[test]
+    fn content_type_with_parameters() {
+        assert_eq!(
+            ContentClass::from_content_type("text/html; charset=utf-8"),
+            Some(ContentClass::Html)
+        );
+        assert_eq!(
+            ContentClass::from_content_type("application/javascript"),
+            Some(ContentClass::Script)
+        );
+        assert_eq!(ContentClass::from_content_type(""), None);
+    }
+
+    #[test]
+    fn presentation_and_embedded_predicates() {
+        assert!(ContentClass::Css.is_presentation());
+        assert!(ContentClass::Favicon.is_presentation());
+        assert!(!ContentClass::Html.is_presentation());
+        assert!(!ContentClass::Cgi.is_presentation());
+        assert!(ContentClass::Image.is_embedded_object());
+        assert!(!ContentClass::Favicon.is_embedded_object());
+    }
+}

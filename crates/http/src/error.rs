@@ -1,0 +1,72 @@
+//! Error type shared by the HTTP substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or parsing HTTP artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// A URI string failed to parse; the payload describes why.
+    InvalidUri(String),
+    /// A request or status line was malformed.
+    InvalidStartLine(String),
+    /// A header line was malformed (missing colon, illegal name byte, …).
+    InvalidHeader(String),
+    /// An HTTP method token was not recognized and not a valid token.
+    InvalidMethod(String),
+    /// A status code was outside `100..=599`.
+    InvalidStatus(u16),
+    /// The message body was shorter than the declared `Content-Length`.
+    TruncatedBody {
+        /// Bytes promised by the `Content-Length` header.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The wire input ended before the header block terminator.
+    UnexpectedEof,
+    /// A `Content-Length` header failed to parse as an integer.
+    InvalidContentLength(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::InvalidUri(s) => write!(f, "invalid URI: {s}"),
+            HttpError::InvalidStartLine(s) => write!(f, "invalid start line: {s}"),
+            HttpError::InvalidHeader(s) => write!(f, "invalid header: {s}"),
+            HttpError::InvalidMethod(s) => write!(f, "invalid method: {s}"),
+            HttpError::InvalidStatus(c) => write!(f, "invalid status code: {c}"),
+            HttpError::TruncatedBody { expected, actual } => {
+                write!(f, "truncated body: expected {expected} bytes, got {actual}")
+            }
+            HttpError::UnexpectedEof => write!(f, "unexpected end of input"),
+            HttpError::InvalidContentLength(s) => {
+                write!(f, "invalid Content-Length: {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HttpError::TruncatedBody {
+            expected: 10,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("3"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(HttpError::InvalidStatus(999), HttpError::InvalidStatus(999));
+        assert_ne!(HttpError::InvalidStatus(999), HttpError::InvalidStatus(998));
+    }
+}

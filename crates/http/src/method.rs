@@ -1,0 +1,181 @@
+//! HTTP request methods.
+
+use crate::error::HttpError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An HTTP request method.
+///
+/// The paper's feature set (Table 2) tracks the share of `HEAD` commands
+/// explicitly (`HEAD %`), and its abuse policies key on `GET` rates and
+/// CGI `POST` hammering, so methods are first-class here.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::Method;
+/// assert_eq!("GET".parse::<Method>().unwrap(), Method::Get);
+/// assert!(Method::Head.is_safe());
+/// assert!(!Method::Post.is_safe());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// `GET` — retrieve a resource.
+    Get,
+    /// `HEAD` — retrieve headers only.
+    Head,
+    /// `POST` — submit data (forms, password attempts, CGI).
+    Post,
+    /// `PUT` — replace a resource.
+    Put,
+    /// `DELETE` — remove a resource.
+    Delete,
+    /// `OPTIONS` — query capabilities.
+    Options,
+    /// `TRACE` — echo the request.
+    Trace,
+    /// `CONNECT` — open a tunnel (used through open proxies by abusers).
+    Connect,
+    /// Any other syntactically valid token (extension methods).
+    Extension(String),
+}
+
+impl Method {
+    /// Returns the canonical token for the method.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Trace => "TRACE",
+            Method::Connect => "CONNECT",
+            Method::Extension(s) => s,
+        }
+    }
+
+    /// Returns `true` for methods defined as safe (no server-side effects).
+    pub fn is_safe(&self) -> bool {
+        matches!(
+            self,
+            Method::Get | Method::Head | Method::Options | Method::Trace
+        )
+    }
+
+    /// Returns `true` for idempotent methods.
+    pub fn is_idempotent(&self) -> bool {
+        self.is_safe() || matches!(self, Method::Put | Method::Delete)
+    }
+
+    /// Returns `true` if `b` is a legal HTTP token byte (RFC 7230 tchar).
+    pub(crate) fn is_token_byte(b: u8) -> bool {
+        matches!(
+            b,
+            b'!' | b'#'
+                | b'$'
+                | b'%'
+                | b'&'
+                | b'\''
+                | b'*'
+                | b'+'
+                | b'-'
+                | b'.'
+                | b'^'
+                | b'_'
+                | b'`'
+                | b'|'
+                | b'~'
+        ) || b.is_ascii_alphanumeric()
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(Method::is_token_byte) {
+            return Err(HttpError::InvalidMethod(s.to_string()));
+        }
+        Ok(match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            "TRACE" => Method::Trace,
+            "CONNECT" => Method::Connect,
+            other => Method::Extension(other.to_string()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_standard_methods() {
+        for (s, m) in [
+            ("GET", Method::Get),
+            ("HEAD", Method::Head),
+            ("POST", Method::Post),
+            ("PUT", Method::Put),
+            ("DELETE", Method::Delete),
+            ("OPTIONS", Method::Options),
+            ("TRACE", Method::Trace),
+            ("CONNECT", Method::Connect),
+        ] {
+            assert_eq!(s.parse::<Method>().unwrap(), m);
+            assert_eq!(m.as_str(), s);
+        }
+    }
+
+    #[test]
+    fn extension_methods_roundtrip() {
+        let m: Method = "PROPFIND".parse().unwrap();
+        assert_eq!(m, Method::Extension("PROPFIND".to_string()));
+        assert_eq!(m.as_str(), "PROPFIND");
+    }
+
+    #[test]
+    fn methods_are_case_sensitive() {
+        // `get` is a valid token but not the canonical GET method.
+        let m: Method = "get".parse().unwrap();
+        assert_eq!(m, Method::Extension("get".to_string()));
+    }
+
+    #[test]
+    fn rejects_non_token_bytes() {
+        assert!("G ET".parse::<Method>().is_err());
+        assert!("".parse::<Method>().is_err());
+        assert!("GET\r".parse::<Method>().is_err());
+        assert!("GET:".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn safety_classes() {
+        assert!(Method::Get.is_safe());
+        assert!(Method::Head.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(!Method::Connect.is_safe());
+        assert!(Method::Put.is_idempotent());
+        assert!(Method::Delete.is_idempotent());
+        assert!(!Method::Post.is_idempotent());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(Method::Post.to_string(), "POST");
+        assert_eq!(Method::Extension("PATCH".into()).to_string(), "PATCH");
+    }
+}

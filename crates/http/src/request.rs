@@ -1,0 +1,264 @@
+//! Typed HTTP requests.
+
+use crate::error::HttpError;
+use crate::headers::Headers;
+use crate::method::Method;
+use crate::uri::Uri;
+use serde::{Deserialize, Serialize};
+
+/// An IPv4-style client address used to key sessions.
+///
+/// The simulation does not route packets, so a compact opaque 32-bit
+/// identifier suffices; `Display` renders dotted-quad for logs.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::request::ClientIp;
+/// let ip = ClientIp::new(0x0A000001);
+/// assert_eq!(ip.to_string(), "10.0.0.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClientIp(u32);
+
+impl ClientIp {
+    /// Creates an address from its 32-bit value.
+    pub fn new(v: u32) -> ClientIp {
+        ClientIp(v)
+    }
+
+    /// Returns the raw 32-bit value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ClientIp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.0.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A typed HTTP request.
+///
+/// Carries the client address alongside the message because the detector
+/// keys all of its state by `<client IP, User-Agent>`.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::{Method, Request};
+///
+/// let r = Request::builder(Method::Get, "http://example.com/a.html")
+///     .header("User-Agent", "crawler/1.0")
+///     .build()
+///     .unwrap();
+/// assert_eq!(r.user_agent(), Some("crawler/1.0"));
+/// assert_eq!(r.referer(), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    method: Method,
+    uri: Uri,
+    version: String,
+    headers: Headers,
+    body: Vec<u8>,
+    client: ClientIp,
+}
+
+impl Request {
+    /// Starts building a request; `uri` must parse or
+    /// [`RequestBuilder::build`] fails.
+    pub fn builder(method: Method, uri: impl Into<String>) -> RequestBuilder {
+        RequestBuilder {
+            method,
+            uri: uri.into(),
+            version: "HTTP/1.1".to_string(),
+            headers: Headers::new(),
+            body: Vec::new(),
+            client: ClientIp(0),
+        }
+    }
+
+    /// The request method.
+    pub fn method(&self) -> &Method {
+        &self.method
+    }
+
+    /// The request target.
+    pub fn uri(&self) -> &Uri {
+        &self.uri
+    }
+
+    /// The protocol version string (`HTTP/1.0` or `HTTP/1.1`).
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The header map.
+    pub fn headers(&self) -> &Headers {
+        &self.headers
+    }
+
+    /// Mutable access to the header map.
+    pub fn headers_mut(&mut self) -> &mut Headers {
+        &mut self.headers
+    }
+
+    /// The request body.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// The client address this request arrived from.
+    pub fn client(&self) -> ClientIp {
+        self.client
+    }
+
+    /// Overrides the client address (used when replaying logs).
+    pub fn set_client(&mut self, ip: ClientIp) {
+        self.client = ip;
+    }
+
+    /// The `User-Agent` header value, if present.
+    pub fn user_agent(&self) -> Option<&str> {
+        self.headers.get("User-Agent")
+    }
+
+    /// The `Referer` header value, if present.
+    ///
+    /// Table 2's `REFERRER %` and `UNSEEN REFERRER %` features and the
+    /// referrer-spam robot model both read this.
+    pub fn referer(&self) -> Option<&str> {
+        self.headers.get("Referer")
+    }
+
+    /// Approximate wire size in bytes (request line + headers + body).
+    pub fn wire_len(&self) -> usize {
+        let line = self.method.as_str().len()
+            + 1
+            + self.uri.to_string().len()
+            + 1
+            + self.version.len()
+            + 2;
+        line + self.headers.wire_len() + 2 + self.body.len()
+    }
+}
+
+/// Builder for [`Request`].
+#[derive(Debug, Clone)]
+pub struct RequestBuilder {
+    method: Method,
+    uri: String,
+    version: String,
+    headers: Headers,
+    body: Vec<u8>,
+    client: ClientIp,
+}
+
+impl RequestBuilder {
+    /// Appends a header line.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Sets the protocol version string.
+    pub fn version(mut self, v: impl Into<String>) -> Self {
+        self.version = v.into();
+        self
+    }
+
+    /// Sets the body.
+    pub fn body_bytes(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Sets the originating client address.
+    pub fn client(mut self, ip: ClientIp) -> Self {
+        self.client = ip;
+        self
+    }
+
+    /// Validates the URI and produces the request.
+    ///
+    /// Adds a `Content-Length` header when a non-empty body is present and
+    /// none was set explicitly.
+    pub fn build(mut self) -> Result<Request, HttpError> {
+        let uri = Uri::parse(&self.uri)?;
+        if !self.body.is_empty() && !self.headers.contains("Content-Length") {
+            self.headers
+                .set("Content-Length", self.body.len().to_string());
+        }
+        Ok(Request {
+            method: self.method,
+            uri,
+            version: self.version,
+            headers: self.headers,
+            body: self.body,
+            client: self.client,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_request() {
+        let r = Request::builder(Method::Post, "http://h/cgi-bin/login")
+            .header("User-Agent", "x")
+            .body_bytes(b"user=a&pass=b".to_vec())
+            .client(ClientIp::new(7))
+            .build()
+            .unwrap();
+        assert_eq!(r.method(), &Method::Post);
+        assert_eq!(r.uri().path(), "/cgi-bin/login");
+        assert_eq!(r.client().as_u32(), 7);
+        assert_eq!(r.headers().content_length(), Some(13));
+    }
+
+    #[test]
+    fn builder_rejects_bad_uri() {
+        assert!(Request::builder(Method::Get, "not a uri").build().is_err());
+    }
+
+    #[test]
+    fn explicit_content_length_not_overwritten() {
+        let r = Request::builder(Method::Post, "/x")
+            .header("Content-Length", "99")
+            .body_bytes(vec![1, 2, 3])
+            .build()
+            .unwrap();
+        assert_eq!(r.headers().content_length(), Some(99));
+    }
+
+    #[test]
+    fn accessors_for_common_headers() {
+        let r = Request::builder(Method::Get, "/p")
+            .header("Referer", "http://h/prev.html")
+            .build()
+            .unwrap();
+        assert_eq!(r.referer(), Some("http://h/prev.html"));
+        assert_eq!(r.user_agent(), None);
+    }
+
+    #[test]
+    fn client_ip_display() {
+        assert_eq!(ClientIp::new(0xC0A80101).to_string(), "192.168.1.1");
+        assert_eq!(ClientIp::new(0).to_string(), "0.0.0.0");
+    }
+
+    #[test]
+    fn wire_len_counts_all_parts() {
+        let r = Request::builder(Method::Get, "/a")
+            .version("HTTP/1.0")
+            .build()
+            .unwrap();
+        // "GET /a HTTP/1.0\r\n" (17) + "\r\n" (2).
+        assert_eq!(r.wire_len(), 19);
+    }
+}

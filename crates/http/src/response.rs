@@ -1,0 +1,200 @@
+//! Typed HTTP responses.
+
+use crate::headers::Headers;
+use crate::status::StatusCode;
+use serde::{Deserialize, Serialize};
+
+/// A typed HTTP response.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::{Response, StatusCode};
+///
+/// let r = Response::builder(StatusCode::FOUND)
+///     .header("Location", "http://example.com/moved.html")
+///     .build();
+/// assert!(r.status().is_redirect());
+/// assert_eq!(r.location(), Some("http://example.com/moved.html"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    status: StatusCode,
+    version: String,
+    headers: Headers,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Starts building a response with the given status.
+    pub fn builder(status: StatusCode) -> ResponseBuilder {
+        ResponseBuilder {
+            status,
+            version: "HTTP/1.1".to_string(),
+            headers: Headers::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor for a bodyless response.
+    pub fn empty(status: StatusCode) -> Response {
+        Response::builder(status).build()
+    }
+
+    /// The status code.
+    pub fn status(&self) -> StatusCode {
+        self.status
+    }
+
+    /// The protocol version string.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The header map.
+    pub fn headers(&self) -> &Headers {
+        &self.headers
+    }
+
+    /// Mutable access to the header map.
+    pub fn headers_mut(&mut self) -> &mut Headers {
+        &mut self.headers
+    }
+
+    /// The response body.
+    pub fn body(&self) -> &[u8] {
+        &self.body
+    }
+
+    /// Replaces the body, updating `Content-Length`.
+    pub fn set_body(&mut self, body: Vec<u8>) {
+        self.headers.set("Content-Length", body.len().to_string());
+        self.body = body;
+    }
+
+    /// The `Content-Type` header value, if present.
+    pub fn content_type(&self) -> Option<&str> {
+        self.headers.get("Content-Type")
+    }
+
+    /// The `Location` header value, if present (redirect target).
+    pub fn location(&self) -> Option<&str> {
+        self.headers.get("Location")
+    }
+
+    /// Returns `true` if the response forbids caching.
+    ///
+    /// The instrumenter marks every rewritten page and generated probe
+    /// `Cache-Control: no-cache, no-store` so browsers re-fetch them and
+    /// the beacon keys stay fresh (§2.1 of the paper).
+    pub fn is_uncacheable(&self) -> bool {
+        self.headers
+            .get_all("Cache-Control")
+            .any(|v| v.contains("no-store") || v.contains("no-cache"))
+    }
+
+    /// Approximate wire size in bytes (status line + headers + body).
+    pub fn wire_len(&self) -> usize {
+        let line = self.version.len() + 1 + 3 + 1 + self.status.reason().len() + 2;
+        line + self.headers.wire_len() + 2 + self.body.len()
+    }
+}
+
+/// Builder for [`Response`].
+#[derive(Debug, Clone)]
+pub struct ResponseBuilder {
+    status: StatusCode,
+    version: String,
+    headers: Headers,
+    body: Vec<u8>,
+}
+
+impl ResponseBuilder {
+    /// Appends a header line.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.insert(name, value);
+        self
+    }
+
+    /// Sets the protocol version string.
+    pub fn version(mut self, v: impl Into<String>) -> Self {
+        self.version = v.into();
+        self
+    }
+
+    /// Sets the body and a matching `Content-Length` header (unless one was
+    /// already set explicitly).
+    pub fn body_bytes(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Produces the response.
+    pub fn build(mut self) -> Response {
+        if !self.body.is_empty() && !self.headers.contains("Content-Length") {
+            self.headers
+                .set("Content-Length", self.body.len().to_string());
+        }
+        Response {
+            status: self.status,
+            version: self.version,
+            headers: self.headers,
+            body: self.body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_content_length() {
+        let r = Response::builder(StatusCode::OK)
+            .body_bytes(b"hello".to_vec())
+            .build();
+        assert_eq!(r.headers().content_length(), Some(5));
+        assert_eq!(r.body(), b"hello");
+    }
+
+    #[test]
+    fn empty_response_has_no_content_length() {
+        let r = Response::empty(StatusCode::NO_CONTENT);
+        assert_eq!(r.headers().content_length(), None);
+    }
+
+    #[test]
+    fn set_body_updates_content_length() {
+        let mut r = Response::empty(StatusCode::OK);
+        r.set_body(vec![0u8; 10]);
+        assert_eq!(r.headers().content_length(), Some(10));
+    }
+
+    #[test]
+    fn uncacheable_detection() {
+        let r = Response::builder(StatusCode::OK)
+            .header("Cache-Control", "no-cache, no-store")
+            .build();
+        assert!(r.is_uncacheable());
+        let r = Response::builder(StatusCode::OK)
+            .header("Cache-Control", "max-age=3600")
+            .build();
+        assert!(!r.is_uncacheable());
+        assert!(!Response::empty(StatusCode::OK).is_uncacheable());
+    }
+
+    #[test]
+    fn location_accessor() {
+        let r = Response::builder(StatusCode::MOVED_PERMANENTLY)
+            .header("Location", "/new")
+            .build();
+        assert_eq!(r.location(), Some("/new"));
+    }
+
+    #[test]
+    fn wire_len_counts_all_parts() {
+        let r = Response::empty(StatusCode::OK);
+        // "HTTP/1.1 200 OK\r\n" (17) + "\r\n" (2).
+        assert_eq!(r.wire_len(), 19);
+    }
+}

@@ -1,0 +1,365 @@
+//! A minimal URI parser for proxy-style request lines.
+//!
+//! Open-proxy traffic (the paper's CoDeeN substrate) uses absolute-form
+//! request targets (`GET http://host/path HTTP/1.0`); origin servers see
+//! origin-form (`GET /path HTTP/1.0`). This parser handles both plus the
+//! query string, which the beacon/probe URL codec relies on.
+
+use crate::error::HttpError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed URI: optional scheme/host/port plus path and optional query.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::Uri;
+///
+/// let u: Uri = "http://www.example.com:8080/a/b.html?k=1".parse().unwrap();
+/// assert_eq!(u.scheme(), Some("http"));
+/// assert_eq!(u.host(), Some("www.example.com"));
+/// assert_eq!(u.port(), Some(8080));
+/// assert_eq!(u.path(), "/a/b.html");
+/// assert_eq!(u.query(), Some("k=1"));
+///
+/// let rel: Uri = "/index.html".parse().unwrap();
+/// assert_eq!(rel.host(), None);
+/// assert_eq!(rel.path(), "/index.html");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uri {
+    scheme: Option<String>,
+    host: Option<String>,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+}
+
+impl Uri {
+    /// Parses an absolute-form (`http://host[:port]/path[?q]`) or
+    /// origin-form (`/path[?q]`) URI.
+    ///
+    /// Returns [`HttpError::InvalidUri`] for empty input, unsupported
+    /// schemes, empty hosts, bad ports, or whitespace in the URI.
+    pub fn parse(s: &str) -> Result<Uri, HttpError> {
+        if s.is_empty() {
+            return Err(HttpError::InvalidUri("empty".to_string()));
+        }
+        if s.bytes().any(|b| b.is_ascii_whitespace()) {
+            return Err(HttpError::InvalidUri(format!("whitespace in {s:?}")));
+        }
+        if let Some(rest) = s
+            .strip_prefix("http://")
+            .map(|r| ("http", r))
+            .or_else(|| s.strip_prefix("https://").map(|r| ("https", r)))
+        {
+            let (scheme, rest) = rest;
+            let (authority, path_and_query) = match rest.find('/') {
+                Some(i) => (&rest[..i], &rest[i..]),
+                None => (rest, "/"),
+            };
+            if authority.is_empty() {
+                return Err(HttpError::InvalidUri(format!("empty host in {s:?}")));
+            }
+            let (host, port) = match authority.rsplit_once(':') {
+                Some((h, p)) => {
+                    if h.is_empty() {
+                        return Err(HttpError::InvalidUri(format!("empty host in {s:?}")));
+                    }
+                    let port: u16 = p
+                        .parse()
+                        .map_err(|_| HttpError::InvalidUri(format!("bad port in {s:?}")))?;
+                    (h.to_string(), Some(port))
+                }
+                None => (authority.to_string(), None),
+            };
+            let (path, query) = split_query(path_and_query);
+            Ok(Uri {
+                scheme: Some(scheme.to_string()),
+                host: Some(host),
+                port,
+                path,
+                query,
+            })
+        } else if s.starts_with('/') {
+            let (path, query) = split_query(s);
+            Ok(Uri {
+                scheme: None,
+                host: None,
+                port: None,
+                path,
+                query,
+            })
+        } else if s == "*" {
+            // Asterisk-form for OPTIONS.
+            Ok(Uri {
+                scheme: None,
+                host: None,
+                port: None,
+                path: "*".to_string(),
+                query: None,
+            })
+        } else {
+            Err(HttpError::InvalidUri(format!("unsupported form: {s:?}")))
+        }
+    }
+
+    /// Builds an absolute `http` URI from parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use botwall_http::Uri;
+    /// let u = Uri::absolute("example.com", "/x.css");
+    /// assert_eq!(u.to_string(), "http://example.com/x.css");
+    /// ```
+    pub fn absolute(host: impl Into<String>, path: impl Into<String>) -> Uri {
+        let path = path.into();
+        let (path, query) = split_query(&path);
+        Uri {
+            scheme: Some("http".to_string()),
+            host: Some(host.into()),
+            port: None,
+            path,
+            query,
+        }
+    }
+
+    /// The scheme (`http`/`https`), if absolute-form.
+    pub fn scheme(&self) -> Option<&str> {
+        self.scheme.as_deref()
+    }
+
+    /// The host, if absolute-form.
+    pub fn host(&self) -> Option<&str> {
+        self.host.as_deref()
+    }
+
+    /// The explicit port, if one was given.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The effective port: explicit, or the scheme default.
+    pub fn effective_port(&self) -> u16 {
+        self.port.unwrap_or(match self.scheme.as_deref() {
+            Some("https") => 443,
+            _ => 80,
+        })
+    }
+
+    /// The path component (always starts with `/`, or is `*`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query string without the leading `?`, if present.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Path plus query, as it would appear in origin-form.
+    pub fn path_and_query(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+
+    /// The final path segment (after the last `/`), without the query.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use botwall_http::Uri;
+    /// let u: Uri = "http://h/a/b/pic.jpg?x=1".parse().unwrap();
+    /// assert_eq!(u.file_name(), "pic.jpg");
+    /// ```
+    pub fn file_name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or("")
+    }
+
+    /// The lowercase extension of [`Uri::file_name`], if any.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.file_name();
+        let (stem, ext) = name.rsplit_once('.')?;
+        if stem.is_empty() || ext.is_empty() {
+            return None;
+        }
+        Some(ext.to_ascii_lowercase())
+    }
+
+    /// Resolves a (possibly relative) reference against this URI, which
+    /// must be treated as the base document URI.
+    ///
+    /// Handles absolute URIs, absolute paths, and sibling-relative paths.
+    pub fn join(&self, reference: &str) -> Result<Uri, HttpError> {
+        if reference.starts_with("http://") || reference.starts_with("https://") {
+            return Uri::parse(reference);
+        }
+        let mut out = self.clone();
+        if let Some(path) = reference.strip_prefix('/') {
+            let (path, query) = split_query(&format!("/{path}"));
+            out.path = path;
+            out.query = query;
+            return Ok(out);
+        }
+        // Sibling-relative: replace the last segment of the base path.
+        let base = match self.path.rfind('/') {
+            Some(i) => &self.path[..=i],
+            None => "/",
+        };
+        let (path, query) = split_query(&format!("{base}{reference}"));
+        out.path = path;
+        out.query = query;
+        Ok(out)
+    }
+}
+
+fn split_query(s: &str) -> (String, Option<String>) {
+    match s.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (s.to_string(), None),
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let (Some(scheme), Some(host)) = (&self.scheme, &self.host) {
+            write!(f, "{scheme}://{host}")?;
+            if let Some(p) = self.port {
+                write!(f, ":{p}")?;
+            }
+        }
+        write!(f, "{}", self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Uri {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Uri::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_absolute_form() {
+        let u: Uri = "http://www.example.com/index.html".parse().unwrap();
+        assert_eq!(u.scheme(), Some("http"));
+        assert_eq!(u.host(), Some("www.example.com"));
+        assert_eq!(u.port(), None);
+        assert_eq!(u.effective_port(), 80);
+        assert_eq!(u.path(), "/index.html");
+        assert_eq!(u.query(), None);
+    }
+
+    #[test]
+    fn parses_https_default_port() {
+        let u: Uri = "https://secure.example.com/".parse().unwrap();
+        assert_eq!(u.effective_port(), 443);
+    }
+
+    #[test]
+    fn parses_explicit_port_and_query() {
+        let u: Uri = "http://h:8080/cgi-bin/s?q=a&b=c".parse().unwrap();
+        assert_eq!(u.port(), Some(8080));
+        assert_eq!(u.query(), Some("q=a&b=c"));
+        assert_eq!(u.path_and_query(), "/cgi-bin/s?q=a&b=c");
+    }
+
+    #[test]
+    fn host_only_gets_root_path() {
+        let u: Uri = "http://example.com".parse().unwrap();
+        assert_eq!(u.path(), "/");
+    }
+
+    #[test]
+    fn parses_origin_form() {
+        let u: Uri = "/a/b?x=1".parse().unwrap();
+        assert_eq!(u.host(), None);
+        assert_eq!(u.path(), "/a/b");
+        assert_eq!(u.query(), Some("x=1"));
+    }
+
+    #[test]
+    fn asterisk_form() {
+        let u: Uri = "*".parse().unwrap();
+        assert_eq!(u.path(), "*");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Uri::parse("").is_err());
+        assert!(Uri::parse("ftp://x/").is_err());
+        assert!(Uri::parse("http:///path").is_err());
+        assert!(Uri::parse("http://h:99999/").is_err());
+        assert!(Uri::parse("http://h/a b").is_err());
+        assert!(Uri::parse("relative.html").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "http://example.com/",
+            "http://example.com:8080/x?y=z",
+            "/p/q.css",
+            "https://h/",
+        ] {
+            let u: Uri = s.parse().unwrap();
+            assert_eq!(u.to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn file_name_and_extension() {
+        let u: Uri = "http://h/img/pic.JPG?v=2".parse().unwrap();
+        assert_eq!(u.file_name(), "pic.JPG");
+        assert_eq!(u.extension(), Some("jpg".to_string()));
+
+        let u: Uri = "http://h/dir/".parse().unwrap();
+        assert_eq!(u.file_name(), "");
+        assert_eq!(u.extension(), None);
+
+        let u: Uri = "http://h/.hidden".parse().unwrap();
+        assert_eq!(u.extension(), None, "dotfile has no extension");
+    }
+
+    #[test]
+    fn join_absolute_reference() {
+        let base: Uri = "http://a.com/x/y.html".parse().unwrap();
+        let j = base.join("http://b.com/z").unwrap();
+        assert_eq!(j.host(), Some("b.com"));
+    }
+
+    #[test]
+    fn join_absolute_path() {
+        let base: Uri = "http://a.com/x/y.html".parse().unwrap();
+        let j = base.join("/css/site.css").unwrap();
+        assert_eq!(j.to_string(), "http://a.com/css/site.css");
+    }
+
+    #[test]
+    fn join_sibling_relative() {
+        let base: Uri = "http://a.com/x/y.html".parse().unwrap();
+        let j = base.join("pic.gif").unwrap();
+        assert_eq!(j.to_string(), "http://a.com/x/pic.gif");
+    }
+
+    #[test]
+    fn join_preserves_query_of_reference() {
+        let base: Uri = "http://a.com/x/y.html?old=1".parse().unwrap();
+        let j = base.join("next.html?new=2").unwrap();
+        assert_eq!(j.query(), Some("new=2"));
+    }
+}

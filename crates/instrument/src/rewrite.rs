@@ -1,0 +1,612 @@
+//! The instrumenter: HTML rewriting plus probe serving.
+//!
+//! [`Instrumenter`] is the server-side component a proxy or origin embeds.
+//! For every HTML page it serves, it:
+//!
+//! * issues a fresh 128-bit key + `m` decoys and records them in the
+//!   [`TokenTable`],
+//! * generates the event-handler JavaScript ([`crate::jsgen`]),
+//! * injects `<script src>`, an `onmousemove` handler on `<body>`, the
+//!   empty CSS probe `<link>`, and the hidden-link trap into the HTML,
+//! * marks everything `Cache-Control: no-cache, no-store` (§2.1).
+//!
+//! It then recognizes incoming probe traffic ([`Instrumenter::classify`])
+//! and serves the fake objects ([`Instrumenter::respond`]).
+
+use crate::beacon;
+use crate::jsgen::{self, GeneratedJs, JsSpec, Obfuscation};
+use crate::probe::{ProbeHit, ProbeKind, ProbeRegistry, ProbeRegistryConfig};
+use crate::token::{BeaconKey, KeyOutcome, TokenTable, TokenTableConfig};
+use botwall_http::request::ClientIp;
+use botwall_http::{Request, Response, StatusCode, Uri};
+use botwall_sessions::SimTime;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for [`Instrumenter`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentConfig {
+    /// Number of decoy functions `m` (§2.1); a blind fetcher is caught
+    /// with probability `m/(m+1)`.
+    pub decoys: usize,
+    /// Script obfuscation level.
+    pub obfuscation: Obfuscation,
+    /// Approximate generated-script size in bytes (paper: ~1 KB).
+    pub js_target_size: usize,
+    /// Inject the empty CSS probe (§2.2).
+    pub css_probe: bool,
+    /// Inject the hidden-link trap (§2.2).
+    pub hidden_link: bool,
+    /// Inject the mouse-event beacon machinery (§2.1).
+    pub mouse_beacon: bool,
+    /// Token table tuning.
+    pub token_table: TokenTableConfig,
+    /// Probe registry tuning.
+    pub probe_registry: ProbeRegistryConfig,
+    /// Maximum generated scripts retained for serving.
+    pub max_stored_scripts: usize,
+}
+
+impl Default for InstrumentConfig {
+    fn default() -> Self {
+        InstrumentConfig {
+            decoys: 5,
+            obfuscation: Obfuscation::Lexical,
+            js_target_size: 1024,
+            css_probe: true,
+            hidden_link: true,
+            mouse_beacon: true,
+            token_table: TokenTableConfig::default(),
+            probe_registry: ProbeRegistryConfig::default(),
+            max_stored_scripts: 100_000,
+        }
+    }
+}
+
+/// Everything the instrumenter injected into one page.
+///
+/// Agents consume this as the "parsed DOM" view of the instrumented page:
+/// a browser fetches `css_probe` because the link tag is there, fires
+/// `mouse_beacon` when its user moves the mouse, and never touches
+/// `hidden_link`; a blind crawler scans the HTML bytes instead.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeManifest {
+    /// The page that was instrumented.
+    pub page: Uri,
+    /// URL of the generated external script.
+    pub js_file: Option<Uri>,
+    /// URL the script fetches on execution (reports the agent string).
+    pub agent_beacon: Option<Uri>,
+    /// URL the event handler fetches on mouse/keyboard activity.
+    pub mouse_beacon: Option<Uri>,
+    /// Decoy beacon URLs embedded in the script.
+    pub decoy_beacons: Vec<Uri>,
+    /// URL of the empty CSS probe.
+    pub css_probe: Option<Uri>,
+    /// URL of the hidden link target.
+    pub hidden_link: Option<Uri>,
+    /// URL of the transparent 1×1 image that masks the hidden link.
+    pub transparent_pixel: Option<Uri>,
+    /// Bytes added to the HTML by rewriting.
+    pub html_overhead: usize,
+}
+
+/// Classification of an incoming request against the instrumentation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Classified {
+    /// A mouse-beacon fetch carrying `key`; `outcome` is the token-table
+    /// verdict (valid/replay/decoy/unknown).
+    MouseBeacon {
+        /// The key presented in the URL.
+        key: BeaconKey,
+        /// The token-table verdict for this client and key.
+        outcome: KeyOutcome,
+    },
+    /// A non-beacon probe hit (CSS probe, JS file, agent beacon, hidden
+    /// link, transparent pixel).
+    Probe(ProbeHit),
+    /// Not instrumentation traffic.
+    Ordinary,
+}
+
+/// Cumulative instrumentation statistics (feeds the §3.2 overhead
+/// experiment: probe bandwidth was 0.3% of CoDeeN's total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumenterStats {
+    /// Pages rewritten.
+    pub pages_instrumented: u64,
+    /// Bytes added to HTML bodies.
+    pub html_overhead_bytes: u64,
+    /// Bytes served for generated scripts.
+    pub js_bytes_served: u64,
+    /// Bytes served for other probe objects.
+    pub probe_bytes_served: u64,
+}
+
+impl InstrumenterStats {
+    /// Total instrumentation bytes (HTML delta + probe payloads).
+    pub fn total_overhead(&self) -> u64 {
+        self.html_overhead_bytes + self.js_bytes_served + self.probe_bytes_served
+    }
+}
+
+/// The server-side instrumentation engine.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::request::ClientIp;
+/// use botwall_http::Uri;
+/// use botwall_instrument::{InstrumentConfig, Instrumenter};
+/// use botwall_sessions::SimTime;
+///
+/// let mut ins = Instrumenter::new(InstrumentConfig::default(), 1);
+/// let page: Uri = "http://site.example/index.html".parse().unwrap();
+/// let html = "<html><head></head><body><p>hi</p></body></html>";
+/// let (rewritten, manifest) =
+///     ins.instrument_page(html, &page, ClientIp::new(9), SimTime::ZERO);
+/// assert!(rewritten.contains("onmousemove"));
+/// assert!(manifest.css_probe.is_some());
+/// ```
+#[derive(Debug)]
+pub struct Instrumenter {
+    config: InstrumentConfig,
+    tokens: TokenTable,
+    registry: ProbeRegistry,
+    rng: ChaCha8Rng,
+    scripts: HashMap<u64, GeneratedJs>,
+    script_order: Vec<u64>,
+    stats: InstrumenterStats,
+}
+
+impl Instrumenter {
+    /// Creates an instrumenter with the given config and RNG seed.
+    pub fn new(config: InstrumentConfig, seed: u64) -> Instrumenter {
+        Instrumenter {
+            tokens: TokenTable::new(config.token_table.clone()),
+            registry: ProbeRegistry::new(config.probe_registry.clone()),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            scripts: HashMap::new(),
+            script_order: Vec::new(),
+            config,
+            stats: InstrumenterStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &InstrumentConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> InstrumenterStats {
+        self.stats
+    }
+
+    /// Read access to the token table (diagnostics).
+    pub fn tokens(&self) -> &TokenTable {
+        &self.tokens
+    }
+
+    /// Rewrites one HTML page served to `client`, returning the new HTML
+    /// and the manifest of injected probes.
+    pub fn instrument_page(
+        &mut self,
+        html: &str,
+        page: &Uri,
+        client: ClientIp,
+        now: SimTime,
+    ) -> (String, ProbeManifest) {
+        let host = page.host().unwrap_or("unknown.example");
+        let mut manifest = ProbeManifest {
+            page: page.clone(),
+            js_file: None,
+            agent_beacon: None,
+            mouse_beacon: None,
+            decoy_beacons: Vec::new(),
+            css_probe: None,
+            hidden_link: None,
+            transparent_pixel: None,
+            html_overhead: 0,
+        };
+        let mut head_inject = String::new();
+        let mut body_attr = String::new();
+        let mut body_inject = String::new();
+
+        if self.config.css_probe {
+            let url = self
+                .registry
+                .issue(ProbeKind::CssProbe, host, now, &mut self.rng);
+            head_inject.push_str(&format!(
+                "<link rel=\"stylesheet\" type=\"text/css\" href=\"{url}\">\n"
+            ));
+            manifest.css_probe = Some(url);
+        }
+        if self.config.mouse_beacon {
+            let key = BeaconKey::random(&mut self.rng);
+            let decoys: Vec<BeaconKey> = (0..self.config.decoys)
+                .map(|_| BeaconKey::random(&mut self.rng))
+                .collect();
+            self.tokens
+                .issue(client, page.path(), key, decoys.clone(), now);
+            let mouse_url = beacon::encode(host, key);
+            let decoy_urls: Vec<Uri> = decoys.iter().map(|d| beacon::encode(host, *d)).collect();
+            let agent_url = self
+                .registry
+                .issue(ProbeKind::AgentBeacon, host, now, &mut self.rng);
+            let js_url = self
+                .registry
+                .issue(ProbeKind::JsFile, host, now, &mut self.rng);
+            let spec = JsSpec {
+                mouse_beacon: mouse_url.clone(),
+                decoys: decoy_urls.clone(),
+                agent_beacon: agent_url.clone(),
+                obfuscation: self.config.obfuscation,
+                target_size: self.config.js_target_size,
+            };
+            let js = jsgen::generate(&spec, &mut self.rng);
+            head_inject.push_str(&format!(
+                "<script language=\"javascript\" src=\"{js_url}\"></script>\n"
+            ));
+            body_attr = format!(" onmousemove=\"return {}();\"", js.handler_name);
+            // Store the script under its nonce for serving.
+            if let Some(nonce) = nonce_of(&js_url) {
+                if self.scripts.len() >= self.config.max_stored_scripts {
+                    if let Some(old) = self.script_order.first().copied() {
+                        self.script_order.remove(0);
+                        self.scripts.remove(&old);
+                    }
+                }
+                self.scripts.insert(nonce, js);
+                self.script_order.push(nonce);
+            }
+            manifest.mouse_beacon = Some(mouse_url);
+            manifest.decoy_beacons = decoy_urls;
+            manifest.agent_beacon = Some(agent_url);
+            manifest.js_file = Some(js_url);
+        }
+        if self.config.hidden_link {
+            let link = self
+                .registry
+                .issue(ProbeKind::HiddenLink, host, now, &mut self.rng);
+            let pixel = self
+                .registry
+                .issue(ProbeKind::TransparentPixel, host, now, &mut self.rng);
+            body_inject.push_str(&format!(
+                "<a href=\"{link}\"><img src=\"{pixel}\" width=\"1\" height=\"1\" border=\"0\"></a>\n"
+            ));
+            manifest.hidden_link = Some(link);
+            manifest.transparent_pixel = Some(pixel);
+        }
+
+        let rewritten = inject(html, &head_inject, &body_attr, &body_inject);
+        manifest.html_overhead = rewritten.len().saturating_sub(html.len());
+        self.stats.pages_instrumented += 1;
+        self.stats.html_overhead_bytes += manifest.html_overhead as u64;
+        (rewritten, manifest)
+    }
+
+    /// Marks a page response uncacheable, as §2.1 requires for rewritten
+    /// pages and probe objects.
+    pub fn mark_uncacheable(response: &mut Response) {
+        response
+            .headers_mut()
+            .set("Cache-Control", "no-cache, no-store");
+    }
+
+    /// Classifies an incoming request against the instrumentation state,
+    /// redeeming beacon keys as a side effect.
+    pub fn classify(&mut self, request: &Request, now: SimTime) -> Classified {
+        if let Some(key) = beacon::decode(request.uri()) {
+            let outcome = self.tokens.redeem(request.client(), key, now);
+            return Classified::MouseBeacon { key, outcome };
+        }
+        match self.registry.classify(request) {
+            Some(hit) => Classified::Probe(hit),
+            None => Classified::Ordinary,
+        }
+    }
+
+    /// Serves the response for instrumentation traffic: the generated
+    /// script for JS-file hits, an empty style sheet for CSS probes, tiny
+    /// images for beacons, a stub page for hidden links.
+    ///
+    /// Returns `None` for [`Classified::Ordinary`].
+    pub fn respond(&mut self, classified: &Classified) -> Option<Response> {
+        let (body, content_type): (Vec<u8>, &str) = match classified {
+            Classified::MouseBeacon { .. } => (FAKE_JPEG.to_vec(), "image/jpeg"),
+            Classified::Probe(hit) => match hit.kind {
+                ProbeKind::CssProbe => (Vec::new(), "text/css"),
+                ProbeKind::JsFile => {
+                    let src = self
+                        .scripts
+                        .get(&hit.nonce)
+                        .map(|js| js.source.clone())
+                        .unwrap_or_default();
+                    (src.into_bytes(), "application/x-javascript")
+                }
+                ProbeKind::AgentBeacon | ProbeKind::TransparentPixel => {
+                    (TRANSPARENT_GIF.to_vec(), "image/gif")
+                }
+                ProbeKind::MouseBeacon => (FAKE_JPEG.to_vec(), "image/jpeg"),
+                ProbeKind::HiddenLink => (
+                    b"<html><body>nothing to see</body></html>".to_vec(),
+                    "text/html",
+                ),
+            },
+            Classified::Ordinary => return None,
+        };
+        let served = body.len() as u64;
+        match classified {
+            Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
+                self.stats.js_bytes_served += served;
+            }
+            _ => self.stats.probe_bytes_served += served,
+        }
+        let mut resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", content_type)
+            .body_bytes(body)
+            .build();
+        Self::mark_uncacheable(&mut resp);
+        Some(resp)
+    }
+
+    /// Purges expired tokens and nonces.
+    pub fn sweep(&mut self, now: SimTime) {
+        self.tokens.sweep(now);
+        self.registry.sweep(now);
+        self.script_order.retain(|n| self.scripts.contains_key(n));
+    }
+}
+
+/// A 1×1 transparent GIF (the classic 43-byte pixel).
+const TRANSPARENT_GIF: &[u8] = &[
+    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+];
+
+/// A minimal JPEG payload ("any JPEG image [works] because the picture is
+/// not used" — §2.1).
+const FAKE_JPEG: &[u8] = &[
+    0xff, 0xd8, 0xff, 0xe0, 0x00, 0x10, 0x4a, 0x46, 0x49, 0x46, 0x00, 0x01, 0x01, 0x00, 0x00, 0x01,
+    0x00, 0x01, 0x00, 0x00, 0xff, 0xd9,
+];
+
+/// Extracts the 20-digit nonce from a registry-issued URL.
+fn nonce_of(uri: &Uri) -> Option<u64> {
+    let (stem, _) = uri.file_name().rsplit_once('.')?;
+    if stem.len() == 20 && stem.bytes().all(|b| b.is_ascii_digit()) {
+        stem.parse().ok()
+    } else {
+        None
+    }
+}
+
+/// Injects markup into an HTML document: `head_inject` before `</head>`,
+/// `body_attr` into the `<body>` tag, `body_inject` before `</body>`.
+/// Degrades gracefully when tags are missing.
+fn inject(html: &str, head_inject: &str, body_attr: &str, body_inject: &str) -> String {
+    let mut out = String::with_capacity(
+        html.len() + head_inject.len() + body_attr.len() + body_inject.len() + 16,
+    );
+    // Head injection.
+    let lower = html.to_ascii_lowercase();
+    let (pre, rest) = match lower.find("</head>") {
+        Some(i) => (&html[..i], &html[i..]),
+        None => match lower.find("<body") {
+            Some(i) => (&html[..i], &html[i..]),
+            None => ("", html),
+        },
+    };
+    out.push_str(pre);
+    out.push_str(head_inject);
+    // Body attribute injection.
+    let rest_lower = rest.to_ascii_lowercase();
+    if let Some(b) = rest_lower.find("<body") {
+        let after_tag_name = b + "<body".len();
+        out.push_str(&rest[..after_tag_name]);
+        out.push_str(body_attr);
+        let remaining = &rest[after_tag_name..];
+        // Body-end injection.
+        let rl = remaining.to_ascii_lowercase();
+        if let Some(e) = rl.rfind("</body>") {
+            out.push_str(&remaining[..e]);
+            out.push_str(body_inject);
+            out.push_str(&remaining[e..]);
+        } else {
+            out.push_str(remaining);
+            out.push_str(body_inject);
+        }
+    } else {
+        out.push_str(rest);
+        out.push_str(body_inject);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::Method;
+
+    fn page_uri() -> Uri {
+        "http://site.example/index.html".parse().unwrap()
+    }
+
+    fn ins() -> Instrumenter {
+        Instrumenter::new(InstrumentConfig::default(), 77)
+    }
+
+    const HTML: &str = "<html><head><title>t</title></head><body><p>content</p></body></html>";
+
+    #[test]
+    fn injects_all_probes() {
+        let mut i = ins();
+        let (html, m) = i.instrument_page(HTML, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        assert!(html.contains("onmousemove=\"return "));
+        assert!(html.contains("rel=\"stylesheet\""));
+        assert!(html.contains("width=\"1\" height=\"1\""));
+        assert!(m.css_probe.is_some());
+        assert!(m.js_file.is_some());
+        assert!(m.mouse_beacon.is_some());
+        assert!(m.agent_beacon.is_some());
+        assert!(m.hidden_link.is_some());
+        assert_eq!(m.decoy_beacons.len(), 5);
+        assert_eq!(m.html_overhead, html.len() - HTML.len());
+    }
+
+    #[test]
+    fn disabled_probes_are_not_injected() {
+        let cfg = InstrumentConfig {
+            css_probe: false,
+            hidden_link: false,
+            mouse_beacon: false,
+            ..InstrumentConfig::default()
+        };
+        let mut i = Instrumenter::new(cfg, 1);
+        let (html, m) = i.instrument_page(HTML, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        assert_eq!(html, HTML);
+        assert!(m.css_probe.is_none());
+        assert!(m.mouse_beacon.is_none());
+        assert!(m.hidden_link.is_none());
+        assert_eq!(m.html_overhead, 0);
+    }
+
+    #[test]
+    fn mouse_beacon_classification_lifecycle() {
+        let mut i = ins();
+        let client = ClientIp::new(5);
+        let (_, m) = i.instrument_page(HTML, &page_uri(), client, SimTime::ZERO);
+        let beacon_url = m.mouse_beacon.unwrap();
+        let req = Request::builder(Method::Get, beacon_url.to_string())
+            .client(client)
+            .build()
+            .unwrap();
+        match i.classify(&req, SimTime::from_secs(1)) {
+            Classified::MouseBeacon { outcome, .. } => assert_eq!(outcome, KeyOutcome::Valid),
+            other => panic!("expected mouse beacon, got {other:?}"),
+        }
+        // Second fetch is a replay.
+        match i.classify(&req, SimTime::from_secs(2)) {
+            Classified::MouseBeacon { outcome, .. } => {
+                assert_eq!(outcome, KeyOutcome::Replay)
+            }
+            other => panic!("expected mouse beacon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoy_fetch_is_flagged() {
+        let mut i = ins();
+        let client = ClientIp::new(5);
+        let (_, m) = i.instrument_page(HTML, &page_uri(), client, SimTime::ZERO);
+        let decoy = m.decoy_beacons[2].clone();
+        let req = Request::builder(Method::Get, decoy.to_string())
+            .client(client)
+            .build()
+            .unwrap();
+        match i.classify(&req, SimTime::from_secs(1)) {
+            Classified::MouseBeacon { outcome, .. } => assert_eq!(outcome, KeyOutcome::Decoy),
+            other => panic!("expected decoy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stolen_key_from_other_client_is_unknown() {
+        let mut i = ins();
+        let (_, m) = i.instrument_page(HTML, &page_uri(), ClientIp::new(5), SimTime::ZERO);
+        let beacon_url = m.mouse_beacon.unwrap();
+        let thief = Request::builder(Method::Get, beacon_url.to_string())
+            .client(ClientIp::new(6))
+            .build()
+            .unwrap();
+        match i.classify(&thief, SimTime::from_secs(1)) {
+            Classified::MouseBeacon { outcome, .. } => {
+                assert_eq!(outcome, KeyOutcome::Unknown)
+            }
+            other => panic!("expected mouse beacon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn js_file_serves_generated_source() {
+        let mut i = ins();
+        let client = ClientIp::new(5);
+        let (_, m) = i.instrument_page(HTML, &page_uri(), client, SimTime::ZERO);
+        let js_url = m.js_file.unwrap();
+        let req = Request::builder(Method::Get, js_url.to_string())
+            .client(client)
+            .build()
+            .unwrap();
+        let c = i.classify(&req, SimTime::from_secs(1));
+        let resp = i.respond(&c).expect("probe response");
+        assert!(resp.is_uncacheable());
+        let body = String::from_utf8(resp.body().to_vec()).unwrap();
+        assert!(body.contains("new Image()"));
+        assert!(body.contains("navigator.userAgent"));
+    }
+
+    #[test]
+    fn css_probe_serves_empty_uncacheable_css() {
+        let mut i = ins();
+        let (_, m) = i.instrument_page(HTML, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        let req = Request::builder(Method::Get, m.css_probe.unwrap().to_string())
+            .build()
+            .unwrap();
+        let c = i.classify(&req, SimTime::ZERO);
+        let resp = i.respond(&c).unwrap();
+        assert_eq!(resp.content_type(), Some("text/css"));
+        assert!(resp.body().is_empty());
+        assert!(resp.is_uncacheable());
+    }
+
+    #[test]
+    fn ordinary_traffic_passes_through() {
+        let mut i = ins();
+        i.instrument_page(HTML, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        let req = Request::builder(Method::Get, "http://site.example/other.html")
+            .build()
+            .unwrap();
+        assert_eq!(i.classify(&req, SimTime::ZERO), Classified::Ordinary);
+        assert!(i.respond(&Classified::Ordinary).is_none());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut i = ins();
+        let client = ClientIp::new(1);
+        let (_, m) = i.instrument_page(HTML, &page_uri(), client, SimTime::ZERO);
+        assert_eq!(i.stats().pages_instrumented, 1);
+        assert!(i.stats().html_overhead_bytes > 0);
+        let req = Request::builder(Method::Get, m.js_file.unwrap().to_string())
+            .client(client)
+            .build()
+            .unwrap();
+        let c = i.classify(&req, SimTime::ZERO);
+        i.respond(&c);
+        assert!(i.stats().js_bytes_served > 0);
+    }
+
+    #[test]
+    fn missing_head_and_body_degrade_gracefully() {
+        let mut i = ins();
+        let bare = "<p>no structure at all</p>";
+        let (html, m) = i.instrument_page(bare, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        // Probes still present in the output, tags appended around content.
+        assert!(html.contains("rel=\"stylesheet\""));
+        assert!(html.contains(&m.hidden_link.unwrap().to_string()));
+        assert!(html.contains("no structure at all"));
+    }
+
+    #[test]
+    fn keys_differ_across_pages_and_clients() {
+        let mut i = ins();
+        let (_, m1) = i.instrument_page(HTML, &page_uri(), ClientIp::new(1), SimTime::ZERO);
+        let (_, m2) = i.instrument_page(HTML, &page_uri(), ClientIp::new(2), SimTime::ZERO);
+        assert_ne!(m1.mouse_beacon, m2.mouse_beacon, "fresh key per serve");
+        assert_ne!(m1.css_probe, m2.css_probe, "fresh nonce per serve");
+    }
+}

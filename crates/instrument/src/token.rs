@@ -1,0 +1,420 @@
+//! 128-bit beacon keys and the per-client token table.
+//!
+//! §2.1 of the paper: "the server generates a random key
+//! `k ∈ [0, 2^128 − 1]` and records the tuple `<foo.html, k>` in a table
+//! indexed by the client's IP address. The table holds multiple entries per
+//! IP address." A matching key in a later beacon fetch proves a mouse or
+//! keyboard event; the random key prevents replay across clients and pages.
+
+use botwall_http::request::ClientIp;
+use botwall_sessions::SimTime;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A 128-bit beacon key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BeaconKey(u128);
+
+impl BeaconKey {
+    /// Draws a fresh random key.
+    pub fn random<R: Rng>(rng: &mut R) -> BeaconKey {
+        BeaconKey(rng.gen())
+    }
+
+    /// Builds a key from its raw value (tests, decoding).
+    pub fn from_raw(v: u128) -> BeaconKey {
+        BeaconKey(v)
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Renders the key as 32 lowercase hex digits (the URL form).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-hex-digit URL form.
+    pub fn from_hex(s: &str) -> Option<BeaconKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(BeaconKey)
+    }
+}
+
+impl fmt::Display for BeaconKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Outcome of checking a presented key against the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyOutcome {
+    /// The key matches an unused entry for this client: human evidence.
+    Valid,
+    /// The key matched an entry that was already redeemed: a replay.
+    Replay,
+    /// The key matches one of the decoys issued to this client: a blind
+    /// robot fetched a URL it found by scanning the script.
+    Decoy,
+    /// The key matches nothing issued to this client.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    page: String,
+    key: BeaconKey,
+    decoys: Vec<BeaconKey>,
+    issued: SimTime,
+    redeemed: bool,
+}
+
+/// Configuration for [`TokenTable`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenTableConfig {
+    /// Maximum outstanding entries per client IP; the oldest is dropped
+    /// beyond this (the paper's table "holds multiple entries per IP").
+    pub max_entries_per_ip: usize,
+    /// Maximum distinct client IPs tracked; least-recently-issued evicted.
+    pub max_clients: usize,
+    /// Entries older than this are purged on sweep (keys are one-shot and
+    /// short-lived by design).
+    pub entry_ttl_ms: u64,
+}
+
+impl Default for TokenTableConfig {
+    fn default() -> Self {
+        TokenTableConfig {
+            max_entries_per_ip: 64,
+            max_clients: 100_000,
+            entry_ttl_ms: 3_600_000,
+        }
+    }
+}
+
+/// The server-side table of issued beacon keys, indexed by client IP.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::request::ClientIp;
+/// use botwall_instrument::token::{BeaconKey, KeyOutcome, TokenTable, TokenTableConfig};
+/// use botwall_sessions::SimTime;
+///
+/// let mut table = TokenTable::new(TokenTableConfig::default());
+/// let ip = ClientIp::new(1);
+/// let key = BeaconKey::from_raw(42);
+/// table.issue(ip, "/index.html", key, vec![BeaconKey::from_raw(43)], SimTime::ZERO);
+/// assert_eq!(table.redeem(ip, key, SimTime::from_secs(1)), KeyOutcome::Valid);
+/// assert_eq!(table.redeem(ip, key, SimTime::from_secs(2)), KeyOutcome::Replay);
+/// assert_eq!(
+///     table.redeem(ip, BeaconKey::from_raw(43), SimTime::from_secs(3)),
+///     KeyOutcome::Decoy
+/// );
+/// ```
+#[derive(Debug)]
+pub struct TokenTable {
+    config: TokenTableConfig,
+    by_ip: HashMap<ClientIp, Vec<Entry>>,
+    issued_total: u64,
+    redeemed_total: u64,
+}
+
+impl TokenTable {
+    /// Creates an empty table.
+    pub fn new(config: TokenTableConfig) -> TokenTable {
+        TokenTable {
+            config,
+            by_ip: HashMap::new(),
+            issued_total: 0,
+            redeemed_total: 0,
+        }
+    }
+
+    /// Records a freshly issued `<page, key>` tuple (plus the decoys served
+    /// alongside it) for `ip`.
+    pub fn issue(
+        &mut self,
+        ip: ClientIp,
+        page: impl Into<String>,
+        key: BeaconKey,
+        decoys: Vec<BeaconKey>,
+        now: SimTime,
+    ) {
+        if !self.by_ip.contains_key(&ip) && self.by_ip.len() >= self.config.max_clients {
+            self.evict_oldest_client();
+        }
+        let entries = self.by_ip.entry(ip).or_default();
+        if entries.len() >= self.config.max_entries_per_ip {
+            entries.remove(0);
+        }
+        entries.push(Entry {
+            page: page.into(),
+            key,
+            decoys,
+            issued: now,
+            redeemed: false,
+        });
+        self.issued_total += 1;
+    }
+
+    /// Checks a presented key for `ip`, marking it redeemed when valid.
+    pub fn redeem(&mut self, ip: ClientIp, key: BeaconKey, _now: SimTime) -> KeyOutcome {
+        let Some(entries) = self.by_ip.get_mut(&ip) else {
+            return KeyOutcome::Unknown;
+        };
+        for e in entries.iter_mut() {
+            if e.key == key {
+                if e.redeemed {
+                    return KeyOutcome::Replay;
+                }
+                e.redeemed = true;
+                self.redeemed_total += 1;
+                return KeyOutcome::Valid;
+            }
+        }
+        if entries.iter().any(|e| e.decoys.contains(&key)) {
+            return KeyOutcome::Decoy;
+        }
+        KeyOutcome::Unknown
+    }
+
+    /// Purges entries older than the TTL. Returns how many were removed.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let ttl = self.config.entry_ttl_ms;
+        let mut removed = 0;
+        self.by_ip.retain(|_, entries| {
+            let before = entries.len();
+            entries.retain(|e| now.since(e.issued) <= ttl);
+            removed += before - entries.len();
+            !entries.is_empty()
+        });
+        removed
+    }
+
+    /// The page associated with an outstanding key, if any (diagnostics).
+    pub fn page_for(&self, ip: ClientIp, key: BeaconKey) -> Option<&str> {
+        self.by_ip
+            .get(&ip)?
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.page.as_str())
+    }
+
+    /// Outstanding entries for `ip`.
+    pub fn entries_for(&self, ip: ClientIp) -> usize {
+        self.by_ip.get(&ip).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Number of tracked client IPs.
+    pub fn client_count(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// Total keys ever issued.
+    pub fn issued_total(&self) -> u64 {
+        self.issued_total
+    }
+
+    /// Total keys successfully redeemed.
+    pub fn redeemed_total(&self) -> u64 {
+        self.redeemed_total
+    }
+
+    fn evict_oldest_client(&mut self) {
+        if let Some(ip) = self
+            .by_ip
+            .iter()
+            .min_by_key(|(_, es)| es.last().map(|e| e.issued).unwrap_or(SimTime::ZERO))
+            .map(|(ip, _)| *ip)
+        {
+            self.by_ip.remove(&ip);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn table() -> TokenTable {
+        TokenTable::new(TokenTableConfig::default())
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let k = BeaconKey::random(&mut rng);
+            assert_eq!(BeaconKey::from_hex(&k.to_hex()), Some(k));
+            assert_eq!(k.to_hex().len(), 32);
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(BeaconKey::from_hex(""), None);
+        assert_eq!(BeaconKey::from_hex("xyz"), None);
+        assert_eq!(BeaconKey::from_hex(&"f".repeat(31)), None);
+        assert_eq!(BeaconKey::from_hex(&"g".repeat(32)), None);
+        assert!(BeaconKey::from_hex(&"0".repeat(32)).is_some());
+    }
+
+    #[test]
+    fn valid_then_replay() {
+        let mut t = table();
+        let ip = ClientIp::new(1);
+        let k = BeaconKey::from_raw(7);
+        t.issue(ip, "/p", k, vec![], SimTime::ZERO);
+        assert_eq!(t.redeem(ip, k, SimTime::ZERO), KeyOutcome::Valid);
+        assert_eq!(t.redeem(ip, k, SimTime::ZERO), KeyOutcome::Replay);
+        assert_eq!(t.redeemed_total(), 1);
+    }
+
+    #[test]
+    fn key_is_per_client() {
+        let mut t = table();
+        let k = BeaconKey::from_raw(7);
+        t.issue(ClientIp::new(1), "/p", k, vec![], SimTime::ZERO);
+        // Another client presenting the stolen key gets Unknown.
+        assert_eq!(
+            t.redeem(ClientIp::new(2), k, SimTime::ZERO),
+            KeyOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn decoy_detection() {
+        let mut t = table();
+        let ip = ClientIp::new(1);
+        t.issue(
+            ip,
+            "/p",
+            BeaconKey::from_raw(1),
+            vec![BeaconKey::from_raw(2), BeaconKey::from_raw(3)],
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            t.redeem(ip, BeaconKey::from_raw(3), SimTime::ZERO),
+            KeyOutcome::Decoy
+        );
+        assert_eq!(
+            t.redeem(ip, BeaconKey::from_raw(99), SimTime::ZERO),
+            KeyOutcome::Unknown
+        );
+    }
+
+    #[test]
+    fn multiple_entries_per_ip() {
+        let mut t = table();
+        let ip = ClientIp::new(1);
+        let k1 = BeaconKey::from_raw(1);
+        let k2 = BeaconKey::from_raw(2);
+        t.issue(ip, "/a", k1, vec![], SimTime::ZERO);
+        t.issue(ip, "/b", k2, vec![], SimTime::ZERO);
+        assert_eq!(t.entries_for(ip), 2);
+        assert_eq!(t.page_for(ip, k2), Some("/b"));
+        assert_eq!(t.redeem(ip, k1, SimTime::ZERO), KeyOutcome::Valid);
+        assert_eq!(t.redeem(ip, k2, SimTime::ZERO), KeyOutcome::Valid);
+    }
+
+    #[test]
+    fn per_ip_bound_drops_oldest() {
+        let mut t = TokenTable::new(TokenTableConfig {
+            max_entries_per_ip: 2,
+            ..TokenTableConfig::default()
+        });
+        let ip = ClientIp::new(1);
+        for i in 0..3 {
+            t.issue(
+                ip,
+                format!("/{i}"),
+                BeaconKey::from_raw(i),
+                vec![],
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(t.entries_for(ip), 2);
+        // Key 0 was dropped.
+        assert_eq!(
+            t.redeem(ip, BeaconKey::from_raw(0), SimTime::ZERO),
+            KeyOutcome::Unknown
+        );
+        assert_eq!(
+            t.redeem(ip, BeaconKey::from_raw(2), SimTime::ZERO),
+            KeyOutcome::Valid
+        );
+    }
+
+    #[test]
+    fn client_bound_evicts_oldest_client() {
+        let mut t = TokenTable::new(TokenTableConfig {
+            max_clients: 2,
+            ..TokenTableConfig::default()
+        });
+        t.issue(
+            ClientIp::new(1),
+            "/a",
+            BeaconKey::from_raw(1),
+            vec![],
+            SimTime::ZERO,
+        );
+        t.issue(
+            ClientIp::new(2),
+            "/b",
+            BeaconKey::from_raw(2),
+            vec![],
+            SimTime::from_secs(10),
+        );
+        t.issue(
+            ClientIp::new(3),
+            "/c",
+            BeaconKey::from_raw(3),
+            vec![],
+            SimTime::from_secs(20),
+        );
+        assert_eq!(t.client_count(), 2);
+        assert_eq!(
+            t.redeem(
+                ClientIp::new(1),
+                BeaconKey::from_raw(1),
+                SimTime::from_secs(21)
+            ),
+            KeyOutcome::Unknown,
+            "oldest client evicted"
+        );
+    }
+
+    #[test]
+    fn sweep_purges_expired_entries() {
+        let mut t = TokenTable::new(TokenTableConfig {
+            entry_ttl_ms: 1000,
+            ..TokenTableConfig::default()
+        });
+        let ip = ClientIp::new(1);
+        t.issue(ip, "/a", BeaconKey::from_raw(1), vec![], SimTime::ZERO);
+        t.issue(
+            ip,
+            "/b",
+            BeaconKey::from_raw(2),
+            vec![],
+            SimTime::from_secs(5),
+        );
+        let removed = t.sweep(SimTime::from_secs(5) + 500);
+        assert_eq!(removed, 1);
+        assert_eq!(t.entries_for(ip), 1);
+        // Fully expiring the client removes the IP bucket.
+        let removed = t.sweep(SimTime::from_secs(10));
+        assert_eq!(removed, 1);
+        assert_eq!(t.client_count(), 0);
+    }
+}

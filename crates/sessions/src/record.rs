@@ -1,0 +1,129 @@
+//! Compact per-request records kept inside a session.
+
+use crate::time::SimTime;
+use botwall_http::{ContentClass, Method, Request, Response};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One observed request/response exchange, reduced to the fields the
+/// detector and feature extractor need.
+///
+/// Full messages are *not* retained — the paper's design goal is to make
+/// decisions "without overburdening the server with excessive memory
+/// consumption", so a record is a few dozen bytes regardless of message
+/// size.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// 1-based index of this request within its session.
+    pub index: u32,
+    /// When the request was observed.
+    pub time: SimTime,
+    /// The request method.
+    pub method: Method,
+    /// Content class of the target.
+    pub class: ContentClass,
+    /// Response status class (2, 3, 4, 5) or 0 when no response was seen.
+    pub status_class: u8,
+    /// Whether a `Referer` header was present.
+    pub has_referer: bool,
+    /// Whether the `Referer` named a URL this session had already visited.
+    /// Always `false` when `has_referer` is `false`.
+    pub referer_seen: bool,
+    /// Hash of the normalized request URL (for the seen-URL set).
+    pub url_hash: u64,
+    /// Approximate bytes transferred (request + response wire size).
+    pub bytes: u64,
+}
+
+impl RequestRecord {
+    /// Hashes a URL string the way the seen-URL set expects.
+    pub fn hash_url(url: &str) -> u64 {
+        let mut h = DefaultHasher::new();
+        url.hash(&mut h);
+        h.finish()
+    }
+
+    /// Builds a record from an exchange. `referer_seen` must be computed by
+    /// the caller against the session's seen-URL set *before* inserting the
+    /// current URL.
+    pub fn from_exchange(
+        index: u32,
+        time: SimTime,
+        request: &Request,
+        response: Option<&Response>,
+        referer_seen: bool,
+    ) -> RequestRecord {
+        RequestRecord {
+            index,
+            time,
+            method: request.method().clone(),
+            class: ContentClass::of(request, response),
+            status_class: response.map(|r| r.status().class()).unwrap_or(0),
+            has_referer: request.referer().is_some(),
+            referer_seen: referer_seen && request.referer().is_some(),
+            url_hash: Self::hash_url(&request.uri().to_string()),
+            bytes: (request.wire_len() + response.map(|r| r.wire_len()).unwrap_or(0)) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::request::ClientIp;
+    use botwall_http::StatusCode;
+
+    fn exchange(uri: &str, referer: Option<&str>) -> (Request, Response) {
+        let mut b = Request::builder(Method::Get, uri).client(ClientIp::new(1));
+        if let Some(r) = referer {
+            b = b.header("Referer", r);
+        }
+        (
+            b.build().unwrap(),
+            Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/html")
+                .build(),
+        )
+    }
+
+    #[test]
+    fn record_captures_exchange_facts() {
+        let (req, resp) = exchange("http://h/x.html", Some("http://h/"));
+        let rec = RequestRecord::from_exchange(1, SimTime::from_secs(5), &req, Some(&resp), true);
+        assert_eq!(rec.index, 1);
+        assert_eq!(rec.method, Method::Get);
+        assert_eq!(rec.class, ContentClass::Html);
+        assert_eq!(rec.status_class, 2);
+        assert!(rec.has_referer);
+        assert!(rec.referer_seen);
+        assert!(rec.bytes > 0);
+    }
+
+    #[test]
+    fn referer_seen_requires_referer() {
+        let (req, resp) = exchange("http://h/x.html", None);
+        let rec = RequestRecord::from_exchange(1, SimTime::ZERO, &req, Some(&resp), true);
+        assert!(!rec.has_referer);
+        assert!(!rec.referer_seen, "referer_seen implies has_referer");
+    }
+
+    #[test]
+    fn missing_response_has_status_class_zero() {
+        let (req, _) = exchange("http://h/x.html", None);
+        let rec = RequestRecord::from_exchange(1, SimTime::ZERO, &req, None, false);
+        assert_eq!(rec.status_class, 0);
+    }
+
+    #[test]
+    fn url_hash_is_stable_and_discriminates() {
+        assert_eq!(
+            RequestRecord::hash_url("http://h/a"),
+            RequestRecord::hash_url("http://h/a")
+        );
+        assert_ne!(
+            RequestRecord::hash_url("http://h/a"),
+            RequestRecord::hash_url("http://h/b")
+        );
+    }
+}

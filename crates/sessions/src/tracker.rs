@@ -1,0 +1,463 @@
+//! The streaming session store.
+
+use crate::key::SessionKey;
+use crate::record::RequestRecord;
+use crate::stats::SessionCounters;
+use crate::time::SimTime;
+use botwall_http::{Request, Response};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`SessionTracker`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Idle time after which a session is finalized (paper: one hour).
+    pub idle_timeout_ms: u64,
+    /// Maximum records retained per session; counters keep counting past
+    /// this bound but the record log stops growing.
+    pub max_records_per_session: usize,
+    /// Maximum live sessions; beyond this, the most idle session is
+    /// finalized early to bound memory (a DoS guard the paper's design
+    /// goal of low memory implies).
+    pub max_sessions: usize,
+    /// Minimum requests before a session is eligible for classification
+    /// (paper: more than 10).
+    pub min_requests_to_classify: u64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            idle_timeout_ms: 3_600_000,
+            max_records_per_session: 512,
+            max_sessions: 100_000,
+            min_requests_to_classify: 10,
+        }
+    }
+}
+
+/// One live (or finalized) session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Session {
+    key: SessionKey,
+    started: SimTime,
+    last_seen: SimTime,
+    records: Vec<RequestRecord>,
+    counters: SessionCounters,
+    seen_urls: HashSet<u64>,
+}
+
+impl Session {
+    fn new(key: SessionKey, now: SimTime) -> Session {
+        Session {
+            key,
+            started: now,
+            last_seen: now,
+            records: Vec::new(),
+            counters: SessionCounters::new(),
+            seen_urls: HashSet::new(),
+        }
+    }
+
+    /// The session identity.
+    pub fn key(&self) -> &SessionKey {
+        &self.key
+    }
+
+    /// When the first request arrived.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// When the most recent request arrived.
+    pub fn last_seen(&self) -> SimTime {
+        self.last_seen
+    }
+
+    /// Total requests observed (counters keep counting even after the
+    /// record log is full).
+    pub fn request_count(&self) -> u64 {
+        self.counters.total
+    }
+
+    /// The bounded record log.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// The incremental counters.
+    pub fn counters(&self) -> &SessionCounters {
+        &self.counters
+    }
+
+    /// Whether this session has previously requested `url_hash`.
+    pub fn has_seen(&self, url_hash: u64) -> bool {
+        self.seen_urls.contains(&url_hash)
+    }
+
+    /// Requests per second over the session's lifetime (0 for
+    /// single-request sessions).
+    pub fn request_rate(&self) -> f64 {
+        let span_ms = self.last_seen - self.started;
+        if span_ms == 0 {
+            0.0
+        } else {
+            self.counters.total as f64 * 1000.0 / span_ms as f64
+        }
+    }
+
+    fn observe(
+        &mut self,
+        request: &Request,
+        response: Option<&Response>,
+        now: SimTime,
+        cap: usize,
+    ) {
+        let referer_seen = request
+            .referer()
+            .map(|r| self.seen_urls.contains(&RequestRecord::hash_url(r)))
+            .unwrap_or(false);
+        let index = (self.counters.total + 1) as u32;
+        let rec = RequestRecord::from_exchange(index, now, request, response, referer_seen);
+        self.seen_urls.insert(rec.url_hash);
+        self.counters.update(&rec);
+        if self.records.len() < cap {
+            self.records.push(rec);
+        }
+        self.last_seen = now;
+    }
+}
+
+/// Streaming `<IP, User-Agent>` session store with idle-timeout
+/// finalization.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::{Method, Request, Response, StatusCode};
+/// use botwall_http::request::ClientIp;
+/// use botwall_sessions::{SessionTracker, TrackerConfig, SimTime};
+///
+/// let mut t = SessionTracker::new(TrackerConfig::default());
+/// let req = Request::builder(Method::Get, "/a")
+///     .client(ClientIp::new(1))
+///     .build().unwrap();
+/// let resp = Response::empty(StatusCode::OK);
+/// t.observe(&req, &resp, SimTime::ZERO);
+/// // One hour and one millisecond later the session has expired.
+/// let done = t.sweep(SimTime::from_hours(1) + 1);
+/// assert_eq!(done.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SessionTracker {
+    config: TrackerConfig,
+    live: HashMap<SessionKey, Session>,
+    finalized: Vec<Session>,
+}
+
+impl SessionTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: TrackerConfig) -> SessionTracker {
+        SessionTracker {
+            config,
+            live: HashMap::new(),
+            finalized: Vec::new(),
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Feeds one exchange into the store, creating or rolling over the
+    /// session as needed, and returns its key.
+    ///
+    /// If the keyed session exists but has been idle past the timeout, it
+    /// is finalized and a fresh session starts — matching the paper's
+    /// definition (a returning client after an hour is a *new* session).
+    pub fn observe(&mut self, request: &Request, response: &Response, now: SimTime) -> SessionKey {
+        self.observe_opt(request, Some(response), now)
+    }
+
+    /// Like [`SessionTracker::observe`] but tolerates a missing response
+    /// (e.g. the proxy dropped the exchange).
+    pub fn observe_opt(
+        &mut self,
+        request: &Request,
+        response: Option<&Response>,
+        now: SimTime,
+    ) -> SessionKey {
+        let key = SessionKey::of(request);
+        if let Some(existing) = self.live.get(&key) {
+            if now.since(existing.last_seen()) > self.config.idle_timeout_ms {
+                let done = self.live.remove(&key).expect("session exists");
+                self.finalized.push(done);
+            }
+        }
+        if !self.live.contains_key(&key) && self.live.len() >= self.config.max_sessions {
+            self.evict_most_idle();
+        }
+        let session = self
+            .live
+            .entry(key.clone())
+            .or_insert_with(|| Session::new(key.clone(), now));
+        session.observe(request, response, now, self.config.max_records_per_session);
+        key
+    }
+
+    /// Looks up a live session.
+    pub fn get(&self, key: &SessionKey) -> Option<&Session> {
+        self.live.get(key)
+    }
+
+    /// Number of live sessions.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Finalizes every session idle past the timeout as of `now` and
+    /// returns all sessions finalized since the last drain (including
+    /// rollover and eviction casualties).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<Session> {
+        let expired: Vec<SessionKey> = self
+            .live
+            .iter()
+            .filter(|(_, s)| now.since(s.last_seen()) > self.config.idle_timeout_ms)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in expired {
+            let s = self.live.remove(&k).expect("listed as live");
+            self.finalized.push(s);
+        }
+        std::mem::take(&mut self.finalized)
+    }
+
+    /// Finalizes everything unconditionally (end of experiment) and
+    /// returns all remaining sessions.
+    pub fn drain(&mut self) -> Vec<Session> {
+        let mut out = std::mem::take(&mut self.finalized);
+        out.extend(self.live.drain().map(|(_, s)| s));
+        out
+    }
+
+    /// Returns `true` if `session` has enough requests to classify
+    /// (paper: strictly more than 10).
+    pub fn classifiable(&self, session: &Session) -> bool {
+        session.request_count() > self.config.min_requests_to_classify
+    }
+
+    fn evict_most_idle(&mut self) {
+        if let Some(key) = self
+            .live
+            .iter()
+            .min_by_key(|(_, s)| s.last_seen())
+            .map(|(k, _)| k.clone())
+        {
+            let s = self.live.remove(&key).expect("chosen from live");
+            self.finalized.push(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::request::ClientIp;
+    use botwall_http::{Method, StatusCode};
+
+    fn req(ip: u32, ua: &str, uri: &str, referer: Option<&str>) -> Request {
+        let mut b = Request::builder(Method::Get, uri)
+            .header("User-Agent", ua)
+            .client(ClientIp::new(ip));
+        if let Some(r) = referer {
+            b = b.header("Referer", r);
+        }
+        b.build().unwrap()
+    }
+
+    fn ok() -> Response {
+        Response::builder(StatusCode::OK)
+            .header("Content-Type", "text/html")
+            .build()
+    }
+
+    #[test]
+    fn one_session_per_key() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        t.observe(
+            &req(1, "A", "http://h/2", None),
+            &ok(),
+            SimTime::from_secs(1),
+        );
+        t.observe(
+            &req(1, "B", "http://h/3", None),
+            &ok(),
+            SimTime::from_secs(2),
+        );
+        t.observe(
+            &req(2, "A", "http://h/4", None),
+            &ok(),
+            SimTime::from_secs(3),
+        );
+        assert_eq!(t.live_count(), 3);
+    }
+
+    #[test]
+    fn idle_timeout_rolls_over_session() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        // Just inside the window: same session.
+        t.observe(
+            &req(1, "A", "http://h/2", None),
+            &ok(),
+            SimTime::from_hours(1),
+        );
+        assert_eq!(t.get(&k).unwrap().request_count(), 2);
+        // Past the window: rollover.
+        t.observe(
+            &req(1, "A", "http://h/3", None),
+            &ok(),
+            SimTime::from_hours(2) + 1,
+        );
+        assert_eq!(t.get(&k).unwrap().request_count(), 1);
+        let done = t.sweep(SimTime::from_hours(2) + 2);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request_count(), 2);
+    }
+
+    #[test]
+    fn sweep_finalizes_idle_sessions_only() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        t.observe(
+            &req(2, "A", "http://h/1", None),
+            &ok(),
+            SimTime::from_hours(1),
+        );
+        let done = t.sweep(SimTime::from_hours(1) + 1);
+        assert_eq!(done.len(), 1, "only the hour-idle session expires");
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn unseen_referer_tracking() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        let k = t.observe(&req(1, "A", "http://h/a.html", None), &ok(), SimTime::ZERO);
+        // Referer names the previously fetched page: seen.
+        t.observe(
+            &req(1, "A", "http://h/b.html", Some("http://h/a.html")),
+            &ok(),
+            SimTime::from_secs(1),
+        );
+        // Referer names a page never requested here: unseen.
+        t.observe(
+            &req(1, "A", "http://h/c.html", Some("http://elsewhere/x.html")),
+            &ok(),
+            SimTime::from_secs(2),
+        );
+        let s = t.get(&k).unwrap();
+        assert_eq!(s.counters().with_referer, 2);
+        assert_eq!(s.counters().unseen_referer, 1);
+        assert_eq!(s.counters().link_following, 1);
+    }
+
+    #[test]
+    fn record_log_is_bounded_but_counters_continue() {
+        let cfg = TrackerConfig {
+            max_records_per_session: 5,
+            ..TrackerConfig::default()
+        };
+        let mut t = SessionTracker::new(cfg);
+        let mut k = None;
+        for i in 0..10 {
+            let key = t.observe(
+                &req(1, "A", &format!("http://h/{i}.html"), None),
+                &ok(),
+                SimTime::from_secs(i),
+            );
+            k = Some(key);
+        }
+        let s = t.get(&k.unwrap()).unwrap();
+        assert_eq!(s.records().len(), 5);
+        assert_eq!(s.request_count(), 10);
+    }
+
+    #[test]
+    fn capacity_eviction_finalizes_most_idle() {
+        let cfg = TrackerConfig {
+            max_sessions: 2,
+            ..TrackerConfig::default()
+        };
+        let mut t = SessionTracker::new(cfg);
+        t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        t.observe(
+            &req(2, "A", "http://h/1", None),
+            &ok(),
+            SimTime::from_secs(10),
+        );
+        // Third distinct key forces eviction of the most idle (ip=1).
+        t.observe(
+            &req(3, "A", "http://h/1", None),
+            &ok(),
+            SimTime::from_secs(20),
+        );
+        assert_eq!(t.live_count(), 2);
+        let done = t.drain();
+        // 2 live drained + 1 evicted = 3 total, evicted is ip 1.
+        assert_eq!(done.len(), 3);
+        let evicted = &done[0];
+        assert_eq!(evicted.key().ip(), ClientIp::new(1));
+    }
+
+    #[test]
+    fn classifiable_threshold_is_strictly_greater() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        let mut k = None;
+        for i in 0..10 {
+            k = Some(t.observe(
+                &req(1, "A", &format!("http://h/{i}"), None),
+                &ok(),
+                SimTime::from_secs(i),
+            ));
+        }
+        let key = k.unwrap();
+        assert!(!t.classifiable(t.get(&key).unwrap()), "10 is not enough");
+        t.observe(
+            &req(1, "A", "http://h/last", None),
+            &ok(),
+            SimTime::from_secs(99),
+        );
+        assert!(t.classifiable(t.get(&key).unwrap()), "11 requests classify");
+    }
+
+    #[test]
+    fn request_rate() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        t.observe(
+            &req(1, "A", "http://h/2", None),
+            &ok(),
+            SimTime::from_secs(1),
+        );
+        t.observe(
+            &req(1, "A", "http://h/3", None),
+            &ok(),
+            SimTime::from_secs(2),
+        );
+        let s = t.get(&k).unwrap();
+        assert!((s.request_rate() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut t = SessionTracker::new(TrackerConfig::default());
+        t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        t.observe(&req(2, "B", "http://h/2", None), &ok(), SimTime::ZERO);
+        let done = t.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(t.live_count(), 0);
+        assert!(t.drain().is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the session tracker's invariants.
+
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode};
+use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Event {
+    ip: u8,
+    ua: u8,
+    path: u8,
+    gap_ms: u32,
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..3, 0u8..16, 0u32..30_000).prop_map(|(ip, ua, path, gap_ms)| Event {
+            ip,
+            ua,
+            path,
+            gap_ms,
+        }),
+        1..120,
+    )
+}
+
+fn replay(events: &[Event], config: TrackerConfig) -> (SessionTracker, u64, SimTime) {
+    let mut t = SessionTracker::new(config);
+    let mut now = SimTime::ZERO;
+    for e in events {
+        now += e.gap_ms as u64;
+        let req = Request::builder(Method::Get, format!("http://h/p{}.html", e.path))
+            .header("User-Agent", format!("ua-{}", e.ua))
+            .client(ClientIp::new(e.ip as u32))
+            .build()
+            .unwrap();
+        t.observe(&req, &Response::empty(StatusCode::OK), now);
+    }
+    (t, events.len() as u64, now)
+}
+
+proptest! {
+    /// No request is ever lost: live + finalized request counts sum to
+    /// the number of observed events.
+    #[test]
+    fn conservation_of_requests(events in arb_events()) {
+        let (mut t, total, _) = replay(&events, TrackerConfig::default());
+        let drained = t.drain();
+        let sum: u64 = drained.iter().map(|s| s.request_count()).sum();
+        prop_assert_eq!(sum, total);
+    }
+
+    /// Sessions never contain a gap larger than the idle timeout.
+    #[test]
+    fn no_internal_gap_exceeds_timeout(events in arb_events()) {
+        let config = TrackerConfig { idle_timeout_ms: 10_000, ..TrackerConfig::default() };
+        let timeout = config.idle_timeout_ms;
+        let (mut t, _, _) = replay(&events, config);
+        for s in t.drain() {
+            let recs = s.records();
+            for pair in recs.windows(2) {
+                let gap = pair[1].time - pair[0].time;
+                prop_assert!(
+                    gap <= timeout,
+                    "gap {gap} exceeds timeout inside a session"
+                );
+            }
+        }
+    }
+
+    /// Record indices are 1-based, contiguous, increasing.
+    #[test]
+    fn record_indices_are_contiguous(events in arb_events()) {
+        let (mut t, _, _) = replay(&events, TrackerConfig::default());
+        for s in t.drain() {
+            for (i, rec) in s.records().iter().enumerate() {
+                prop_assert_eq!(rec.index as usize, i + 1);
+            }
+        }
+    }
+
+    /// The live-session bound is never exceeded, no matter the stream.
+    #[test]
+    fn capacity_bound_holds(events in arb_events()) {
+        let config = TrackerConfig { max_sessions: 3, ..TrackerConfig::default() };
+        let mut t = SessionTracker::new(config);
+        let mut now = SimTime::ZERO;
+        for e in &events {
+            now += e.gap_ms as u64;
+            let req = Request::builder(Method::Get, "http://h/x")
+                .header("User-Agent", format!("ua-{}", e.ua))
+                .client(ClientIp::new(e.ip as u32))
+                .build()
+                .unwrap();
+            t.observe(&req, &Response::empty(StatusCode::OK), now);
+            prop_assert!(t.live_count() <= 3);
+        }
+    }
+
+    /// Counters agree with a recomputation from the record log when the
+    /// log was not truncated.
+    #[test]
+    fn counters_match_records(events in arb_events()) {
+        let (mut t, _, _) = replay(&events, TrackerConfig::default());
+        for s in t.drain() {
+            if s.request_count() as usize != s.records().len() {
+                continue; // Log truncated; counters keep counting.
+            }
+            let mut recomputed = botwall_sessions::SessionCounters::new();
+            for r in s.records() {
+                recomputed.update(r);
+            }
+            prop_assert_eq!(&recomputed, s.counters());
+        }
+    }
+
+    /// Sweeping at a time beyond every event plus the timeout finalizes
+    /// everything.
+    #[test]
+    fn sweep_past_horizon_finalizes_all(events in arb_events()) {
+        let (mut t, _, end) = replay(&events, TrackerConfig::default());
+        let done = t.sweep(end + 3_600_001);
+        prop_assert_eq!(t.live_count(), 0);
+        prop_assert!(!done.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Synthetic web-content substrate for `botwall`.
+//!
+//! The paper evaluates on live CoDeeN traffic: real clients fetching real
+//! pages through an open proxy. We cannot replay that corpus, so this crate
+//! builds the *content side* of the simulation — a deterministic universe
+//! of web sites whose pages have links, embedded objects (images, CSS,
+//! JavaScript), CGI endpoints, redirects, with densities configurable per
+//! site.
+//!
+//! Agents (humans and robots, in `botwall-agents`) browse this universe;
+//! the proxy (in `botwall-codeen`) fetches from it as the "origin"; the
+//! instrumenter (in `botwall-instrument`) rewrites the rendered HTML on the
+//! way through. Because page models render to real HTML and robots may
+//! scan that HTML for URLs, both the structured path (a browser "parsing"
+//! the page) and the byte-level path (a crawler regex-scanning it) are
+//! exercised.
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall_webgraph::{Web, WebConfig};
+//!
+//! let web = Web::generate(&WebConfig::small(), 42);
+//! let site = web.sites().next().unwrap();
+//! let home = site.page(site.home()).unwrap();
+//! assert!(!home.links.is_empty() || !home.assets.is_empty());
+//! let html = botwall_webgraph::render::render_page(site, home);
+//! assert!(html.starts_with("<html>"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod page;
+pub mod render;
+pub mod scan;
+pub mod site;
+pub mod web;
+
+pub use page::{Asset, AssetKind, Page, PageId};
+pub use site::{Site, SiteConfig};
+pub use web::{Web, WebConfig};

@@ -1,0 +1,153 @@
+//! Rendering page models to HTML.
+//!
+//! The instrumenter rewrites this HTML; byte-level robots regex-scan it.
+//! Output is deliberately plain, period-appropriate markup.
+
+use crate::page::{AssetKind, Page};
+use crate::site::Site;
+use std::fmt::Write as _;
+
+/// Renders a page model to an HTML document.
+///
+/// The body is padded with filler paragraphs until it reaches roughly
+/// `page.html_size` bytes so that bandwidth accounting downstream sees
+/// realistic page weights.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_webgraph::{Site, SiteConfig};
+/// let site = Site::generate("h.example", &SiteConfig::tiny(), 1);
+/// let page = site.page(site.home()).unwrap();
+/// let html = botwall_webgraph::render::render_page(&site, page);
+/// assert!(html.contains("</html>"));
+/// ```
+pub fn render_page(site: &Site, page: &Page) -> String {
+    let host = site.host();
+    let mut out = String::with_capacity(page.html_size + 1024);
+    out.push_str("<html>\n<head>\n");
+    let _ = write!(out, "<title>{} — {}</title>\n", host, page.path);
+    for css in page.asset_paths(AssetKind::Stylesheet) {
+        let _ = write!(
+            out,
+            "<link rel=\"stylesheet\" type=\"text/css\" href=\"http://{host}{css}\">\n"
+        );
+    }
+    for js in page.asset_paths(AssetKind::Script) {
+        let _ = write!(out, "<script src=\"http://{host}{js}\"></script>\n");
+    }
+    out.push_str("</head>\n<body>\n");
+    let _ = write!(out, "<h1>{}</h1>\n", page.path);
+    for img in page.asset_paths(AssetKind::Image) {
+        let _ = write!(out, "<img src=\"http://{host}{img}\" alt=\"\">\n");
+    }
+    for link in &page.links {
+        if let Some(target) = site.page(*link) {
+            let _ = write!(
+                out,
+                "<a href=\"http://{host}{}\">{}</a>\n",
+                target.path, target.path
+            );
+        }
+    }
+    if let Some(cgi) = &page.cgi_endpoint {
+        let _ = write!(
+            out,
+            "<form action=\"http://{host}{cgi}\" method=\"get\">\
+             <input name=\"q\"><input type=\"submit\"></form>\n"
+        );
+    }
+    // Pad to approximately the modelled page weight.
+    const FILLER: &str = "<p>lorem ipsum dolor sit amet consectetur adipiscing elit \
+                          sed do eiusmod tempor incididunt ut labore</p>\n";
+    while out.len() + FILLER.len() + 16 < page.html_size {
+        out.push_str(FILLER);
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Renders the body served for an asset path: a synthetic payload of the
+/// registered size (content is irrelevant to every consumer; size is not).
+pub fn render_asset(site: &Site, path: &str) -> Option<(AssetKind, Vec<u8>)> {
+    let (kind, size) = site.asset(path)?;
+    let fill = match kind {
+        AssetKind::Stylesheet => b'c',
+        AssetKind::Script => b'j',
+        AssetKind::Image => b'\xff',
+    };
+    Some((kind, vec![fill; size]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteConfig;
+
+    fn site() -> Site {
+        Site::generate("www.test.example", &SiteConfig::default(), 9)
+    }
+
+    #[test]
+    fn rendered_page_contains_all_links() {
+        let s = site();
+        let p = s
+            .pages()
+            .find(|p| !p.links.is_empty())
+            .expect("some page with links");
+        let html = render_page(&s, p);
+        for l in &p.links {
+            let target = s.page(*l).unwrap();
+            assert!(
+                html.contains(&format!("href=\"http://www.test.example{}\"", target.path)),
+                "missing link to {}",
+                target.path
+            );
+        }
+    }
+
+    #[test]
+    fn rendered_page_contains_assets() {
+        let s = site();
+        let p = s
+            .pages()
+            .find(|p| p.has_asset(AssetKind::Stylesheet) && p.has_asset(AssetKind::Image))
+            .expect("page with css+image");
+        let html = render_page(&s, p);
+        assert!(html.contains("rel=\"stylesheet\""));
+        assert!(html.contains("<img src="));
+    }
+
+    #[test]
+    fn page_size_is_approximately_model_size() {
+        let s = site();
+        for p in s.pages().take(10) {
+            let html = render_page(&s, p);
+            // Never more than one filler unit above the target; links and
+            // asset tags can push small pages over, so only check the upper
+            // bound loosely.
+            assert!(
+                html.len() < p.html_size + 2048,
+                "page {} rendered {} bytes for model {}",
+                p.path,
+                html.len(),
+                p.html_size
+            );
+        }
+    }
+
+    #[test]
+    fn asset_rendering_respects_registered_size() {
+        let s = site();
+        let p = s.pages().find(|p| p.has_asset(AssetKind::Image)).unwrap();
+        let path = p.asset_paths(AssetKind::Image).next().unwrap();
+        let (kind, body) = render_asset(&s, path).unwrap();
+        assert_eq!(kind, AssetKind::Image);
+        assert_eq!(body.len(), s.asset(path).unwrap().1);
+    }
+
+    #[test]
+    fn unknown_asset_is_none() {
+        assert!(render_asset(&site(), "/not/there.png").is_none());
+    }
+}

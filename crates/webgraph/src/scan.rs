@@ -1,0 +1,214 @@
+//! Byte-level HTML scanning, as blind robots do it.
+//!
+//! Crawlers that do not execute JavaScript or build a DOM simply scan the
+//! raw markup for URLs. The paper's decoy scheme (§2.1) relies on exactly
+//! this behaviour: a blind scanner sees the real beacon URL and the `m`
+//! decoys as equally plausible and, fetching blindly, is caught with
+//! probability `m/(m+1)`.
+//!
+//! This module implements that scanner honestly: it extracts `href=`,
+//! `src=` and `action=` attribute values, plus URL literals inside script
+//! bodies — it does not understand the script, it just greps it.
+
+use std::collections::BTreeSet;
+
+/// A URL found by scanning, tagged with where it was found.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Found {
+    /// From an `href` attribute (a link a crawler would follow).
+    Href(String),
+    /// From a `src` attribute (an embedded object).
+    Src(String),
+    /// From a form `action` attribute.
+    Action(String),
+    /// A quoted URL literal inside a `<script>` body.
+    ScriptLiteral(String),
+}
+
+impl Found {
+    /// The URL irrespective of provenance.
+    pub fn url(&self) -> &str {
+        match self {
+            Found::Href(u) | Found::Src(u) | Found::Action(u) | Found::ScriptLiteral(u) => u,
+        }
+    }
+}
+
+/// Scans HTML bytes for URLs the way a non-rendering robot does.
+///
+/// Returns findings in document order, deduplicated.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_webgraph::scan::{scan_html, Found};
+/// let html = r#"<a href="http://h/x.html">x</a><img src="http://h/i.jpg">"#;
+/// let found = scan_html(html);
+/// assert!(found.contains(&Found::Href("http://h/x.html".into())));
+/// assert!(found.contains(&Found::Src("http://h/i.jpg".into())));
+/// ```
+pub fn scan_html(html: &str) -> Vec<Found> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<Found> = BTreeSet::new();
+    let lower = html.to_ascii_lowercase();
+    for (marker, make) in [
+        ("href=", Found::Href as fn(String) -> Found),
+        ("src=", Found::Src as fn(String) -> Found),
+        ("action=", Found::Action as fn(String) -> Found),
+    ] {
+        let mut at = 0usize;
+        while let Some(pos) = lower[at..].find(marker) {
+            let val_start = at + pos + marker.len();
+            if let Some(url) = read_attr_value(html, val_start) {
+                if looks_like_url(&url) {
+                    let f = make(url);
+                    if seen.insert(f.clone()) {
+                        out.push(f);
+                    }
+                }
+            }
+            at = val_start;
+        }
+    }
+    // Quoted http URLs inside script bodies (greedy but honest: a robot
+    // greps, it does not execute).
+    for quote in ['\'', '"'] {
+        let mut at = 0usize;
+        while let Some(pos) = find_quoted_url(&lower, at, quote) {
+            let (start, end) = pos;
+            let url = html[start..end].to_string();
+            let f = Found::ScriptLiteral(url);
+            if seen.insert(f.clone()) {
+                out.push(f);
+            }
+            at = end + 1;
+        }
+    }
+    out
+}
+
+/// Extracts only `href` targets — what a pure link-following crawler uses.
+pub fn scan_links(html: &str) -> Vec<String> {
+    scan_html(html)
+        .into_iter()
+        .filter_map(|f| match f {
+            Found::Href(u) => Some(u),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Extracts embeddable objects (`src` plus stylesheet `href`s ending in
+/// `.css`) — what an offline browser mirrors.
+pub fn scan_embedded(html: &str) -> Vec<String> {
+    scan_html(html)
+        .into_iter()
+        .filter_map(|f| match f {
+            Found::Src(u) => Some(u),
+            Found::Href(u) if u.ends_with(".css") => Some(u),
+            _ => None,
+        })
+        .collect()
+}
+
+fn read_attr_value(html: &str, at: usize) -> Option<String> {
+    let bytes = html.as_bytes();
+    let first = *bytes.get(at)?;
+    if first == b'"' || first == b'\'' {
+        let end = html[at + 1..].find(first as char)? + at + 1;
+        Some(html[at + 1..end].to_string())
+    } else {
+        // Unquoted attribute value: runs to whitespace or '>'.
+        let rest = &html[at..];
+        let end = rest
+            .find(|c: char| c.is_ascii_whitespace() || c == '>')
+            .unwrap_or(rest.len());
+        if end == 0 {
+            None
+        } else {
+            Some(rest[..end].to_string())
+        }
+    }
+}
+
+fn looks_like_url(s: &str) -> bool {
+    (s.starts_with("http://") || s.starts_with("https://") || s.starts_with('/'))
+        && !s.contains(' ')
+        && s.len() > 1
+}
+
+fn find_quoted_url(lower: &str, from: usize, quote: char) -> Option<(usize, usize)> {
+    let pat = format!("{quote}http://");
+    let pos = lower[from..].find(&pat)? + from;
+    let start = pos + 1;
+    let end = lower[start..].find(quote)? + start;
+    Some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_script_literals() {
+        let html = r#"<script>
+            var do_once = false;
+            function f() {
+                var f_image = new Image();
+                f_image.src = 'http://www.example.com/0729395160.jpg';
+            }
+        </script>"#;
+        let found = scan_html(html);
+        assert!(found
+            .iter()
+            .any(|f| f.url() == "http://www.example.com/0729395160.jpg"));
+    }
+
+    #[test]
+    fn dedups_repeated_urls() {
+        let html = r#"<a href="/x">1</a><a href="/x">2</a>"#;
+        let links = scan_links(html);
+        assert_eq!(links, vec!["/x"]);
+    }
+
+    #[test]
+    fn unquoted_attributes() {
+        let html = "<img src=/plain.gif><a href=/page.html>go</a>";
+        let found = scan_html(html);
+        assert!(found.contains(&Found::Src("/plain.gif".into())));
+        assert!(found.contains(&Found::Href("/page.html".into())));
+    }
+
+    #[test]
+    fn ignores_non_urls() {
+        let html = r#"<a href="javascript:void(0)">x</a><img src="">"#;
+        let found = scan_html(html);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn scan_embedded_includes_css_hrefs() {
+        let html = r#"<link rel="stylesheet" href="http://h/site.css">
+                      <img src="http://h/p.jpg">
+                      <a href="http://h/page.html">x</a>"#;
+        let em = scan_embedded(html);
+        assert!(em.contains(&"http://h/site.css".to_string()));
+        assert!(em.contains(&"http://h/p.jpg".to_string()));
+        assert!(!em.contains(&"http://h/page.html".to_string()));
+    }
+
+    #[test]
+    fn case_insensitive_markers() {
+        let html = r#"<A HREF="/caps.html">x</A><IMG SRC="/caps.jpg">"#;
+        let found = scan_html(html);
+        assert!(found.contains(&Found::Href("/caps.html".into())));
+        assert!(found.contains(&Found::Src("/caps.jpg".into())));
+    }
+
+    #[test]
+    fn form_actions_found() {
+        let html = r#"<form action="http://h/cgi-bin/search" method="get">"#;
+        let found = scan_html(html);
+        assert!(found.contains(&Found::Action("http://h/cgi-bin/search".into())));
+    }
+}

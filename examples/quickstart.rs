@@ -1,0 +1,72 @@
+//! Quickstart: instrument a page, replay a human and a robot against the
+//! detector, and read the verdicts.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use botwall::detect::{Detector, DetectorConfig, Verdict};
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode, Uri};
+use botwall_instrument::{InstrumentConfig, Instrumenter};
+use botwall_sessions::SimTime;
+
+fn fetch(
+    ins: &mut Instrumenter,
+    det: &mut Detector,
+    ip: u32,
+    uri: &str,
+    ua: &str,
+    at_secs: u64,
+) -> Verdict {
+    let req = Request::builder(Method::Get, uri)
+        .header("User-Agent", ua)
+        .client(ClientIp::new(ip))
+        .build()
+        .expect("valid uri");
+    let now = SimTime::from_secs(at_secs);
+    let classified = ins.classify(&req, now);
+    let response = ins
+        .respond(&classified)
+        .unwrap_or_else(|| Response::empty(StatusCode::OK));
+    det.observe(&req, &response, &classified, now).verdict
+}
+
+fn main() {
+    let mut ins = Instrumenter::new(InstrumentConfig::default(), 2006);
+    let mut det = Detector::new(DetectorConfig::default());
+
+    // The server rewrites a page on its way to client 1 (a human) and
+    // client 2 (a robot).
+    let page: Uri = "http://www.example.com/index.html".parse().unwrap();
+    let html = "<html><head><title>demo</title></head><body><p>hello</p></body></html>";
+    let (rewritten, human_probes) =
+        ins.instrument_page(html, &page, ClientIp::new(1), SimTime::ZERO);
+    let (_, robot_probes) = ins.instrument_page(html, &page, ClientIp::new(2), SimTime::ZERO);
+    println!(
+        "instrumented page grew by {} bytes",
+        human_probes.html_overhead
+    );
+    println!(
+        "injected handler: {}",
+        &rewritten[rewritten.find("onmousemove").unwrap()..]
+            .chars()
+            .take(40)
+            .collect::<String>()
+    );
+
+    // The human's browser fetches the CSS probe, runs the script, and the
+    // user moves the mouse — firing the keyed beacon.
+    let ua = "Mozilla/5.0 (Windows; U) Firefox/1.5";
+    fetch(&mut ins, &mut det, 1, &page.to_string(), ua, 0);
+    let css = human_probes.css_probe.as_ref().unwrap().to_string();
+    fetch(&mut ins, &mut det, 1, &css, ua, 1);
+    let beacon = human_probes.mouse_beacon.as_ref().unwrap().to_string();
+    let verdict = fetch(&mut ins, &mut det, 1, &beacon, ua, 3);
+    println!("\nhuman session verdict:  {verdict:?}");
+
+    // The robot scans the script, blindly fetches a beacon-looking URL —
+    // and picks a decoy.
+    let decoy = robot_probes.decoy_beacons[0].to_string();
+    fetch(&mut ins, &mut det, 2, &page.to_string(), ua, 0);
+    let verdict = fetch(&mut ins, &mut det, 2, &decoy, ua, 1);
+    println!("robot session verdict:  {verdict:?}");
+}

@@ -1,0 +1,47 @@
+//! `botwall` — automatic Web robot detection.
+//!
+//! A production-quality Rust reproduction of Park, Pai, Lee & Calo,
+//! *Securing Web Service by Automatic Robot Detection* (USENIX Annual
+//! Technical Conference, 2006): real-time discrimination of human from
+//! robot HTTP traffic via human-activity detection (keyed mouse-event
+//! beacons) and standard-browser testing (CSS probes, hidden links),
+//! with an AdaBoost study over the paper's 12 behavioural features.
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`http`] | `botwall-http` | HTTP substrate |
+//! | [`webgraph`] | `botwall-webgraph` | synthetic web content |
+//! | [`sessions`] | `botwall-sessions` | `<IP, User-Agent>` sessionization |
+//! | [`instrument`] | `botwall-instrument` | page rewriting + probes |
+//! | [`detect`] | `botwall-core` | **the detector** (the paper's contribution) |
+//! | [`ml`] | `botwall-ml` | Table-2 features, AdaBoost, baselines |
+//! | [`captcha`] | `botwall-captcha` | CAPTCHA oracle |
+//! | [`agents`] | `botwall-agents` | human/robot workload models |
+//! | [`codeen`] | `botwall-codeen` | open-proxy network simulation |
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall::detect::{Detector, DetectorConfig};
+//! use botwall::instrument::{InstrumentConfig, Instrumenter};
+//!
+//! let _detector = Detector::new(DetectorConfig::default());
+//! let _instrumenter = Instrumenter::new(InstrumentConfig::default(), 42);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the per-table/figure experiment harnesses.
+
+#![forbid(unsafe_code)]
+
+pub use botwall_agents as agents;
+pub use botwall_captcha as captcha;
+pub use botwall_codeen as codeen;
+pub use botwall_core as detect;
+pub use botwall_http as http;
+pub use botwall_instrument as instrument;
+pub use botwall_ml as ml;
+pub use botwall_sessions as sessions;
+pub use botwall_webgraph as webgraph;

@@ -1,0 +1,80 @@
+//! Smoke tests over the experiment harnesses: every paper artifact can be
+//! regenerated at reduced scale, with the paper's qualitative shape.
+
+use botwall_bench::{
+    run_decoys, run_figure3, run_figure4, run_staged, run_table1, SEED,
+};
+
+#[test]
+fn table1_regenerates() {
+    let (table, run) = run_table1(200, SEED);
+    assert!(table.total_sessions > 100);
+    // The evidence ordering of the paper's Table 1.
+    assert!(table.downloaded_css >= table.executed_js);
+    assert!(table.executed_js >= table.mouse_movement);
+    // Bandwidth books balance.
+    assert!(run.bandwidth.instrumentation_bytes < run.bandwidth.total_bytes);
+}
+
+#[test]
+fn figure3_complaints_collapse() {
+    let rows = run_figure3(5.0, SEED);
+    assert_eq!(rows.len(), 13);
+    let pre: u32 = rows[3..8].iter().map(|r| r.complaints.robot).sum();
+    let post: u32 = rows[8..13].iter().map(|r| r.complaints.robot).sum();
+    assert!(
+        post * 3 < pre.max(3),
+        "deployment must collapse complaints: pre={pre} post={post}"
+    );
+}
+
+#[test]
+fn figure4_accuracy_band_and_shape() {
+    let result = run_figure4(150, SEED);
+    assert_eq!(result.checkpoints.len(), 8);
+    let first = result.checkpoints.first().unwrap();
+    let last = result.checkpoints.last().unwrap();
+    // The paper's band is 91–95%; ours runs slightly cleaner. Accept a
+    // broad band but insist on the rising shape and train ≥ test.
+    assert!(
+        (85.0..=100.0).contains(&last.test_accuracy_pct),
+        "test accuracy {last:?}"
+    );
+    assert!(
+        last.test_accuracy_pct + 1.0 >= first.test_accuracy_pct,
+        "more requests must not hurt: {first:?} -> {last:?}"
+    );
+    for row in &result.checkpoints {
+        assert!(row.train_accuracy_pct + 1e-9 >= row.test_accuracy_pct - 5.0);
+    }
+    // Importance is a distribution over the 12 attributes.
+    let imp = result.final_model.importance();
+    let sum: f64 = imp.iter().map(|(_, v)| v).sum();
+    assert!((sum - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn decoys_match_the_formula() {
+    for row in run_decoys(20_000, SEED) {
+        assert!(
+            (row.analytic - row.empirical).abs() < 0.03,
+            "m={}: {} vs {}",
+            row.m,
+            row.analytic,
+            row.empirical
+        );
+    }
+}
+
+#[test]
+fn staged_beats_browser_test_alone() {
+    let rows = run_staged(150, SEED);
+    let get = |name: &str| {
+        rows.iter()
+            .find(|r| r.strategy == name)
+            .expect("strategy present")
+            .accuracy_pct
+    };
+    assert!(get("set-algebra") >= get("browser-test-only"));
+    assert!(get("staged+adaboost") >= get("browser-test-only"));
+}

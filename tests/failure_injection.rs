@@ -1,0 +1,172 @@
+//! Failure injection: malformed wire input, replayed and forged beacons,
+//! token-table pressure, and hostile HTML — the detector must degrade
+//! safely, never panic, and keep robots classified as robots.
+
+use botwall::detect::{Detector, DetectorConfig, Reason, Verdict};
+use botwall::http::request::ClientIp;
+use botwall::http::{wire, HttpError, Method, Request, Response, StatusCode, Uri};
+use botwall::instrument::{Classified, InstrumentConfig, Instrumenter, KeyOutcome};
+use botwall::sessions::SimTime;
+
+fn page() -> Uri {
+    "http://victim.example/index.html".parse().unwrap()
+}
+
+const HTML: &str = "<html><head></head><body><p>x</p></body></html>";
+
+#[test]
+fn malformed_wire_input_is_rejected_not_panicked() {
+    let cases: &[&[u8]] = &[
+        b"",
+        b"\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET / HTTP/1.1\r\nBad Header Line\r\n\r\n",
+        b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\nshort",
+        b"HTTP/1.1 9000 Nope\r\n\r\n",
+        &[0xff, 0xfe, 0x00, 0x01, 0x02][..],
+    ];
+    for raw in cases {
+        let req = wire::parse_request(raw, ClientIp::new(1));
+        assert!(req.is_err(), "accepted {raw:?}");
+    }
+    // Specific error taxonomy spot checks.
+    assert!(matches!(
+        wire::parse_request(
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab",
+            ClientIp::new(1)
+        ),
+        Err(HttpError::TruncatedBody { .. })
+    ));
+}
+
+#[test]
+fn replayed_beacon_is_robot_evidence() {
+    let mut ins = Instrumenter::new(InstrumentConfig::default(), 3);
+    let mut det = Detector::new(DetectorConfig::default());
+    let client = ClientIp::new(10);
+    let (_, m) = ins.instrument_page(HTML, &page(), client, SimTime::ZERO);
+    let beacon = m.mouse_beacon.unwrap();
+    let req = Request::builder(Method::Get, beacon.to_string())
+        .header("User-Agent", "x")
+        .client(client)
+        .build()
+        .unwrap();
+    // First redemption: human.
+    let c1 = ins.classify(&req, SimTime::from_secs(1));
+    det.observe(
+        &req,
+        &Response::empty(StatusCode::OK),
+        &c1,
+        SimTime::from_secs(1),
+    );
+    // Replay: the verdict flips to robot and stays there.
+    let c2 = ins.classify(&req, SimTime::from_secs(2));
+    assert!(matches!(
+        c2,
+        Classified::MouseBeacon {
+            outcome: KeyOutcome::Replay,
+            ..
+        }
+    ));
+    let out = det.observe(
+        &req,
+        &Response::empty(StatusCode::OK),
+        &c2,
+        SimTime::from_secs(2),
+    );
+    assert_eq!(out.verdict, Verdict::Robot(Reason::BeaconAbuse));
+}
+
+#[test]
+fn guessed_keys_never_validate() {
+    let mut ins = Instrumenter::new(InstrumentConfig::default(), 4);
+    let client = ClientIp::new(11);
+    ins.instrument_page(HTML, &page(), client, SimTime::ZERO);
+    // An attacker fabricates beacon-shaped URLs with random keys.
+    for i in 0..100u128 {
+        let forged = format!("http://victim.example/{:032x}.jpg", 0xDEAD_0000 + i);
+        let req = Request::builder(Method::Get, forged)
+            .client(client)
+            .build()
+            .unwrap();
+        match ins.classify(&req, SimTime::from_secs(1)) {
+            Classified::MouseBeacon { outcome, .. } => {
+                assert_ne!(outcome, KeyOutcome::Valid, "guessed key validated")
+            }
+            other => panic!("beacon-shaped URL misclassified: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn token_table_pressure_stays_bounded() {
+    let mut config = InstrumentConfig::default();
+    config.token_table.max_clients = 100;
+    config.token_table.max_entries_per_ip = 4;
+    let mut ins = Instrumenter::new(config, 5);
+    // 10,000 clients × 8 pages each: far beyond capacity.
+    for c in 0..10_000u32 {
+        for _ in 0..8 {
+            ins.instrument_page(
+                HTML,
+                &page(),
+                ClientIp::new(c),
+                SimTime::from_secs(c as u64),
+            );
+        }
+    }
+    assert!(ins.tokens().client_count() <= 100);
+}
+
+#[test]
+fn hostile_html_does_not_break_rewriting() {
+    let mut ins = Instrumenter::new(InstrumentConfig::default(), 6);
+    let cases = [
+        "",
+        "<",
+        "<body",
+        "<BODY><BODY><BODY>",
+        "</body></head><head><body>",
+        "plain text, no markup at all",
+        "<html><head><body>unclosed everything",
+        &"<p>x</p>".repeat(10_000),
+    ];
+    for html in cases {
+        let (out, manifest) = ins.instrument_page(html, &page(), ClientIp::new(1), SimTime::ZERO);
+        // Whatever the input, the probes must be present in the output.
+        assert!(out.contains("stylesheet"), "css probe missing for {html:?}");
+        assert!(manifest.mouse_beacon.is_some());
+    }
+}
+
+#[test]
+fn detector_tolerates_responseless_exchanges() {
+    use botwall::sessions::{SessionTracker, TrackerConfig};
+    let mut t = SessionTracker::new(TrackerConfig::default());
+    let req = Request::builder(Method::Get, "http://h/x")
+        .client(ClientIp::new(1))
+        .build()
+        .unwrap();
+    let key = t.observe_opt(&req, None, SimTime::ZERO);
+    let s = t.get(&key).unwrap();
+    assert_eq!(s.records()[0].status_class, 0);
+}
+
+#[test]
+fn cross_client_beacon_theft_fails() {
+    let mut ins = Instrumenter::new(InstrumentConfig::default(), 7);
+    let victim = ClientIp::new(20);
+    let thief = ClientIp::new(21);
+    let (_, m) = ins.instrument_page(HTML, &page(), victim, SimTime::ZERO);
+    let stolen = m.mouse_beacon.unwrap();
+    let req = Request::builder(Method::Get, stolen.to_string())
+        .client(thief)
+        .build()
+        .unwrap();
+    match ins.classify(&req, SimTime::from_secs(1)) {
+        Classified::MouseBeacon { outcome, .. } => {
+            assert_eq!(outcome, KeyOutcome::Unknown)
+        }
+        other => panic!("{other:?}"),
+    }
+}
