@@ -21,7 +21,9 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 
-/// The default experiment seed (the paper's collection start date).
+/// The default experiment seed (the paper's collection start date,
+/// grouped as yyyy_mm_dd).
+#[allow(clippy::inconsistent_digit_grouping)]
 pub const SEED: u64 = 2006_01_06;
 
 /// A moderately sized CoDeeN-like network configuration.

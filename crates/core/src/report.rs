@@ -65,6 +65,8 @@ impl Table1Report {
             let css = e.has(EvidenceKind::DownloadedCss);
             let mm = e.has(EvidenceKind::MouseEvent);
             let js = e.has(EvidenceKind::ExecutedJs);
+            // Deliberately non-minimal: the shape mirrors the formula above.
+            #[allow(clippy::nonminimal_bool)]
             if (css || mm) && !(js && !mm) {
                 r.human_set += 1;
             }

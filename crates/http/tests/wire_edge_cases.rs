@@ -1,0 +1,178 @@
+//! Edge cases for the HTTP/1.x wire parser: malformed start lines, broken
+//! and oversized header blocks, and Content-Length pathologies. The whole
+//! pipeline sessionizes on what this parser accepts, so rejections must be
+//! precise and accepts must be lossless.
+
+use botwall_http::request::ClientIp;
+use botwall_http::wire::{parse_request, parse_response, serialize_request};
+use botwall_http::HttpError;
+
+fn parse(raw: &[u8]) -> Result<botwall_http::Request, HttpError> {
+    parse_request(raw, ClientIp::new(1))
+}
+
+#[test]
+fn empty_input_is_eof() {
+    assert_eq!(parse(b""), Err(HttpError::UnexpectedEof));
+}
+
+#[test]
+fn missing_header_terminator_is_eof() {
+    assert_eq!(
+        parse(b"GET / HTTP/1.1\r\nHost: h\r\n"),
+        Err(HttpError::UnexpectedEof)
+    );
+}
+
+#[test]
+fn bare_lf_line_endings_are_not_a_terminator() {
+    // 2006-era robots often sent sloppy framing; the substrate is strict.
+    assert_eq!(
+        parse(b"GET / HTTP/1.1\nHost: h\n\n"),
+        Err(HttpError::UnexpectedEof)
+    );
+}
+
+#[test]
+fn request_line_with_too_few_tokens_is_rejected() {
+    let raw = b"GET /\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidStartLine(_))));
+}
+
+#[test]
+fn request_line_with_extra_tokens_is_rejected() {
+    let raw = b"GET / HTTP/1.1 surprise\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidStartLine(_))));
+}
+
+#[test]
+fn non_http_version_is_rejected() {
+    let raw = b"GET / SPDY/3\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidStartLine(_))));
+}
+
+#[test]
+fn method_with_illegal_byte_is_rejected() {
+    let raw = b"G@T / HTTP/1.1\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidMethod(_))));
+}
+
+#[test]
+fn unknown_token_method_is_an_extension() {
+    let req = parse(b"PURGE /cache HTTP/1.1\r\n\r\n").unwrap();
+    assert_eq!(req.method().as_str(), "PURGE");
+}
+
+#[test]
+fn header_without_colon_is_rejected() {
+    let raw = b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidHeader(_))));
+}
+
+#[test]
+fn header_with_empty_name_is_rejected() {
+    let raw = b"GET / HTTP/1.1\r\n: value\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidHeader(_))));
+}
+
+#[test]
+fn header_name_with_space_is_rejected() {
+    let raw = b"GET / HTTP/1.1\r\nUser Agent: x\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidHeader(_))));
+}
+
+#[test]
+fn non_utf8_header_block_is_rejected() {
+    let raw = b"GET / HTTP/1.1\r\nX-Junk: \xff\xfe\r\n\r\n";
+    assert!(matches!(parse(raw), Err(HttpError::InvalidHeader(_))));
+}
+
+#[test]
+fn content_length_must_be_numeric() {
+    let raw = b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+    assert!(matches!(
+        parse(raw),
+        Err(HttpError::InvalidContentLength(_))
+    ));
+}
+
+#[test]
+fn short_body_reports_expected_and_actual() {
+    let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\nUser-Agent: u\r\n\r\nabc";
+    assert_eq!(
+        parse(raw),
+        Err(HttpError::TruncatedBody {
+            expected: 10,
+            actual: 3
+        })
+    );
+}
+
+#[test]
+fn content_length_truncates_trailing_garbage() {
+    let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcXYZ";
+    let req = parse(raw).unwrap();
+    assert_eq!(req.body(), b"abc");
+}
+
+#[test]
+fn body_without_content_length_runs_to_end() {
+    let raw = b"POST / HTTP/1.1\r\n\r\neverything counts";
+    let req = parse(raw).unwrap();
+    assert_eq!(req.body(), b"everything counts");
+}
+
+#[test]
+fn oversized_header_value_roundtrips() {
+    // No artificial limit in the substrate: a 64 KiB cookie survives intact.
+    let big = "c=".to_string() + &"x".repeat(64 * 1024);
+    let raw = format!("GET / HTTP/1.1\r\nCookie: {big}\r\nUser-Agent: u\r\n\r\n");
+    let req = parse(raw.as_bytes()).unwrap();
+    assert_eq!(req.headers().get("Cookie"), Some(big.as_str()));
+    let bytes = serialize_request(&req);
+    let back = parse(&bytes).unwrap();
+    assert_eq!(back, req);
+}
+
+#[test]
+fn many_headers_roundtrip() {
+    let mut raw = String::from("GET / HTTP/1.1\r\n");
+    for i in 0..200 {
+        raw.push_str(&format!("X-H-{i}: v{i}\r\n"));
+    }
+    raw.push_str("\r\n");
+    let req = parse(raw.as_bytes()).unwrap();
+    assert_eq!(req.headers().get("X-H-0"), Some("v0"));
+    assert_eq!(req.headers().get("X-H-199"), Some("v199"));
+    let back = parse(&serialize_request(&req)).unwrap();
+    assert_eq!(back, req);
+}
+
+#[test]
+fn header_values_are_trimmed() {
+    let raw = b"GET / HTTP/1.1\r\nUser-Agent:   padded value  \r\n\r\n";
+    let req = parse(raw).unwrap();
+    assert_eq!(req.user_agent(), Some("padded value"));
+}
+
+#[test]
+fn response_status_out_of_range_is_rejected() {
+    assert!(matches!(
+        parse_response(b"HTTP/1.1 999 Weird\r\n\r\n"),
+        Err(HttpError::InvalidStatus(999))
+    ));
+}
+
+#[test]
+fn response_non_numeric_status_is_rejected() {
+    assert!(matches!(
+        parse_response(b"HTTP/1.1 abc Weird\r\n\r\n"),
+        Err(HttpError::InvalidStartLine(_))
+    ));
+}
+
+#[test]
+fn response_reason_phrase_may_contain_spaces() {
+    let resp = parse_response(b"HTTP/1.1 404 Not Found At All\r\n\r\n").unwrap();
+    assert_eq!(resp.status().as_u16(), 404);
+}

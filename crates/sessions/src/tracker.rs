@@ -6,7 +6,8 @@ use crate::stats::SessionCounters;
 use crate::time::SimTime;
 use botwall_http::{Request, Response};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
 
 /// Configuration for [`SessionTracker`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,7 +45,9 @@ pub struct Session {
     last_seen: SimTime,
     records: Vec<RequestRecord>,
     counters: SessionCounters,
-    seen_urls: HashSet<u64>,
+    // BTreeSet, not HashSet: iteration (and Debug) order must be
+    // deterministic so identical runs render byte-identical reports.
+    seen_urls: BTreeSet<u64>,
 }
 
 impl Session {
@@ -55,7 +58,7 @@ impl Session {
             last_seen: now,
             records: Vec::new(),
             counters: SessionCounters::new(),
-            seen_urls: HashSet::new(),
+            seen_urls: BTreeSet::new(),
         }
     }
 

@@ -26,35 +26,35 @@ pub fn render_page(site: &Site, page: &Page) -> String {
     let host = site.host();
     let mut out = String::with_capacity(page.html_size + 1024);
     out.push_str("<html>\n<head>\n");
-    let _ = write!(out, "<title>{} — {}</title>\n", host, page.path);
+    let _ = writeln!(out, "<title>{} — {}</title>", host, page.path);
     for css in page.asset_paths(AssetKind::Stylesheet) {
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "<link rel=\"stylesheet\" type=\"text/css\" href=\"http://{host}{css}\">\n"
+            "<link rel=\"stylesheet\" type=\"text/css\" href=\"http://{host}{css}\">"
         );
     }
     for js in page.asset_paths(AssetKind::Script) {
-        let _ = write!(out, "<script src=\"http://{host}{js}\"></script>\n");
+        let _ = writeln!(out, "<script src=\"http://{host}{js}\"></script>");
     }
     out.push_str("</head>\n<body>\n");
-    let _ = write!(out, "<h1>{}</h1>\n", page.path);
+    let _ = writeln!(out, "<h1>{}</h1>", page.path);
     for img in page.asset_paths(AssetKind::Image) {
-        let _ = write!(out, "<img src=\"http://{host}{img}\" alt=\"\">\n");
+        let _ = writeln!(out, "<img src=\"http://{host}{img}\" alt=\"\">");
     }
     for link in &page.links {
         if let Some(target) = site.page(*link) {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "<a href=\"http://{host}{}\">{}</a>\n",
+                "<a href=\"http://{host}{}\">{}</a>",
                 target.path, target.path
             );
         }
     }
     if let Some(cgi) = &page.cgi_endpoint {
-        let _ = write!(
+        let _ = writeln!(
             out,
             "<form action=\"http://{host}{cgi}\" method=\"get\">\
-             <input name=\"q\"><input type=\"submit\"></form>\n"
+             <input name=\"q\"><input type=\"submit\"></form>"
         );
     }
     // Pad to approximately the modelled page weight.

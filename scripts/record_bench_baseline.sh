@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the criterion benches and collects their results into
+# BENCH_baseline.json at the repo root. The vendored criterion shim emits
+# one JSON object per benchmark to $CRITERION_SHIM_JSON; this script wraps
+# the stream into a JSON array.
+#
+# Usage: scripts/record_bench_baseline.sh [extra cargo bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_baseline.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+CRITERION_SHIM_JSON="$tmp" cargo bench -p botwall-bench "$@"
+
+if [[ ! -s "$tmp" ]]; then
+    echo "error: no benchmark records were emitted" >&2
+    exit 1
+fi
+
+{
+    echo '['
+    sed '$!s/$/,/' "$tmp"
+    echo ']'
+} > "$out"
+
+echo "wrote $out ($(grep -c mean_ns "$out") benchmarks)"

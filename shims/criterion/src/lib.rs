@@ -1,0 +1,325 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset the botwall benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `b.iter`) with a simple adaptive timer instead of criterion's full
+//! statistical machinery. Results print to stdout and, when
+//! `CRITERION_SHIM_JSON` names a file, are appended there as JSON lines —
+//! that is what `scripts/record_bench_baseline.sh` collects into
+//! `BENCH_baseline.json`.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring one benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+/// Warmup before measuring.
+const TARGET_WARMUP: Duration = Duration::from_millis(50);
+
+/// Benchmark id (subset of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let function_name = function_name.into();
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop handed to the closure in `bench_function`.
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, adapting iteration count to the routine's cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup, also estimating per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= TARGET_WARMUP {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let measure_iters = ((TARGET_MEASURE.as_secs_f64() / per_iter) as u64).clamp(10, 1_000_000);
+
+        let start = Instant::now();
+        for _ in 0..measure_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / measure_iters as f64;
+        self.iters = measure_iters;
+    }
+
+    /// Batched variant; the shim times setup + routine together but
+    /// amortizes over the batch.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+struct Record {
+    group: String,
+    bench: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+/// Benchmark group (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.record(id.name, b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        self.record(id.name, b);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn record(&mut self, bench: String, b: Bencher) {
+        let rec = Record {
+            group: self.name.clone(),
+            bench,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+            throughput: self.throughput,
+        };
+        report(&rec);
+        self.criterion.records.push(rec);
+    }
+}
+
+fn report(rec: &Record) {
+    let rate = match rec.throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(" ({:.3} Melem/s)", n as f64 / rec.mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!(
+                " ({:.1} MiB/s)",
+                n as f64 / rec.mean_ns * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{}/{}: {:.1} ns/iter{} [{} iters]",
+        rec.group, rec.bench, rec.mean_ns, rate, rec.iters
+    );
+}
+
+/// Entry point (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let rec = Record {
+            group: String::new(),
+            bench: id.name,
+            mean_ns: b.mean_ns,
+            iters: b.iters,
+            throughput: None,
+        };
+        report(&rec);
+        self.records.push(rec);
+        self
+    }
+
+    /// Appends results as JSON lines to `CRITERION_SHIM_JSON`, if set.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.records {
+            let tp = match r.throughput {
+                Some(Throughput::Elements(n)) => format!(r#","elements":{n}"#),
+                Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                    format!(r#","bytes":{n}"#)
+                }
+                None => String::new(),
+            };
+            // NaN (a closure that never called b.iter) must become null,
+            // not a bare NaN token that breaks the JSON.
+            let mean = if r.mean_ns.is_finite() {
+                format!("{:.1}", r.mean_ns)
+            } else {
+                "null".to_string()
+            };
+            let _ = writeln!(
+                f,
+                r#"{{"group":"{}","bench":"{}","mean_ns":{},"iters":{}{}}}"#,
+                json_escape(&r.group),
+                json_escape(&r.bench),
+                mean,
+                r.iters,
+                tp
+            );
+        }
+    }
+}
+
+/// JSON string escaping (Rust's `{:?}` emits `\u{..}`, which JSON rejects).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $($group();)+
+        }
+    };
+}

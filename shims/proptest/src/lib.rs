@@ -1,0 +1,237 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API the botwall test suites
+//! use: the [`Strategy`] trait with `prop_map`, `Just`, tuple/range/regex
+//! strategies, `collection::vec`, `option::of`, `bool::ANY`, `any::<T>()`,
+//! and the `proptest!`/`prop_assert*!`/`prop_oneof!` macros.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case panics with its case number and seed;
+//!   re-running is deterministic, so the failure reproduces exactly.
+//! - **Deterministic seeding.** Cases derive from a fixed base seed (or
+//!   `PROPTEST_SEED`), so CI runs are reproducible by default.
+//! - String strategies support the regex subset the suite uses: literals,
+//!   escapes, character classes with ranges, groups with alternation, and
+//!   `?`/`*`/`+`/`{m}`/`{m,n}` quantifiers.
+
+#![forbid(unsafe_code)]
+
+pub mod regex_gen;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical uniform strategy (subset of `proptest::arbitrary`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen::<u128>() as i128
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Printable ASCII keeps generated text debuggable.
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`] (subset of `proptest::collection::SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection::vec");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range for collection::vec");
+            SizeRange {
+                min: lo,
+                max: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a uniformly chosen length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        counts: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `counts`.
+    pub fn vec<S: Strategy>(element: S, counts: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            counts: counts.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.counts.min..self.counts.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for a uniform `bool` (mirrors `proptest::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = ::core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs the body once per generated case. See the crate docs for the
+/// differences from upstream `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let runner = $crate::test_runner::TestRunner::from_env();
+                for case in 0..runner.cases {
+                    let _guard = $crate::test_runner::CaseGuard::new(stringify!($name), case, runner.base_seed);
+                    let mut rng = runner.rng_for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion (panics like `assert!` — no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

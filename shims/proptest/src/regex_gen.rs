@@ -1,0 +1,295 @@
+//! Random string generation from a regex subset.
+//!
+//! Supports exactly what the botwall test suites write: literal characters,
+//! `\x` escapes, character classes with ranges (`[a-z0-9_.-]`, `[ -~]`),
+//! groups with alternation (`(html|jpg|css|js)`), and the quantifiers `?`,
+//! `*`, `+`, `{m}`, `{m,n}` applied to the preceding atom. Unbounded
+//! quantifiers are capped at 8 repetitions.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::iter::Peekable;
+use std::str::Chars;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    /// Expanded character set, sampled uniformly.
+    Class(Vec<char>),
+    /// Alternation of sequences: exactly one branch is generated.
+    Alt(Vec<Vec<Node>>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+///
+/// Panics on syntax the subset does not cover — a loud failure beats
+/// silently generating strings the real proptest would not.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let alts = parse_alternation(&mut chars, false);
+    assert!(
+        chars.next().is_none(),
+        "unbalanced ')' in pattern {pattern:?}"
+    );
+    let mut out = String::new();
+    gen_node(&Node::Alt(alts), rng, &mut out);
+    out
+}
+
+fn parse_alternation(chars: &mut Peekable<Chars>, in_group: bool) -> Vec<Vec<Node>> {
+    let mut alts = Vec::new();
+    let mut seq: Vec<Node> = Vec::new();
+    loop {
+        match chars.peek().copied() {
+            None => break,
+            Some(')') if in_group => break,
+            Some(')') => break, // caller asserts the stream is exhausted
+            Some('|') => {
+                chars.next();
+                alts.push(std::mem::take(&mut seq));
+            }
+            Some('(') => {
+                chars.next();
+                let inner = parse_alternation(chars, true);
+                assert_eq!(chars.next(), Some(')'), "unclosed group");
+                seq.push(Node::Alt(inner));
+            }
+            Some('[') => {
+                chars.next();
+                seq.push(Node::Class(parse_class(chars)));
+            }
+            Some('\\') => {
+                chars.next();
+                let c = chars.next().expect("dangling escape");
+                seq.push(Node::Lit(unescape(c)));
+            }
+            Some('?') => {
+                chars.next();
+                wrap_last(&mut seq, 0, 1);
+            }
+            Some('*') => {
+                chars.next();
+                wrap_last(&mut seq, 0, UNBOUNDED_CAP);
+            }
+            Some('+') => {
+                chars.next();
+                wrap_last(&mut seq, 1, UNBOUNDED_CAP);
+            }
+            Some('{') => {
+                chars.next();
+                let (min, max) = parse_counts(chars);
+                wrap_last(&mut seq, min, max);
+            }
+            Some('.') => {
+                chars.next();
+                // Any printable ASCII character.
+                seq.push(Node::Class((0x20u8..0x7f).map(|b| b as char).collect()));
+            }
+            Some(c) => {
+                chars.next();
+                seq.push(Node::Lit(c));
+            }
+        }
+    }
+    alts.push(seq);
+    alts
+}
+
+fn wrap_last(seq: &mut Vec<Node>, min: usize, max: usize) {
+    let last = seq.pop().expect("quantifier with nothing to repeat");
+    seq.push(Node::Repeat(Box::new(last), min, max));
+}
+
+fn parse_counts(chars: &mut Peekable<Chars>) -> (usize, usize) {
+    let mut min_txt = String::new();
+    let mut max_txt = String::new();
+    let mut saw_comma = false;
+    loop {
+        match chars.next().expect("unclosed {m,n}") {
+            '}' => break,
+            ',' => saw_comma = true,
+            d if d.is_ascii_digit() => {
+                if saw_comma {
+                    max_txt.push(d)
+                } else {
+                    min_txt.push(d)
+                }
+            }
+            other => panic!("bad char {other:?} in {{m,n}}"),
+        }
+    }
+    let min: usize = min_txt.parse().expect("missing m in {m,n}");
+    let max: usize = if !saw_comma {
+        min
+    } else if max_txt.is_empty() {
+        min + UNBOUNDED_CAP
+    } else {
+        max_txt.parse().unwrap()
+    };
+    assert!(min <= max, "inverted counts {{{min},{max}}}");
+    (min, max)
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unclosed character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    set.push(p);
+                }
+                break;
+            }
+            '-' => {
+                // Range if we have a left endpoint and a right endpoint follows;
+                // a literal '-' otherwise (leading or trailing position).
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        let hi = if hi == '\\' {
+                            unescape(chars.next().expect("dangling escape in class"))
+                        } else {
+                            hi
+                        };
+                        assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                        set.extend(lo..=hi);
+                    }
+                    (lo, _) => {
+                        if let Some(lo) = lo {
+                            set.push(lo);
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(unescape(chars.next().expect("dangling escape"))) {
+                    set.push(p);
+                }
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    set.push(p);
+                }
+            }
+        }
+    }
+    assert!(!set.is_empty(), "empty character class");
+    set
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+        Node::Alt(branches) => {
+            let i = rng.gen_range(0..branches.len());
+            for n in &branches[i] {
+                gen_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                gen_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn class_with_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,300}", &mut r);
+            assert!(s.len() <= 300);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn optional_group_with_alternation() {
+        let mut r = rng();
+        let mut saw_bare = false;
+        let mut saw_ext = false;
+        for _ in 0..300 {
+            let s = generate("/[a-z]{1,10}(\\.(html|jpg|css|js))?", &mut r);
+            assert!(s.starts_with('/'));
+            if let Some((_, ext)) = s.split_once('.') {
+                assert!(matches!(ext, "html" | "jpg" | "css" | "js"), "{s}");
+                saw_ext = true;
+            } else {
+                saw_bare = true;
+            }
+        }
+        assert!(saw_bare && saw_ext);
+    }
+
+    #[test]
+    fn escaped_dot_is_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,8}\\.html", &mut r);
+            assert!(s.ends_with(".html"), "{s}");
+        }
+    }
+
+    #[test]
+    fn trailing_dash_in_class_is_literal() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..2000 {
+            let s = generate("[a-z0-9_.-]{1,8}", &mut r);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '_'
+                || c == '.'
+                || c == '-'));
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn top_level_alternation_and_plus() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("ab|cd+", &mut r);
+            assert!(s == "ab" || (s.starts_with('c') && s[1..].chars().all(|c| c == 'd')));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for forward
+//! compatibility (structured export is on the roadmap) but never calls a
+//! serializer, so the traits are pure markers here. Blanket impls make
+//! every type satisfy `T: Serialize` / `T: Deserialize` bounds, and the
+//! paired `serde_derive` shim expands the derives to nothing.
+
+#![forbid(unsafe_code)]
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias used in generic bounds.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de> + ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The shim `serde` crate blanket-implements its marker traits for all
+//! types, so these derives only need to exist (and accept `#[serde(...)]`
+//! attributes) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,64 @@
+//! Determinism regression at a larger scale than `tests/pipeline.rs`.
+//!
+//! `pipeline.rs` spot-checks a handful of fields at 60 sessions / 3 nodes.
+//! This suite locks down the ENTIRE run report, byte for byte, at a
+//! config several times larger — the guardrail future parallelization and
+//! sharding work must keep green: reordering sessions across shards or
+//! racing RNG draws will change the rendered report and fail here.
+
+use botwall::agents::Population;
+use botwall::codeen::network::{Network, NetworkConfig};
+use botwall::codeen::node::Deployment;
+use botwall::webgraph::{SiteConfig, WebConfig};
+
+fn big_config() -> NetworkConfig {
+    NetworkConfig {
+        nodes: 7,
+        web: WebConfig {
+            sites: 6,
+            site: SiteConfig {
+                pages: 60,
+                ..SiteConfig::default()
+            },
+        },
+        deployment: Deployment::full(),
+        sessions: 400,
+        session_gap_ms: 150,
+    }
+}
+
+/// Renders every field the report exposes (summaries, completed sessions
+/// with evidence, node stats, bandwidth ledger) into one byte string.
+fn render(config: &NetworkConfig, seed: u64) -> Vec<u8> {
+    let report = Network::run(config, &Population::table1(), seed);
+    format!("{report:#?}").into_bytes()
+}
+
+#[test]
+fn full_report_is_byte_identical_across_runs() {
+    let config = big_config();
+    let a = render(&config, 20_060_530); // USENIX ATC '06 opened May 30.
+    let b = render(&config, 20_060_530);
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "report sizes diverged — nondeterminism upstream of rendering"
+    );
+    // Byte-wise compare without dumping megabytes on failure.
+    if let Some(pos) = a.iter().zip(&b).position(|(x, y)| x != y) {
+        let lo = pos.saturating_sub(80);
+        panic!(
+            "reports diverge at byte {pos}:\n  a: …{}…\n  b: …{}…",
+            String::from_utf8_lossy(&a[lo..(pos + 80).min(a.len())]),
+            String::from_utf8_lossy(&b[lo..(pos + 80).min(b.len())]),
+        );
+    }
+}
+
+#[test]
+fn seed_changes_the_report() {
+    // The byte-compare above would pass vacuously if the run ignored its
+    // seed; prove it does not.
+    let config = big_config();
+    assert_ne!(render(&config, 1), render(&config, 2));
+}

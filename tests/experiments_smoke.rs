@@ -1,9 +1,7 @@
 //! Smoke tests over the experiment harnesses: every paper artifact can be
 //! regenerated at reduced scale, with the paper's qualitative shape.
 
-use botwall_bench::{
-    run_decoys, run_figure3, run_figure4, run_staged, run_table1, SEED,
-};
+use botwall_bench::{run_decoys, run_figure3, run_figure4, run_staged, run_table1, SEED};
 
 #[test]
 fn table1_regenerates() {
