@@ -1,0 +1,117 @@
+//! Gateway front-door throughput: the cost of one `handle()` call end to
+//! end (classify → policy → instrument/serve → observe), plus the
+//! sharded session tracker's raw ingest rate at several shard counts —
+//! the two paths the ROADMAP's scale items landed on.
+
+use botwall_gateway::{Decision, Gateway, Origin};
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode};
+use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const HTML: &str = "<html><head><title>b</title></head><body><p>payload</p></body></html>";
+
+fn req(ip: u32, uri: &str) -> Request {
+    Request::builder(Method::Get, uri)
+        .header("User-Agent", "bench-agent/1.0")
+        .client(ClientIp::new(ip))
+        .build()
+        .unwrap()
+}
+
+fn bench_gateway_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway_throughput");
+    group.throughput(Throughput::Elements(1));
+
+    // Fresh session per iteration: page fetch with full instrumentation.
+    group.bench_function("handle_page_fresh_session", |b| {
+        let mut gw = Gateway::builder().seed(42).build();
+        let mut clock = SimTime::ZERO;
+        let mut ip = 1u32;
+        b.iter(|| {
+            clock += 50;
+            ip = ip.wrapping_add(1);
+            let r = req(ip, "http://bench.example/index.html");
+            black_box(gw.handle_with(&r, clock, |_| Origin::Page(HTML.into())))
+        })
+    });
+
+    // Steady-state session: repeated ordinary fetches from one client
+    // that already proved human via the mouse beacon (the fast path —
+    // cached verdict, no new evidence, policy short-circuits to Allow).
+    group.bench_function("handle_ordinary_steady_state", |b| {
+        let mut gw = Gateway::builder().seed(43).build();
+        let d = gw.handle_with(
+            &req(7, "http://bench.example/index.html"),
+            SimTime::ZERO,
+            |_| Origin::Page(HTML.into()),
+        );
+        let Decision::Serve { manifest, .. } = d else {
+            unreachable!("fresh sessions are served");
+        };
+        let beacon = manifest.unwrap().mouse_beacon.unwrap();
+        let d = gw.handle(&req(7, &beacon.to_string()), SimTime::from_secs(1));
+        assert!(
+            matches!(d.verdict(), Some(v) if v.is_final()),
+            "session must be proven human before the steady-state loop"
+        );
+        let mut clock = SimTime::from_secs(2);
+        let mut i = 0u64;
+        b.iter(|| {
+            clock += 20;
+            i += 1;
+            let r = req(7, &format!("http://bench.example/p{}.html", i % 64));
+            black_box(gw.handle_with(&r, clock, |_| {
+                Origin::Response(Response::empty(StatusCode::OK))
+            }))
+        })
+    });
+
+    // Probe traffic: beacon issue + redemption through the front door.
+    group.bench_function("handle_probe_roundtrip", |b| {
+        let mut gw = Gateway::builder().seed(44).build();
+        let mut clock = SimTime::ZERO;
+        let mut ip = 1u32;
+        b.iter(|| {
+            clock += 50;
+            ip = ip.wrapping_add(1);
+            let page = req(ip, "http://bench.example/index.html");
+            let d = gw.handle_with(&page, clock, |_| Origin::Page(HTML.into()));
+            let Decision::Serve { manifest, .. } = d else {
+                unreachable!("fresh sessions are served");
+            };
+            let css = manifest.unwrap().css_probe.unwrap();
+            black_box(gw.handle(&req(ip, &css.to_string()), clock))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("sharded_tracker_ingest");
+    group.throughput(Throughput::Elements(1));
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("observe", shards),
+            &shards,
+            |b, &shards| {
+                let mut tracker = SessionTracker::new(TrackerConfig {
+                    shards,
+                    ..TrackerConfig::default()
+                });
+                let resp = Response::empty(StatusCode::OK);
+                let mut clock = SimTime::ZERO;
+                let mut i = 0u32;
+                b.iter(|| {
+                    clock += 5;
+                    i = i.wrapping_add(1);
+                    let r = req(i % 4096, "http://bench.example/x.html");
+                    black_box(tracker.observe(&r, &resp, clock))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_throughput);
+criterion_main!(benches);

@@ -16,6 +16,10 @@ pub struct Challenge {
     pub distorted: String,
     /// Difficulty in `[0, 1]`; raises the bar for OCR-capable robots.
     pub difficulty: f64,
+    // Never serialized: a challenge travels to the client (e.g. inside a
+    // gateway `Decision::Challenge`), and shipping the expected answer
+    // alongside the puzzle would let any bot solve every challenge.
+    #[serde(skip)]
     answer: String,
 }
 

@@ -70,8 +70,10 @@ impl CaptchaService {
     /// Issues a challenge.
     pub fn issue(&mut self) -> Challenge {
         if self.outstanding.len() >= self.max_outstanding {
-            // Drop an arbitrary entry to stay bounded.
-            if let Some(&k) = self.outstanding.keys().next() {
+            // Drop the oldest entry (smallest id — ids are issued in
+            // increasing order) to stay bounded. Deterministic, unlike
+            // HashMap iteration order, which is seeded per process.
+            if let Some(&k) = self.outstanding.keys().min() {
                 self.outstanding.remove(&k);
             }
         }
@@ -151,6 +153,21 @@ mod tests {
         assert!(!s.verify(ch2.id, "nope"));
         assert_eq!(s.stats(), (2, 1, 2));
         assert!((s.pass_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outstanding_cap_evicts_the_oldest_challenge() {
+        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 4);
+        s.max_outstanding = 3;
+        let first = s.issue();
+        let keep: Vec<Challenge> = (0..3).map(|_| s.issue()).collect();
+        // The table is at its bound and the oldest (first) was evicted:
+        // answering it now fails, newer challenges still verify.
+        assert_eq!(s.outstanding.len(), 3);
+        let answer = first.answer().to_string();
+        assert!(!s.verify(first.id, &answer));
+        let answer = keep[2].answer().to_string();
+        assert!(s.verify(keep[2].id, &answer));
     }
 
     #[test]

@@ -1,22 +1,23 @@
-//! A single proxy node: instrumentation, detection, and policy in the
-//! request path.
+//! A single proxy node: the [`Gateway`] in the request path, fronting
+//! the [`Web`] origin substrate.
 //!
-//! CoDeeN nodes sit between clients and origin servers; our node does the
-//! same — it resolves origin content from the [`Web`] substrate, rewrites
-//! HTML through the [`Instrumenter`], recognizes probe traffic, feeds the
-//! [`Detector`], and consults the [`PolicyEngine`] before serving.
+//! CoDeeN nodes sit between clients and origin servers; our node does
+//! the same — every exchange goes through one `Gateway::handle_with`
+//! call, which classifies probe traffic, gates through policy, rewrites
+//! origin HTML, and feeds the detector. The node's own job shrinks to
+//! resolving origin content from the [`Web`] and adapting decisions to
+//! the agent-facing [`ClientWorld`] interface.
 
 use crate::metrics::{BandwidthLedger, NodeStats};
 use botwall_agents::world::{ClientWorld, FetchOutcome, FetchSpec, PageView};
-use botwall_captcha::{CaptchaService, Challenge, ServingPolicy};
-use botwall_core::{
-    Action, CompletedSession, Detector, DetectorConfig, PolicyConfig, PolicyEngine,
-};
+use botwall_captcha::{Challenge, ServingPolicy};
+use botwall_core::{CompletedSession, Detector};
+use botwall_gateway::{Decision, Gateway, Origin};
 use botwall_http::request::ClientIp;
 use botwall_http::{Method, Request, Response, StatusCode, Uri};
-use botwall_instrument::{Classified, InstrumentConfig, Instrumenter};
+use botwall_instrument::InstrumentConfig;
 use botwall_sessions::{SessionKey, SimTime};
-use botwall_webgraph::{render, Web};
+use botwall_webgraph::{render, Site, Web};
 use std::sync::Arc;
 
 /// Which detection features a node has deployed (drives the Figure-3
@@ -71,41 +72,36 @@ impl Deployment {
 pub struct ProxyNode {
     id: u32,
     web: Arc<Web>,
-    instrumenter: Instrumenter,
-    detector: Detector,
-    policy: PolicyEngine,
-    captcha: CaptchaService,
+    gateway: Gateway,
     deployment: Deployment,
-    stats: NodeStats,
-    bandwidth: BandwidthLedger,
+    sessions: u64,
 }
 
 impl ProxyNode {
     /// Creates a node over the shared web substrate.
     pub fn new(id: u32, web: Arc<Web>, deployment: Deployment, seed: u64) -> ProxyNode {
-        let instrument_config = InstrumentConfig {
+        let instrument = InstrumentConfig {
             css_probe: deployment.browser_test,
             hidden_link: deployment.browser_test,
             mouse_beacon: deployment.mouse_detection,
             ..InstrumentConfig::default()
         };
+        let gateway = Gateway::builder()
+            .instrument(instrument)
+            .captcha(if deployment.captcha {
+                ServingPolicy::OptionalWithIncentive
+            } else {
+                ServingPolicy::Disabled
+            })
+            .enforcement(deployment.enforcement)
+            .seed(seed)
+            .build();
         ProxyNode {
             id,
             web,
-            instrumenter: Instrumenter::new(instrument_config, seed),
-            detector: Detector::new(DetectorConfig::default()),
-            policy: PolicyEngine::new(PolicyConfig::default()),
-            captcha: CaptchaService::new(
-                if deployment.captcha {
-                    ServingPolicy::OptionalWithIncentive
-                } else {
-                    ServingPolicy::Disabled
-                },
-                seed ^ 0x0c47_c4a0,
-            ),
+            gateway,
             deployment,
-            stats: NodeStats::default(),
-            bandwidth: BandwidthLedger::default(),
+            sessions: 0,
         }
     }
 
@@ -114,14 +110,24 @@ impl ProxyNode {
         self.id
     }
 
-    /// Node statistics.
+    /// Node statistics, derived from the gateway's counters.
     pub fn stats(&self) -> NodeStats {
-        self.stats
+        let g = self.gateway.stats();
+        NodeStats {
+            allowed: g.served,
+            throttled: g.throttled,
+            blocked: g.blocked,
+            sessions: self.sessions,
+        }
     }
 
-    /// Bandwidth ledger.
+    /// Bandwidth ledger, derived from the gateway's byte counters.
     pub fn bandwidth(&self) -> BandwidthLedger {
-        self.bandwidth
+        let g = self.gateway.stats();
+        BandwidthLedger {
+            total_bytes: g.total_bytes,
+            instrumentation_bytes: g.instrumentation_bytes,
+        }
     }
 
     /// The deployment state.
@@ -129,180 +135,65 @@ impl ProxyNode {
         self.deployment
     }
 
+    /// The gateway fronting this node.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
     /// Immutable access to the detector (verdicts, evidence).
     pub fn detector(&self) -> &Detector {
-        &self.detector
+        self.gateway.detector()
     }
 
     /// Marks a CAPTCHA pass for a session.
     pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
-        self.detector.record_captcha_pass(key, now);
+        self.gateway.record_captcha_pass(key, now);
     }
 
     /// Expires idle sessions.
     pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
-        self.instrumenter.sweep(now);
-        self.detector.sweep(now)
+        self.gateway.sweep(now)
     }
 
     /// Finalizes everything at the end of an experiment.
     pub fn drain(&mut self) -> Vec<CompletedSession> {
-        self.detector.drain()
+        self.gateway.drain()
     }
 
-    /// Serves one request end to end. This is the request path of §2:
-    /// classify against instrumentation, let the detector observe, apply
-    /// policy, and produce the response (origin content, probe body, or a
-    /// policy error).
+    /// Serves one request end to end through the gateway — the request
+    /// path of §2 behind one call: classify, policy-gate, serve probe
+    /// objects or origin content (instrumenting pages), and observe.
     pub fn serve(&mut self, request: &Request, now: SimTime) -> (Response, Option<PageViewParts>) {
-        let classified = self.instrumenter.classify(request, now);
-        let key = SessionKey::of(request);
-        // Policy gate first (using the verdict as of the previous request:
-        // the node decides before doing origin work).
-        let action = if self.deployment.enforcement {
-            let verdict = self.detector.verdict(&key);
-            let (counters, rate) = self
-                .detector
-                .tracker()
-                .get(&key)
-                .map(|s| (s.counters().clone(), s.request_rate()))
-                .unwrap_or_default();
-            self.policy.decide(&key, verdict, &counters, rate, now)
-        } else {
-            Action::Allow
-        };
-        let (response, parts) = match action {
-            Action::Block => {
-                self.stats.blocked += 1;
-                (Response::empty(StatusCode::FORBIDDEN), None)
-            }
-            Action::Throttle => {
-                self.stats.throttled += 1;
-                (Response::empty(StatusCode::TOO_MANY_REQUESTS), None)
-            }
-            Action::Allow => {
-                self.stats.allowed += 1;
-                self.respond(request, &classified, now)
-            }
-        };
-        // The detector observes everything, including rejected requests —
-        // error responses feed the behavioural thresholds.
-        self.detector.observe(request, &response, &classified, now);
-        let bytes = (request.wire_len() + response.wire_len()) as u64;
-        match &classified {
-            Classified::Ordinary => self.bandwidth.add_traffic(bytes),
-            _ => self.bandwidth.add_overhead(bytes),
-        }
-        (response, parts)
-    }
-
-    /// Produces the content response for an allowed request.
-    fn respond(
-        &mut self,
-        request: &Request,
-        classified: &Classified,
-        now: SimTime,
-    ) -> (Response, Option<PageViewParts>) {
-        if let Some(resp) = self.instrumenter.respond(classified) {
-            return (resp, None);
-        }
-        let uri = request.uri();
         let web = Arc::clone(&self.web);
-        let Some(site) = web.site_for(uri) else {
-            return (Response::empty(StatusCode::BAD_GATEWAY), None);
-        };
-        let path = uri.path().to_string();
-        if path.eq_ignore_ascii_case("/favicon.ico") {
-            let resp = Response::builder(StatusCode::OK)
-                .header("Content-Type", "image/x-icon")
-                .body_bytes(vec![0u8; 318])
-                .build();
-            return (resp, None);
-        }
-        if path.eq_ignore_ascii_case("/robots.txt") {
-            let resp = Response::builder(StatusCode::OK)
-                .header("Content-Type", "text/plain")
-                .body_bytes(b"User-agent: *\nDisallow: /cgi-bin/\n".to_vec())
-                .build();
-            return (resp, None);
-        }
-        if let Some(page) = site.page_by_path(&path) {
-            // Redirect stubs answer 302 (the RESPCODE 3XX % signal).
-            if let Some(target) = page.redirect_to {
-                if let Some(t) = site.page(target) {
-                    let resp = Response::builder(StatusCode::FOUND)
-                        .header("Location", format!("http://{}{}", site.host(), t.path))
-                        .build();
-                    return (resp, None);
-                }
+        let mut meta: Option<PageMeta> = None;
+        let decision = self.gateway.handle_with(request, now, |req| {
+            let (origin, m) = resolve_origin(&web, req);
+            meta = m;
+            origin
+        });
+        match decision {
+            Decision::Serve {
+                response,
+                body,
+                manifest,
+                ..
+            } => {
+                let parts = meta.map(|m| PageViewParts {
+                    links: m.links,
+                    embedded: m.embedded,
+                    cgi: m.cgi,
+                    manifest,
+                    html: body.unwrap_or_default(),
+                });
+                (response, parts)
             }
-            let host = site.host().to_string();
-            let raw = render::render_page(site, page);
-            let (html, manifest) =
-                self.instrumenter
-                    .instrument_page(&raw, uri, request.client(), now);
-            // The page's wire bytes are tallied by `serve`; only move the
-            // injected share into the instrumentation column here.
-            self.bandwidth.instrumentation_bytes += manifest.html_overhead as u64;
-            let links = page
-                .links
-                .iter()
-                .filter_map(|id| site.page(*id))
-                .map(|p| Uri::absolute(&host, p.path.clone()))
-                .collect();
-            let embedded = page
-                .assets
-                .iter()
-                .map(|a| Uri::absolute(&host, a.path.clone()))
-                .collect();
-            let cgi = page
-                .cgi_endpoint
-                .as_ref()
-                .map(|c| Uri::absolute(&host, c.clone()));
-            let mut resp = Response::builder(StatusCode::OK)
-                .header("Content-Type", "text/html")
-                .body_bytes(html.clone().into_bytes())
-                .build();
-            Instrumenter::mark_uncacheable(&mut resp);
-            return (
-                resp,
-                Some(PageViewParts {
-                    links,
-                    embedded,
-                    cgi,
-                    manifest: Some(manifest),
-                    html,
-                }),
-            );
+            rejected => (rejected.into_response(), None),
         }
-        if let Some((_, body)) = render::render_asset(site, &path) {
-            let resp = Response::builder(StatusCode::OK)
-                .header("Content-Type", "application/octet-stream")
-                .body_bytes(body)
-                .build();
-            return (resp, None);
-        }
-        // A known CGI endpoint answers; unknown dynamic paths 404.
-        let is_known_cgi = site
-            .pages()
-            .filter_map(|p| p.cgi_endpoint.as_deref())
-            .any(|c| path.starts_with(c));
-        if is_known_cgi {
-            let resp = Response::builder(StatusCode::OK)
-                .header("Content-Type", "text/html")
-                .body_bytes(b"<html><body>ok</body></html>".to_vec())
-                .build();
-            return (resp, None);
-        }
-        (Response::empty(StatusCode::NOT_FOUND), None)
     }
 
     /// Offers a CAPTCHA if the deployment serves them.
     pub fn offer_captcha(&mut self) -> Option<Challenge> {
-        if !self.captcha.should_offer() {
-            return None;
-        }
-        Some(self.captcha.issue())
+        self.gateway.offer_captcha()
     }
 
     /// Verifies a CAPTCHA answer; on success the session is marked
@@ -314,16 +205,104 @@ impl ProxyNode {
         answer: &str,
         now: SimTime,
     ) -> bool {
-        let ok = self.captcha.verify(id, answer);
-        if ok {
-            self.detector.record_captcha_pass(key, now);
-        }
-        ok
+        self.gateway.verify_captcha(key, id, answer, now)
     }
 
     /// Notes that a session finished (stats bookkeeping).
     pub fn finish_session(&mut self) {
-        self.stats.sessions += 1;
+        self.sessions += 1;
+    }
+}
+
+/// Page-graph metadata the agent-facing [`PageView`] needs but the
+/// gateway does not know about (it only sees the rendered HTML).
+struct PageMeta {
+    links: Vec<Uri>,
+    embedded: Vec<Uri>,
+    cgi: Option<Uri>,
+}
+
+/// Resolves a request against the origin web substrate: what a CoDeeN
+/// node would fetch upstream. Pages come back as [`Origin::Page`] (the
+/// gateway instruments them); everything else is a finished response.
+fn resolve_origin(web: &Web, request: &Request) -> (Origin, Option<PageMeta>) {
+    let uri = request.uri();
+    let Some(site) = web.site_for(uri) else {
+        return (
+            Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+            None,
+        );
+    };
+    let path = uri.path();
+    if path.eq_ignore_ascii_case("/favicon.ico") {
+        let resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", "image/x-icon")
+            .body_bytes(vec![0u8; 318])
+            .build();
+        return (Origin::Response(resp), None);
+    }
+    if path.eq_ignore_ascii_case("/robots.txt") {
+        let resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", "text/plain")
+            .body_bytes(b"User-agent: *\nDisallow: /cgi-bin/\n".to_vec())
+            .build();
+        return (Origin::Response(resp), None);
+    }
+    if let Some(page) = site.page_by_path(path) {
+        // Redirect stubs answer 302 (the RESPCODE 3XX % signal).
+        if let Some(target) = page.redirect_to {
+            if let Some(t) = site.page(target) {
+                let resp = Response::builder(StatusCode::FOUND)
+                    .header("Location", format!("http://{}{}", site.host(), t.path))
+                    .build();
+                return (Origin::Response(resp), None);
+            }
+        }
+        return (
+            Origin::Page(render::render_page(site, page)),
+            Some(page_meta(site, page)),
+        );
+    }
+    if let Some((_, body)) = render::render_asset(site, path) {
+        let resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", "application/octet-stream")
+            .body_bytes(body)
+            .build();
+        return (Origin::Response(resp), None);
+    }
+    // A known CGI endpoint answers; unknown dynamic paths 404.
+    let is_known_cgi = site
+        .pages()
+        .filter_map(|p| p.cgi_endpoint.as_deref())
+        .any(|c| path.starts_with(c));
+    if is_known_cgi {
+        let resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", "text/html")
+            .body_bytes(b"<html><body>ok</body></html>".to_vec())
+            .build();
+        return (Origin::Response(resp), None);
+    }
+    (Origin::NotFound, None)
+}
+
+fn page_meta(site: &Site, page: &botwall_webgraph::Page) -> PageMeta {
+    let host = site.host();
+    PageMeta {
+        links: page
+            .links
+            .iter()
+            .filter_map(|id| site.page(*id))
+            .map(|p| Uri::absolute(host, p.path.clone()))
+            .collect(),
+        embedded: page
+            .assets
+            .iter()
+            .map(|a| Uri::absolute(host, a.path.clone()))
+            .collect(),
+        cgi: page
+            .cgi_endpoint
+            .as_ref()
+            .map(|c| Uri::absolute(host, c.clone())),
     }
 }
 

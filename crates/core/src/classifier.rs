@@ -48,6 +48,9 @@ pub enum Reason {
     BrowserTypeMismatch,
     /// No positive browser/human evidence appeared at all.
     NoBrowserSignals,
+    /// A boundary classifier (the §4.1 machine-learning stage) decided,
+    /// overriding the set-algebra outcome for a boundary-case session.
+    MlBoundary,
 }
 
 /// An online verdict: confidence grows as evidence accumulates.
@@ -124,27 +127,40 @@ pub fn classify_final(evidence: &EvidenceSet) -> Label {
     }
 }
 
-/// Produces the online verdict for a session in progress.
-pub fn classify_online(evidence: &EvidenceSet) -> Verdict {
+/// Folds only *hard* evidence into a verdict: the quick-decision stage a
+/// streaming detector can afford on every exchange. Returns `None` when
+/// no hard evidence is present — soft signals (CSS, JS) are left for the
+/// batch set-algebra pass at session flush.
+pub fn classify_hard(evidence: &EvidenceSet) -> Option<Verdict> {
     // Hard robot evidence is never overturned.
     if evidence.has(EvidenceKind::FetchedDecoy) {
-        return Verdict::Robot(Reason::DecoyFetched);
+        return Some(Verdict::Robot(Reason::DecoyFetched));
     }
     if evidence.has(EvidenceKind::ReplayedBeacon) || evidence.has(EvidenceKind::ForgedBeacon) {
-        return Verdict::Robot(Reason::BeaconAbuse);
+        return Some(Verdict::Robot(Reason::BeaconAbuse));
     }
     if evidence.has(EvidenceKind::HiddenLinkFollowed) {
-        return Verdict::Robot(Reason::HiddenLink);
+        return Some(Verdict::Robot(Reason::HiddenLink));
     }
     if evidence.has(EvidenceKind::UaMismatch) {
-        return Verdict::Robot(Reason::BrowserTypeMismatch);
+        return Some(Verdict::Robot(Reason::BrowserTypeMismatch));
     }
     // Hard human evidence.
     if evidence.has(EvidenceKind::MouseEvent) {
-        return Verdict::Human(Reason::MouseActivity);
+        return Some(Verdict::Human(Reason::MouseActivity));
     }
     if evidence.has(EvidenceKind::PassedCaptcha) {
-        return Verdict::Human(Reason::CaptchaPassed);
+        return Some(Verdict::Human(Reason::CaptchaPassed));
+    }
+    None
+}
+
+/// Produces the full verdict for a session: hard evidence first, then the
+/// soft browser-test signals. This is the batch form the detector applies
+/// at session flush boundaries.
+pub fn classify_online(evidence: &EvidenceSet) -> Verdict {
+    if let Some(v) = classify_hard(evidence) {
+        return v;
     }
     // Soft signals.
     let css = evidence.has(EvidenceKind::DownloadedCss);
@@ -231,6 +247,34 @@ mod tests {
         let e = ev(&[PassedCaptcha]);
         assert_eq!(classify_final(&e), Label::Human);
         assert_eq!(classify_online(&e), Verdict::Human(Reason::CaptchaPassed));
+    }
+
+    #[test]
+    fn classify_hard_ignores_soft_signals() {
+        use EvidenceKind::*;
+        assert_eq!(classify_hard(&ev(&[])), None);
+        assert_eq!(classify_hard(&ev(&[DownloadedCss, ExecutedJs])), None);
+        assert_eq!(
+            classify_hard(&ev(&[DownloadedCss, FetchedDecoy])),
+            Some(Verdict::Robot(Reason::DecoyFetched))
+        );
+        assert_eq!(
+            classify_hard(&ev(&[MouseEvent])),
+            Some(Verdict::Human(Reason::MouseActivity))
+        );
+        // classify_online agrees wherever classify_hard decides.
+        for kinds in [
+            vec![FetchedDecoy],
+            vec![ReplayedBeacon],
+            vec![HiddenLinkFollowed],
+            vec![UaMismatch],
+            vec![MouseEvent],
+            vec![PassedCaptcha],
+            vec![DownloadedCss, HiddenLinkFollowed, MouseEvent],
+        ] {
+            let e = ev(&kinds);
+            assert_eq!(classify_hard(&e), Some(classify_online(&e)), "{kinds:?}");
+        }
     }
 
     #[test]

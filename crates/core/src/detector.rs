@@ -4,6 +4,19 @@
 //! classification stream, and the set-algebra classifier, producing verdict
 //! transitions in real time — the paper's core claim is that this works
 //! "on-line at data request rates".
+//!
+//! # Staged evidence application
+//!
+//! Following the paper's "quick decision first" staging (§4.1), the
+//! per-exchange fast path folds only *hard* evidence into the online
+//! verdict (decoy fetches, beacon replays/forgeries, hidden links,
+//! browser-type mismatches, mouse events, CAPTCHA passes), plus the
+//! count-based no-browser-signals promotion that catches probe-blind
+//! crawlers. Soft browser-test signals (CSS/JS downloads, JS execution)
+//! are *accumulated* per exchange but only *applied* — via the full
+//! set-algebra rule — in batch when a session flushes at [`Detector::sweep`]
+//! / [`Detector::drain`] boundaries. Most exchanges carry no new evidence
+//! at all, so the fast path is a cached-verdict read.
 
 use crate::classifier::{self, Label, Reason, Verdict};
 use crate::evidence::{EvidenceKind, EvidenceSet};
@@ -11,7 +24,7 @@ use botwall_http::{Request, Response, UserAgent};
 use botwall_instrument::{Classified, KeyOutcome, ProbeKind};
 use botwall_sessions::{Session, SessionKey, SessionTracker, SimTime, TrackerConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Configuration for [`Detector`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -25,7 +38,10 @@ pub struct DetectorConfig {
 pub struct ObserveOutcome {
     /// The session this exchange belongs to.
     pub key: SessionKey,
-    /// The verdict after folding in this exchange.
+    /// The fast-path verdict after folding in this exchange: hard
+    /// evidence plus the no-browser-signals promotion. Soft signals are
+    /// applied in batch at flush (see the module docs), so a session with
+    /// only CSS/JS evidence reads `Undecided` here.
     pub verdict: Verdict,
     /// Whether the verdict changed on this exchange.
     pub transitioned: bool,
@@ -73,8 +89,50 @@ pub struct CompletedSession {
 #[derive(Debug)]
 pub struct Detector {
     tracker: SessionTracker,
-    evidence: HashMap<SessionKey, EvidenceSet>,
-    verdicts: HashMap<SessionKey, Verdict>,
+    /// Accumulation for the *live* incarnation of each session key.
+    state: HashMap<SessionKey, SessionState>,
+    /// Accumulation for finalized-but-not-yet-flushed incarnations:
+    /// when a key rolls over (idle timeout) or is evicted and later
+    /// returns, the old incarnation's state waits here — FIFO per key —
+    /// until the flush pairs it back with its session.
+    retired: HashMap<SessionKey, VecDeque<SessionState>>,
+}
+
+/// Per-session accumulation: the evidence set plus the cached fast-path
+/// verdict.
+#[derive(Debug)]
+struct SessionState {
+    evidence: EvidenceSet,
+    verdict: Verdict,
+}
+
+impl Default for SessionState {
+    fn default() -> Self {
+        SessionState {
+            evidence: EvidenceSet::new(),
+            verdict: Verdict::Undecided,
+        }
+    }
+}
+
+impl SessionState {
+    /// Records one evidence observation and returns whether it was hard
+    /// (decides the verdict on its own).
+    fn accumulate(&mut self, kind: EvidenceKind, index: u32, now: SimTime) -> bool {
+        self.evidence.record(kind, index, now);
+        kind.is_hard_robot_evidence() || kind.is_hard_human_evidence()
+    }
+
+    /// Whether a browser-test signal the set algebra credits (CSS
+    /// download, JS execution) has been accumulated — soft evidence that
+    /// exempts the session from the no-browser-signals promotion until
+    /// the batch pass decides it. Merely *fetching* the .js file is not
+    /// a signal: crawlers download every link, the set algebra ignores
+    /// it, and waiting can never exonerate such a session.
+    fn has_browser_signals(&self) -> bool {
+        self.evidence.has(EvidenceKind::DownloadedCss)
+            || self.evidence.has(EvidenceKind::ExecutedJs)
+    }
 }
 
 impl Detector {
@@ -82,8 +140,8 @@ impl Detector {
     pub fn new(config: DetectorConfig) -> Detector {
         Detector {
             tracker: SessionTracker::new(config.tracker),
-            evidence: HashMap::new(),
-            verdicts: HashMap::new(),
+            state: HashMap::new(),
+            retired: HashMap::new(),
         }
     }
 
@@ -91,6 +149,10 @@ impl Detector {
     ///
     /// `classified` should come from
     /// [`botwall_instrument::Instrumenter::classify`] on the same request.
+    ///
+    /// This is the fast path: evidence is accumulated, but only hard
+    /// evidence updates the verdict here. Soft browser-test signals are
+    /// applied in batch when the session flushes (see the module docs).
     pub fn observe(
         &mut self,
         request: &Request,
@@ -100,9 +162,22 @@ impl Detector {
     ) -> ObserveOutcome {
         let key = self.tracker.observe(request, response, now);
         let session = self.tracker.get(&key).expect("session just observed");
-        let index = session.request_count() as u32;
-        let evidence = self.evidence.entry(key.clone()).or_default();
+        let request_count = session.request_count();
+        let index = request_count as u32;
+        if request_count == 1 {
+            // First exchange of this incarnation. If state already exists
+            // under the key, it belongs to a finalized predecessor
+            // (idle-timeout rollover or capacity eviction): retire it so
+            // the flush can label the old session with *its* evidence and
+            // this incarnation starts clean.
+            if let Some(old) = self.state.remove(&key) {
+                self.retired.entry(key.clone()).or_default().push_back(old);
+            }
+        }
+        let state = self.state.entry(key.clone()).or_default();
+        let prev = state.verdict;
 
+        let mut hard = false;
         match classified {
             Classified::MouseBeacon { outcome, .. } => {
                 let kind = match outcome {
@@ -111,42 +186,66 @@ impl Detector {
                     KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
                     KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
                 };
-                evidence.record(kind, index, now);
+                hard |= state.accumulate(kind, index, now);
             }
             Classified::Probe(hit) => match hit.kind {
-                ProbeKind::CssProbe => evidence.record(EvidenceKind::DownloadedCss, index, now),
-                ProbeKind::JsFile => evidence.record(EvidenceKind::DownloadedJsFile, index, now),
+                ProbeKind::CssProbe => {
+                    hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
+                }
+                ProbeKind::JsFile => {
+                    hard |= state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
+                }
                 ProbeKind::AgentBeacon => {
-                    evidence.record(EvidenceKind::ExecutedJs, index, now);
+                    hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
                     if let Some(reported) = &hit.reported_agent {
                         let header = request.user_agent().unwrap_or("");
                         if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
-                            evidence.record(EvidenceKind::UaMismatch, index, now);
+                            hard |= state.accumulate(EvidenceKind::UaMismatch, index, now);
                         }
                     }
                 }
                 ProbeKind::HiddenLink => {
-                    evidence.record(EvidenceKind::HiddenLinkFollowed, index, now)
+                    hard |= state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
                 }
                 ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
             },
             Classified::Ordinary => {}
         }
 
-        let mut verdict = classifier::classify_online(evidence);
-        // A session past the classification minimum with no browser
-        // signals at all is robot-leaning: crawlers, spammers and
-        // scanners never touch a probe, and waiting longer cannot
-        // exonerate them (§3.1's noise rule doubles as the browser-test
-        // window).
-        if verdict == Verdict::Undecided
-            && session.request_count() > self.tracker.config().min_requests_to_classify
+        if hard {
+            state.verdict =
+                classifier::classify_hard(&state.evidence).expect("hard evidence just recorded");
+        } else if state.verdict == Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
+            && state.has_browser_signals()
         {
-            verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
+            // Browser signals arrived after the no-signal promotion (e.g.
+            // a human whose CSS probe fetch trailed a burst of asset
+            // requests): the promotion's premise no longer holds. Drop
+            // back to Undecided; the batch pass at flush decides.
+            state.verdict = Verdict::Undecided;
+        } else if state.verdict == Verdict::Undecided
+            && request_count > self.tracker.config().min_requests_to_classify
+        {
+            if !state.has_browser_signals() {
+                // A session past the classification minimum with no
+                // browser signals at all is robot-leaning: crawlers,
+                // spammers and scanners never touch a probe, and waiting
+                // longer cannot exonerate them (§3.1's noise rule doubles
+                // as the browser-test window).
+                state.verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
+            } else if state.evidence.has(EvidenceKind::ExecutedJs) {
+                // JS executed but still no mouse event after the
+                // classification minimum: the S_JS − S_MM term leans
+                // robot. Promoting here keeps the paper's §4.1 adversary
+                // (a JS-capable bot) under robot-class enforcement while
+                // it is live; a later mouse event (hard) overturns this,
+                // and the flush applies the full set algebra either way.
+                state.verdict = Verdict::ProvisionalRobot(Reason::JsWithoutMouse);
+            }
         }
-        let prev = self.verdicts.insert(key.clone(), verdict);
+        let verdict = state.verdict;
         ObserveOutcome {
-            transitioned: prev != Some(verdict),
+            transitioned: prev != verdict,
             key,
             verdict,
             request_index: index,
@@ -154,34 +253,34 @@ impl Detector {
     }
 
     /// Records a CAPTCHA pass for a session (ground-truth human).
+    ///
+    /// A key the tracker has never seen is a no-op: there is no session
+    /// to credit, and inventing one would attach ground-truth-human
+    /// evidence to a phantom record.
     pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
-        let index = self
-            .tracker
-            .get(key)
-            .map(|s| s.request_count() as u32)
-            .unwrap_or(0);
-        self.evidence.entry(key.clone()).or_default().record(
-            EvidenceKind::PassedCaptcha,
-            index,
-            now,
-        );
-        self.verdicts.insert(
-            key.clone(),
-            classifier::classify_online(&self.evidence[key]),
-        );
+        let Some(session) = self.tracker.get(key) else {
+            return;
+        };
+        let index = session.request_count() as u32;
+        let state = self.state.entry(key.clone()).or_default();
+        state
+            .evidence
+            .record(EvidenceKind::PassedCaptcha, index, now);
+        state.verdict =
+            classifier::classify_hard(&state.evidence).expect("captcha pass is hard evidence");
     }
 
-    /// The current verdict for a live session.
+    /// The current fast-path verdict for a live session.
     pub fn verdict(&self, key: &SessionKey) -> Verdict {
-        self.verdicts
+        self.state
             .get(key)
-            .copied()
+            .map(|s| s.verdict)
             .unwrap_or(Verdict::Undecided)
     }
 
     /// The evidence collected so far for a live session.
     pub fn evidence(&self, key: &SessionKey) -> Option<&EvidenceSet> {
-        self.evidence.get(key)
+        self.state.get(key).map(|s| &s.evidence)
     }
 
     /// Read access to the underlying session tracker.
@@ -189,7 +288,8 @@ impl Detector {
         &self.tracker
     }
 
-    /// Expires idle sessions as of `now`, finalizing their labels.
+    /// Expires idle sessions as of `now`, applying the batch set-algebra
+    /// classification to each and finalizing their labels.
     pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
         let finished = self.tracker.sweep(now);
         self.complete(finished)
@@ -199,19 +299,29 @@ impl Detector {
     pub fn drain(&mut self) -> Vec<CompletedSession> {
         let finished = self.tracker.drain();
         let mut out = self.complete(finished);
-        self.evidence.clear();
-        self.verdicts.clear();
+        self.state.clear();
+        self.retired.clear();
         out.sort_by(|a, b| a.session.key().cmp(b.session.key()));
         out
     }
 
+    /// The batch boundary: accumulated evidence is applied through the
+    /// full set-algebra rule for every flushed session at once.
+    ///
+    /// Retired incarnations of a key flush strictly before its live one
+    /// (the tracker finalizes them first), so each finished session is
+    /// paired with the oldest retired state for its key, falling back to
+    /// the live state.
     fn complete(&mut self, finished: Vec<Session>) -> Vec<CompletedSession> {
         finished
             .into_iter()
             .map(|session| {
                 let key = session.key().clone();
-                let evidence = self.evidence.remove(&key).unwrap_or_default();
-                self.verdicts.remove(&key);
+                let evidence = self
+                    .pop_retired(&key)
+                    .or_else(|| self.state.remove(&key))
+                    .map(|s| s.evidence)
+                    .unwrap_or_default();
                 let verdict = classifier::classify_online(&evidence);
                 let (label, reason) = classifier::finalize(verdict);
                 let classifiable = self.tracker.classifiable(&session);
@@ -224,6 +334,16 @@ impl Detector {
                 }
             })
             .collect()
+    }
+
+    /// Pops the oldest retired incarnation state for `key`, if any.
+    fn pop_retired(&mut self, key: &SessionKey) -> Option<SessionState> {
+        let queue = self.retired.get_mut(key)?;
+        let state = queue.pop_front();
+        if queue.is_empty() {
+            self.retired.remove(key);
+        }
+        state
     }
 }
 
@@ -322,7 +442,7 @@ mod tests {
     }
 
     #[test]
-    fn matching_agent_reports_executed_js_only() {
+    fn matching_agent_accumulates_js_without_deciding_online() {
         let (mut ins, mut det) = pipeline();
         let client = ClientIp::new(4);
         let page: Uri = "http://h/index.html".parse().unwrap();
@@ -338,18 +458,20 @@ mod tests {
         let r = req(4, &fetch, ua);
         let c = ins.classify(&r, SimTime::ZERO);
         let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
-        // JS executed, no mouse yet: provisionally robot.
-        assert_eq!(
-            out.verdict,
-            Verdict::ProvisionalRobot(Reason::JsWithoutMouse)
-        );
+        // JS execution is soft evidence: accumulated now, applied at the
+        // batch flush. The fast path stays undecided.
+        assert_eq!(out.verdict, Verdict::Undecided);
         let e = det.evidence(&out.key).unwrap();
         assert!(e.has(EvidenceKind::ExecutedJs));
         assert!(!e.has(EvidenceKind::UaMismatch));
+        // Flush: JS-without-mouse decides robot via set algebra.
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Robot);
+        assert_eq!(done[0].reason, Reason::JsWithoutMouse);
     }
 
     #[test]
-    fn css_probe_gives_provisional_human() {
+    fn css_probe_accumulates_and_flushes_human() {
         let (mut ins, mut det) = pipeline();
         let client = ClientIp::new(5);
         let page: Uri = "http://h/index.html".parse().unwrap();
@@ -363,10 +485,46 @@ mod tests {
         let r = req(5, &css.to_string(), "Mozilla/5.0");
         let c = ins.classify(&r, SimTime::ZERO);
         let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
-        assert_eq!(
-            out.verdict,
-            Verdict::ProvisionalHuman(Reason::BrowserTestPassed)
+        // Soft evidence: no online decision, but the batch pass at flush
+        // applies S_H = (S_CSS ∪ S_MM) − (S_JS − S_MM) ⇒ human.
+        assert_eq!(out.verdict, Verdict::Undecided);
+        assert!(det
+            .evidence(&out.key)
+            .unwrap()
+            .has(EvidenceKind::DownloadedCss));
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Human);
+        assert_eq!(done[0].reason, Reason::BrowserTestPassed);
+    }
+
+    #[test]
+    fn soft_signals_exempt_sessions_from_no_signal_promotion() {
+        // A long session whose only evidence is a CSS download must stay
+        // undecided online (a no-JS human), not get promoted to
+        // provisional robot.
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(14);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
         );
+        let css = manifest.css_probe.unwrap();
+        let r = req(14, &css.to_string(), "Mozilla/5.0");
+        let c = ins.classify(&r, SimTime::ZERO);
+        det.observe(&r, &ok(), &c, SimTime::ZERO);
+        let mut last = Verdict::Undecided;
+        for i in 0..20 {
+            let r = req(14, &format!("http://h/{i}.html"), "Mozilla/5.0");
+            last = det
+                .observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(i))
+                .verdict;
+        }
+        assert_eq!(last, Verdict::Undecided);
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Human);
     }
 
     #[test]
@@ -394,6 +552,21 @@ mod tests {
         let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
         det.record_captcha_pass(&out.key, SimTime::from_secs(1));
         assert_eq!(det.verdict(&out.key), Verdict::Human(Reason::CaptchaPassed));
+        // The observation carries the session's current request index.
+        let e = det.evidence(&out.key).unwrap();
+        assert_eq!(e.first(EvidenceKind::PassedCaptcha).unwrap().at_request, 1);
+    }
+
+    #[test]
+    fn captcha_pass_for_unknown_session_is_a_no_op() {
+        use botwall_sessions::SessionKey;
+        let mut det = Detector::new(DetectorConfig::default());
+        let ghost = SessionKey::new(ClientIp::new(99), "never-seen");
+        det.record_captcha_pass(&ghost, SimTime::ZERO);
+        // No phantom evidence, no phantom verdict, no phantom session.
+        assert!(det.evidence(&ghost).is_none());
+        assert_eq!(det.verdict(&ghost), Verdict::Undecided);
+        assert!(det.drain().is_empty());
     }
 
     #[test]
@@ -418,6 +591,149 @@ mod tests {
         det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
         let done = det.drain();
         assert!(!done[0].classifiable, "1 request < minimum of >10");
+    }
+
+    #[test]
+    fn js_without_mouse_promotes_past_the_classification_minimum() {
+        // The §4.1 adversary: executes JS honestly, never mouses. Soft
+        // classification waits for the flush, but past the >10-request
+        // minimum the fast path must lean robot so enforcement applies
+        // while the bot is live.
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(17);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let ua = "Mozilla/5.0 Firefox/1.5";
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let agent_url = manifest.agent_beacon.unwrap();
+        let fetch = format!("{agent_url}?agent={}", UserAgent::canonicalize(ua));
+        let r = req(17, &fetch, ua);
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Undecided, "below the minimum");
+        let mut last = Verdict::Undecided;
+        for i in 0..12 {
+            let r = req(17, &format!("http://h/{i}.html"), ua);
+            last = det
+                .observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(1 + i))
+                .verdict;
+        }
+        assert_eq!(last, Verdict::ProvisionalRobot(Reason::JsWithoutMouse));
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Robot);
+        assert_eq!(done[0].reason, Reason::JsWithoutMouse);
+    }
+
+    #[test]
+    fn js_file_fetch_alone_does_not_block_the_no_signal_promotion() {
+        // Crawlers download every link including the planted .js file —
+        // without executing it. The set algebra ignores the bare fetch,
+        // so the no-signal promotion must still fire and keep the
+        // crawler under robot-class enforcement while it is live.
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(18);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let js = manifest.js_file.unwrap();
+        let r = req(18, &js.to_string(), "crawler/1.0");
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert!(det
+            .evidence(&out.key)
+            .unwrap()
+            .has(EvidenceKind::DownloadedJsFile));
+        let mut last = Verdict::Undecided;
+        for i in 0..12 {
+            let r = req(18, &format!("http://h/{i}.html"), "crawler/1.0");
+            last = det
+                .observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(1 + i))
+                .verdict;
+        }
+        assert_eq!(last, Verdict::ProvisionalRobot(Reason::NoBrowserSignals));
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Robot);
+    }
+
+    #[test]
+    fn late_browser_signals_clear_the_no_signal_promotion() {
+        // A human whose CSS-probe fetch trails a burst of asset requests:
+        // 11+ ordinary exchanges promote the session to provisional
+        // robot, but the probe download must demote it back to Undecided
+        // (and the flush must label it Human).
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(15);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            SimTime::ZERO,
+        );
+        let mut last = Verdict::Undecided;
+        for i in 0..12 {
+            let r = req(15, &format!("http://h/asset{i}.png"), "Mozilla/5.0");
+            last = det
+                .observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(i))
+                .verdict;
+        }
+        assert_eq!(last, Verdict::ProvisionalRobot(Reason::NoBrowserSignals));
+        let css = manifest.css_probe.unwrap();
+        let r = req(15, &css.to_string(), "Mozilla/5.0");
+        let c = ins.classify(&r, SimTime::from_secs(20));
+        let out = det.observe(&r, &ok(), &c, SimTime::from_secs(20));
+        assert_eq!(out.verdict, Verdict::Undecided, "promotion premise gone");
+        assert!(out.transitioned);
+        let done = det.drain();
+        assert_eq!(done[0].label, Label::Human);
+    }
+
+    #[test]
+    fn rollover_keeps_evidence_with_its_own_incarnation() {
+        // A session goes idle past the timeout; the same key returns and
+        // produces hard robot evidence. The old incarnation must flush
+        // with *its* (empty) evidence, and the new incarnation must keep
+        // the robot verdict instead of having its state stolen.
+        let (mut ins, mut det) = pipeline();
+        let client = ClientIp::new(16);
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        let r0 = req(16, "http://h/index.html", "Mozilla/5.0");
+        det.observe(&r0, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        // Two hours later the key returns — a fresh incarnation — and
+        // fetches a decoy beacon.
+        let later = SimTime::from_hours(2);
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            client,
+            later,
+        );
+        let decoy = manifest.decoy_beacons[0].clone();
+        let r1 = req(16, &decoy.to_string(), "Mozilla/5.0");
+        let c1 = ins.classify(&r1, later);
+        let out = det.observe(&r1, &ok(), &c1, later);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::DecoyFetched));
+        // Flush the rolled-over incarnation only: it must NOT take the
+        // new incarnation's decoy evidence with it.
+        let done = det.sweep(later + 1);
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].evidence.has(EvidenceKind::FetchedDecoy));
+        assert_eq!(done[0].reason, Reason::NoBrowserSignals);
+        // The live incarnation still holds its hard evidence online...
+        assert_eq!(det.verdict(&out.key), Verdict::Robot(Reason::DecoyFetched));
+        // ...and flushes Robot.
+        let done = det.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].label, Label::Robot);
+        assert_eq!(done[0].reason, Reason::DecoyFetched);
     }
 
     #[test]

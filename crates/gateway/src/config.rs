@@ -1,0 +1,176 @@
+//! Gateway configuration and the builder.
+
+use crate::gateway::Gateway;
+use botwall_captcha::ServingPolicy;
+use botwall_core::staged::StagedConfig;
+use botwall_core::{BoundaryClassifier, DetectorConfig, PolicyConfig};
+use botwall_instrument::InstrumentConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything a [`Gateway`] is parameterized by.
+///
+/// Each field mirrors one stage of the paper's deployment: page
+/// instrumentation (§2), sessionized detection (§3.1), policy
+/// enforcement (§3.2), CAPTCHA serving (§4.2), and the staged-decision
+/// tuning (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Page-rewriting / probe configuration.
+    pub instrument: InstrumentConfig,
+    /// Detection engine configuration (session tracking inside).
+    pub detector: DetectorConfig,
+    /// Rate-limiting and behavioural-blocking thresholds.
+    pub policy: PolicyConfig,
+    /// When CAPTCHAs are offered (and whether solving is compulsory).
+    pub captcha: ServingPolicy,
+    /// Staged-pipeline tuning for the optional boundary classifier.
+    pub staged: StagedConfig,
+    /// Whether the policy engine gates requests at all. Off reproduces
+    /// the paper's pre-deployment state: observe and classify, but
+    /// never throttle or block.
+    pub enforcement: bool,
+    /// Seed for the gateway's deterministic RNGs (instrumentation keys,
+    /// challenge generation).
+    pub seed: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            instrument: InstrumentConfig::default(),
+            detector: DetectorConfig::default(),
+            policy: PolicyConfig::default(),
+            captcha: ServingPolicy::OptionalWithIncentive,
+            staged: StagedConfig::default(),
+            enforcement: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Builder for [`Gateway`].
+///
+/// # Examples
+///
+/// ```
+/// use botwall_captcha::ServingPolicy;
+/// use botwall_core::PolicyConfig;
+/// use botwall_gateway::Gateway;
+///
+/// let gw = Gateway::builder()
+///     .policy(PolicyConfig::default())
+///     .captcha(ServingPolicy::Disabled)
+///     .seed(42)
+///     .build();
+/// assert_eq!(gw.config().seed, 42);
+/// ```
+#[derive(Default)]
+pub struct GatewayBuilder {
+    config: GatewayConfig,
+    boundary: Option<Box<dyn BoundaryClassifier>>,
+}
+
+impl GatewayBuilder {
+    /// Starts from the default configuration.
+    pub fn new() -> GatewayBuilder {
+        GatewayBuilder::default()
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, config: GatewayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the instrumentation configuration.
+    pub fn instrument(mut self, instrument: InstrumentConfig) -> Self {
+        self.config.instrument = instrument;
+        self
+    }
+
+    /// Sets the detector configuration.
+    pub fn detector(mut self, detector: DetectorConfig) -> Self {
+        self.config.detector = detector;
+        self
+    }
+
+    /// Sets the policy configuration.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the CAPTCHA serving policy.
+    pub fn captcha(mut self, captcha: ServingPolicy) -> Self {
+        self.config.captcha = captcha;
+        self
+    }
+
+    /// Sets the staged-pipeline tuning.
+    pub fn staged(mut self, staged: StagedConfig) -> Self {
+        self.config.staged = staged;
+        self
+    }
+
+    /// Turns policy enforcement on or off.
+    pub fn enforcement(mut self, on: bool) -> Self {
+        self.config.enforcement = on;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Installs a boundary classifier for the §4.1 staged pipeline: when
+    /// present, classifiable sessions whose evidence leaves them on the
+    /// set-algebra boundary are re-decided by it at flush time.
+    pub fn boundary(mut self, boundary: impl BoundaryClassifier + 'static) -> Self {
+        self.boundary = Some(Box::new(boundary));
+        self
+    }
+
+    /// Builds the gateway.
+    pub fn build(self) -> Gateway {
+        Gateway::from_parts(self.config, self.boundary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_full_deployment() {
+        let c = GatewayConfig::default();
+        assert!(c.enforcement);
+        assert!(c.instrument.css_probe);
+        assert!(c.instrument.mouse_beacon);
+        assert_eq!(c.captcha, ServingPolicy::OptionalWithIncentive);
+    }
+
+    #[test]
+    fn builder_setters_land_in_config() {
+        let gw = GatewayBuilder::new()
+            .enforcement(false)
+            .captcha(ServingPolicy::Disabled)
+            .seed(9)
+            .build();
+        assert!(!gw.config().enforcement);
+        assert_eq!(gw.config().captcha, ServingPolicy::Disabled);
+        assert_eq!(gw.config().seed, 9);
+    }
+
+    #[test]
+    fn config_round_trips_through_clone_and_eq() {
+        let c = GatewayConfig {
+            seed: 77,
+            enforcement: false,
+            ..GatewayConfig::default()
+        };
+        let back = c.clone();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,155 @@
+//! The gateway's typed request decision.
+
+use botwall_captcha::Challenge;
+use botwall_core::classifier::Verdict;
+use botwall_http::{Response, StatusCode};
+use botwall_instrument::ProbeManifest;
+use botwall_sessions::SessionKey;
+use serde::{Deserialize, Serialize};
+
+/// What the origin behind the gateway produced for a request.
+///
+/// [`Gateway::handle_with`] consults its origin callback only when the
+/// request was allowed through policy and is not instrumentation traffic
+/// (probes and beacons are answered by the gateway itself).
+///
+/// [`Gateway::handle_with`]: crate::Gateway::handle_with
+#[derive(Debug, Clone)]
+pub enum Origin {
+    /// An HTML page; the gateway instruments it before serving.
+    Page(String),
+    /// A complete non-HTML response, served as-is (assets, redirects,
+    /// CGI output, upstream errors).
+    Response(Response),
+    /// The origin has nothing at this URL; the gateway serves a 404.
+    NotFound,
+}
+
+/// The gateway's verdict-bearing answer for one request: the typed form
+/// of the paper's serve / throttle / block / challenge deployment
+/// decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// `Serve` dwarfs the rejection variants, but a `Decision` lives for one
+// request and is moved straight to the caller — never parked in
+// collections — so boxing the payload would only add an allocation to
+// the hot path.
+#[allow(clippy::large_enum_variant)]
+pub enum Decision {
+    /// Serve the response.
+    Serve {
+        /// The response to put on the wire (probe object, instrumented
+        /// page, origin pass-through, or 404).
+        response: Response,
+        /// The rewritten HTML when the origin produced a page — the same
+        /// bytes as `response`'s body, exposed separately so embedders
+        /// can post-process without re-parsing.
+        body: Option<String>,
+        /// The probe manifest when a page was instrumented.
+        manifest: Option<ProbeManifest>,
+        /// The session's fast-path verdict after folding this exchange.
+        verdict: Verdict,
+        /// The session the exchange belongs to.
+        key: SessionKey,
+        /// Whether this request was instrumentation traffic (probe or
+        /// beacon) rather than origin traffic — feeds overhead
+        /// accounting.
+        probe: bool,
+    },
+    /// Reject with 429: the session is over its rate allowance.
+    Throttle,
+    /// Reject with 403: the session is blocked.
+    Block,
+    /// Demand a CAPTCHA before serving (mandatory serving policy only).
+    Challenge(Challenge),
+}
+
+impl Decision {
+    /// The HTTP status this decision puts on the wire.
+    pub fn status(&self) -> StatusCode {
+        match self {
+            Decision::Serve { response, .. } => response.status(),
+            Decision::Throttle => StatusCode::TOO_MANY_REQUESTS,
+            Decision::Block => StatusCode::FORBIDDEN,
+            Decision::Challenge(_) => StatusCode::FORBIDDEN,
+        }
+    }
+
+    /// The session verdict, when this decision carries one.
+    pub fn verdict(&self) -> Option<Verdict> {
+        match self {
+            Decision::Serve { verdict, .. } => Some(*verdict),
+            _ => None,
+        }
+    }
+
+    /// Whether the request was actually served.
+    pub fn is_serve(&self) -> bool {
+        matches!(self, Decision::Serve { .. })
+    }
+
+    /// Converts the decision into the response to transmit. `Throttle`,
+    /// `Block`, and `Challenge` produce exactly the responses the
+    /// gateway accounted for internally.
+    pub fn into_response(self) -> Response {
+        match self {
+            Decision::Serve { response, .. } => response,
+            Decision::Throttle => Response::empty(StatusCode::TOO_MANY_REQUESTS),
+            Decision::Block => Response::empty(StatusCode::FORBIDDEN),
+            Decision::Challenge(ch) => challenge_response(&ch),
+        }
+    }
+}
+
+/// The interstitial served with a [`Decision::Challenge`]: a 403 carrying
+/// the distorted challenge text, so robots that keep hammering keep
+/// feeding the error-ratio blocking threshold.
+pub(crate) fn challenge_response(challenge: &Challenge) -> Response {
+    Response::builder(StatusCode::FORBIDDEN)
+        .header("Content-Type", "text/html")
+        .body_bytes(
+            format!(
+                "<html><body><p>solve to continue (id {})</p><pre>{}</pre></body></html>",
+                challenge.id, challenge.distorted
+            )
+            .into_bytes(),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_captcha::ChallengeGenerator;
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(Decision::Throttle.status(), StatusCode::TOO_MANY_REQUESTS);
+        assert_eq!(Decision::Block.status(), StatusCode::FORBIDDEN);
+        let ch = ChallengeGenerator::new(1).issue();
+        assert_eq!(Decision::Challenge(ch).status(), StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn into_response_matches_status() {
+        assert_eq!(
+            Decision::Throttle.into_response().status(),
+            StatusCode::TOO_MANY_REQUESTS
+        );
+        assert_eq!(
+            Decision::Block.into_response().status(),
+            StatusCode::FORBIDDEN
+        );
+        let ch = ChallengeGenerator::new(2).issue();
+        let resp = Decision::Challenge(ch.clone()).into_response();
+        assert_eq!(resp.status(), StatusCode::FORBIDDEN);
+        let body = String::from_utf8_lossy(resp.body()).into_owned();
+        assert!(body.contains(&ch.distorted));
+    }
+
+    #[test]
+    fn challenge_decisions_carry_no_verdict() {
+        let ch = ChallengeGenerator::new(3).issue();
+        assert_eq!(Decision::Challenge(ch).verdict(), None);
+        assert!(!Decision::Block.is_serve());
+    }
+}

@@ -1,0 +1,753 @@
+//! The gateway engine: one `handle` call per exchange.
+
+use crate::config::{GatewayBuilder, GatewayConfig};
+use crate::decision::{challenge_response, Decision, Origin};
+use botwall_captcha::{CaptchaService, Challenge};
+use botwall_core::classifier::{Reason, Verdict};
+use botwall_core::staged::{Stage, StagedPipeline};
+use botwall_core::{Action, BoundaryClassifier, CompletedSession, Detector, PolicyEngine};
+use botwall_http::{Request, Response, StatusCode};
+use botwall_instrument::{Classified, Instrumenter};
+use botwall_sessions::{Session, SessionKey, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Salt applied to the gateway seed for the CAPTCHA generator, so the
+/// instrumentation and challenge RNG streams never collide.
+const CAPTCHA_SEED_SALT: u64 = 0x0c47_c4a0;
+
+/// A point-in-time snapshot of gateway activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStats {
+    /// Exchanges handled.
+    pub requests: u64,
+    /// Requests served (origin content, pages, probe objects).
+    pub served: u64,
+    /// Requests rejected with 429.
+    pub throttled: u64,
+    /// Requests rejected with 403.
+    pub blocked: u64,
+    /// Requests answered with a CAPTCHA interstitial.
+    pub challenged: u64,
+    /// Served requests that were instrumentation traffic.
+    pub probe_requests: u64,
+    /// Sessions flushed through sweep/drain.
+    pub completed_sessions: u64,
+    /// Flushed sessions whose label the boundary classifier overrode.
+    pub ml_overrides: u64,
+    /// Live sessions at snapshot time.
+    pub live_sessions: usize,
+    /// Tracker shards at snapshot time.
+    pub shard_count: usize,
+    /// Total bytes moved (requests + responses).
+    pub total_bytes: u64,
+    /// Bytes attributable to instrumentation: HTML inflation, probe
+    /// object payloads, probe-request wire bytes.
+    pub instrumentation_bytes: u64,
+    /// Challenges issued.
+    pub captcha_issued: u64,
+    /// Challenges passed.
+    pub captcha_passed: u64,
+    /// Challenges failed.
+    pub captcha_failed: u64,
+}
+
+/// Cumulative counters the gateway maintains as it handles traffic.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    requests: u64,
+    served: u64,
+    throttled: u64,
+    blocked: u64,
+    challenged: u64,
+    probe_requests: u64,
+    completed_sessions: u64,
+    ml_overrides: u64,
+    total_bytes: u64,
+    instrumentation_bytes: u64,
+}
+
+/// The single front door over the detection core.
+///
+/// One `Gateway` owns the whole per-deployment composition the paper
+/// describes: the page instrumenter, the sessionized detector (sharded
+/// tracker, batch evidence application), the policy engine, and the
+/// CAPTCHA service. Every exchange goes through [`Gateway::handle`] or
+/// [`Gateway::handle_with`]; idle sessions flush through
+/// [`Gateway::sweep`] / [`Gateway::drain`].
+///
+/// # Examples
+///
+/// ```
+/// use botwall_gateway::{Decision, Gateway};
+/// use botwall_http::request::ClientIp;
+/// use botwall_http::{Method, Request};
+/// use botwall_sessions::SimTime;
+///
+/// let mut gw = Gateway::builder().seed(1).build();
+/// let req = Request::builder(Method::Get, "http://site.example/x.html")
+///     .header("User-Agent", "curl/7.0")
+///     .client(ClientIp::new(9))
+///     .build()
+///     .unwrap();
+/// // No origin hooked up: ordinary paths 404, but the exchange is
+/// // observed and sessionized all the same.
+/// let d = gw.handle(&req, SimTime::ZERO);
+/// assert!(d.is_serve());
+/// assert_eq!(gw.stats().live_sessions, 1);
+/// ```
+pub struct Gateway {
+    config: GatewayConfig,
+    instrumenter: Instrumenter,
+    detector: Detector,
+    policy: PolicyEngine,
+    captcha: CaptchaService,
+    boundary: Option<Box<dyn BoundaryClassifier>>,
+    /// CAPTCHA passes verified while the keyed session was not live
+    /// (swept or evicted between issue and answer): credited to the
+    /// key's next incarnation on its first observed exchange.
+    pending_captcha: HashMap<SessionKey, SimTime>,
+    counters: Counters,
+}
+
+/// Bound on [`Gateway::pending_captcha`]; beyond it the smallest key is
+/// dropped (deterministic, unlike arbitrary map eviction).
+const MAX_PENDING_CAPTCHA: usize = 100_000;
+
+impl fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gateway")
+            .field("config", &self.config)
+            .field("counters", &self.counters)
+            .field("boundary", &self.boundary.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// Starts a [`GatewayBuilder`].
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder::new()
+    }
+
+    /// Assembles a gateway from a config plus optional boundary
+    /// classifier (the builder's terminal step).
+    pub(crate) fn from_parts(
+        config: GatewayConfig,
+        boundary: Option<Box<dyn BoundaryClassifier>>,
+    ) -> Gateway {
+        Gateway {
+            instrumenter: Instrumenter::new(config.instrument.clone(), config.seed),
+            detector: Detector::new(config.detector.clone()),
+            policy: PolicyEngine::new(config.policy.clone()),
+            captcha: CaptchaService::new(config.captcha, config.seed ^ CAPTCHA_SEED_SALT),
+            boundary,
+            pending_captcha: HashMap::new(),
+            counters: Counters::default(),
+            config,
+        }
+    }
+
+    /// The configuration this gateway was built with.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Read access to the detection engine (verdicts, evidence, tracker).
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// The current fast-path verdict for a session.
+    pub fn verdict(&self, key: &SessionKey) -> Verdict {
+        self.detector.verdict(key)
+    }
+
+    /// Whether a session is blocked.
+    pub fn is_blocked(&self, key: &SessionKey) -> bool {
+        self.policy.is_blocked(key)
+    }
+
+    /// Flips the under-attack flag consulted by the
+    /// [`botwall_captcha::ServingPolicy::MandatoryUnderAttack`] policy.
+    pub fn set_under_attack(&mut self, yes: bool) {
+        self.captcha.set_under_attack(yes);
+    }
+
+    /// Handles one exchange with no origin behind the gateway: probe and
+    /// beacon traffic is answered in full; allowed ordinary paths 404.
+    pub fn handle(&mut self, request: &Request, now: SimTime) -> Decision {
+        self.handle_with(request, now, |_| Origin::NotFound)
+    }
+
+    /// Handles one exchange end to end: classify against the
+    /// instrumentation, gate through policy with the session's verdict
+    /// as of the previous request, serve probe objects directly, pull
+    /// origin content through `origin` for allowed ordinary requests
+    /// (instrumenting HTML pages on the way out), and feed the final
+    /// exchange back into the detector — error responses included, so
+    /// rejected traffic keeps feeding the behavioural thresholds.
+    pub fn handle_with<F>(&mut self, request: &Request, now: SimTime, origin: F) -> Decision
+    where
+        F: FnOnce(&Request) -> Origin,
+    {
+        self.counters.requests += 1;
+        let classified = self.instrumenter.classify(request, now);
+        let key = SessionKey::of(request);
+
+        // Policy gate first, on the verdict as of the previous request:
+        // the gateway decides before doing origin work.
+        let action = if self.config.enforcement {
+            let verdict = self.detector.verdict(&key);
+            let (counters, rate) = self
+                .detector
+                .tracker()
+                .get(&key)
+                .map(|s| (s.counters().clone(), s.request_rate()))
+                .unwrap_or_default();
+            self.policy.decide(&key, verdict, &counters, rate, now)
+        } else {
+            Action::Allow
+        };
+
+        match action {
+            Action::Block => {
+                self.counters.blocked += 1;
+                let response = Response::empty(StatusCode::FORBIDDEN);
+                self.observe(request, &response, &classified, now);
+                Decision::Block
+            }
+            Action::Throttle => {
+                self.counters.throttled += 1;
+                let response = Response::empty(StatusCode::TOO_MANY_REQUESTS);
+                self.observe(request, &response, &classified, now);
+                Decision::Throttle
+            }
+            Action::Allow => self.respond(request, &classified, key, now, origin),
+        }
+    }
+
+    /// Produces the served decision for an allowed request.
+    fn respond<F>(
+        &mut self,
+        request: &Request,
+        classified: &Classified,
+        key: SessionKey,
+        now: SimTime,
+        origin: F,
+    ) -> Decision
+    where
+        F: FnOnce(&Request) -> Origin,
+    {
+        // Instrumentation traffic is answered by the gateway itself —
+        // it must flow even under mandatory-challenge mode, because it
+        // is the channel through which humans prove themselves.
+        if let Some(response) = self.instrumenter.respond(classified) {
+            self.counters.served += 1;
+            self.counters.probe_requests += 1;
+            let out = self.observe(request, &response, classified, now);
+            return Decision::Serve {
+                response,
+                body: None,
+                manifest: None,
+                verdict: out,
+                key,
+                probe: true,
+            };
+        }
+
+        // Kandula-style mandatory challenges gate ordinary traffic for
+        // every session not yet proven human (a pending pass awaiting
+        // its first exchange counts as proven).
+        if self.captcha.is_mandatory()
+            && !matches!(self.detector.verdict(&key), Verdict::Human(_))
+            && !self.pending_captcha.contains_key(&key)
+        {
+            let challenge = self.captcha.issue();
+            self.counters.challenged += 1;
+            let response = challenge_response(&challenge);
+            self.observe(request, &response, classified, now);
+            return Decision::Challenge(challenge);
+        }
+
+        let (response, body, manifest) = match origin(request) {
+            Origin::Page(html) => {
+                let (rewritten, manifest) =
+                    self.instrumenter
+                        .instrument_page(&html, request.uri(), request.client(), now);
+                // The page's wire bytes are tallied by `observe`; only
+                // the injected share moves into the overhead column here.
+                self.counters.instrumentation_bytes += manifest.html_overhead as u64;
+                let mut response = Response::builder(StatusCode::OK)
+                    .header("Content-Type", "text/html")
+                    .body_bytes(rewritten.clone().into_bytes())
+                    .build();
+                Instrumenter::mark_uncacheable(&mut response);
+                (response, Some(rewritten), Some(manifest))
+            }
+            Origin::Response(response) => (response, None, None),
+            Origin::NotFound => (Response::empty(StatusCode::NOT_FOUND), None, None),
+        };
+        self.counters.served += 1;
+        let out = self.observe(request, &response, classified, now);
+        Decision::Serve {
+            response,
+            body,
+            manifest,
+            verdict: out,
+            key,
+            probe: false,
+        }
+    }
+
+    /// Feeds the finished exchange into the detector and the byte
+    /// ledgers; returns the fast-path verdict.
+    fn observe(
+        &mut self,
+        request: &Request,
+        response: &Response,
+        classified: &Classified,
+        now: SimTime,
+    ) -> Verdict {
+        let out = self.detector.observe(request, response, classified, now);
+        let bytes = (request.wire_len() + response.wire_len()) as u64;
+        self.counters.total_bytes += bytes;
+        if !matches!(classified, Classified::Ordinary) {
+            self.counters.instrumentation_bytes += bytes;
+        }
+        // A CAPTCHA pass verified while this key had no live session is
+        // credited now that one exists.
+        if !self.pending_captcha.is_empty() {
+            if let Some(at) = self.pending_captcha.remove(&out.key) {
+                self.detector.record_captcha_pass(&out.key, at);
+                return self.detector.verdict(&out.key);
+            }
+        }
+        out.verdict
+    }
+
+    /// Offers a CAPTCHA if the serving policy says so.
+    pub fn offer_captcha(&mut self) -> Option<Challenge> {
+        if !self.captcha.should_offer() {
+            return None;
+        }
+        Some(self.captcha.issue())
+    }
+
+    /// Verifies a CAPTCHA answer; on success the session is marked
+    /// ground-truth human. If the keyed session is no longer live (swept
+    /// or evicted between issue and answer), the pass is held and
+    /// credited to the key's next incarnation on its first exchange —
+    /// a correct answer is never silently dropped.
+    pub fn verify_captcha(
+        &mut self,
+        key: &SessionKey,
+        id: u64,
+        answer: &str,
+        now: SimTime,
+    ) -> bool {
+        let ok = self.captcha.verify(id, answer);
+        if ok {
+            // A session idle past the timeout is already dead — its next
+            // exchange rolls it over — so crediting it would bury the
+            // pass with the old incarnation. Only a genuinely live
+            // session takes the credit directly.
+            let tracker = self.detector.tracker();
+            let live = tracker
+                .get(key)
+                .is_some_and(|s| now.since(s.last_seen()) <= tracker.config().idle_timeout_ms);
+            if live {
+                self.detector.record_captcha_pass(key, now);
+            } else {
+                if self.pending_captcha.len() >= MAX_PENDING_CAPTCHA
+                    && !self.pending_captcha.contains_key(key)
+                {
+                    // Deterministic eviction: drop the smallest key.
+                    if let Some(min) = self.pending_captcha.keys().min().cloned() {
+                        self.pending_captcha.remove(&min);
+                    }
+                }
+                self.pending_captcha.insert(key.clone(), now);
+            }
+        }
+        ok
+    }
+
+    /// Marks a CAPTCHA pass for a session directly (harnesses with their
+    /// own verification path). Unknown sessions are a no-op.
+    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
+        self.detector.record_captcha_pass(key, now);
+    }
+
+    /// Expires idle sessions and instrumentation state as of `now`,
+    /// applying the batch classification to every flushed session.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
+        self.instrumenter.sweep(now);
+        let completed = self.detector.sweep(now);
+        self.finish(completed)
+    }
+
+    /// Flushes every session unconditionally (end of deployment).
+    pub fn drain(&mut self) -> Vec<CompletedSession> {
+        let completed = self.detector.drain();
+        self.finish(completed)
+    }
+
+    /// Post-flush bookkeeping shared by sweep and drain: boundary
+    /// re-decisions and per-session policy-state cleanup.
+    fn finish(&mut self, mut completed: Vec<CompletedSession>) -> Vec<CompletedSession> {
+        self.counters.completed_sessions += completed.len() as u64;
+        if let Some(boundary) = &self.boundary {
+            let pipeline = StagedPipeline::new(self.config.staged, |s: &Session| {
+                boundary.classify_session(s)
+            });
+            for cs in completed.iter_mut() {
+                if !cs.classifiable {
+                    continue;
+                }
+                let decision = pipeline.decide(&cs.session, &cs.evidence);
+                if decision.stage == Stage::MlBoundary && decision.label != cs.label {
+                    cs.label = decision.label;
+                    cs.reason = Reason::MlBoundary;
+                    self.counters.ml_overrides += 1;
+                }
+            }
+        }
+        for cs in &completed {
+            // Forget policy state (block status, rate bucket) only when
+            // no live successor incarnation shares the key — a flushed
+            // predecessor must not unblock a still-active session.
+            let key = cs.session.key();
+            if self.detector.tracker().get(key).is_none() {
+                self.policy.forget(key);
+            }
+        }
+        completed
+    }
+
+    /// Snapshots the gateway's activity counters.
+    pub fn stats(&self) -> GatewayStats {
+        let (captcha_issued, captcha_passed, captcha_failed) = self.captcha.stats();
+        let tracker = self.detector.tracker();
+        GatewayStats {
+            requests: self.counters.requests,
+            served: self.counters.served,
+            throttled: self.counters.throttled,
+            blocked: self.counters.blocked,
+            challenged: self.counters.challenged,
+            probe_requests: self.counters.probe_requests,
+            completed_sessions: self.counters.completed_sessions,
+            ml_overrides: self.counters.ml_overrides,
+            live_sessions: tracker.live_count(),
+            shard_count: tracker.shard_count(),
+            total_bytes: self.counters.total_bytes,
+            instrumentation_bytes: self.counters.instrumentation_bytes,
+            captcha_issued,
+            captcha_passed,
+            captcha_failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_captcha::ServingPolicy;
+    use botwall_core::classifier::{Label, Reason};
+    use botwall_http::request::ClientIp;
+    use botwall_http::Method;
+
+    const HTML: &str = "<html><head></head><body><p>x</p></body></html>";
+
+    fn req(ip: u32, uri: &str, ua: &str) -> Request {
+        Request::builder(Method::Get, uri)
+            .header("User-Agent", ua)
+            .client(ClientIp::new(ip))
+            .build()
+            .unwrap()
+    }
+
+    fn page_decision(gw: &mut Gateway, ip: u32, ua: &str, at: SimTime) -> Decision {
+        let r = req(ip, "http://site.example/index.html", ua);
+        gw.handle_with(&r, at, |_| Origin::Page(HTML.into()))
+    }
+
+    #[test]
+    fn pages_come_back_instrumented() {
+        let mut gw = Gateway::builder().seed(3).build();
+        match page_decision(&mut gw, 1, "Mozilla/5.0", SimTime::ZERO) {
+            Decision::Serve {
+                body,
+                manifest,
+                probe,
+                response,
+                ..
+            } => {
+                let body = body.unwrap();
+                assert!(body.contains("onmousemove"));
+                assert_eq!(response.body(), body.as_bytes());
+                assert!(manifest.unwrap().mouse_beacon.is_some());
+                assert!(!probe);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = gw.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.served, 1);
+        assert!(stats.instrumentation_bytes > 0);
+        assert!(stats.total_bytes > stats.instrumentation_bytes);
+    }
+
+    #[test]
+    fn mouse_beacon_flows_to_human_verdict() {
+        let mut gw = Gateway::builder().seed(4).build();
+        let manifest = match page_decision(&mut gw, 2, "Mozilla/5.0", SimTime::ZERO) {
+            Decision::Serve { manifest, .. } => manifest.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let beacon = manifest.mouse_beacon.unwrap();
+        let r = req(2, &beacon.to_string(), "Mozilla/5.0");
+        let d = gw.handle(&r, SimTime::from_secs(2));
+        assert_eq!(
+            d.verdict(),
+            Some(Verdict::Human(Reason::MouseActivity)),
+            "{d:?}"
+        );
+        match d {
+            Decision::Serve { probe, .. } => assert!(probe, "beacon is instrumentation traffic"),
+            other => panic!("{other:?}"),
+        }
+        let done = gw.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].label, Label::Human);
+    }
+
+    #[test]
+    fn probe_objects_are_served_by_the_gateway() {
+        let mut gw = Gateway::builder().seed(5).build();
+        let manifest = match page_decision(&mut gw, 3, "Mozilla/5.0", SimTime::ZERO) {
+            Decision::Serve { manifest, .. } => manifest.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let css = manifest.css_probe.unwrap();
+        let d = gw.handle(&req(3, &css.to_string(), "Mozilla/5.0"), SimTime::ZERO);
+        match d {
+            Decision::Serve {
+                probe, response, ..
+            } => {
+                assert!(probe);
+                assert_eq!(response.status(), StatusCode::OK);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(gw.stats().probe_requests, 1);
+    }
+
+    #[test]
+    fn no_signal_sessions_get_throttled_then_survive_enforcement_off() {
+        let mut throttled = 0;
+        let mut gw = Gateway::builder().seed(6).build();
+        for i in 0..40 {
+            let r = req(4, &format!("http://site.example/{i}.html"), "wget/1.0");
+            if !gw
+                .handle_with(&r, SimTime::from_secs(i / 4), |_| Origin::Page(HTML.into()))
+                .is_serve()
+            {
+                throttled += 1;
+            }
+        }
+        assert!(throttled > 0, "no-signal session must hit the robot limit");
+        // Enforcement off: everything flows.
+        let mut open = Gateway::builder().seed(6).enforcement(false).build();
+        for i in 0..40 {
+            let r = req(4, &format!("http://site.example/{i}.html"), "wget/1.0");
+            assert!(open
+                .handle_with(&r, SimTime::from_secs(i / 4), |_| Origin::Page(HTML.into()))
+                .is_serve());
+        }
+    }
+
+    #[test]
+    fn mandatory_mode_challenges_until_passed() {
+        let mut gw = Gateway::builder()
+            .seed(7)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(5, "http://site.example/index.html", "Mozilla/5.0");
+        let d = gw.handle_with(&r, SimTime::ZERO, |_| Origin::Page(HTML.into()));
+        let Decision::Challenge(ch) = d else {
+            panic!("expected a challenge, got {d:?}");
+        };
+        // Solve it: the session becomes ground-truth human and is served.
+        let key = SessionKey::of(&r);
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(&key, ch.id, &answer, SimTime::from_secs(1)));
+        assert_eq!(gw.verdict(&key), Verdict::Human(Reason::CaptchaPassed));
+        let d = gw.handle_with(&r, SimTime::from_secs(2), |_| Origin::Page(HTML.into()));
+        assert!(d.is_serve(), "{d:?}");
+        assert_eq!(gw.stats().challenged, 1);
+        assert_eq!(gw.stats().captcha_passed, 1);
+    }
+
+    #[test]
+    fn captcha_pass_in_the_stale_unswept_window_credits_the_next_incarnation() {
+        // The user answers correctly after the idle timeout but BEFORE
+        // any sweep: the old incarnation still sits in the tracker, yet
+        // it is dead — its next exchange rolls it over. The pass must
+        // ride to the successor, not be buried with the corpse.
+        let mut gw = Gateway::builder()
+            .seed(22)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(10, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let d = gw.handle_with(&r, SimTime::ZERO, |_| Origin::Page(HTML.into()));
+        let Decision::Challenge(ch) = d else {
+            panic!("{d:?}");
+        };
+        // Answer lands idle_timeout + ε later; no sweep has run.
+        let late = SimTime::from_hours(1) + 1;
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(&key, ch.id, &answer, late));
+        // The next request rolls the session over — and must be served
+        // as the proven human, not re-challenged.
+        let d = gw.handle_with(&r, late + 1, |_| Origin::Page(HTML.into()));
+        match d {
+            Decision::Serve { verdict, .. } => {
+                assert_eq!(verdict, Verdict::Human(Reason::CaptchaPassed));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn captcha_pass_survives_session_expiry_between_issue_and_answer() {
+        // The user solves the challenge, but slower than the idle
+        // timeout: the session is swept away before the answer arrives.
+        // The pass must carry over to the key's next incarnation instead
+        // of vanishing into a re-challenge loop.
+        let mut gw = Gateway::builder()
+            .seed(21)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(9, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let d = gw.handle_with(&r, SimTime::ZERO, |_| Origin::Page(HTML.into()));
+        let Decision::Challenge(ch) = d else {
+            panic!("{d:?}");
+        };
+        // The session idles out and is flushed before the answer lands.
+        assert_eq!(gw.sweep(SimTime::from_hours(2)).len(), 1);
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(&key, ch.id, &answer, SimTime::from_hours(2) + 1));
+        // The key's next exchange is served, not re-challenged, and the
+        // pending pass is credited to the new incarnation.
+        let d = gw.handle_with(&r, SimTime::from_hours(2) + 2, |_| {
+            Origin::Page(HTML.into())
+        });
+        match d {
+            Decision::Serve { verdict, .. } => {
+                assert_eq!(verdict, Verdict::Human(Reason::CaptchaPassed));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn origin_variants_map_to_responses() {
+        let mut gw = Gateway::builder().seed(8).build();
+        let r = req(6, "http://site.example/asset.bin", "Mozilla/5.0");
+        let d = gw.handle_with(&r, SimTime::ZERO, |_| {
+            Origin::Response(
+                Response::builder(StatusCode::OK)
+                    .header("Content-Type", "application/octet-stream")
+                    .body_bytes(vec![1, 2, 3])
+                    .build(),
+            )
+        });
+        match d {
+            Decision::Serve {
+                response,
+                body,
+                manifest,
+                ..
+            } => {
+                assert_eq!(response.body(), &[1, 2, 3]);
+                assert!(body.is_none());
+                assert!(manifest.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        let d = gw.handle(
+            &req(6, "http://site.example/nope", "Mozilla/5.0"),
+            SimTime::ZERO,
+        );
+        assert_eq!(d.status(), StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn sweep_flushes_idle_sessions_and_forgets_policy_state() {
+        let mut gw = Gateway::builder().seed(9).build();
+        page_decision(&mut gw, 7, "Mozilla/5.0", SimTime::ZERO);
+        assert!(gw.sweep(SimTime::from_secs(10)).is_empty());
+        let done = gw.sweep(SimTime::from_hours(2));
+        assert_eq!(done.len(), 1);
+        assert_eq!(gw.stats().completed_sessions, 1);
+        assert_eq!(gw.stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn boundary_classifier_overrides_boundary_cases_at_flush() {
+        // JS-without-mouse over a long session is the boundary case the
+        // ML stage exists for; a classifier that calls everything human
+        // must override the set-algebra robot label.
+        let build = |with_ml: bool| {
+            let b = Gateway::builder().seed(10).enforcement(false);
+            let b = if with_ml {
+                b.boundary(|_: &Session| Some(Label::Human))
+            } else {
+                b
+            };
+            let mut gw = b.build();
+            let manifest = match page_decision(&mut gw, 8, "Mozilla/5.0", SimTime::ZERO) {
+                Decision::Serve { manifest, .. } => manifest.unwrap(),
+                other => panic!("{other:?}"),
+            };
+            // Execute JS (honestly) but never move the mouse.
+            let agent = manifest.agent_beacon.unwrap();
+            let fetch = format!(
+                "{agent}?agent={}",
+                botwall_http::UserAgent::canonicalize("Mozilla/5.0")
+            );
+            gw.handle(&req(8, &fetch, "Mozilla/5.0"), SimTime::from_secs(1));
+            // Burn past the classification minimum.
+            for i in 0..30 {
+                gw.handle_with(
+                    &req(8, &format!("http://site.example/{i}.html"), "Mozilla/5.0"),
+                    SimTime::from_secs(2 + i),
+                    |_| Origin::Page(HTML.into()),
+                );
+            }
+            let done = gw.drain();
+            (done[0].label, done[0].reason, gw.stats().ml_overrides)
+        };
+        let (without, reason, overrides) = build(false);
+        assert_eq!(without, Label::Robot);
+        assert_eq!(reason, Reason::JsWithoutMouse);
+        assert_eq!(overrides, 0);
+        let (with, reason, overrides) = build(true);
+        assert_eq!(with, Label::Human);
+        assert_eq!(reason, Reason::MlBoundary, "label and reason must agree");
+        assert_eq!(overrides, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_reports_shards() {
+        let gw = Gateway::builder().seed(11).build();
+        assert_eq!(gw.stats().shard_count, 16);
+    }
+}

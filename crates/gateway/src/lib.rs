@@ -1,0 +1,61 @@
+//! One front door for robot detection: the [`Gateway`] request-decision
+//! API.
+//!
+//! The paper deploys its detector as a single in-line component that sees
+//! every exchange and decides serve / throttle / block / challenge
+//! "on-line at data request rates". This crate packages that composition
+//! — instrumentation, sessionized detection, policy enforcement, and
+//! CAPTCHA serving — behind one entry point so embedders never hand-wire
+//! `Instrumenter` → `Detector` → `PolicyEngine` → `CaptchaService`
+//! themselves:
+//!
+//! * [`Gateway::handle`] / [`Gateway::handle_with`] take a request and
+//!   return a typed [`Decision`]: `Serve` (with the rewritten HTML when
+//!   the origin produced a page), `Throttle`, `Block`, or
+//!   `Challenge`.
+//! * [`Gateway::sweep`] / [`Gateway::drain`] flush idle / all sessions,
+//!   applying the batch set-algebra classification and returning
+//!   [`CompletedSession`]s.
+//! * [`Gateway::stats`] snapshots a [`GatewayStats`].
+//!
+//! Build one with [`Gateway::builder`]; the builder takes the
+//! instrumentation, detector, policy, and CAPTCHA-serving configuration
+//! plus an optional [`BoundaryClassifier`] that slots the §4.1 staged
+//! pipeline's machine-learning stage into session finalization.
+//!
+//! # Examples
+//!
+//! ```
+//! use botwall_gateway::{Decision, Gateway, Origin};
+//! use botwall_http::request::ClientIp;
+//! use botwall_http::{Method, Request};
+//! use botwall_sessions::SimTime;
+//!
+//! let mut gw = Gateway::builder().seed(7).build();
+//! let req = Request::builder(Method::Get, "http://site.example/index.html")
+//!     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+//!     .client(ClientIp::new(1))
+//!     .build()
+//!     .unwrap();
+//! let html = "<html><head></head><body></body></html>";
+//! let decision = gw.handle_with(&req, SimTime::ZERO, |_| Origin::Page(html.into()));
+//! match decision {
+//!     Decision::Serve { body, manifest, .. } => {
+//!         assert!(body.unwrap().contains("onmousemove"));
+//!         assert!(manifest.unwrap().css_probe.is_some());
+//!     }
+//!     other => panic!("expected Serve, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decision;
+pub mod gateway;
+
+pub use botwall_core::{BoundaryClassifier, CompletedSession};
+pub use config::{GatewayBuilder, GatewayConfig};
+pub use decision::{Decision, Origin};
+pub use gateway::{Gateway, GatewayStats};

@@ -63,6 +63,28 @@ impl SessionKey {
     pub fn user_agent(&self) -> &str {
         &self.user_agent
     }
+
+    /// A stable 64-bit hash of the key (FNV-1a over the address octets
+    /// and User-Agent bytes). Used to pick a tracker shard; unlike
+    /// `std::collections::HashMap`'s per-instance-seeded hasher, this is
+    /// identical across processes and runs, so shard assignment — and
+    /// therefore shard iteration order — is deterministic.
+    pub fn shard_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self
+            .ip
+            .as_u32()
+            .to_be_bytes()
+            .iter()
+            .chain(self.user_agent.as_bytes())
+        {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 impl fmt::Display for SessionKey {
@@ -103,6 +125,25 @@ mod tests {
         let k = SessionKey::of(&req(1, None));
         assert_eq!(k.user_agent(), "");
         assert_eq!(k, SessionKey::new(ClientIp::new(1), ""));
+    }
+
+    #[test]
+    fn shard_hash_is_stable_and_key_sensitive() {
+        let a = SessionKey::new(ClientIp::new(1), "A");
+        // Same parts, same hash — every call, every construction.
+        assert_eq!(
+            a.shard_hash(),
+            SessionKey::new(ClientIp::new(1), "A").shard_hash()
+        );
+        // Either component changing changes the hash.
+        assert_ne!(
+            a.shard_hash(),
+            SessionKey::new(ClientIp::new(2), "A").shard_hash()
+        );
+        assert_ne!(
+            a.shard_hash(),
+            SessionKey::new(ClientIp::new(1), "B").shard_hash()
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct TrackerConfig {
     /// Minimum requests before a session is eligible for classification
     /// (paper: more than 10).
     pub min_requests_to_classify: u64,
+    /// Number of key-hash shards the live-session map is split into.
+    /// Sharding bounds per-map size and prepares the store for parallel
+    /// ingest (each shard is an independent map). `0` is treated as `1`.
+    pub shards: usize,
 }
 
 impl Default for TrackerConfig {
@@ -33,6 +37,7 @@ impl Default for TrackerConfig {
             max_records_per_session: 512,
             max_sessions: 100_000,
             min_requests_to_classify: 10,
+            shards: 16,
         }
     }
 }
@@ -134,6 +139,16 @@ impl Session {
 /// Streaming `<IP, User-Agent>` session store with idle-timeout
 /// finalization.
 ///
+/// The live map is split into [`TrackerConfig::shards`] key-hash shards
+/// (stable FNV-1a via [`SessionKey::shard_hash`], so a key lands on the
+/// same shard in every run). All cross-shard walks — [`sweep`],
+/// [`drain`], capacity eviction — visit shards in index order and order
+/// keys within a shard, keeping batch output deterministic regardless of
+/// `HashMap` iteration order.
+///
+/// [`sweep`]: SessionTracker::sweep
+/// [`drain`]: SessionTracker::drain
+///
 /// # Examples
 ///
 /// ```
@@ -154,16 +169,19 @@ impl Session {
 #[derive(Debug)]
 pub struct SessionTracker {
     config: TrackerConfig,
-    live: HashMap<SessionKey, Session>,
+    shards: Vec<HashMap<SessionKey, Session>>,
+    live_total: usize,
     finalized: Vec<Session>,
 }
 
 impl SessionTracker {
     /// Creates an empty tracker.
     pub fn new(config: TrackerConfig) -> SessionTracker {
+        let shards = config.shards.max(1);
         SessionTracker {
             config,
-            live: HashMap::new(),
+            shards: (0..shards).map(|_| HashMap::new()).collect(),
+            live_total: 0,
             finalized: Vec::new(),
         }
     }
@@ -171,6 +189,20 @@ impl SessionTracker {
     /// The tracker's configuration.
     pub fn config(&self) -> &TrackerConfig {
         &self.config
+    }
+
+    /// Number of shards the live map is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live-session count per shard (diagnostics / load-balance checks).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(HashMap::len).collect()
+    }
+
+    fn shard_index(&self, key: &SessionKey) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
     }
 
     /// Feeds one exchange into the store, creating or rolling over the
@@ -192,55 +224,70 @@ impl SessionTracker {
         now: SimTime,
     ) -> SessionKey {
         let key = SessionKey::of(request);
-        if let Some(existing) = self.live.get(&key) {
+        let idx = self.shard_index(&key);
+        if let Some(existing) = self.shards[idx].get(&key) {
             if now.since(existing.last_seen()) > self.config.idle_timeout_ms {
-                let done = self.live.remove(&key).expect("session exists");
+                let done = self.shards[idx].remove(&key).expect("session exists");
+                self.live_total -= 1;
                 self.finalized.push(done);
             }
         }
-        if !self.live.contains_key(&key) && self.live.len() >= self.config.max_sessions {
+        if !self.shards[idx].contains_key(&key) && self.live_total >= self.config.max_sessions {
             self.evict_most_idle();
         }
-        let session = self
-            .live
+        let session = self.shards[idx]
             .entry(key.clone())
             .or_insert_with(|| Session::new(key.clone(), now));
+        if session.counters.total == 0 {
+            self.live_total += 1;
+        }
         session.observe(request, response, now, self.config.max_records_per_session);
         key
     }
 
     /// Looks up a live session.
     pub fn get(&self, key: &SessionKey) -> Option<&Session> {
-        self.live.get(key)
+        self.shards[self.shard_index(key)].get(key)
     }
 
     /// Number of live sessions.
     pub fn live_count(&self) -> usize {
-        self.live.len()
+        self.live_total
     }
 
     /// Finalizes every session idle past the timeout as of `now` and
     /// returns all sessions finalized since the last drain (including
-    /// rollover and eviction casualties).
+    /// rollover and eviction casualties). Shards are visited in index
+    /// order and expired keys within a shard in key order, so the batch
+    /// is deterministically ordered.
     pub fn sweep(&mut self, now: SimTime) -> Vec<Session> {
-        let expired: Vec<SessionKey> = self
-            .live
-            .iter()
-            .filter(|(_, s)| now.since(s.last_seen()) > self.config.idle_timeout_ms)
-            .map(|(k, _)| k.clone())
-            .collect();
-        for k in expired {
-            let s = self.live.remove(&k).expect("listed as live");
-            self.finalized.push(s);
+        for idx in 0..self.shards.len() {
+            let mut expired: Vec<SessionKey> = self.shards[idx]
+                .iter()
+                .filter(|(_, s)| now.since(s.last_seen()) > self.config.idle_timeout_ms)
+                .map(|(k, _)| k.clone())
+                .collect();
+            expired.sort_unstable();
+            for k in expired {
+                let s = self.shards[idx].remove(&k).expect("listed as live");
+                self.live_total -= 1;
+                self.finalized.push(s);
+            }
         }
         std::mem::take(&mut self.finalized)
     }
 
     /// Finalizes everything unconditionally (end of experiment) and
-    /// returns all remaining sessions.
+    /// returns all remaining sessions: prior casualties first, then live
+    /// sessions shard by shard, key-ordered within each shard.
     pub fn drain(&mut self) -> Vec<Session> {
         let mut out = std::mem::take(&mut self.finalized);
-        out.extend(self.live.drain().map(|(_, s)| s));
+        for shard in &mut self.shards {
+            let mut live: Vec<Session> = shard.drain().map(|(_, s)| s).collect();
+            live.sort_unstable_by(|a, b| a.key().cmp(b.key()));
+            out.extend(live);
+        }
+        self.live_total = 0;
         out
     }
 
@@ -251,13 +298,20 @@ impl SessionTracker {
     }
 
     fn evict_most_idle(&mut self) {
-        if let Some(key) = self
-            .live
+        // Ties on idle time are broken by key so eviction does not depend
+        // on map iteration order.
+        let victim = self
+            .shards
             .iter()
-            .min_by_key(|(_, s)| s.last_seen())
-            .map(|(k, _)| k.clone())
-        {
-            let s = self.live.remove(&key).expect("chosen from live");
+            .flat_map(|shard| shard.iter())
+            .min_by(|(ka, sa), (kb, sb)| {
+                sa.last_seen().cmp(&sb.last_seen()).then_with(|| ka.cmp(kb))
+            })
+            .map(|(k, _)| k.clone());
+        if let Some(key) = victim {
+            let idx = self.shard_index(&key);
+            let s = self.shards[idx].remove(&key).expect("chosen from live");
+            self.live_total -= 1;
             self.finalized.push(s);
         }
     }
@@ -451,6 +505,119 @@ mod tests {
         );
         let s = t.get(&k).unwrap();
         assert!((s.request_rate() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_tie_breaks_on_key_not_map_order() {
+        // Two sessions with IDENTICAL last_seen: the evicted one must be
+        // chosen by key comparison, not HashMap iteration order (which is
+        // seeded per map instance and differs run to run).
+        let cfg = TrackerConfig {
+            max_sessions: 2,
+            ..TrackerConfig::default()
+        };
+        for _ in 0..16 {
+            let mut t = SessionTracker::new(cfg.clone());
+            t.observe(&req(7, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+            t.observe(&req(3, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+            // Third key forces an eviction; both candidates are equally
+            // idle, so the smaller key (ip 3) must lose every time.
+            t.observe(
+                &req(9, "A", "http://h/1", None),
+                &ok(),
+                SimTime::from_secs(5),
+            );
+            let done = t.drain();
+            assert_eq!(
+                done[0].key().ip(),
+                ClientIp::new(3),
+                "tie must break on key"
+            );
+        }
+    }
+
+    #[test]
+    fn sharding_distributes_sessions_and_preserves_totals() {
+        let cfg = TrackerConfig {
+            shards: 8,
+            ..TrackerConfig::default()
+        };
+        let mut t = SessionTracker::new(cfg);
+        assert_eq!(t.shard_count(), 8);
+        for ip in 0..200 {
+            t.observe(&req(ip, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        }
+        assert_eq!(t.live_count(), 200);
+        let sizes = t.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 200);
+        // FNV over distinct IPs should touch more than one shard.
+        assert!(sizes.iter().filter(|s| **s > 0).count() > 1);
+        assert_eq!(t.drain().len(), 200);
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn drain_order_is_deterministic_across_trackers() {
+        // Same input into two independent trackers (different HashMap
+        // hash seeds) must drain in the same order.
+        let run = || {
+            let mut t = SessionTracker::new(TrackerConfig::default());
+            for ip in 0..100 {
+                t.observe(
+                    &req(ip * 31 % 97, &format!("ua{}", ip % 7), "http://h/1", None),
+                    &ok(),
+                    SimTime::from_secs(ip as u64),
+                );
+            }
+            t.drain()
+                .iter()
+                .map(|s| s.key().clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sweep_order_is_deterministic_across_trackers() {
+        let run = || {
+            let mut t = SessionTracker::new(TrackerConfig {
+                shards: 4,
+                ..TrackerConfig::default()
+            });
+            for ip in 0..60 {
+                t.observe(&req(ip, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+            }
+            t.sweep(SimTime::from_hours(2))
+                .iter()
+                .map(|s| s.key().clone())
+                .collect::<Vec<_>>()
+        };
+        let keys = run();
+        assert_eq!(keys.len(), 60);
+        assert_eq!(keys, run());
+    }
+
+    #[test]
+    fn single_shard_config_behaves_like_unsharded() {
+        let cfg = TrackerConfig {
+            shards: 1,
+            ..TrackerConfig::default()
+        };
+        let mut t = SessionTracker::new(cfg);
+        assert_eq!(t.shard_count(), 1);
+        let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+        assert_eq!(t.get(&k).unwrap().request_count(), 1);
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let cfg = TrackerConfig {
+            shards: 0,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        assert_eq!(t.shard_count(), 1);
     }
 
     #[test]

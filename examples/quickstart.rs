@@ -1,46 +1,44 @@
-//! Quickstart: instrument a page, replay a human and a robot against the
-//! detector, and read the verdicts.
+//! Quickstart: stand up a `Gateway`, replay a human and a robot through
+//! its one entry point, and read the decisions.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use botwall::detect::{Detector, DetectorConfig, Verdict};
-use botwall_http::request::ClientIp;
-use botwall_http::{Method, Request, Response, StatusCode, Uri};
-use botwall_instrument::{InstrumentConfig, Instrumenter};
-use botwall_sessions::SimTime;
+use botwall::gateway::{Decision, Gateway, Origin};
+use botwall::http::request::ClientIp;
+use botwall::http::{Method, Request};
+use botwall::sessions::SimTime;
 
-fn fetch(
-    ins: &mut Instrumenter,
-    det: &mut Detector,
-    ip: u32,
-    uri: &str,
-    ua: &str,
-    at_secs: u64,
-) -> Verdict {
+const HTML: &str = "<html><head><title>demo</title></head><body><p>hello</p></body></html>";
+
+/// Every exchange — page, probe, or beacon — goes through the same door.
+fn fetch(gw: &mut Gateway, ip: u32, uri: &str, ua: &str, at_secs: u64) -> Decision {
     let req = Request::builder(Method::Get, uri)
         .header("User-Agent", ua)
         .client(ClientIp::new(ip))
         .build()
         .expect("valid uri");
-    let now = SimTime::from_secs(at_secs);
-    let classified = ins.classify(&req, now);
-    let response = ins
-        .respond(&classified)
-        .unwrap_or_else(|| Response::empty(StatusCode::OK));
-    det.observe(&req, &response, &classified, now).verdict
+    gw.handle_with(&req, SimTime::from_secs(at_secs), |req| {
+        // The origin behind the gateway: one static page at /index.html.
+        if req.uri().path() == "/index.html" {
+            Origin::Page(HTML.to_string())
+        } else {
+            Origin::NotFound
+        }
+    })
 }
 
 fn main() {
-    let mut ins = Instrumenter::new(InstrumentConfig::default(), 2006);
-    let mut det = Detector::new(DetectorConfig::default());
+    let mut gw = Gateway::builder().seed(2006).build();
+    let ua = "Mozilla/5.0 (Windows; U) Firefox/1.5";
+    let page = "http://www.example.com/index.html";
 
-    // The server rewrites a page on its way to client 1 (a human) and
-    // client 2 (a robot).
-    let page: Uri = "http://www.example.com/index.html".parse().unwrap();
-    let html = "<html><head><title>demo</title></head><body><p>hello</p></body></html>";
-    let (rewritten, human_probes) =
-        ins.instrument_page(html, &page, ClientIp::new(1), SimTime::ZERO);
-    let (_, robot_probes) = ins.instrument_page(html, &page, ClientIp::new(2), SimTime::ZERO);
+    // Client 1 (a human) fetches the page; the gateway rewrites it in
+    // flight, planting the probes.
+    let Decision::Serve { body, manifest, .. } = fetch(&mut gw, 1, page, ua, 0) else {
+        panic!("fresh sessions are served");
+    };
+    let human_probes = manifest.expect("page was instrumented");
+    let rewritten = body.expect("page body");
     println!(
         "instrumented page grew by {} bytes",
         human_probes.html_overhead
@@ -55,18 +53,36 @@ fn main() {
 
     // The human's browser fetches the CSS probe, runs the script, and the
     // user moves the mouse — firing the keyed beacon.
-    let ua = "Mozilla/5.0 (Windows; U) Firefox/1.5";
-    fetch(&mut ins, &mut det, 1, &page.to_string(), ua, 0);
     let css = human_probes.css_probe.as_ref().unwrap().to_string();
-    fetch(&mut ins, &mut det, 1, &css, ua, 1);
+    fetch(&mut gw, 1, &css, ua, 1);
     let beacon = human_probes.mouse_beacon.as_ref().unwrap().to_string();
-    let verdict = fetch(&mut ins, &mut det, 1, &beacon, ua, 3);
+    let verdict = fetch(&mut gw, 1, &beacon, ua, 3).verdict();
     println!("\nhuman session verdict:  {verdict:?}");
 
-    // The robot scans the script, blindly fetches a beacon-looking URL —
-    // and picks a decoy.
+    // Client 2 (a robot) fetches the page, scans the script, and blindly
+    // fetches a beacon-looking URL — picking a decoy.
+    let Decision::Serve { manifest, .. } = fetch(&mut gw, 2, page, ua, 0) else {
+        panic!("undecided sessions are served");
+    };
+    let robot_probes = manifest.expect("page was instrumented");
     let decoy = robot_probes.decoy_beacons[0].to_string();
-    fetch(&mut ins, &mut det, 2, &page.to_string(), ua, 0);
-    let verdict = fetch(&mut ins, &mut det, 2, &decoy, ua, 1);
+    let verdict = fetch(&mut gw, 2, &decoy, ua, 1).verdict();
     println!("robot session verdict:  {verdict:?}");
+
+    // Flush everything and show the gateway's view of the deployment.
+    let completed = gw.drain();
+    println!("\ncompleted sessions:");
+    for cs in &completed {
+        println!(
+            "  {}  label={:?} reason={:?}",
+            cs.session.key(),
+            cs.label,
+            cs.reason
+        );
+    }
+    let stats = gw.stats();
+    println!(
+        "\ngateway stats: {} requests ({} probe), {} bytes ({} instrumentation)",
+        stats.requests, stats.probe_requests, stats.total_bytes, stats.instrumentation_bytes
+    );
 }

@@ -1,38 +1,204 @@
 //! Protecting a single Web site (not a proxy): the paper argues the
 //! techniques "can be applied both to individual Web sites and to large
-//! organizations". This example runs one origin site with the
-//! instrumenter + detector + policy in front of it and shows verdict
-//! timelines per client.
+//! organizations". This example puts one `Gateway` in front of one origin
+//! site and replays a human, a no-JS human, a blind crawler, and a smart
+//! bot through it — every exchange through `Gateway::handle_with`.
 //!
 //! Run with `cargo run --release --example site_protection`.
 
-use botwall_agents::robots::crawler::CrawlerConfig;
-use botwall_agents::robots::smart_bot::{SmartBot, SmartBotConfig};
-use botwall_agents::robots::CrawlerBot;
-use botwall_agents::testutil::MockWorld;
-use botwall_agents::{Agent, BrowserProfile, HumanAgent, HumanConfig};
-use botwall_http::BrowserFamily;
+use botwall::agents::robots::crawler::CrawlerConfig;
+use botwall::agents::robots::smart_bot::{SmartBot, SmartBotConfig};
+use botwall::agents::robots::CrawlerBot;
+use botwall::agents::world::{ClientWorld, FetchOutcome, FetchSpec, PageView};
+use botwall::agents::{Agent, BrowserProfile, HumanAgent, HumanConfig};
+use botwall::captcha::Challenge;
+use botwall::gateway::{Decision, Gateway, Origin};
+use botwall::http::request::ClientIp;
+use botwall::http::{BrowserFamily, Method, Request, Response, StatusCode, Uri};
+use botwall::sessions::SimTime;
+use botwall::webgraph::{render, Site, SiteConfig, Web, WebConfig};
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn run(name: &str, agent: &mut dyn Agent, seed: u64) {
-    let mut world = MockWorld::new(seed);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+/// The agent-facing world: one origin site with a gateway in front.
+/// All the world does is build requests and adapt `Decision`s — the
+/// instrumentation, detection, and policy all live inside the gateway.
+struct ProtectedSite<'a> {
+    gateway: &'a mut Gateway,
+    web: &'a Web,
+    ip: ClientIp,
+    user_agent: String,
+    entry: Uri,
+    now: SimTime,
+    captcha_offered: bool,
+    served: u64,
+    throttled: u64,
+    blocked: u64,
+}
+
+impl ProtectedSite<'_> {
+    /// Resolves origin content for allowed ordinary requests: pages are
+    /// handed to the gateway as HTML (it instruments them), assets come
+    /// back whole.
+    fn resolve(web: &Web, request: &Request) -> (Origin, Vec<Uri>, Option<Uri>) {
+        let uri = request.uri();
+        let Some(site) = web.site_for(uri) else {
+            return (
+                Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                Vec::new(),
+                None,
+            );
+        };
+        if let Some(page) = site.page_by_path(uri.path()) {
+            let links = page
+                .links
+                .iter()
+                .filter_map(|id| site.page(*id))
+                .map(|p| Uri::absolute(site.host(), p.path.clone()))
+                .collect();
+            let cgi = page
+                .cgi_endpoint
+                .as_ref()
+                .map(|c| Uri::absolute(site.host(), c.clone()));
+            return (Origin::Page(render::render_page(site, page)), links, cgi);
+        }
+        if let Some((_, body)) = render::render_asset(site, uri.path()) {
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "application/octet-stream")
+                .body_bytes(body)
+                .build();
+            return (Origin::Response(resp), Vec::new(), None);
+        }
+        (Origin::NotFound, Vec::new(), None)
+    }
+}
+
+impl ClientWorld for ProtectedSite<'_> {
+    fn fetch(&mut self, spec: FetchSpec) -> FetchOutcome {
+        self.now += 40;
+        let mut b = Request::builder(spec.method.clone(), spec.uri.to_string())
+            .header("User-Agent", self.user_agent.clone())
+            .client(self.ip);
+        if let Some(r) = &spec.referer {
+            b = b.header("Referer", r.clone());
+        }
+        if spec.method == Method::Post && !spec.body.is_empty() {
+            b = b.body_bytes(spec.body.clone());
+        }
+        let Ok(request) = b.build() else {
+            return FetchOutcome::default();
+        };
+        let web = self.web;
+        let mut links = Vec::new();
+        let mut cgi = None;
+        let decision = self.gateway.handle_with(&request, self.now, |req| {
+            let (origin, l, c) = Self::resolve(web, req);
+            links = l;
+            cgi = c;
+            origin
+        });
+        match &decision {
+            Decision::Serve { .. } => self.served += 1,
+            Decision::Throttle => self.throttled += 1,
+            _ => self.blocked += 1,
+        }
+        match decision {
+            Decision::Serve {
+                response,
+                body,
+                manifest,
+                ..
+            } => FetchOutcome {
+                status: response.status(),
+                body_len: response.body().len(),
+                page: body.map(|html| PageView {
+                    links,
+                    embedded: Vec::new(),
+                    cgi,
+                    manifest,
+                    html,
+                }),
+            },
+            rejected => FetchOutcome {
+                status: rejected.status(),
+                body_len: 0,
+                page: None,
+            },
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn sleep(&mut self, ms: u64) {
+        self.now += ms;
+    }
+
+    fn client_ip(&self) -> ClientIp {
+        self.ip
+    }
+
+    fn entry_point(&self) -> Uri {
+        self.entry.clone()
+    }
+
+    fn offer_captcha(&mut self) -> Option<Challenge> {
+        if self.captcha_offered {
+            return None;
+        }
+        self.captcha_offered = true;
+        self.gateway.offer_captcha()
+    }
+
+    fn answer_captcha(&mut self, id: u64, answer: &str) -> bool {
+        let key = botwall::sessions::SessionKey::new(self.ip, self.user_agent.clone());
+        self.gateway.verify_captcha(&key, id, answer, self.now)
+    }
+}
+
+fn run(gateway: &mut Gateway, web: &Web, site: &Site, name: &str, agent: &mut dyn Agent, ip: u32) {
+    let mut world = ProtectedSite {
+        gateway,
+        web,
+        ip: ClientIp::new(ip),
+        user_agent: agent.user_agent(),
+        entry: Uri::absolute(site.host(), "/index.html"),
+        now: SimTime::ZERO,
+        captcha_offered: false,
+        served: 0,
+        throttled: 0,
+        blocked: 0,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(ip as u64);
     agent.run_session(&mut world, &mut rng);
+    let key = botwall::sessions::SessionKey::new(world.ip, world.user_agent.clone());
     println!(
-        "{:<18} fetches={:<4} css_probe={:<2} js={:<2} mouse={:<2} hidden={:<2} decoys={}",
+        "{:<18} served={:<4} throttled={:<3} blocked={:<3} online verdict: {:?}",
         name,
-        world.total_fetches,
-        world.css_probe_hits,
-        world.agent_beacon_hits,
-        world.mouse_beacon_hits,
-        world.hidden_link_hits,
-        world.decoy_hits,
+        world.served,
+        world.throttled,
+        world.blocked,
+        world.gateway.verdict(&key),
     );
 }
 
 fn main() {
-    println!("probe hits by agent type against one protected site:\n");
+    let web = Web::generate(
+        &WebConfig {
+            sites: 1,
+            site: SiteConfig {
+                pages: 30,
+                ..SiteConfig::default()
+            },
+        },
+        2006,
+    );
+    let site = web.sites().next().expect("one site");
+    let mut gateway = Gateway::builder().seed(42).build();
+
+    println!("one gateway in front of http://{}/ :\n", site.host());
+
     let mut human = HumanAgent::new(
         BrowserProfile::standard(BrowserFamily::Firefox),
         HumanConfig {
@@ -42,7 +208,7 @@ fn main() {
             ..HumanConfig::default()
         },
     );
-    run("human/firefox", &mut human, 1);
+    run(&mut gateway, &web, site, "human/firefox", &mut human, 1);
 
     let mut no_js = HumanAgent::new(
         BrowserProfile::js_disabled(BrowserFamily::Opera),
@@ -52,18 +218,41 @@ fn main() {
             ..HumanConfig::default()
         },
     );
-    run("human/no-js", &mut no_js, 2);
+    run(&mut gateway, &web, site, "human/no-js", &mut no_js, 2);
 
     let mut crawler = CrawlerBot::new(CrawlerConfig::default());
-    run("blind crawler", &mut crawler, 3);
+    run(&mut gateway, &web, site, "blind crawler", &mut crawler, 3);
 
     let mut smart = SmartBot::new(SmartBotConfig {
         scan_beacons: true,
         ..SmartBotConfig::default()
     });
-    run("smart bot", &mut smart, 4);
+    run(&mut gateway, &web, site, "smart bot", &mut smart, 4);
 
-    println!("\nreading: humans fire css+js+mouse and never touch hidden links;");
-    println!("crawlers trip hidden links; smart bots execute JS but cannot mouse,");
-    println!("and gambling on scanned beacon URLs hits a decoy with prob m/(m+1).");
+    // Flush every session: the batch set-algebra pass labels them.
+    println!("\nfinal labels at flush:");
+    for cs in gateway.drain() {
+        println!(
+            "  {}  label={:?} reason={:?} ({} requests)",
+            cs.session.key(),
+            cs.label,
+            cs.reason,
+            cs.session.request_count(),
+        );
+    }
+    let stats = gateway.stats();
+    println!(
+        "\ngateway stats: {} requests, {} served, {} throttled, {} blocked; \
+         instrumentation {:.2}% of {} bytes",
+        stats.requests,
+        stats.served,
+        stats.throttled,
+        stats.blocked,
+        stats.instrumentation_bytes as f64 * 100.0 / stats.total_bytes.max(1) as f64,
+        stats.total_bytes,
+    );
+    println!("\nreading: humans fire css+js+mouse and go Human; the no-JS human");
+    println!("stays undecided online and flushes Human via the CSS term of the");
+    println!("set algebra; crawlers and smart bots flush Robot (hidden links,");
+    println!("decoys, or JS-without-mouse).");
 }

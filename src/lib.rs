@@ -13,9 +13,10 @@
 //! |---|---|---|
 //! | [`http`] | `botwall-http` | HTTP substrate |
 //! | [`webgraph`] | `botwall-webgraph` | synthetic web content |
-//! | [`sessions`] | `botwall-sessions` | `<IP, User-Agent>` sessionization |
+//! | [`sessions`] | `botwall-sessions` | sharded `<IP, User-Agent>` sessionization |
 //! | [`instrument`] | `botwall-instrument` | page rewriting + probes |
 //! | [`detect`] | `botwall-core` | **the detector** (the paper's contribution) |
+//! | [`gateway`] | `botwall-gateway` | **the front door**: one request-decision API |
 //! | [`ml`] | `botwall-ml` | Table-2 features, AdaBoost, baselines |
 //! | [`captcha`] | `botwall-captcha` | CAPTCHA oracle |
 //! | [`agents`] | `botwall-agents` | human/robot workload models |
@@ -23,12 +24,47 @@
 //!
 //! # Examples
 //!
-//! ```
-//! use botwall::detect::{Detector, DetectorConfig};
-//! use botwall::instrument::{InstrumentConfig, Instrumenter};
+//! Embedders drive everything through one [`gateway::Gateway`]: hand it
+//! each request, supply origin HTML when asked, and act on the typed
+//! [`gateway::Decision`].
 //!
-//! let _detector = Detector::new(DetectorConfig::default());
-//! let _instrumenter = Instrumenter::new(InstrumentConfig::default(), 42);
+//! ```
+//! use botwall::gateway::{Decision, Gateway, Origin};
+//! use botwall::http::request::ClientIp;
+//! use botwall::http::{Method, Request};
+//! use botwall::sessions::SimTime;
+//!
+//! let mut gw = Gateway::builder().seed(2006).build();
+//!
+//! // A client fetches a page; the gateway instruments it in flight.
+//! let req = Request::builder(Method::Get, "http://www.example.com/index.html")
+//!     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+//!     .client(ClientIp::new(1))
+//!     .build()
+//!     .unwrap();
+//! let html = "<html><head></head><body><p>hello</p></body></html>";
+//! let decision = gw.handle_with(&req, SimTime::ZERO, |_| Origin::Page(html.into()));
+//!
+//! let Decision::Serve { body, manifest, .. } = decision else {
+//!     panic!("fresh sessions are served");
+//! };
+//! assert!(body.unwrap().contains("onmousemove")); // mouse-beacon handler
+//! let manifest = manifest.unwrap();
+//! assert!(manifest.css_probe.is_some()); // §2.2 standard-browser probe
+//!
+//! // The human moves the mouse: the keyed beacon fires, and the session
+//! // verdict goes Human.
+//! let beacon = manifest.mouse_beacon.unwrap();
+//! let req = Request::builder(Method::Get, beacon.to_string())
+//!     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+//!     .client(ClientIp::new(1))
+//!     .build()
+//!     .unwrap();
+//! let decision = gw.handle(&req, SimTime::from_secs(2));
+//! assert!(matches!(
+//!     decision.verdict(),
+//!     Some(botwall::detect::Verdict::Human(_))
+//! ));
 //! ```
 //!
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
@@ -40,6 +76,7 @@ pub use botwall_agents as agents;
 pub use botwall_captcha as captcha;
 pub use botwall_codeen as codeen;
 pub use botwall_core as detect;
+pub use botwall_gateway as gateway;
 pub use botwall_http as http;
 pub use botwall_instrument as instrument;
 pub use botwall_ml as ml;
