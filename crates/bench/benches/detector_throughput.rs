@@ -31,7 +31,7 @@ fn bench_request_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("request_path");
     group.throughput(Throughput::Elements(1));
     group.bench_function("page_fetch_full_deployment", |b| {
-        let mut node = ProxyNode::new(0, Arc::clone(&web), Deployment::full(), 42);
+        let node = ProxyNode::new(0, Arc::clone(&web), Deployment::full(), 42);
         let host = web.sites().next().unwrap().host().to_string();
         let entry = Uri::absolute(&host, "/index.html");
         let mut clock = SimTime::ZERO;
@@ -40,7 +40,7 @@ fn bench_request_path(c: &mut Criterion) {
             clock += 50;
             ip = ip.wrapping_add(1);
             let mut session = NodeSession::new(
-                &mut node,
+                &node,
                 ClientIp::new(ip),
                 "bench-agent".to_string(),
                 entry.clone(),

@@ -26,7 +26,7 @@ fn bench_gateway_throughput(c: &mut Criterion) {
 
     // Fresh session per iteration: page fetch with full instrumentation.
     group.bench_function("handle_page_fresh_session", |b| {
-        let mut gw = Gateway::builder().seed(42).build();
+        let gw = Gateway::builder().seed(42).build();
         let mut clock = SimTime::ZERO;
         let mut ip = 1u32;
         b.iter(|| {
@@ -41,7 +41,7 @@ fn bench_gateway_throughput(c: &mut Criterion) {
     // that already proved human via the mouse beacon (the fast path —
     // cached verdict, no new evidence, policy short-circuits to Allow).
     group.bench_function("handle_ordinary_steady_state", |b| {
-        let mut gw = Gateway::builder().seed(43).build();
+        let gw = Gateway::builder().seed(43).build();
         let d = gw.handle_with(
             &req(7, "http://bench.example/index.html"),
             SimTime::ZERO,
@@ -70,7 +70,7 @@ fn bench_gateway_throughput(c: &mut Criterion) {
 
     // Probe traffic: beacon issue + redemption through the front door.
     group.bench_function("handle_probe_roundtrip", |b| {
-        let mut gw = Gateway::builder().seed(44).build();
+        let gw = Gateway::builder().seed(44).build();
         let mut clock = SimTime::ZERO;
         let mut ip = 1u32;
         b.iter(|| {
@@ -94,7 +94,7 @@ fn bench_gateway_throughput(c: &mut Criterion) {
             BenchmarkId::new("observe", shards),
             &shards,
             |b, &shards| {
-                let mut tracker = SessionTracker::new(TrackerConfig {
+                let tracker = SessionTracker::new(TrackerConfig {
                     shards,
                     ..TrackerConfig::default()
                 });

@@ -1,0 +1,112 @@
+//! Multi-core gateway ingest: N threads hammering one shared
+//! `Arc<Gateway>` with steady-state proven-human traffic — the workload
+//! the PR-3 shard-owned-state refactor exists for. Each thread drives its
+//! own session key, so requests land on distinct tracker shards and the
+//! only shared touches are the instrumenter read lock and the sharded
+//! counter cells.
+//!
+//! The reported number is *aggregate* mean ns per request across all
+//! threads: `mean_ns(T threads) < mean_ns(1 thread)` is scaling. On a
+//! single-core container the 2/4/8-thread rows instead measure pure
+//! contention overhead (they should stay close to the 1-thread row —
+//! flat, not collapsing — which is what lock-free counters and per-shard
+//! mutexes buy).
+
+use botwall_gateway::{Decision, Gateway, Origin};
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode};
+use botwall_sessions::SimTime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const HTML: &str = "<html><head><title>b</title></head><body><p>payload</p></body></html>";
+
+fn req(ip: u32, uri: &str) -> Request {
+    Request::builder(Method::Get, uri)
+        .header("User-Agent", "bench-agent/1.0")
+        .client(ClientIp::new(ip))
+        .build()
+        .unwrap()
+}
+
+/// Builds a gateway with `threads` sessions already proven human via the
+/// mouse beacon, so the measured loop is the pure steady-state fast path.
+fn steady_gateway(threads: u32) -> Arc<Gateway> {
+    let gw = Gateway::builder().seed(42).build();
+    for t in 0..threads {
+        let ip = 1000 + t;
+        let d = gw.handle_with(
+            &req(ip, "http://bench.example/index.html"),
+            SimTime::ZERO,
+            |_| Origin::Page(HTML.into()),
+        );
+        let Decision::Serve { manifest, .. } = d else {
+            unreachable!("fresh sessions are served");
+        };
+        let beacon = manifest.unwrap().mouse_beacon.unwrap();
+        let d = gw.handle(&req(ip, &beacon.to_string()), SimTime::from_secs(1));
+        assert!(
+            matches!(d.verdict(), Some(v) if v.is_final()),
+            "every session must be proven human before the measured loop"
+        );
+    }
+    Arc::new(gw)
+}
+
+/// Runs `iters` total requests split evenly across `threads` threads over
+/// one shared gateway, returning the wall time of the parallel section
+/// only (spawn/join excluded via barriers).
+fn run_parallel(gw: &Arc<Gateway>, threads: u32, iters: u64) -> Duration {
+    let per_thread = iters.div_ceil(u64::from(threads));
+    let start_gate = Arc::new(Barrier::new(threads as usize + 1));
+    let done_gate = Arc::new(Barrier::new(threads as usize + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let gw = Arc::clone(gw);
+            let start_gate = Arc::clone(&start_gate);
+            let done_gate = Arc::clone(&done_gate);
+            std::thread::spawn(move || {
+                let ip = 1000 + t;
+                let mut clock = SimTime::from_secs(2);
+                start_gate.wait();
+                for i in 0..per_thread {
+                    clock += 20;
+                    let r = req(ip, &format!("http://bench.example/p{}.html", i % 64));
+                    let d = gw.handle_with(&r, clock, |_| {
+                        Origin::Response(Response::empty(StatusCode::OK))
+                    });
+                    std::hint::black_box(&d);
+                }
+                done_gate.wait();
+            })
+        })
+        .collect();
+    start_gate.wait();
+    let begin = Instant::now();
+    done_gate.wait();
+    let elapsed = begin.elapsed();
+    for h in handles {
+        h.join().unwrap();
+    }
+    elapsed
+}
+
+fn bench_parallel_gateway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_gateway");
+    group.throughput(Throughput::Elements(1));
+    for threads in [1u32, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("steady_state", threads),
+            &threads,
+            |b, &threads| {
+                let gw = steady_gateway(threads);
+                b.iter_custom(|iters| run_parallel(&gw, threads, iters));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_gateway);
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 use crate::challenge::{Challenge, ChallengeGenerator};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// When challenges are offered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,38 +20,67 @@ pub enum ServingPolicy {
     Disabled,
 }
 
-/// Tracks challenge issue/verify flow and pass statistics.
+/// Challenge-issuing state shared across requests: the seeded generator
+/// plus the single-use answer table. Behind one mutex because challenge
+/// issue/verify is orders of magnitude rarer than request handling — the
+/// hot path only reads the atomics.
 #[derive(Debug)]
-pub struct CaptchaService {
+struct IssueTable {
     generator: ChallengeGenerator,
-    policy: ServingPolicy,
-    under_attack: bool,
     outstanding: HashMap<u64, Challenge>,
     max_outstanding: usize,
-    issued: u64,
-    passed: u64,
-    failed: u64,
+}
+
+/// Tracks challenge issue/verify flow and pass statistics.
+///
+/// Every method takes `&self`: the under-attack flag is atomic (it can be
+/// flipped while traffic is in flight), the issue/verify table sits
+/// behind a mutex, and counters are atomics — the service is
+/// `Send + Sync` and shares freely across request threads.
+#[derive(Debug)]
+pub struct CaptchaService {
+    policy: ServingPolicy,
+    under_attack: AtomicBool,
+    table: Mutex<IssueTable>,
+    issued: AtomicU64,
+    passed: AtomicU64,
+    failed: AtomicU64,
 }
 
 impl CaptchaService {
     /// Creates a service.
     pub fn new(policy: ServingPolicy, seed: u64) -> CaptchaService {
         CaptchaService {
-            generator: ChallengeGenerator::new(seed),
             policy,
-            under_attack: false,
-            outstanding: HashMap::new(),
-            max_outstanding: 100_000,
-            issued: 0,
-            passed: 0,
-            failed: 0,
+            under_attack: AtomicBool::new(false),
+            table: Mutex::new(IssueTable {
+                generator: ChallengeGenerator::new(seed),
+                outstanding: HashMap::new(),
+                max_outstanding: 100_000,
+            }),
+            issued: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_table(&self) -> std::sync::MutexGuard<'_, IssueTable> {
+        match self.table.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
     /// Sets the attack flag consulted by
-    /// [`ServingPolicy::MandatoryUnderAttack`].
-    pub fn set_under_attack(&mut self, yes: bool) {
-        self.under_attack = yes;
+    /// [`ServingPolicy::MandatoryUnderAttack`]. Callable while traffic is
+    /// in flight — flipping it never blocks request handling.
+    pub fn set_under_attack(&self, yes: bool) {
+        self.under_attack.store(yes, Ordering::Release);
+    }
+
+    /// Caps the outstanding-challenge table (operational memory bound).
+    pub fn set_max_outstanding(&self, n: usize) {
+        self.lock_table().max_outstanding = n;
     }
 
     /// Whether a challenge should be offered to a session that has not
@@ -57,59 +88,77 @@ impl CaptchaService {
     pub fn should_offer(&self) -> bool {
         match self.policy {
             ServingPolicy::OptionalWithIncentive => true,
-            ServingPolicy::MandatoryUnderAttack => self.under_attack,
+            ServingPolicy::MandatoryUnderAttack => self.under_attack.load(Ordering::Acquire),
             ServingPolicy::Disabled => false,
         }
     }
 
     /// Whether solving is compulsory to proceed (vs. opt-in).
     pub fn is_mandatory(&self) -> bool {
-        matches!(self.policy, ServingPolicy::MandatoryUnderAttack) && self.under_attack
+        matches!(self.policy, ServingPolicy::MandatoryUnderAttack)
+            && self.under_attack.load(Ordering::Acquire)
+    }
+
+    /// Whether this service can issue challenges at all.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self.policy, ServingPolicy::Disabled)
     }
 
     /// Issues a challenge.
-    pub fn issue(&mut self) -> Challenge {
-        if self.outstanding.len() >= self.max_outstanding {
+    pub fn issue(&self) -> Challenge {
+        let mut table = self.lock_table();
+        if table.outstanding.len() >= table.max_outstanding {
             // Drop the oldest entry (smallest id — ids are issued in
             // increasing order) to stay bounded. Deterministic, unlike
             // HashMap iteration order, which is seeded per process.
-            if let Some(&k) = self.outstanding.keys().min() {
-                self.outstanding.remove(&k);
+            if let Some(&k) = table.outstanding.keys().min() {
+                table.outstanding.remove(&k);
             }
         }
-        let ch = self.generator.issue();
-        self.outstanding.insert(ch.id, ch.clone());
-        self.issued += 1;
+        let ch = table.generator.issue();
+        table.outstanding.insert(ch.id, ch.clone());
+        self.issued.fetch_add(1, Ordering::Relaxed);
         ch
     }
 
     /// Verifies an answer; each challenge can be answered once.
-    pub fn verify(&mut self, id: u64, answer: &str) -> bool {
-        let Some(ch) = self.outstanding.remove(&id) else {
-            self.failed += 1;
+    pub fn verify(&self, id: u64, answer: &str) -> bool {
+        let removed = self.lock_table().outstanding.remove(&id);
+        let Some(ch) = removed else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
             return false;
         };
         let ok = ch.check(answer);
         if ok {
-            self.passed += 1;
+            self.passed.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.failed += 1;
+            self.failed.fetch_add(1, Ordering::Relaxed);
         }
         ok
     }
 
+    /// Challenges awaiting an answer.
+    pub fn outstanding(&self) -> usize {
+        self.lock_table().outstanding.len()
+    }
+
     /// `(issued, passed, failed)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
-        (self.issued, self.passed, self.failed)
+        (
+            self.issued.load(Ordering::Relaxed),
+            self.passed.load(Ordering::Relaxed),
+            self.failed.load(Ordering::Relaxed),
+        )
     }
 
     /// Pass rate over answered challenges.
     pub fn pass_rate(&self) -> f64 {
-        let answered = self.passed + self.failed;
+        let (_, passed, failed) = self.stats();
+        let answered = passed + failed;
         if answered == 0 {
             0.0
         } else {
-            self.passed as f64 / answered as f64
+            passed as f64 / answered as f64
         }
     }
 }
@@ -123,11 +172,12 @@ mod tests {
         let s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 1);
         assert!(s.should_offer());
         assert!(!s.is_mandatory());
+        assert!(s.is_enabled());
     }
 
     #[test]
     fn mandatory_policy_tracks_attack_state() {
-        let mut s = CaptchaService::new(ServingPolicy::MandatoryUnderAttack, 1);
+        let s = CaptchaService::new(ServingPolicy::MandatoryUnderAttack, 1);
         assert!(!s.should_offer());
         s.set_under_attack(true);
         assert!(s.should_offer());
@@ -136,14 +186,15 @@ mod tests {
 
     #[test]
     fn disabled_never_offers() {
-        let mut s = CaptchaService::new(ServingPolicy::Disabled, 1);
+        let s = CaptchaService::new(ServingPolicy::Disabled, 1);
         s.set_under_attack(true);
         assert!(!s.should_offer());
+        assert!(!s.is_enabled());
     }
 
     #[test]
     fn verify_lifecycle() {
-        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 2);
+        let s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 2);
         let ch = s.issue();
         let answer = ch.answer().to_string();
         assert!(s.verify(ch.id, &answer));
@@ -157,13 +208,13 @@ mod tests {
 
     #[test]
     fn outstanding_cap_evicts_the_oldest_challenge() {
-        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 4);
-        s.max_outstanding = 3;
+        let s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 4);
+        s.set_max_outstanding(3);
         let first = s.issue();
         let keep: Vec<Challenge> = (0..3).map(|_| s.issue()).collect();
         // The table is at its bound and the oldest (first) was evicted:
         // answering it now fails, newer challenges still verify.
-        assert_eq!(s.outstanding.len(), 3);
+        assert_eq!(s.outstanding(), 3);
         let answer = first.answer().to_string();
         assert!(!s.verify(first.id, &answer));
         let answer = keep[2].answer().to_string();
@@ -172,7 +223,33 @@ mod tests {
 
     #[test]
     fn unknown_id_fails() {
-        let mut s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 3);
+        let s = CaptchaService::new(ServingPolicy::OptionalWithIncentive, 3);
         assert!(!s.verify(999, "anything"));
+    }
+
+    #[test]
+    fn attack_flag_flips_under_concurrent_traffic() {
+        use std::sync::Arc;
+        let s = Arc::new(CaptchaService::new(ServingPolicy::MandatoryUnderAttack, 9));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    // Must never deadlock or tear; the value itself races
+                    // by design.
+                    for _ in 0..10_000 {
+                        let _ = s.is_mandatory();
+                    }
+                })
+            })
+            .collect();
+        for i in 0..1_000 {
+            s.set_under_attack(i % 2 == 0);
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        s.set_under_attack(true);
+        assert!(s.is_mandatory());
     }
 }

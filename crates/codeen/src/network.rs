@@ -164,7 +164,7 @@ impl Network {
         let site = self.web.pick_site(rng);
         let entry = Uri::absolute(site.host(), "/index.html");
         let start = self.clock;
-        let node = &mut self.nodes[node_idx];
+        let node = &self.nodes[node_idx];
         let mut world = NodeSession::new(node, ip, agent.user_agent(), entry, start);
         agent.run_session(&mut world, rng);
         let summary = SessionSummary {
@@ -185,11 +185,11 @@ impl Network {
 
     /// Drains every node, returning all completed sessions and merged
     /// accounting. Consumes the network.
-    pub fn finish(mut self) -> (Vec<CompletedSession>, NodeStats, BandwidthLedger) {
+    pub fn finish(self) -> (Vec<CompletedSession>, NodeStats, BandwidthLedger) {
         let mut completed = Vec::new();
         let mut stats = NodeStats::default();
         let mut bandwidth = BandwidthLedger::default();
-        for node in &mut self.nodes {
+        for node in &self.nodes {
             completed.extend(node.drain());
             let s = node.stats();
             stats.allowed += s.allowed;

@@ -18,6 +18,7 @@ use botwall_http::{Method, Request, Response, StatusCode, Uri};
 use botwall_instrument::InstrumentConfig;
 use botwall_sessions::{SessionKey, SimTime};
 use botwall_webgraph::{render, Site, Web};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which detection features a node has deployed (drives the Figure-3
@@ -68,13 +69,16 @@ impl Deployment {
 }
 
 /// One proxy node.
+///
+/// `Send + Sync` like the gateway it wraps: the whole serve path is
+/// `&self`, so one node can take traffic from many threads.
 #[derive(Debug)]
 pub struct ProxyNode {
     id: u32,
     web: Arc<Web>,
     gateway: Gateway,
     deployment: Deployment,
-    sessions: u64,
+    sessions: AtomicU64,
 }
 
 impl ProxyNode {
@@ -101,7 +105,7 @@ impl ProxyNode {
             web,
             gateway,
             deployment,
-            sessions: 0,
+            sessions: AtomicU64::new(0),
         }
     }
 
@@ -117,7 +121,7 @@ impl ProxyNode {
             allowed: g.served,
             throttled: g.throttled,
             blocked: g.blocked,
-            sessions: self.sessions,
+            sessions: self.sessions.load(Ordering::Relaxed),
         }
     }
 
@@ -146,24 +150,24 @@ impl ProxyNode {
     }
 
     /// Marks a CAPTCHA pass for a session.
-    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
+    pub fn record_captcha_pass(&self, key: &SessionKey, now: SimTime) {
         self.gateway.record_captcha_pass(key, now);
     }
 
     /// Expires idle sessions.
-    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
+    pub fn sweep(&self, now: SimTime) -> Vec<CompletedSession> {
         self.gateway.sweep(now)
     }
 
     /// Finalizes everything at the end of an experiment.
-    pub fn drain(&mut self) -> Vec<CompletedSession> {
+    pub fn drain(&self) -> Vec<CompletedSession> {
         self.gateway.drain()
     }
 
     /// Serves one request end to end through the gateway — the request
     /// path of §2 behind one call: classify, policy-gate, serve probe
     /// objects or origin content (instrumenting pages), and observe.
-    pub fn serve(&mut self, request: &Request, now: SimTime) -> (Response, Option<PageViewParts>) {
+    pub fn serve(&self, request: &Request, now: SimTime) -> (Response, Option<PageViewParts>) {
         let web = Arc::clone(&self.web);
         let mut meta: Option<PageMeta> = None;
         let decision = self.gateway.handle_with(request, now, |req| {
@@ -192,25 +196,19 @@ impl ProxyNode {
     }
 
     /// Offers a CAPTCHA if the deployment serves them.
-    pub fn offer_captcha(&mut self) -> Option<Challenge> {
+    pub fn offer_captcha(&self) -> Option<Challenge> {
         self.gateway.offer_captcha()
     }
 
     /// Verifies a CAPTCHA answer; on success the session is marked
     /// ground-truth human.
-    pub fn answer_captcha(
-        &mut self,
-        key: &SessionKey,
-        id: u64,
-        answer: &str,
-        now: SimTime,
-    ) -> bool {
+    pub fn answer_captcha(&self, key: &SessionKey, id: u64, answer: &str, now: SimTime) -> bool {
         self.gateway.verify_captcha(key, id, answer, now)
     }
 
     /// Notes that a session finished (stats bookkeeping).
-    pub fn finish_session(&mut self) {
-        self.sessions += 1;
+    pub fn finish_session(&self) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -323,9 +321,12 @@ pub struct PageViewParts {
 }
 
 /// A per-session [`ClientWorld`] binding an agent to a node.
+///
+/// Borrows the node immutably: many sessions can drive one node
+/// concurrently, each keeping its own per-session tallies.
 #[derive(Debug)]
 pub struct NodeSession<'a> {
-    node: &'a mut ProxyNode,
+    node: &'a ProxyNode,
     ip: ClientIp,
     user_agent: String,
     entry: Uri,
@@ -346,7 +347,7 @@ pub struct NodeSession<'a> {
 impl<'a> NodeSession<'a> {
     /// Binds a session for `ip`/`user_agent` starting at `start`.
     pub fn new(
-        node: &'a mut ProxyNode,
+        node: &'a ProxyNode,
         ip: ClientIp,
         user_agent: String,
         entry: Uri,
@@ -464,15 +465,9 @@ mod tests {
 
     #[test]
     fn serves_instrumented_pages_under_full_deployment() {
-        let mut n = node(Deployment::full());
+        let n = node(Deployment::full());
         let e = entry(&n);
-        let mut s = NodeSession::new(
-            &mut n,
-            ClientIp::new(1),
-            "ua".into(),
-            e.clone(),
-            SimTime::ZERO,
-        );
+        let mut s = NodeSession::new(&n, ClientIp::new(1), "ua".into(), e.clone(), SimTime::ZERO);
         let out = s.fetch(FetchSpec::get(e));
         assert_eq!(out.status, StatusCode::OK);
         let view = out.page.expect("page");
@@ -483,15 +478,9 @@ mod tests {
 
     #[test]
     fn browser_test_only_has_no_mouse_beacon() {
-        let mut n = node(Deployment::browser_test_only());
+        let n = node(Deployment::browser_test_only());
         let e = entry(&n);
-        let mut s = NodeSession::new(
-            &mut n,
-            ClientIp::new(1),
-            "ua".into(),
-            e.clone(),
-            SimTime::ZERO,
-        );
+        let mut s = NodeSession::new(&n, ClientIp::new(1), "ua".into(), e.clone(), SimTime::ZERO);
         let view = s.fetch(FetchSpec::get(e)).page.expect("page");
         let m = view.manifest.expect("manifest");
         assert!(m.css_probe.is_some());
@@ -500,15 +489,9 @@ mod tests {
 
     #[test]
     fn no_deployment_serves_untouched_pages() {
-        let mut n = node(Deployment::none());
+        let n = node(Deployment::none());
         let e = entry(&n);
-        let mut s = NodeSession::new(
-            &mut n,
-            ClientIp::new(1),
-            "ua".into(),
-            e.clone(),
-            SimTime::ZERO,
-        );
+        let mut s = NodeSession::new(&n, ClientIp::new(1), "ua".into(), e.clone(), SimTime::ZERO);
         let view = s.fetch(FetchSpec::get(e)).page.expect("page");
         let m = view.manifest.expect("manifest always present");
         assert!(m.css_probe.is_none());
@@ -518,9 +501,9 @@ mod tests {
 
     #[test]
     fn unknown_host_is_bad_gateway() {
-        let mut n = node(Deployment::full());
+        let n = node(Deployment::full());
         let e = entry(&n);
-        let mut s = NodeSession::new(&mut n, ClientIp::new(1), "ua".into(), e, SimTime::ZERO);
+        let mut s = NodeSession::new(&n, ClientIp::new(1), "ua".into(), e, SimTime::ZERO);
         let uri: Uri = "http://unknown.example/".parse().unwrap();
         let out = s.fetch(FetchSpec::get(uri));
         assert_eq!(out.status, StatusCode::BAD_GATEWAY);
@@ -528,10 +511,10 @@ mod tests {
 
     #[test]
     fn vuln_paths_404_and_eventually_block() {
-        let mut n = node(Deployment::full());
+        let n = node(Deployment::full());
         let e = entry(&n);
         let host = e.host().unwrap().to_string();
-        let mut s = NodeSession::new(&mut n, ClientIp::new(9), "scanner".into(), e, SimTime::ZERO);
+        let mut s = NodeSession::new(&n, ClientIp::new(9), "scanner".into(), e, SimTime::ZERO);
         let mut saw_block = false;
         for i in 0..60 {
             let uri = Uri::absolute(&host, format!("/exploit_{i}.php"));
@@ -547,7 +530,7 @@ mod tests {
 
     #[test]
     fn redirect_pages_answer_302() {
-        let mut n = node(Deployment::full());
+        let n = node(Deployment::full());
         let web = n.web.clone();
         let site = web.sites().next().unwrap();
         let Some(stub) = site.pages().find(|p| p.redirect_to.is_some()) else {
@@ -555,22 +538,16 @@ mod tests {
         };
         let uri = Uri::absolute(site.host(), stub.path.clone());
         let e = entry(&n);
-        let mut s = NodeSession::new(&mut n, ClientIp::new(2), "ua".into(), e, SimTime::ZERO);
+        let mut s = NodeSession::new(&n, ClientIp::new(2), "ua".into(), e, SimTime::ZERO);
         let out = s.fetch(FetchSpec::get(uri));
         assert_eq!(out.status, StatusCode::FOUND);
     }
 
     #[test]
     fn bandwidth_ledger_tracks_overhead() {
-        let mut n = node(Deployment::full());
+        let n = node(Deployment::full());
         let e = entry(&n);
-        let mut s = NodeSession::new(
-            &mut n,
-            ClientIp::new(1),
-            "ua".into(),
-            e.clone(),
-            SimTime::ZERO,
-        );
+        let mut s = NodeSession::new(&n, ClientIp::new(1), "ua".into(), e.clone(), SimTime::ZERO);
         let view = s.fetch(FetchSpec::get(e)).page.unwrap();
         let css = view.manifest.unwrap().css_probe.unwrap();
         s.fetch(FetchSpec::get(css));

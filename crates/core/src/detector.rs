@@ -17,14 +17,29 @@
 //! set-algebra rule — in batch when a session flushes at [`Detector::sweep`]
 //! / [`Detector::drain`] boundaries. Most exchanges carry no new evidence
 //! at all, so the fast path is a cached-verdict read.
+//!
+//! # Shard-owned state
+//!
+//! All per-key mutable state — the evidence set, the cached fast-path
+//! verdict, and the enforcement [`PolicyState`] — lives in a [`KeyState`]
+//! colocated with the session record inside the tracker's shard entry
+//! ([`ShardedTracker<KeyState>`]). One shard-mutex acquisition covers the
+//! session update *and* the evidence fold, the whole API is `&self`, and
+//! the detector is `Send + Sync`: requests for different keys proceed in
+//! parallel on different shards. Incarnation pairing is structural — when
+//! a key rolls over or is evicted, its state is finalized *with* its
+//! session, so a flushed predecessor can never steal (or leak into) a
+//! successor's evidence.
 
 use crate::classifier::{self, Label, Reason, Verdict};
 use crate::evidence::{EvidenceKind, EvidenceSet};
+use crate::policy::PolicyState;
 use botwall_http::{Request, Response, UserAgent};
 use botwall_instrument::{Classified, KeyOutcome, ProbeKind};
-use botwall_sessions::{Session, SessionKey, SessionTracker, SimTime, TrackerConfig};
+use botwall_sessions::{
+    Finalized, Session, SessionExt, SessionKey, ShardedTracker, SimTime, TrackerConfig,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
 
 /// Configuration for [`Detector`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -64,58 +79,43 @@ pub struct CompletedSession {
     pub classifiable: bool,
 }
 
-/// The online human/robot detector.
-///
-/// # Examples
-///
-/// ```
-/// use botwall_core::{Detector, DetectorConfig};
-/// use botwall_core::classifier::Verdict;
-/// use botwall_http::request::ClientIp;
-/// use botwall_http::{Method, Request, Response, StatusCode};
-/// use botwall_instrument::Classified;
-/// use botwall_sessions::SimTime;
-///
-/// let mut det = Detector::new(DetectorConfig::default());
-/// let req = Request::builder(Method::Get, "http://h/a.html")
-///     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
-///     .client(ClientIp::new(1))
-///     .build()
-///     .unwrap();
-/// let resp = Response::empty(StatusCode::OK);
-/// let out = det.observe(&req, &resp, &Classified::Ordinary, SimTime::ZERO);
-/// assert_eq!(out.verdict, Verdict::Undecided);
-/// ```
+/// Per-key detection state, colocated with the session record in its
+/// tracker shard entry: the accumulated evidence, the cached fast-path
+/// verdict, and the enforcement state.
 #[derive(Debug)]
-pub struct Detector {
-    tracker: SessionTracker,
-    /// Accumulation for the *live* incarnation of each session key.
-    state: HashMap<SessionKey, SessionState>,
-    /// Accumulation for finalized-but-not-yet-flushed incarnations:
-    /// when a key rolls over (idle timeout) or is evicted and later
-    /// returns, the old incarnation's state waits here — FIFO per key —
-    /// until the flush pairs it back with its session.
-    retired: HashMap<SessionKey, VecDeque<SessionState>>,
+pub struct KeyState {
+    /// Evidence accumulated for the live incarnation.
+    pub evidence: EvidenceSet,
+    /// The cached fast-path verdict.
+    pub verdict: Verdict,
+    /// Rate-bucket and block state for the policy engine.
+    pub policy: PolicyState,
 }
 
-/// Per-session accumulation: the evidence set plus the cached fast-path
-/// verdict.
-#[derive(Debug)]
-struct SessionState {
-    evidence: EvidenceSet,
-    verdict: Verdict,
-}
-
-impl Default for SessionState {
+impl Default for KeyState {
     fn default() -> Self {
-        SessionState {
+        KeyState {
             evidence: EvidenceSet::new(),
             verdict: Verdict::Undecided,
+            policy: PolicyState::default(),
         }
     }
 }
 
-impl SessionState {
+impl SessionExt for KeyState {
+    /// At idle rollover, evidence and verdict start clean (the successor
+    /// is a *new* session and must be judged on its own behaviour), but
+    /// the policy block flag survives — a blocked robot does not earn a
+    /// reset by going quiet for an hour.
+    fn on_rollover(&self) -> KeyState {
+        KeyState {
+            policy: self.policy.carry_over(),
+            ..KeyState::default()
+        }
+    }
+}
+
+impl KeyState {
     /// Records one evidence observation and returns whether it was hard
     /// (decides the verdict on its own).
     fn accumulate(&mut self, kind: EvidenceKind, index: u32, now: SimTime) -> bool {
@@ -135,13 +135,41 @@ impl SessionState {
     }
 }
 
+/// The online human/robot detector.
+///
+/// Shard-parallel and `Send + Sync`: every method takes `&self`, and all
+/// per-key state lives inside the sharded tracker (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use botwall_core::{Detector, DetectorConfig};
+/// use botwall_core::classifier::Verdict;
+/// use botwall_http::request::ClientIp;
+/// use botwall_http::{Method, Request, Response, StatusCode};
+/// use botwall_instrument::Classified;
+/// use botwall_sessions::SimTime;
+///
+/// let det = Detector::new(DetectorConfig::default());
+/// let req = Request::builder(Method::Get, "http://h/a.html")
+///     .header("User-Agent", "Mozilla/5.0 Firefox/1.5")
+///     .client(ClientIp::new(1))
+///     .build()
+///     .unwrap();
+/// let resp = Response::empty(StatusCode::OK);
+/// let out = det.observe(&req, &resp, &Classified::Ordinary, SimTime::ZERO);
+/// assert_eq!(out.verdict, Verdict::Undecided);
+/// ```
+#[derive(Debug)]
+pub struct Detector {
+    tracker: ShardedTracker<KeyState>,
+}
+
 impl Detector {
     /// Creates a detector.
     pub fn new(config: DetectorConfig) -> Detector {
         Detector {
-            tracker: SessionTracker::new(config.tracker),
-            state: HashMap::new(),
-            retired: HashMap::new(),
+            tracker: ShardedTracker::new(config.tracker),
         }
     }
 
@@ -153,102 +181,101 @@ impl Detector {
     /// This is the fast path: evidence is accumulated, but only hard
     /// evidence updates the verdict here. Soft browser-test signals are
     /// applied in batch when the session flushes (see the module docs).
+    /// Session update and evidence fold share one shard-lock acquisition.
     pub fn observe(
-        &mut self,
+        &self,
         request: &Request,
         response: &Response,
         classified: &Classified,
         now: SimTime,
     ) -> ObserveOutcome {
-        let key = self.tracker.observe(request, response, now);
-        let session = self.tracker.get(&key).expect("session just observed");
-        let request_count = session.request_count();
-        let index = request_count as u32;
-        if request_count == 1 {
-            // First exchange of this incarnation. If state already exists
-            // under the key, it belongs to a finalized predecessor
-            // (idle-timeout rollover or capacity eviction): retire it so
-            // the flush can label the old session with *its* evidence and
-            // this incarnation starts clean.
-            if let Some(old) = self.state.remove(&key) {
-                self.retired.entry(key.clone()).or_default().push_back(old);
-            }
-        }
-        let state = self.state.entry(key.clone()).or_default();
-        let prev = state.verdict;
+        let min_to_classify = self.tracker.config().min_requests_to_classify;
+        let (key, (verdict, transitioned, request_index)) =
+            self.tracker
+                .observe_with(request, Some(response), now, |session, state| {
+                    let request_count = session.request_count();
+                    let index = request_count as u32;
+                    let prev = state.verdict;
 
-        let mut hard = false;
-        match classified {
-            Classified::MouseBeacon { outcome, .. } => {
-                let kind = match outcome {
-                    KeyOutcome::Valid => EvidenceKind::MouseEvent,
-                    KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
-                    KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
-                    KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
-                };
-                hard |= state.accumulate(kind, index, now);
-            }
-            Classified::Probe(hit) => match hit.kind {
-                ProbeKind::CssProbe => {
-                    hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
-                }
-                ProbeKind::JsFile => {
-                    hard |= state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
-                }
-                ProbeKind::AgentBeacon => {
-                    hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
-                    if let Some(reported) = &hit.reported_agent {
-                        let header = request.user_agent().unwrap_or("");
-                        if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
-                            hard |= state.accumulate(EvidenceKind::UaMismatch, index, now);
+                    let mut hard = false;
+                    match classified {
+                        Classified::MouseBeacon { outcome, .. } => {
+                            let kind = match outcome {
+                                KeyOutcome::Valid => EvidenceKind::MouseEvent,
+                                KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
+                                KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
+                                KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
+                            };
+                            hard |= state.accumulate(kind, index, now);
+                        }
+                        Classified::Probe(hit) => match hit.kind {
+                            ProbeKind::CssProbe => {
+                                hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
+                            }
+                            ProbeKind::JsFile => {
+                                hard |=
+                                    state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
+                            }
+                            ProbeKind::AgentBeacon => {
+                                hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
+                                if let Some(reported) = &hit.reported_agent {
+                                    let header = request.user_agent().unwrap_or("");
+                                    if !reported.is_empty()
+                                        && UserAgent::canonicalize(header) != *reported
+                                    {
+                                        hard |=
+                                            state.accumulate(EvidenceKind::UaMismatch, index, now);
+                                    }
+                                }
+                            }
+                            ProbeKind::HiddenLink => {
+                                hard |=
+                                    state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
+                            }
+                            ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
+                        },
+                        Classified::Ordinary => {}
+                    }
+
+                    if hard {
+                        state.verdict = classifier::classify_hard(&state.evidence)
+                            .expect("hard evidence just recorded");
+                    } else if state.verdict == Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
+                        && state.has_browser_signals()
+                    {
+                        // Browser signals arrived after the no-signal promotion
+                        // (e.g. a human whose CSS probe fetch trailed a burst of
+                        // asset requests): the promotion's premise no longer
+                        // holds. Drop back to Undecided; the batch pass at
+                        // flush decides.
+                        state.verdict = Verdict::Undecided;
+                    } else if state.verdict == Verdict::Undecided && request_count > min_to_classify
+                    {
+                        if !state.has_browser_signals() {
+                            // A session past the classification minimum with no
+                            // browser signals at all is robot-leaning: crawlers,
+                            // spammers and scanners never touch a probe, and
+                            // waiting longer cannot exonerate them (§3.1's noise
+                            // rule doubles as the browser-test window).
+                            state.verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
+                        } else if state.evidence.has(EvidenceKind::ExecutedJs) {
+                            // JS executed but still no mouse event after the
+                            // classification minimum: the S_JS − S_MM term leans
+                            // robot. Promoting here keeps the paper's §4.1
+                            // adversary (a JS-capable bot) under robot-class
+                            // enforcement while it is live; a later mouse event
+                            // (hard) overturns this, and the flush applies the
+                            // full set algebra either way.
+                            state.verdict = Verdict::ProvisionalRobot(Reason::JsWithoutMouse);
                         }
                     }
-                }
-                ProbeKind::HiddenLink => {
-                    hard |= state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
-                }
-                ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
-            },
-            Classified::Ordinary => {}
-        }
-
-        if hard {
-            state.verdict =
-                classifier::classify_hard(&state.evidence).expect("hard evidence just recorded");
-        } else if state.verdict == Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
-            && state.has_browser_signals()
-        {
-            // Browser signals arrived after the no-signal promotion (e.g.
-            // a human whose CSS probe fetch trailed a burst of asset
-            // requests): the promotion's premise no longer holds. Drop
-            // back to Undecided; the batch pass at flush decides.
-            state.verdict = Verdict::Undecided;
-        } else if state.verdict == Verdict::Undecided
-            && request_count > self.tracker.config().min_requests_to_classify
-        {
-            if !state.has_browser_signals() {
-                // A session past the classification minimum with no
-                // browser signals at all is robot-leaning: crawlers,
-                // spammers and scanners never touch a probe, and waiting
-                // longer cannot exonerate them (§3.1's noise rule doubles
-                // as the browser-test window).
-                state.verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
-            } else if state.evidence.has(EvidenceKind::ExecutedJs) {
-                // JS executed but still no mouse event after the
-                // classification minimum: the S_JS − S_MM term leans
-                // robot. Promoting here keeps the paper's §4.1 adversary
-                // (a JS-capable bot) under robot-class enforcement while
-                // it is live; a later mouse event (hard) overturns this,
-                // and the flush applies the full set algebra either way.
-                state.verdict = Verdict::ProvisionalRobot(Reason::JsWithoutMouse);
-            }
-        }
-        let verdict = state.verdict;
+                    (state.verdict, prev != state.verdict, index)
+                });
         ObserveOutcome {
-            transitioned: prev != verdict,
             key,
             verdict,
-            request_index: index,
+            transitioned,
+            request_index,
         }
     }
 
@@ -257,93 +284,82 @@ impl Detector {
     /// A key the tracker has never seen is a no-op: there is no session
     /// to credit, and inventing one would attach ground-truth-human
     /// evidence to a phantom record.
-    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
-        let Some(session) = self.tracker.get(key) else {
-            return;
-        };
-        let index = session.request_count() as u32;
-        let state = self.state.entry(key.clone()).or_default();
-        state
-            .evidence
-            .record(EvidenceKind::PassedCaptcha, index, now);
-        state.verdict =
-            classifier::classify_hard(&state.evidence).expect("captcha pass is hard evidence");
+    pub fn record_captcha_pass(&self, key: &SessionKey, now: SimTime) {
+        self.tracker.with_entry(key, |session, state| {
+            let index = session.request_count() as u32;
+            state
+                .evidence
+                .record(EvidenceKind::PassedCaptcha, index, now);
+            state.verdict =
+                classifier::classify_hard(&state.evidence).expect("captcha pass is hard evidence");
+        });
     }
 
     /// The current fast-path verdict for a live session.
     pub fn verdict(&self, key: &SessionKey) -> Verdict {
-        self.state
-            .get(key)
-            .map(|s| s.verdict)
+        self.tracker
+            .with_entry(key, |_, state| state.verdict)
             .unwrap_or(Verdict::Undecided)
     }
 
-    /// The evidence collected so far for a live session.
-    pub fn evidence(&self, key: &SessionKey) -> Option<&EvidenceSet> {
-        self.state.get(key).map(|s| &s.evidence)
+    /// A snapshot of the evidence collected so far for a live session
+    /// (the original lives behind its shard lock).
+    pub fn evidence(&self, key: &SessionKey) -> Option<EvidenceSet> {
+        self.tracker
+            .with_entry(key, |_, state| state.evidence.clone())
+    }
+
+    /// Runs `f` against a live session and its colocated detection/policy
+    /// state under the key's shard lock; `None` when the key has no live
+    /// session. This is the gateway's one-lock enforcement gate.
+    pub fn with_key_state<R>(
+        &self,
+        key: &SessionKey,
+        f: impl FnOnce(&Session, &mut KeyState) -> R,
+    ) -> Option<R> {
+        self.tracker.with_entry(key, f)
     }
 
     /// Read access to the underlying session tracker.
-    pub fn tracker(&self) -> &SessionTracker {
+    pub fn tracker(&self) -> &ShardedTracker<KeyState> {
         &self.tracker
     }
 
     /// Expires idle sessions as of `now`, applying the batch set-algebra
     /// classification to each and finalizing their labels.
-    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
+    pub fn sweep(&self, now: SimTime) -> Vec<CompletedSession> {
         let finished = self.tracker.sweep(now);
         self.complete(finished)
     }
 
     /// Finalizes everything (end of experiment).
-    pub fn drain(&mut self) -> Vec<CompletedSession> {
+    pub fn drain(&self) -> Vec<CompletedSession> {
         let finished = self.tracker.drain();
         let mut out = self.complete(finished);
-        self.state.clear();
-        self.retired.clear();
         out.sort_by(|a, b| a.session.key().cmp(b.session.key()));
         out
     }
 
     /// The batch boundary: accumulated evidence is applied through the
-    /// full set-algebra rule for every flushed session at once.
-    ///
-    /// Retired incarnations of a key flush strictly before its live one
-    /// (the tracker finalizes them first), so each finished session is
-    /// paired with the oldest retired state for its key, falling back to
-    /// the live state.
-    fn complete(&mut self, finished: Vec<Session>) -> Vec<CompletedSession> {
+    /// full set-algebra rule for every flushed session at once. Pairing
+    /// is structural — each finalized session carries the state of its
+    /// own incarnation.
+    fn complete(&self, finished: Vec<Finalized<KeyState>>) -> Vec<CompletedSession> {
         finished
             .into_iter()
-            .map(|session| {
-                let key = session.key().clone();
-                let evidence = self
-                    .pop_retired(&key)
-                    .or_else(|| self.state.remove(&key))
-                    .map(|s| s.evidence)
-                    .unwrap_or_default();
-                let verdict = classifier::classify_online(&evidence);
+            .map(|Finalized { session, ext }| {
+                let verdict = classifier::classify_online(&ext.evidence);
                 let (label, reason) = classifier::finalize(verdict);
                 let classifiable = self.tracker.classifiable(&session);
                 CompletedSession {
                     session,
-                    evidence,
+                    evidence: ext.evidence,
                     label,
                     reason,
                     classifiable,
                 }
             })
             .collect()
-    }
-
-    /// Pops the oldest retired incarnation state for `key`, if any.
-    fn pop_retired(&mut self, key: &SessionKey) -> Option<SessionState> {
-        let queue = self.retired.get_mut(key)?;
-        let state = queue.pop_front();
-        if queue.is_empty() {
-            self.retired.remove(key);
-        }
-        state
     }
 }
 
@@ -378,7 +394,7 @@ mod tests {
 
     #[test]
     fn mouse_beacon_yields_human_verdict() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(1);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -403,7 +419,7 @@ mod tests {
 
     #[test]
     fn decoy_fetch_yields_robot_verdict() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(2);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -421,7 +437,7 @@ mod tests {
 
     #[test]
     fn ua_mismatch_detected_via_agent_beacon() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(3);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -443,7 +459,7 @@ mod tests {
 
     #[test]
     fn matching_agent_accumulates_js_without_deciding_online() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(4);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let ua = "Mozilla/5.0 (Windows) Firefox/1.5";
@@ -472,7 +488,7 @@ mod tests {
 
     #[test]
     fn css_probe_accumulates_and_flushes_human() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(5);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -502,7 +518,7 @@ mod tests {
         // A long session whose only evidence is a CSS download must stay
         // undecided online (a no-JS human), not get promoted to
         // provisional robot.
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(14);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -529,7 +545,7 @@ mod tests {
 
     #[test]
     fn hidden_link_is_robot() {
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(6);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -547,7 +563,7 @@ mod tests {
 
     #[test]
     fn captcha_pass_recorded() {
-        let mut det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig::default());
         let r = req(7, "http://h/a.html", "x");
         let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
         det.record_captcha_pass(&out.key, SimTime::from_secs(1));
@@ -560,7 +576,7 @@ mod tests {
     #[test]
     fn captcha_pass_for_unknown_session_is_a_no_op() {
         use botwall_sessions::SessionKey;
-        let mut det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig::default());
         let ghost = SessionKey::new(ClientIp::new(99), "never-seen");
         det.record_captcha_pass(&ghost, SimTime::ZERO);
         // No phantom evidence, no phantom verdict, no phantom session.
@@ -571,7 +587,7 @@ mod tests {
 
     #[test]
     fn drain_labels_sessions() {
-        let mut det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig::default());
         // Session with zero probe evidence across 12 requests: robot.
         for i in 0..12 {
             let r = req(8, &format!("http://h/{i}.html"), "wget/1.0");
@@ -586,7 +602,7 @@ mod tests {
 
     #[test]
     fn short_sessions_marked_unclassifiable() {
-        let mut det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig::default());
         let r = req(9, "http://h/a.html", "x");
         det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
         let done = det.drain();
@@ -599,7 +615,7 @@ mod tests {
         // classification waits for the flush, but past the >10-request
         // minimum the fast path must lean robot so enforcement applies
         // while the bot is live.
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(17);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let ua = "Mozilla/5.0 Firefox/1.5";
@@ -634,7 +650,7 @@ mod tests {
         // without executing it. The set algebra ignores the bare fetch,
         // so the no-signal promotion must still fire and keep the
         // crawler under robot-class enforcement while it is live.
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(18);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -669,7 +685,7 @@ mod tests {
         // 11+ ordinary exchanges promote the session to provisional
         // robot, but the probe download must demote it back to Undecided
         // (and the flush must label it Human).
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(15);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let (_, manifest) = ins.instrument_page(
@@ -702,7 +718,7 @@ mod tests {
         // produces hard robot evidence. The old incarnation must flush
         // with *its* (empty) evidence, and the new incarnation must keep
         // the robot verdict instead of having its state stolen.
-        let (mut ins, mut det) = pipeline();
+        let (mut ins, det) = pipeline();
         let client = ClientIp::new(16);
         let page: Uri = "http://h/index.html".parse().unwrap();
         let r0 = req(16, "http://h/index.html", "Mozilla/5.0");
@@ -738,11 +754,51 @@ mod tests {
 
     #[test]
     fn sweep_respects_idle_timeout() {
-        let mut det = Detector::new(DetectorConfig::default());
+        let det = Detector::new(DetectorConfig::default());
         let r = req(10, "http://h/a.html", "x");
         det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
         assert!(det.sweep(SimTime::from_secs(10)).is_empty());
         let done = det.sweep(SimTime::from_hours(2));
         assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn detector_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Detector>();
+    }
+
+    #[test]
+    fn parallel_observe_keeps_per_key_verdicts_isolated() {
+        use std::sync::Arc;
+        let det = Arc::new(Detector::new(DetectorConfig::default()));
+        let handles: Vec<_> = (0..4u32)
+            .map(|n| {
+                let det = Arc::clone(&det);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let r = req(100 + n, &format!("http://h/{i}.html"), "wget/1.0");
+                        det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every thread's key is independently promoted to no-signal robot.
+        for n in 0..4u32 {
+            let key = SessionKey::new(ClientIp::new(100 + n), "wget/1.0");
+            assert_eq!(
+                det.verdict(&key),
+                Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
+            );
+        }
+        let done = det.drain();
+        assert_eq!(done.len(), 4);
+        assert_eq!(
+            done.iter().map(|c| c.session.request_count()).sum::<u64>(),
+            800
+        );
     }
 }

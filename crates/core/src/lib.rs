@@ -76,8 +76,8 @@ pub mod report;
 pub mod staged;
 
 pub use classifier::{Label, Reason, Verdict};
-pub use detector::{CompletedSession, Detector, DetectorConfig, ObserveOutcome};
+pub use detector::{CompletedSession, Detector, DetectorConfig, KeyState, ObserveOutcome};
 pub use evidence::{EvidenceKind, EvidenceSet};
-pub use policy::{Action, PolicyConfig, PolicyEngine};
+pub use policy::{Action, PolicyConfig, PolicyEngine, PolicyState};
 pub use report::{Figure2Report, RequestCdf, Table1Report};
 pub use staged::{BoundaryClassifier, Stage, StagedConfig, StagedDecision, StagedPipeline};

@@ -6,11 +6,18 @@
 //! request rate, error response codes). This module implements that
 //! enforcement: per-verdict token-bucket rate limits plus behavioural
 //! blocking thresholds.
+//!
+//! Since PR 3 the engine itself is stateless per key: everything mutable
+//! per session lives in a [`PolicyState`] the caller colocates with the
+//! session record (inside the tracker's shard entry), so one shard lock
+//! covers the whole enforcement decision. The engine keeps only the
+//! immutable thresholds plus atomic cross-key totals, and every method
+//! takes `&self`.
 
 use crate::classifier::Verdict;
-use botwall_sessions::{SessionCounters, SessionKey, SimTime};
+use botwall_sessions::{SessionCounters, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the policy engine decides for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,21 +117,53 @@ enum RateClass {
     Undecided,
 }
 
-/// Per-session enforcement state.
+/// Per-session enforcement state: the provisioned rate bucket plus the
+/// block flag. Lives inside the session's tracker shard entry, so the
+/// enforcement decision shares the session's shard lock.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyState {
+    bucket: Option<(RateClass, TokenBucket)>,
+    blocked: bool,
+}
+
+impl PolicyState {
+    /// Whether the session is blocked outright.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    /// Blocks the session (operator action or threshold trip).
+    pub fn block(&mut self) {
+        self.blocked = true;
+    }
+
+    /// State for the key's next incarnation at idle rollover: the block
+    /// verdict survives (a blocked robot does not earn a reset by going
+    /// quiet for an hour), while the rate bucket re-provisions from the
+    /// fresh incarnation's verdict.
+    pub fn carry_over(&self) -> PolicyState {
+        PolicyState {
+            bucket: None,
+            blocked: self.blocked,
+        }
+    }
+}
+
+/// The enforcement decider: immutable thresholds plus atomic cross-key
+/// totals. Per-session state is passed in as [`PolicyState`].
 ///
 /// # Examples
 ///
 /// ```
 /// use botwall_core::classifier::{Reason, Verdict};
-/// use botwall_core::policy::{Action, PolicyConfig, PolicyEngine};
-/// use botwall_http::request::ClientIp;
-/// use botwall_sessions::{SessionCounters, SessionKey, SimTime};
+/// use botwall_core::policy::{Action, PolicyConfig, PolicyEngine, PolicyState};
+/// use botwall_sessions::{SessionCounters, SimTime};
 ///
-/// let mut engine = PolicyEngine::new(PolicyConfig::default());
-/// let key = SessionKey::new(ClientIp::new(1), "ua");
+/// let engine = PolicyEngine::new(PolicyConfig::default());
+/// let mut state = PolicyState::default();
 /// let counters = SessionCounters::new();
 /// let action = engine.decide(
-///     &key,
+///     &mut state,
 ///     Verdict::Human(Reason::MouseActivity),
 ///     &counters,
 ///     0.0,
@@ -132,13 +171,11 @@ enum RateClass {
 /// );
 /// assert_eq!(action, Action::Allow);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct PolicyEngine {
     config: PolicyConfig,
-    buckets: HashMap<SessionKey, (RateClass, TokenBucket)>,
-    blocked: HashSet<SessionKey>,
-    throttled_total: u64,
-    blocked_total: u64,
+    throttled_total: AtomicU64,
+    blocked_total: AtomicU64,
 }
 
 impl PolicyEngine {
@@ -146,26 +183,25 @@ impl PolicyEngine {
     pub fn new(config: PolicyConfig) -> PolicyEngine {
         PolicyEngine {
             config,
-            buckets: HashMap::new(),
-            blocked: HashSet::new(),
-            throttled_total: 0,
-            blocked_total: 0,
+            throttled_total: AtomicU64::new(0),
+            blocked_total: AtomicU64::new(0),
         }
     }
 
-    /// Decides the fate of the current request for `key`.
+    /// Decides the fate of the current request given the session's
+    /// enforcement state, updating the state in place.
     ///
     /// `session_rate` is the session's sustained request rate in req/s
     /// (see [`botwall_sessions::Session::request_rate`]).
     pub fn decide(
-        &mut self,
-        key: &SessionKey,
+        &self,
+        state: &mut PolicyState,
         verdict: Verdict,
         counters: &SessionCounters,
         session_rate: f64,
         now: SimTime,
     ) -> Action {
-        if self.blocked.contains(key) {
+        if state.blocked {
             return Action::Block;
         }
         let is_robot = matches!(verdict, Verdict::Robot(_) | Verdict::ProvisionalRobot(_));
@@ -176,8 +212,8 @@ impl PolicyEngine {
             let over_err = counters.error_ratio() > self.config.error_ratio_threshold;
             let over_rate = session_rate > self.config.rate_threshold;
             if over_cgi || over_err || over_rate {
-                self.blocked.insert(key.clone());
-                self.blocked_total += 1;
+                state.blocked = true;
+                self.blocked_total.fetch_add(1, Ordering::Relaxed);
                 return Action::Block;
             }
         }
@@ -197,47 +233,36 @@ impl PolicyEngine {
         };
         // A verdict change re-provisions the bucket: a session promoted to
         // robot must not keep coasting on its undecided allowance.
-        let entry = self
-            .buckets
-            .entry(key.clone())
-            .or_insert_with(|| (class, TokenBucket::new(burst, rate, now)));
+        let entry = state
+            .bucket
+            .get_or_insert_with(|| (class, TokenBucket::new(burst, rate, now)));
         if entry.0 != class {
             *entry = (class, TokenBucket::new(burst, rate, now));
         }
         if entry.1.try_take(now) {
             Action::Allow
         } else {
-            self.throttled_total += 1;
+            self.throttled_total.fetch_add(1, Ordering::Relaxed);
             Action::Throttle
         }
     }
 
     /// Explicitly blocks a session (operator action).
-    pub fn block(&mut self, key: &SessionKey) {
-        if self.blocked.insert(key.clone()) {
-            self.blocked_total += 1;
+    pub fn block(&self, state: &mut PolicyState) {
+        if !state.blocked {
+            state.blocked = true;
+            self.blocked_total.fetch_add(1, Ordering::Relaxed);
         }
-    }
-
-    /// Whether a session is blocked.
-    pub fn is_blocked(&self, key: &SessionKey) -> bool {
-        self.blocked.contains(key)
-    }
-
-    /// Forgets per-session state (when a session expires).
-    pub fn forget(&mut self, key: &SessionKey) {
-        self.buckets.remove(key);
-        self.blocked.remove(key);
     }
 
     /// Total requests throttled so far.
     pub fn throttled_total(&self) -> u64 {
-        self.throttled_total
+        self.throttled_total.load(Ordering::Relaxed)
     }
 
     /// Total sessions blocked so far.
     pub fn blocked_total(&self) -> u64 {
-        self.blocked_total
+        self.blocked_total.load(Ordering::Relaxed)
     }
 }
 
@@ -245,11 +270,6 @@ impl PolicyEngine {
 mod tests {
     use super::*;
     use crate::classifier::Reason;
-    use botwall_http::request::ClientIp;
-
-    fn key(ip: u32) -> SessionKey {
-        SessionKey::new(ClientIp::new(ip), "ua")
-    }
 
     fn engine() -> PolicyEngine {
         PolicyEngine::new(PolicyConfig::default())
@@ -274,13 +294,13 @@ mod tests {
 
     #[test]
     fn humans_are_never_limited() {
-        let mut e = engine();
-        let k = key(1);
+        let e = engine();
+        let mut s = PolicyState::default();
         let c = SessionCounters::new();
         for _ in 0..1000 {
             assert_eq!(
                 e.decide(
-                    &k,
+                    &mut s,
                     Verdict::Human(Reason::MouseActivity),
                     &c,
                     100.0,
@@ -294,13 +314,13 @@ mod tests {
 
     #[test]
     fn robots_hit_the_rate_limit() {
-        let mut e = engine();
-        let k = key(2);
+        let e = engine();
+        let mut s = PolicyState::default();
         let c = SessionCounters::new();
         let mut throttled = 0;
         for _ in 0..20 {
             if e.decide(
-                &k,
+                &mut s,
                 Verdict::Robot(Reason::DecoyFetched),
                 &c,
                 1.0,
@@ -319,19 +339,19 @@ mod tests {
     fn verdict_change_reprovisions_the_bucket() {
         // A session that coasts as Undecided must drop to the robot
         // allowance the moment it is classified.
-        let mut e = engine();
-        let k = key(11);
+        let e = engine();
+        let mut s = PolicyState::default();
         let c = SessionCounters::new();
         for _ in 0..10 {
             assert_eq!(
-                e.decide(&k, Verdict::Undecided, &c, 1.0, SimTime::ZERO),
+                e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO),
                 Action::Allow
             );
         }
         let mut allowed = 0;
         for _ in 0..10 {
             if e.decide(
-                &k,
+                &mut s,
                 Verdict::ProvisionalRobot(Reason::NoBrowserSignals),
                 &c,
                 1.0,
@@ -346,37 +366,37 @@ mod tests {
 
     #[test]
     fn cgi_storm_gets_blocked() {
-        let mut e = engine();
-        let k = key(3);
+        let e = engine();
+        let mut s = PolicyState::default();
         let mut c = SessionCounters::new();
         c.total = 20;
         c.cgi = 15; // 75% CGI.
         let a = e.decide(
-            &k,
+            &mut s,
             Verdict::Robot(Reason::NoBrowserSignals),
             &c,
             1.0,
             SimTime::ZERO,
         );
         assert_eq!(a, Action::Block);
-        assert!(e.is_blocked(&k));
+        assert!(s.is_blocked());
         // Subsequent requests stay blocked.
         assert_eq!(
-            e.decide(&k, Verdict::Undecided, &c, 0.0, SimTime::from_secs(9)),
+            e.decide(&mut s, Verdict::Undecided, &c, 0.0, SimTime::from_secs(9)),
             Action::Block
         );
     }
 
     #[test]
     fn error_storm_gets_blocked() {
-        let mut e = engine();
-        let k = key(4);
+        let e = engine();
+        let mut s = PolicyState::default();
         let mut c = SessionCounters::new();
         c.total = 50;
         c.resp_4xx = 30;
         assert_eq!(
             e.decide(
-                &k,
+                &mut s,
                 Verdict::ProvisionalRobot(Reason::JsWithoutMouse),
                 &c,
                 0.1,
@@ -388,13 +408,13 @@ mod tests {
 
     #[test]
     fn high_request_rate_gets_blocked() {
-        let mut e = engine();
-        let k = key(5);
+        let e = engine();
+        let mut s = PolicyState::default();
         let mut c = SessionCounters::new();
         c.total = 100;
         assert_eq!(
             e.decide(
-                &k,
+                &mut s,
                 Verdict::Robot(Reason::HiddenLink),
                 &c,
                 50.0,
@@ -406,13 +426,13 @@ mod tests {
 
     #[test]
     fn thresholds_require_history() {
-        let mut e = engine();
-        let k = key(6);
+        let e = engine();
+        let mut s = PolicyState::default();
         let mut c = SessionCounters::new();
         c.total = 5; // Below min_requests_for_thresholds.
         c.cgi = 5;
         let a = e.decide(
-            &k,
+            &mut s,
             Verdict::Robot(Reason::NoBrowserSignals),
             &c,
             1.0,
@@ -423,14 +443,14 @@ mod tests {
 
     #[test]
     fn thresholds_do_not_block_humans() {
-        let mut e = engine();
-        let k = key(7);
+        let e = engine();
+        let mut s = PolicyState::default();
         let mut c = SessionCounters::new();
         c.total = 100;
         c.cgi = 90;
         assert_eq!(
             e.decide(
-                &k,
+                &mut s,
                 Verdict::Human(Reason::MouseActivity),
                 &c,
                 50.0,
@@ -442,23 +462,39 @@ mod tests {
     }
 
     #[test]
-    fn forget_clears_state() {
-        let mut e = engine();
-        let k = key(8);
-        e.block(&k);
-        assert!(e.is_blocked(&k));
-        e.forget(&k);
-        assert!(!e.is_blocked(&k));
+    fn explicit_block_is_counted_once() {
+        let e = engine();
+        let mut s = PolicyState::default();
+        e.block(&mut s);
+        e.block(&mut s);
+        assert!(s.is_blocked());
+        assert_eq!(e.blocked_total(), 1);
+    }
+
+    #[test]
+    fn carry_over_keeps_the_block_but_drops_the_bucket() {
+        let e = engine();
+        let mut s = PolicyState::default();
+        let c = SessionCounters::new();
+        // Provision a bucket, then block.
+        e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO);
+        assert!(s.bucket.is_some());
+        e.block(&mut s);
+        let next = s.carry_over();
+        assert!(next.is_blocked(), "block survives rollover");
+        assert!(next.bucket.is_none(), "bucket re-provisions");
+        // An unblocked session carries over clean.
+        assert!(!PolicyState::default().carry_over().is_blocked());
     }
 
     #[test]
     fn undecided_sessions_get_loose_limit() {
-        let mut e = engine();
-        let k = key(9);
+        let e = engine();
+        let mut s = PolicyState::default();
         let c = SessionCounters::new();
         let mut throttled = 0;
         for _ in 0..100 {
-            if e.decide(&k, Verdict::Undecided, &c, 1.0, SimTime::ZERO) == Action::Throttle {
+            if e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO) == Action::Throttle {
                 throttled += 1;
             }
         }

@@ -266,7 +266,7 @@ mod tests {
     use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
 
     fn completed(kinds: &[(EvidenceKind, u32)], classifiable: bool) -> CompletedSession {
-        let mut tracker = SessionTracker::new(TrackerConfig::default());
+        let tracker = SessionTracker::new(TrackerConfig::default());
         let n = if classifiable { 12 } else { 3 };
         let mut key = None;
         for i in 0..n {

@@ -205,7 +205,7 @@ mod tests {
     use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
 
     fn session(requests: u64) -> Session {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         let mut key = None;
         for i in 0..requests {
             let r = Request::builder(Method::Get, format!("http://h/{i}.html"))

@@ -29,6 +29,12 @@ pub struct GatewayConfig {
     /// the paper's pre-deployment state: observe and classify, but
     /// never throttle or block.
     pub enforcement: bool,
+    /// Serve a CAPTCHA interstitial instead of a bare 429 when a session
+    /// is throttled — the paper's §4.2 incentive flow as an enforcement
+    /// escape hatch: a throttled human (or misjudged client) can solve
+    /// the challenge, become ground-truth human, and shed the rate
+    /// limit. Ignored when the CAPTCHA policy is `Disabled`.
+    pub challenge_on_throttle: bool,
     /// Seed for the gateway's deterministic RNGs (instrumentation keys,
     /// challenge generation).
     pub seed: u64,
@@ -43,6 +49,7 @@ impl Default for GatewayConfig {
             captcha: ServingPolicy::OptionalWithIncentive,
             staged: StagedConfig::default(),
             enforcement: true,
+            challenge_on_throttle: false,
             seed: 0,
         }
     }
@@ -67,7 +74,7 @@ impl Default for GatewayConfig {
 #[derive(Default)]
 pub struct GatewayBuilder {
     config: GatewayConfig,
-    boundary: Option<Box<dyn BoundaryClassifier>>,
+    boundary: Option<Box<dyn BoundaryClassifier + Send + Sync>>,
 }
 
 impl GatewayBuilder {
@@ -118,6 +125,13 @@ impl GatewayBuilder {
         self
     }
 
+    /// Serves a CAPTCHA instead of a bare 429 to throttled sessions
+    /// (§4.2 escape hatch; see [`GatewayConfig::challenge_on_throttle`]).
+    pub fn challenge_on_throttle(mut self, on: bool) -> Self {
+        self.config.challenge_on_throttle = on;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
@@ -127,7 +141,8 @@ impl GatewayBuilder {
     /// Installs a boundary classifier for the §4.1 staged pipeline: when
     /// present, classifiable sessions whose evidence leaves them on the
     /// set-algebra boundary are re-decided by it at flush time.
-    pub fn boundary(mut self, boundary: impl BoundaryClassifier + 'static) -> Self {
+    /// `Send + Sync` because the gateway itself is shared across threads.
+    pub fn boundary(mut self, boundary: impl BoundaryClassifier + Send + Sync + 'static) -> Self {
         self.boundary = Some(Box::new(boundary));
         self
     }

@@ -1,4 +1,18 @@
 //! The gateway engine: one `handle` call per exchange.
+//!
+//! # Concurrency
+//!
+//! The entire request path is `&self` and the gateway is `Send + Sync`:
+//! wrap it in an [`std::sync::Arc`] and call [`Gateway::handle`] from as
+//! many threads as the hardware offers. Per-key mutable state (session
+//! record, evidence, verdict, rate bucket, block flag) lives inside the
+//! detector's sharded tracker — one shard-mutex acquisition covers the
+//! policy gate, and one covers the exchange observation, so requests for
+//! different keys proceed in parallel. Cross-key state is either
+//! immutable (config, thresholds), atomic (activity counters, the
+//! under-attack flag), or behind a lock only rare paths touch (the
+//! instrumenter's token table for beacon redemptions and page rewrites —
+//! ordinary classification takes the read side only).
 
 use crate::config::{GatewayBuilder, GatewayConfig};
 use crate::decision::{challenge_response, Decision, Origin};
@@ -12,6 +26,8 @@ use botwall_sessions::{Session, SessionKey, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// Salt applied to the gateway seed for the CAPTCHA generator, so the
 /// instrumentation and challenge RNG streams never collide.
@@ -53,29 +69,59 @@ pub struct GatewayStats {
     pub captcha_failed: u64,
 }
 
-/// Cumulative counters the gateway maintains as it handles traffic.
-#[derive(Debug, Clone, Copy, Default)]
-struct Counters {
-    requests: u64,
-    served: u64,
-    throttled: u64,
-    blocked: u64,
-    challenged: u64,
-    probe_requests: u64,
-    completed_sessions: u64,
-    ml_overrides: u64,
-    total_bytes: u64,
-    instrumentation_bytes: u64,
+/// One cache-line-padded cell of per-request counters. Requests update
+/// the cell their session key hashes to, so concurrent handlers touch
+/// different cache lines instead of serializing on one hot counter word.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CounterCell {
+    requests: AtomicU64,
+    served: AtomicU64,
+    throttled: AtomicU64,
+    blocked: AtomicU64,
+    challenged: AtomicU64,
+    probe_requests: AtomicU64,
+    total_bytes: AtomicU64,
+    instrumentation_bytes: AtomicU64,
+}
+
+/// Request counters sharded by session-key hash, merged at
+/// [`Gateway::stats`] time. Every request lands in exactly one outcome
+/// column (served / throttled / blocked / challenged), so the merged
+/// ledger balances exactly even under concurrent ingest.
+#[derive(Debug)]
+struct ShardedCounters {
+    cells: Vec<CounterCell>,
+}
+
+impl ShardedCounters {
+    fn new(shards: usize) -> ShardedCounters {
+        ShardedCounters {
+            cells: (0..shards.max(1)).map(|_| CounterCell::default()).collect(),
+        }
+    }
+
+    fn cell(&self, key: &SessionKey) -> &CounterCell {
+        &self.cells[(key.shard_hash() % self.cells.len() as u64) as usize]
+    }
+
+    fn sum(&self, f: impl Fn(&CounterCell) -> &AtomicU64) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| f(c).load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 /// The single front door over the detection core.
 ///
 /// One `Gateway` owns the whole per-deployment composition the paper
 /// describes: the page instrumenter, the sessionized detector (sharded
-/// tracker, batch evidence application), the policy engine, and the
-/// CAPTCHA service. Every exchange goes through [`Gateway::handle`] or
-/// [`Gateway::handle_with`]; idle sessions flush through
-/// [`Gateway::sweep`] / [`Gateway::drain`].
+/// tracker with colocated evidence/policy state), the policy engine, and
+/// the CAPTCHA service. Every exchange goes through [`Gateway::handle`]
+/// or [`Gateway::handle_with`]; idle sessions flush through
+/// [`Gateway::sweep`] / [`Gateway::drain`]. All of it takes `&self` —
+/// see the module docs for the locking model.
 ///
 /// # Examples
 ///
@@ -85,7 +131,7 @@ struct Counters {
 /// use botwall_http::{Method, Request};
 /// use botwall_sessions::SimTime;
 ///
-/// let mut gw = Gateway::builder().seed(1).build();
+/// let gw = Gateway::builder().seed(1).build();
 /// let req = Request::builder(Method::Get, "http://site.example/x.html")
 ///     .header("User-Agent", "curl/7.0")
 ///     .client(ClientIp::new(9))
@@ -99,16 +145,21 @@ struct Counters {
 /// ```
 pub struct Gateway {
     config: GatewayConfig,
-    instrumenter: Instrumenter,
+    instrumenter: RwLock<Instrumenter>,
     detector: Detector,
     policy: PolicyEngine,
     captcha: CaptchaService,
-    boundary: Option<Box<dyn BoundaryClassifier>>,
+    boundary: Option<Box<dyn BoundaryClassifier + Send + Sync>>,
     /// CAPTCHA passes verified while the keyed session was not live
     /// (swept or evicted between issue and answer): credited to the
     /// key's next incarnation on its first observed exchange.
-    pending_captcha: HashMap<SessionKey, SimTime>,
-    counters: Counters,
+    pending_captcha: Mutex<HashMap<SessionKey, SimTime>>,
+    /// Lock-free gate for `pending_captcha`: the hot path only takes the
+    /// mutex when at least one pass is actually pending.
+    pending_count: AtomicUsize,
+    counters: ShardedCounters,
+    completed_sessions: AtomicU64,
+    ml_overrides: AtomicU64,
 }
 
 /// Bound on [`Gateway::pending_captcha`]; beyond it the smallest key is
@@ -119,7 +170,7 @@ impl fmt::Debug for Gateway {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Gateway")
             .field("config", &self.config)
-            .field("counters", &self.counters)
+            .field("stats", &self.stats())
             .field("boundary", &self.boundary.is_some())
             .finish_non_exhaustive()
     }
@@ -135,16 +186,20 @@ impl Gateway {
     /// classifier (the builder's terminal step).
     pub(crate) fn from_parts(
         config: GatewayConfig,
-        boundary: Option<Box<dyn BoundaryClassifier>>,
+        boundary: Option<Box<dyn BoundaryClassifier + Send + Sync>>,
     ) -> Gateway {
+        let counter_shards = config.detector.tracker.shards;
         Gateway {
-            instrumenter: Instrumenter::new(config.instrument.clone(), config.seed),
+            instrumenter: RwLock::new(Instrumenter::new(config.instrument.clone(), config.seed)),
             detector: Detector::new(config.detector.clone()),
             policy: PolicyEngine::new(config.policy.clone()),
             captcha: CaptchaService::new(config.captcha, config.seed ^ CAPTCHA_SEED_SALT),
             boundary,
-            pending_captcha: HashMap::new(),
-            counters: Counters::default(),
+            pending_captcha: Mutex::new(HashMap::new()),
+            pending_count: AtomicUsize::new(0),
+            counters: ShardedCounters::new(counter_shards),
+            completed_sessions: AtomicU64::new(0),
+            ml_overrides: AtomicU64::new(0),
             config,
         }
     }
@@ -166,18 +221,34 @@ impl Gateway {
 
     /// Whether a session is blocked.
     pub fn is_blocked(&self, key: &SessionKey) -> bool {
-        self.policy.is_blocked(key)
+        self.detector
+            .with_key_state(key, |_, state| state.policy.is_blocked())
+            .unwrap_or(false)
     }
 
     /// Flips the under-attack flag consulted by the
     /// [`botwall_captcha::ServingPolicy::MandatoryUnderAttack`] policy.
-    pub fn set_under_attack(&mut self, yes: bool) {
+    /// Atomic and `&self`: an operator can flip it while traffic is in
+    /// flight, without pausing the request path.
+    pub fn set_under_attack(&self, yes: bool) {
         self.captcha.set_under_attack(yes);
+    }
+
+    fn read_instrumenter(&self) -> std::sync::RwLockReadGuard<'_, Instrumenter> {
+        botwall_sessions::sync::read_or_recover(&self.instrumenter)
+    }
+
+    fn write_instrumenter(&self) -> std::sync::RwLockWriteGuard<'_, Instrumenter> {
+        botwall_sessions::sync::write_or_recover(&self.instrumenter)
+    }
+
+    fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashMap<SessionKey, SimTime>> {
+        botwall_sessions::sync::lock_or_recover(&self.pending_captcha)
     }
 
     /// Handles one exchange with no origin behind the gateway: probe and
     /// beacon traffic is answered in full; allowed ordinary paths 404.
-    pub fn handle(&mut self, request: &Request, now: SimTime) -> Decision {
+    pub fn handle(&self, request: &Request, now: SimTime) -> Decision {
         self.handle_with(request, now, |_| Origin::NotFound)
     }
 
@@ -188,53 +259,79 @@ impl Gateway {
     /// (instrumenting HTML pages on the way out), and feed the final
     /// exchange back into the detector — error responses included, so
     /// rejected traffic keeps feeding the behavioural thresholds.
-    pub fn handle_with<F>(&mut self, request: &Request, now: SimTime, origin: F) -> Decision
+    pub fn handle_with<F>(&self, request: &Request, now: SimTime, origin: F) -> Decision
     where
         F: FnOnce(&Request) -> Origin,
     {
-        self.counters.requests += 1;
-        let classified = self.instrumenter.classify(request, now);
         let key = SessionKey::of(request);
+        let cell = self.counters.cell(&key);
+        cell.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Ordinary and probe traffic classifies through the read lock;
+        // only mouse-beacon redemptions (single-use keys) take the write
+        // side. The guard must drop before the write attempt.
+        let fast = self.read_instrumenter().classify_probe(request);
+        let classified = match fast {
+            Some(c) => c,
+            None => self.write_instrumenter().classify(request, now),
+        };
 
         // Policy gate first, on the verdict as of the previous request:
-        // the gateway decides before doing origin work.
+        // the gateway decides before doing origin work. One shard-lock
+        // acquisition covers verdict read, thresholds, and the bucket.
         let action = if self.config.enforcement {
-            let verdict = self.detector.verdict(&key);
-            let (counters, rate) = self
-                .detector
-                .tracker()
-                .get(&key)
-                .map(|s| (s.counters().clone(), s.request_rate()))
-                .unwrap_or_default();
-            self.policy.decide(&key, verdict, &counters, rate, now)
+            self.detector
+                .with_key_state(&key, |session, state| {
+                    self.policy.decide(
+                        &mut state.policy,
+                        state.verdict,
+                        session.counters(),
+                        session.request_rate(),
+                        now,
+                    )
+                })
+                // A key with no live session has nothing to enforce
+                // against yet; its first exchange creates the state.
+                .unwrap_or(Action::Allow)
         } else {
             Action::Allow
         };
 
         match action {
             Action::Block => {
-                self.counters.blocked += 1;
+                cell.blocked.fetch_add(1, Ordering::Relaxed);
                 let response = Response::empty(StatusCode::FORBIDDEN);
-                self.observe(request, &response, &classified, now);
+                self.observe(request, &response, &classified, now, cell);
                 Decision::Block
             }
             Action::Throttle => {
-                self.counters.throttled += 1;
+                // §4.2 escape hatch: a throttled session can be offered a
+                // CAPTCHA instead of a bare 429 — solving it makes the
+                // session ground-truth human and sheds the rate limit.
+                if self.config.challenge_on_throttle && self.captcha.is_enabled() {
+                    let challenge = self.captcha.issue();
+                    cell.challenged.fetch_add(1, Ordering::Relaxed);
+                    let response = challenge_response(&challenge);
+                    self.observe(request, &response, &classified, now, cell);
+                    return Decision::Challenge(challenge);
+                }
+                cell.throttled.fetch_add(1, Ordering::Relaxed);
                 let response = Response::empty(StatusCode::TOO_MANY_REQUESTS);
-                self.observe(request, &response, &classified, now);
+                self.observe(request, &response, &classified, now, cell);
                 Decision::Throttle
             }
-            Action::Allow => self.respond(request, &classified, key, now, origin),
+            Action::Allow => self.respond(request, &classified, key, now, cell, origin),
         }
     }
 
     /// Produces the served decision for an allowed request.
     fn respond<F>(
-        &mut self,
+        &self,
         request: &Request,
         classified: &Classified,
         key: SessionKey,
         now: SimTime,
+        cell: &CounterCell,
         origin: F,
     ) -> Decision
     where
@@ -243,10 +340,11 @@ impl Gateway {
         // Instrumentation traffic is answered by the gateway itself —
         // it must flow even under mandatory-challenge mode, because it
         // is the channel through which humans prove themselves.
-        if let Some(response) = self.instrumenter.respond(classified) {
-            self.counters.served += 1;
-            self.counters.probe_requests += 1;
-            let out = self.observe(request, &response, classified, now);
+        let probe_response = self.read_instrumenter().respond(classified);
+        if let Some(response) = probe_response {
+            cell.served.fetch_add(1, Ordering::Relaxed);
+            cell.probe_requests.fetch_add(1, Ordering::Relaxed);
+            let out = self.observe(request, &response, classified, now, cell);
             return Decision::Serve {
                 response,
                 body: None,
@@ -262,23 +360,27 @@ impl Gateway {
         // its first exchange counts as proven).
         if self.captcha.is_mandatory()
             && !matches!(self.detector.verdict(&key), Verdict::Human(_))
-            && !self.pending_captcha.contains_key(&key)
+            && !self.pending_contains(&key)
         {
             let challenge = self.captcha.issue();
-            self.counters.challenged += 1;
+            cell.challenged.fetch_add(1, Ordering::Relaxed);
             let response = challenge_response(&challenge);
-            self.observe(request, &response, classified, now);
+            self.observe(request, &response, classified, now, cell);
             return Decision::Challenge(challenge);
         }
 
         let (response, body, manifest) = match origin(request) {
             Origin::Page(html) => {
-                let (rewritten, manifest) =
-                    self.instrumenter
-                        .instrument_page(&html, request.uri(), request.client(), now);
+                let (rewritten, manifest) = self.write_instrumenter().instrument_page(
+                    &html,
+                    request.uri(),
+                    request.client(),
+                    now,
+                );
                 // The page's wire bytes are tallied by `observe`; only
                 // the injected share moves into the overhead column here.
-                self.counters.instrumentation_bytes += manifest.html_overhead as u64;
+                cell.instrumentation_bytes
+                    .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
                 let mut response = Response::builder(StatusCode::OK)
                     .header("Content-Type", "text/html")
                     .body_bytes(rewritten.clone().into_bytes())
@@ -289,8 +391,8 @@ impl Gateway {
             Origin::Response(response) => (response, None, None),
             Origin::NotFound => (Response::empty(StatusCode::NOT_FOUND), None, None),
         };
-        self.counters.served += 1;
-        let out = self.observe(request, &response, classified, now);
+        cell.served.fetch_add(1, Ordering::Relaxed);
+        let out = self.observe(request, &response, classified, now, cell);
         Decision::Serve {
             response,
             body,
@@ -304,22 +406,30 @@ impl Gateway {
     /// Feeds the finished exchange into the detector and the byte
     /// ledgers; returns the fast-path verdict.
     fn observe(
-        &mut self,
+        &self,
         request: &Request,
         response: &Response,
         classified: &Classified,
         now: SimTime,
+        cell: &CounterCell,
     ) -> Verdict {
         let out = self.detector.observe(request, response, classified, now);
         let bytes = (request.wire_len() + response.wire_len()) as u64;
-        self.counters.total_bytes += bytes;
+        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
         if !matches!(classified, Classified::Ordinary) {
-            self.counters.instrumentation_bytes += bytes;
+            cell.instrumentation_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
         }
         // A CAPTCHA pass verified while this key had no live session is
         // credited now that one exists.
-        if !self.pending_captcha.is_empty() {
-            if let Some(at) = self.pending_captcha.remove(&out.key) {
+        if self.pending_count.load(Ordering::Acquire) != 0 {
+            let credited = {
+                let mut pending = self.lock_pending();
+                let hit = pending.remove(&out.key);
+                self.pending_count.store(pending.len(), Ordering::Release);
+                hit
+            };
+            if let Some(at) = credited {
                 self.detector.record_captcha_pass(&out.key, at);
                 return self.detector.verdict(&out.key);
             }
@@ -327,8 +437,12 @@ impl Gateway {
         out.verdict
     }
 
+    fn pending_contains(&self, key: &SessionKey) -> bool {
+        self.pending_count.load(Ordering::Acquire) != 0 && self.lock_pending().contains_key(key)
+    }
+
     /// Offers a CAPTCHA if the serving policy says so.
-    pub fn offer_captcha(&mut self) -> Option<Challenge> {
+    pub fn offer_captcha(&self) -> Option<Challenge> {
         if !self.captcha.should_offer() {
             return None;
         }
@@ -340,13 +454,7 @@ impl Gateway {
     /// or evicted between issue and answer), the pass is held and
     /// credited to the key's next incarnation on its first exchange —
     /// a correct answer is never silently dropped.
-    pub fn verify_captcha(
-        &mut self,
-        key: &SessionKey,
-        id: u64,
-        answer: &str,
-        now: SimTime,
-    ) -> bool {
+    pub fn verify_captcha(&self, key: &SessionKey, id: u64, answer: &str, now: SimTime) -> bool {
         let ok = self.captcha.verify(id, answer);
         if ok {
             // A session idle past the timeout is already dead — its next
@@ -360,15 +468,15 @@ impl Gateway {
             if live {
                 self.detector.record_captcha_pass(key, now);
             } else {
-                if self.pending_captcha.len() >= MAX_PENDING_CAPTCHA
-                    && !self.pending_captcha.contains_key(key)
-                {
+                let mut pending = self.lock_pending();
+                if pending.len() >= MAX_PENDING_CAPTCHA && !pending.contains_key(key) {
                     // Deterministic eviction: drop the smallest key.
-                    if let Some(min) = self.pending_captcha.keys().min().cloned() {
-                        self.pending_captcha.remove(&min);
+                    if let Some(min) = pending.keys().min().cloned() {
+                        pending.remove(&min);
                     }
                 }
-                self.pending_captcha.insert(key.clone(), now);
+                pending.insert(key.clone(), now);
+                self.pending_count.store(pending.len(), Ordering::Release);
             }
         }
         ok
@@ -376,28 +484,31 @@ impl Gateway {
 
     /// Marks a CAPTCHA pass for a session directly (harnesses with their
     /// own verification path). Unknown sessions are a no-op.
-    pub fn record_captcha_pass(&mut self, key: &SessionKey, now: SimTime) {
+    pub fn record_captcha_pass(&self, key: &SessionKey, now: SimTime) {
         self.detector.record_captcha_pass(key, now);
     }
 
     /// Expires idle sessions and instrumentation state as of `now`,
     /// applying the batch classification to every flushed session.
-    pub fn sweep(&mut self, now: SimTime) -> Vec<CompletedSession> {
-        self.instrumenter.sweep(now);
+    pub fn sweep(&self, now: SimTime) -> Vec<CompletedSession> {
+        self.write_instrumenter().sweep(now);
         let completed = self.detector.sweep(now);
         self.finish(completed)
     }
 
     /// Flushes every session unconditionally (end of deployment).
-    pub fn drain(&mut self) -> Vec<CompletedSession> {
+    pub fn drain(&self) -> Vec<CompletedSession> {
         let completed = self.detector.drain();
         self.finish(completed)
     }
 
     /// Post-flush bookkeeping shared by sweep and drain: boundary
-    /// re-decisions and per-session policy-state cleanup.
-    fn finish(&mut self, mut completed: Vec<CompletedSession>) -> Vec<CompletedSession> {
-        self.counters.completed_sessions += completed.len() as u64;
+    /// re-decisions. Per-key policy state needs no cleanup — it lives in
+    /// the shard entry and is gone the moment the entry flushes, while a
+    /// still-live successor incarnation keeps its own carried state.
+    fn finish(&self, mut completed: Vec<CompletedSession>) -> Vec<CompletedSession> {
+        self.completed_sessions
+            .fetch_add(completed.len() as u64, Ordering::Relaxed);
         if let Some(boundary) = &self.boundary {
             let pipeline = StagedPipeline::new(self.config.staged, |s: &Session| {
                 boundary.classify_session(s)
@@ -410,39 +521,31 @@ impl Gateway {
                 if decision.stage == Stage::MlBoundary && decision.label != cs.label {
                     cs.label = decision.label;
                     cs.reason = Reason::MlBoundary;
-                    self.counters.ml_overrides += 1;
+                    self.ml_overrides.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-        }
-        for cs in &completed {
-            // Forget policy state (block status, rate bucket) only when
-            // no live successor incarnation shares the key — a flushed
-            // predecessor must not unblock a still-active session.
-            let key = cs.session.key();
-            if self.detector.tracker().get(key).is_none() {
-                self.policy.forget(key);
             }
         }
         completed
     }
 
-    /// Snapshots the gateway's activity counters.
+    /// Snapshots the gateway's activity counters, merging the per-shard
+    /// cells.
     pub fn stats(&self) -> GatewayStats {
         let (captcha_issued, captcha_passed, captcha_failed) = self.captcha.stats();
         let tracker = self.detector.tracker();
         GatewayStats {
-            requests: self.counters.requests,
-            served: self.counters.served,
-            throttled: self.counters.throttled,
-            blocked: self.counters.blocked,
-            challenged: self.counters.challenged,
-            probe_requests: self.counters.probe_requests,
-            completed_sessions: self.counters.completed_sessions,
-            ml_overrides: self.counters.ml_overrides,
+            requests: self.counters.sum(|c| &c.requests),
+            served: self.counters.sum(|c| &c.served),
+            throttled: self.counters.sum(|c| &c.throttled),
+            blocked: self.counters.sum(|c| &c.blocked),
+            challenged: self.counters.sum(|c| &c.challenged),
+            probe_requests: self.counters.sum(|c| &c.probe_requests),
+            completed_sessions: self.completed_sessions.load(Ordering::Relaxed),
+            ml_overrides: self.ml_overrides.load(Ordering::Relaxed),
             live_sessions: tracker.live_count(),
             shard_count: tracker.shard_count(),
-            total_bytes: self.counters.total_bytes,
-            instrumentation_bytes: self.counters.instrumentation_bytes,
+            total_bytes: self.counters.sum(|c| &c.total_bytes),
+            instrumentation_bytes: self.counters.sum(|c| &c.instrumentation_bytes),
             captcha_issued,
             captcha_passed,
             captcha_failed,
@@ -468,15 +571,21 @@ mod tests {
             .unwrap()
     }
 
-    fn page_decision(gw: &mut Gateway, ip: u32, ua: &str, at: SimTime) -> Decision {
+    fn page_decision(gw: &Gateway, ip: u32, ua: &str, at: SimTime) -> Decision {
         let r = req(ip, "http://site.example/index.html", ua);
         gw.handle_with(&r, at, |_| Origin::Page(HTML.into()))
     }
 
     #[test]
+    fn gateway_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Gateway>();
+    }
+
+    #[test]
     fn pages_come_back_instrumented() {
-        let mut gw = Gateway::builder().seed(3).build();
-        match page_decision(&mut gw, 1, "Mozilla/5.0", SimTime::ZERO) {
+        let gw = Gateway::builder().seed(3).build();
+        match page_decision(&gw, 1, "Mozilla/5.0", SimTime::ZERO) {
             Decision::Serve {
                 body,
                 manifest,
@@ -501,8 +610,8 @@ mod tests {
 
     #[test]
     fn mouse_beacon_flows_to_human_verdict() {
-        let mut gw = Gateway::builder().seed(4).build();
-        let manifest = match page_decision(&mut gw, 2, "Mozilla/5.0", SimTime::ZERO) {
+        let gw = Gateway::builder().seed(4).build();
+        let manifest = match page_decision(&gw, 2, "Mozilla/5.0", SimTime::ZERO) {
             Decision::Serve { manifest, .. } => manifest.unwrap(),
             other => panic!("{other:?}"),
         };
@@ -525,8 +634,8 @@ mod tests {
 
     #[test]
     fn probe_objects_are_served_by_the_gateway() {
-        let mut gw = Gateway::builder().seed(5).build();
-        let manifest = match page_decision(&mut gw, 3, "Mozilla/5.0", SimTime::ZERO) {
+        let gw = Gateway::builder().seed(5).build();
+        let manifest = match page_decision(&gw, 3, "Mozilla/5.0", SimTime::ZERO) {
             Decision::Serve { manifest, .. } => manifest.unwrap(),
             other => panic!("{other:?}"),
         };
@@ -547,7 +656,7 @@ mod tests {
     #[test]
     fn no_signal_sessions_get_throttled_then_survive_enforcement_off() {
         let mut throttled = 0;
-        let mut gw = Gateway::builder().seed(6).build();
+        let gw = Gateway::builder().seed(6).build();
         for i in 0..40 {
             let r = req(4, &format!("http://site.example/{i}.html"), "wget/1.0");
             if !gw
@@ -559,7 +668,7 @@ mod tests {
         }
         assert!(throttled > 0, "no-signal session must hit the robot limit");
         // Enforcement off: everything flows.
-        let mut open = Gateway::builder().seed(6).enforcement(false).build();
+        let open = Gateway::builder().seed(6).enforcement(false).build();
         for i in 0..40 {
             let r = req(4, &format!("http://site.example/{i}.html"), "wget/1.0");
             assert!(open
@@ -570,7 +679,7 @@ mod tests {
 
     #[test]
     fn mandatory_mode_challenges_until_passed() {
-        let mut gw = Gateway::builder()
+        let gw = Gateway::builder()
             .seed(7)
             .captcha(ServingPolicy::MandatoryUnderAttack)
             .build();
@@ -597,7 +706,7 @@ mod tests {
         // any sweep: the old incarnation still sits in the tracker, yet
         // it is dead — its next exchange rolls it over. The pass must
         // ride to the successor, not be buried with the corpse.
-        let mut gw = Gateway::builder()
+        let gw = Gateway::builder()
             .seed(22)
             .captcha(ServingPolicy::MandatoryUnderAttack)
             .build();
@@ -629,7 +738,7 @@ mod tests {
         // timeout: the session is swept away before the answer arrives.
         // The pass must carry over to the key's next incarnation instead
         // of vanishing into a re-challenge loop.
-        let mut gw = Gateway::builder()
+        let gw = Gateway::builder()
             .seed(21)
             .captcha(ServingPolicy::MandatoryUnderAttack)
             .build();
@@ -659,7 +768,7 @@ mod tests {
 
     #[test]
     fn origin_variants_map_to_responses() {
-        let mut gw = Gateway::builder().seed(8).build();
+        let gw = Gateway::builder().seed(8).build();
         let r = req(6, "http://site.example/asset.bin", "Mozilla/5.0");
         let d = gw.handle_with(&r, SimTime::ZERO, |_| {
             Origin::Response(
@@ -691,8 +800,8 @@ mod tests {
 
     #[test]
     fn sweep_flushes_idle_sessions_and_forgets_policy_state() {
-        let mut gw = Gateway::builder().seed(9).build();
-        page_decision(&mut gw, 7, "Mozilla/5.0", SimTime::ZERO);
+        let gw = Gateway::builder().seed(9).build();
+        page_decision(&gw, 7, "Mozilla/5.0", SimTime::ZERO);
         assert!(gw.sweep(SimTime::from_secs(10)).is_empty());
         let done = gw.sweep(SimTime::from_hours(2));
         assert_eq!(done.len(), 1);
@@ -712,8 +821,8 @@ mod tests {
             } else {
                 b
             };
-            let mut gw = b.build();
-            let manifest = match page_decision(&mut gw, 8, "Mozilla/5.0", SimTime::ZERO) {
+            let gw = b.build();
+            let manifest = match page_decision(&gw, 8, "Mozilla/5.0", SimTime::ZERO) {
                 Decision::Serve { manifest, .. } => manifest.unwrap(),
                 other => panic!("{other:?}"),
             };
@@ -749,5 +858,116 @@ mod tests {
     fn stats_snapshot_reports_shards() {
         let gw = Gateway::builder().seed(11).build();
         assert_eq!(gw.stats().shard_count, 16);
+    }
+
+    #[test]
+    fn blocked_sessions_stay_blocked_across_idle_rollover() {
+        // A robot trips the behavioural thresholds and gets blocked, goes
+        // quiet past the idle timeout, then returns: the successor
+        // incarnation must still be blocked (the policy block flag
+        // carries over at rollover; only a full flush with no live
+        // successor clears it).
+        let gw = Gateway::builder().seed(30).build();
+        let mk = |i: u64| {
+            req(
+                12,
+                &format!("http://site.example/cgi-bin/x{i}?q=1"),
+                "wget/1.0",
+            )
+        };
+        let key = SessionKey::of(&mk(0));
+        let mut saw_block = false;
+        for i in 0..40 {
+            let d = gw.handle_with(&mk(i), SimTime::from_secs(i), |_| Origin::NotFound);
+            if matches!(d, Decision::Block) {
+                saw_block = true;
+                break;
+            }
+        }
+        assert!(saw_block, "CGI storm over 404s must trip a threshold");
+        assert!(gw.is_blocked(&key));
+        // Two hours later, the same key returns: still blocked.
+        let later = SimTime::from_hours(3);
+        let d = gw.handle_with(&mk(99), later, |_| Origin::NotFound);
+        assert!(matches!(d, Decision::Block), "{d:?}");
+        assert!(gw.is_blocked(&key));
+        // A sweep flushes both incarnations; with no live successor the
+        // key starts clean.
+        gw.sweep(SimTime::from_hours(5));
+        assert!(!gw.is_blocked(&key));
+    }
+
+    #[test]
+    fn throttle_escape_hatch_serves_a_challenge_instead_of_429() {
+        let gw = Gateway::builder()
+            .seed(31)
+            .challenge_on_throttle(true)
+            .build();
+        let mk = |i: u64| req(13, &format!("http://site.example/{i}.html"), "wget/1.0");
+        // Crawl as a no-signal robot (1 req/s — under the blocking rate
+        // threshold, over the robot bucket's refill) until the rate
+        // limit bites.
+        let mut challenge = None;
+        for i in 0..60 {
+            match gw.handle_with(&mk(i), SimTime::from_secs(i), |_| Origin::Page(HTML.into())) {
+                Decision::Challenge(ch) => {
+                    challenge = Some(ch);
+                    break;
+                }
+                Decision::Throttle => panic!("escape hatch must replace bare 429s"),
+                _ => {}
+            }
+        }
+        let ch = challenge.expect("robot-paced session must get challenged");
+        let stats = gw.stats();
+        assert_eq!(stats.throttled, 0);
+        assert!(stats.challenged > 0);
+        assert_eq!(
+            stats.requests,
+            stats.served + stats.throttled + stats.blocked + stats.challenged,
+            "every request lands in exactly one outcome column"
+        );
+        // Solving the challenge lifts the limit: ground-truth human.
+        let key = SessionKey::of(&mk(0));
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(&key, ch.id, &answer, SimTime::from_secs(60)));
+        assert_eq!(gw.verdict(&key), Verdict::Human(Reason::CaptchaPassed));
+        for i in 0..20 {
+            let d = gw.handle_with(&mk(100 + i), SimTime::from_secs(61), |_| {
+                Origin::Page(HTML.into())
+            });
+            assert!(d.is_serve(), "proven humans are never rate limited: {d:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_handles_share_one_gateway() {
+        use std::sync::Arc;
+        let gw = Arc::new(Gateway::builder().seed(32).build());
+        let handles: Vec<_> = (0..4u32)
+            .map(|n| {
+                let gw = Arc::clone(&gw);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let r = req(
+                            40 + n,
+                            &format!("http://site.example/{i}.html"),
+                            "Mozilla/5.0",
+                        );
+                        gw.handle_with(&r, SimTime::from_secs(i), |_| Origin::Page(HTML.into()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = gw.stats();
+        assert_eq!(stats.requests, 200);
+        assert_eq!(
+            stats.requests,
+            stats.served + stats.throttled + stats.blocked + stats.challenged
+        );
+        assert_eq!(stats.live_sessions, 4);
     }
 }

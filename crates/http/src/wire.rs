@@ -93,10 +93,10 @@ pub fn parse_request(input: &[u8], client: ClientIp) -> Result<Request, HttpErro
     let mut builder = Request::builder(method, target)
         .version(version)
         .client(client);
-    for (n, v) in headers.iter() {
+    for (n, v) in headers {
         builder = builder.header(n, v);
     }
-    builder.body_bytes(body).build()
+    builder.body_bytes(body.to_vec()).build()
 }
 
 /// Parses a response from wire bytes.
@@ -113,15 +113,26 @@ pub fn parse_response(input: &[u8]) -> Result<Response, HttpError> {
         .ok_or_else(|| HttpError::InvalidStartLine(start.to_string()))?;
     let status = StatusCode::new(code)?;
     let mut b = Response::builder(status).version(version);
-    for (n, v) in headers.iter() {
+    for (n, v) in headers {
         b = b.header(n, v);
     }
-    Ok(b.body_bytes(body).build())
+    Ok(b.body_bytes(body.to_vec()).build())
 }
+
+/// A parsed message before any allocation: start line, header
+/// name/value pairs, and body, all borrowed from the input buffer.
+type BorrowedMessage<'a> = (&'a str, Vec<(&'a str, &'a str)>, &'a [u8]);
 
 /// Splits raw bytes into (start line, headers, body), enforcing
 /// `Content-Length` when present.
-fn split_message(input: &[u8]) -> Result<(String, Headers, Vec<u8>), HttpError> {
+///
+/// Zero-copy: the start line, header names/values, and body are slices
+/// borrowed straight from `input` — nothing allocates until the caller
+/// builds the owned message (one `String` per header there, instead of
+/// the former intermediate-`Headers`-then-rebuild double allocation).
+/// Error paths still allocate their diagnostic strings; they are off the
+/// hot path by definition.
+fn split_message(input: &[u8]) -> Result<BorrowedMessage<'_>, HttpError> {
     let head_end = find_header_end(input).ok_or(HttpError::UnexpectedEof)?;
     let head = std::str::from_utf8(&input[..head_end])
         .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
@@ -129,9 +140,9 @@ fn split_message(input: &[u8]) -> Result<(String, Headers, Vec<u8>), HttpError> 
     let start = lines
         .next()
         .filter(|l| !l.is_empty())
-        .ok_or(HttpError::UnexpectedEof)?
-        .to_string();
-    let mut headers = Headers::new();
+        .ok_or(HttpError::UnexpectedEof)?;
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    let mut content_length: Option<&str> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -142,14 +153,18 @@ fn split_message(input: &[u8]) -> Result<(String, Headers, Vec<u8>), HttpError> 
         if name.is_empty() || !name.bytes().all(Method::is_token_byte) {
             return Err(HttpError::InvalidHeader(line.to_string()));
         }
-        headers.insert(name, value.trim());
+        let value = value.trim();
+        // First Content-Length line wins, matching `Headers::get`.
+        if content_length.is_none() && name.eq_ignore_ascii_case("Content-Length") {
+            content_length = Some(value);
+        }
+        headers.push((name, value));
     }
     let body_start = head_end + 4;
     let available = &input[body_start.min(input.len())..];
-    let body = match headers.get("Content-Length") {
+    let body = match content_length {
         Some(raw) => {
             let n: usize = raw
-                .trim()
                 .parse()
                 .map_err(|_| HttpError::InvalidContentLength(raw.to_string()))?;
             if available.len() < n {
@@ -158,9 +173,9 @@ fn split_message(input: &[u8]) -> Result<(String, Headers, Vec<u8>), HttpError> 
                     actual: available.len(),
                 });
             }
-            available[..n].to_vec()
+            &available[..n]
         }
-        None => available.to_vec(),
+        None => available,
     };
     Ok((start, headers, body))
 }

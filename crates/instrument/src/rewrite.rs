@@ -24,6 +24,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Configuration for [`Instrumenter`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -132,6 +133,29 @@ impl InstrumenterStats {
     }
 }
 
+/// Atomic backing store for [`InstrumenterStats`], so probe serving
+/// ([`Instrumenter::respond`]) can account bytes through `&self` and the
+/// instrumenter can sit behind a read-write lock without write-locking
+/// for every served probe object.
+#[derive(Debug, Default)]
+struct SharedStats {
+    pages_instrumented: AtomicU64,
+    html_overhead_bytes: AtomicU64,
+    js_bytes_served: AtomicU64,
+    probe_bytes_served: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> InstrumenterStats {
+        InstrumenterStats {
+            pages_instrumented: self.pages_instrumented.load(Ordering::Relaxed),
+            html_overhead_bytes: self.html_overhead_bytes.load(Ordering::Relaxed),
+            js_bytes_served: self.js_bytes_served.load(Ordering::Relaxed),
+            probe_bytes_served: self.probe_bytes_served.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The server-side instrumentation engine.
 ///
 /// # Examples
@@ -158,7 +182,7 @@ pub struct Instrumenter {
     rng: ChaCha8Rng,
     scripts: HashMap<u64, GeneratedJs>,
     script_order: Vec<u64>,
-    stats: InstrumenterStats,
+    stats: SharedStats,
 }
 
 impl Instrumenter {
@@ -171,7 +195,7 @@ impl Instrumenter {
             scripts: HashMap::new(),
             script_order: Vec::new(),
             config,
-            stats: InstrumenterStats::default(),
+            stats: SharedStats::default(),
         }
     }
 
@@ -182,7 +206,7 @@ impl Instrumenter {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> InstrumenterStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Read access to the token table (diagnostics).
@@ -283,8 +307,12 @@ impl Instrumenter {
 
         let rewritten = inject(html, &head_inject, &body_attr, &body_inject);
         manifest.html_overhead = rewritten.len().saturating_sub(html.len());
-        self.stats.pages_instrumented += 1;
-        self.stats.html_overhead_bytes += manifest.html_overhead as u64;
+        self.stats
+            .pages_instrumented
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .html_overhead_bytes
+            .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
         (rewritten, manifest)
     }
 
@@ -309,12 +337,28 @@ impl Instrumenter {
         }
     }
 
+    /// Read-only classification for non-beacon traffic — the concurrent
+    /// fast path. Returns `None` when the request is a mouse-beacon fetch
+    /// (beacon keys are single-use, so redeeming one needs
+    /// [`Instrumenter::classify`] and a write lock); everything else —
+    /// the overwhelming majority of traffic — classifies against the
+    /// probe registry without mutating anything.
+    pub fn classify_probe(&self, request: &Request) -> Option<Classified> {
+        if beacon::decode(request.uri()).is_some() {
+            return None;
+        }
+        Some(match self.registry.classify(request) {
+            Some(hit) => Classified::Probe(hit),
+            None => Classified::Ordinary,
+        })
+    }
+
     /// Serves the response for instrumentation traffic: the generated
     /// script for JS-file hits, an empty style sheet for CSS probes, tiny
     /// images for beacons, a stub page for hidden links.
     ///
     /// Returns `None` for [`Classified::Ordinary`].
-    pub fn respond(&mut self, classified: &Classified) -> Option<Response> {
+    pub fn respond(&self, classified: &Classified) -> Option<Response> {
         let (body, content_type): (Vec<u8>, &str) = match classified {
             Classified::MouseBeacon { .. } => (FAKE_JPEG.to_vec(), "image/jpeg"),
             Classified::Probe(hit) => match hit.kind {
@@ -341,9 +385,15 @@ impl Instrumenter {
         let served = body.len() as u64;
         match classified {
             Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
-                self.stats.js_bytes_served += served;
+                self.stats
+                    .js_bytes_served
+                    .fetch_add(served, Ordering::Relaxed);
             }
-            _ => self.stats.probe_bytes_served += served,
+            _ => {
+                self.stats
+                    .probe_bytes_served
+                    .fetch_add(served, Ordering::Relaxed);
+            }
         }
         let mut resp = Response::builder(StatusCode::OK)
             .header("Content-Type", content_type)

@@ -16,7 +16,7 @@
 //! use botwall_http::request::ClientIp;
 //! use botwall_sessions::{SessionTracker, TrackerConfig, SimTime};
 //!
-//! let mut tracker = SessionTracker::new(TrackerConfig::default());
+//! let tracker = SessionTracker::new(TrackerConfig::default());
 //! let req = Request::builder(Method::Get, "http://h/a.html")
 //!     .header("User-Agent", "test")
 //!     .client(ClientIp::new(1))
@@ -33,6 +33,7 @@
 pub mod key;
 pub mod record;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod tracker;
 
@@ -40,4 +41,4 @@ pub use key::SessionKey;
 pub use record::RequestRecord;
 pub use stats::SessionCounters;
 pub use time::SimTime;
-pub use tracker::{Session, SessionTracker, TrackerConfig};
+pub use tracker::{Finalized, Session, SessionExt, SessionTracker, ShardedTracker, TrackerConfig};

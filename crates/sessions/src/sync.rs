@@ -1,0 +1,68 @@
+//! Poison-tolerant lock acquisition, shared by every crate that guards
+//! state with `std::sync` primitives.
+//!
+//! Lock poisoning cannot leave our guarded state half-updated: every
+//! critical section in this workspace either completes or the process is
+//! already panicking its way down. Recovering the guard (instead of
+//! propagating the poison) keeps the other request threads serving
+//! during teardown. Centralized here so the poisoning policy lives in
+//! one place.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a mutex, recovering the guard if a panicking thread poisoned it.
+pub fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Read-locks an `RwLock`, recovering the guard if poisoned.
+pub fn read_or_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Write-locks an `RwLock`, recovering the guard if poisoned.
+pub fn write_or_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guard_recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_or_recover(&m), 7);
+    }
+
+    #[test]
+    fn rwlock_guards_recover_after_a_panicked_writer() {
+        let l = Arc::new(RwLock::new(1));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read_or_recover(&l), 1);
+        *write_or_recover(&l) = 2;
+        assert_eq!(*read_or_recover(&l), 2);
+    }
+}

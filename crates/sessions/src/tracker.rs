@@ -1,4 +1,13 @@
 //! The streaming session store.
+//!
+//! Since PR 3 the store is *concurrently* sharded: every shard is an
+//! independent `key → entry` map behind its own [`std::sync::Mutex`], so
+//! the whole API is `&self` and ingest scales across cores (requests for
+//! different keys hit different shards and never contend). Each entry
+//! colocates the [`Session`] record with a caller-supplied *extension*
+//! state (`E`) — the detection core stores its per-key evidence and
+//! policy state there, giving the hot path one lock acquisition instead
+//! of one per subsystem.
 
 use crate::key::SessionKey;
 use crate::record::RequestRecord;
@@ -8,8 +17,11 @@ use botwall_http::{Request, Response};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Configuration for [`SessionTracker`].
+/// Configuration for [`ShardedTracker`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrackerConfig {
     /// Idle time after which a session is finalized (paper: one hour).
@@ -19,14 +31,15 @@ pub struct TrackerConfig {
     pub max_records_per_session: usize,
     /// Maximum live sessions; beyond this, the most idle session is
     /// finalized early to bound memory (a DoS guard the paper's design
-    /// goal of low memory implies).
+    /// goal of low memory implies). Under concurrent ingest the bound is
+    /// enforced best-effort (racing inserts may briefly overshoot it).
     pub max_sessions: usize,
     /// Minimum requests before a session is eligible for classification
     /// (paper: more than 10).
     pub min_requests_to_classify: u64,
     /// Number of key-hash shards the live-session map is split into.
-    /// Sharding bounds per-map size and prepares the store for parallel
-    /// ingest (each shard is an independent map). `0` is treated as `1`.
+    /// Each shard is an independent map behind its own mutex, so this is
+    /// also the ingest concurrency limit. `0` is treated as `1`.
     pub shards: usize,
 }
 
@@ -136,18 +149,67 @@ impl Session {
     }
 }
 
+/// Per-key extension state colocated with each live session.
+///
+/// The detection core stores its per-key evidence/verdict/policy state
+/// under the same shard lock as the session record. The single hook
+/// controls what survives an idle rollover: when a key returns after the
+/// idle timeout, the old incarnation is finalized with its state and the
+/// successor starts from [`SessionExt::on_rollover`] of it.
+pub trait SessionExt: Default {
+    /// Derives the successor incarnation's starting state when the
+    /// previous incarnation is finalized by idle rollover. Defaults to a
+    /// clean slate.
+    fn on_rollover(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl SessionExt for () {}
+
+/// A finalized session paired with the extension state it accumulated.
+///
+/// Derefs to [`Session`], so consumers that only care about the record
+/// (`request_count()`, `records()`, …) read through transparently.
+#[derive(Debug, Clone)]
+pub struct Finalized<E> {
+    /// The finished session record.
+    pub session: Session,
+    /// The extension state that lived alongside it.
+    pub ext: E,
+}
+
+impl<E> Deref for Finalized<E> {
+    type Target = Session;
+
+    fn deref(&self) -> &Session {
+        &self.session
+    }
+}
+
+/// One shard: an independent live map plus the finalized sessions
+/// (rollover and eviction casualties) not yet collected by sweep/drain.
+#[derive(Debug, Default)]
+struct Shard<E> {
+    live: HashMap<SessionKey, (Session, E)>,
+    finalized: Vec<Finalized<E>>,
+}
+
 /// Streaming `<IP, User-Agent>` session store with idle-timeout
-/// finalization.
+/// finalization, sharded for concurrent ingest.
 ///
 /// The live map is split into [`TrackerConfig::shards`] key-hash shards
 /// (stable FNV-1a via [`SessionKey::shard_hash`], so a key lands on the
-/// same shard in every run). All cross-shard walks — [`sweep`],
-/// [`drain`], capacity eviction — visit shards in index order and order
-/// keys within a shard, keeping batch output deterministic regardless of
-/// `HashMap` iteration order.
+/// same shard in every run), each behind its own mutex — the entire API
+/// is `&self` and the tracker is `Send + Sync` whenever `E` is. All
+/// cross-shard walks — [`sweep`], [`drain`], capacity eviction — visit
+/// shards in index order and order keys within a shard, keeping batch
+/// output deterministic regardless of `HashMap` iteration order; no call
+/// ever holds two shard locks at once, so the tracker cannot deadlock
+/// against itself.
 ///
-/// [`sweep`]: SessionTracker::sweep
-/// [`drain`]: SessionTracker::drain
+/// [`sweep`]: ShardedTracker::sweep
+/// [`drain`]: ShardedTracker::drain
 ///
 /// # Examples
 ///
@@ -156,7 +218,7 @@ impl Session {
 /// use botwall_http::request::ClientIp;
 /// use botwall_sessions::{SessionTracker, TrackerConfig, SimTime};
 ///
-/// let mut t = SessionTracker::new(TrackerConfig::default());
+/// let t = SessionTracker::new(TrackerConfig::default());
 /// let req = Request::builder(Method::Get, "/a")
 ///     .client(ClientIp::new(1))
 ///     .build().unwrap();
@@ -167,22 +229,23 @@ impl Session {
 /// assert_eq!(done.len(), 1);
 /// ```
 #[derive(Debug)]
-pub struct SessionTracker {
+pub struct ShardedTracker<E> {
     config: TrackerConfig,
-    shards: Vec<HashMap<SessionKey, Session>>,
-    live_total: usize,
-    finalized: Vec<Session>,
+    shards: Vec<Mutex<Shard<E>>>,
+    live_total: AtomicUsize,
 }
 
-impl SessionTracker {
+/// The plain session store: a [`ShardedTracker`] with no extension state.
+pub type SessionTracker = ShardedTracker<()>;
+
+impl<E: SessionExt> ShardedTracker<E> {
     /// Creates an empty tracker.
-    pub fn new(config: TrackerConfig) -> SessionTracker {
+    pub fn new(config: TrackerConfig) -> ShardedTracker<E> {
         let shards = config.shards.max(1);
-        SessionTracker {
+        ShardedTracker {
             config,
-            shards: (0..shards).map(|_| HashMap::new()).collect(),
-            live_total: 0,
-            finalized: Vec::new(),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            live_total: AtomicUsize::new(0),
         }
     }
 
@@ -198,11 +261,17 @@ impl SessionTracker {
 
     /// Live-session count per shard (diagnostics / load-balance checks).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(HashMap::len).collect()
+        (0..self.shards.len())
+            .map(|idx| self.lock_shard(idx).live.len())
+            .collect()
     }
 
     fn shard_index(&self, key: &SessionKey) -> usize {
         (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard<E>> {
+        crate::sync::lock_or_recover(&self.shards[idx])
     }
 
     /// Feeds one exchange into the store, creating or rolling over the
@@ -211,83 +280,147 @@ impl SessionTracker {
     /// If the keyed session exists but has been idle past the timeout, it
     /// is finalized and a fresh session starts — matching the paper's
     /// definition (a returning client after an hour is a *new* session).
-    pub fn observe(&mut self, request: &Request, response: &Response, now: SimTime) -> SessionKey {
-        self.observe_opt(request, Some(response), now)
+    pub fn observe(&self, request: &Request, response: &Response, now: SimTime) -> SessionKey {
+        self.observe_with(request, Some(response), now, |_, _| ()).0
     }
 
-    /// Like [`SessionTracker::observe`] but tolerates a missing response
+    /// Like [`ShardedTracker::observe`] but tolerates a missing response
     /// (e.g. the proxy dropped the exchange).
     pub fn observe_opt(
-        &mut self,
+        &self,
         request: &Request,
         response: Option<&Response>,
         now: SimTime,
     ) -> SessionKey {
-        let key = SessionKey::of(request);
-        let idx = self.shard_index(&key);
-        if let Some(existing) = self.shards[idx].get(&key) {
-            if now.since(existing.last_seen()) > self.config.idle_timeout_ms {
-                let done = self.shards[idx].remove(&key).expect("session exists");
-                self.live_total -= 1;
-                self.finalized.push(done);
-            }
-        }
-        if !self.shards[idx].contains_key(&key) && self.live_total >= self.config.max_sessions {
-            self.evict_most_idle();
-        }
-        let session = self.shards[idx]
-            .entry(key.clone())
-            .or_insert_with(|| Session::new(key.clone(), now));
-        if session.counters.total == 0 {
-            self.live_total += 1;
-        }
-        session.observe(request, response, now, self.config.max_records_per_session);
-        key
+        self.observe_with(request, response, now, |_, _| ()).0
     }
 
-    /// Looks up a live session.
-    pub fn get(&self, key: &SessionKey) -> Option<&Session> {
-        self.shards[self.shard_index(key)].get(key)
+    /// Feeds one exchange and runs `f` against the (just-updated) session
+    /// and its extension state under the shard lock — the one-stop hot
+    /// path: rollover, record update, and the caller's per-key work all
+    /// happen in a single critical section.
+    pub fn observe_with<R>(
+        &self,
+        request: &Request,
+        response: Option<&Response>,
+        now: SimTime,
+        f: impl FnOnce(&Session, &mut E) -> R,
+    ) -> (SessionKey, R) {
+        let key = SessionKey::of(request);
+        let idx = self.shard_index(&key);
+        // Best-effort capacity bound, resolved BEFORE the entry's
+        // critical section: when the store is full and this key is not
+        // already live, evict the globally most-idle session first (the
+        // eviction walk takes shard locks one at a time — never two at
+        // once, so lock order cannot deadlock). Exactly one attempt,
+        // then the insert proceeds regardless: the bound is a memory
+        // guard, and a state with no evictable victim (max_sessions of
+        // 0, or every candidate racing away) must not stall ingest.
+        if self.live_total.load(Ordering::Relaxed) >= self.config.max_sessions {
+            let key_is_live = self.lock_shard(idx).live.contains_key(&key);
+            if !key_is_live {
+                self.evict_most_idle();
+            }
+        }
+        // From here the shard stays locked through rollover AND insert,
+        // so a racing same-key request can never slip a fresh entry in
+        // between and discard the rollover carry-over state.
+        let mut shard = self.lock_shard(idx);
+        // Idle rollover: finalize the previous incarnation with the
+        // state it accumulated; the successor starts from its rollover
+        // carry-over.
+        let mut carried: Option<E> = None;
+        let stale = shard
+            .live
+            .get(&key)
+            .is_some_and(|(s, _)| now.since(s.last_seen()) > self.config.idle_timeout_ms);
+        if stale {
+            let (session, ext) = shard.live.remove(&key).expect("checked live");
+            carried = Some(ext.on_rollover());
+            self.live_total.fetch_sub(1, Ordering::Relaxed);
+            shard.finalized.push(Finalized { session, ext });
+        }
+        let (session, ext) = shard.live.entry(key.clone()).or_insert_with(|| {
+            self.live_total.fetch_add(1, Ordering::Relaxed);
+            (
+                Session::new(key.clone(), now),
+                carried.take().unwrap_or_default(),
+            )
+        });
+        session.observe(request, response, now, self.config.max_records_per_session);
+        let r = f(session, ext);
+        (key, r)
+    }
+
+    /// Looks up a live session, returning a clone of its record (the
+    /// original lives behind the shard lock).
+    pub fn get(&self, key: &SessionKey) -> Option<Session> {
+        let shard = self.lock_shard(self.shard_index(key));
+        shard.live.get(key).map(|(s, _)| s.clone())
+    }
+
+    /// Runs `f` against a live session and its extension state under the
+    /// shard lock; `None` when the key has no live session.
+    pub fn with_entry<R>(
+        &self,
+        key: &SessionKey,
+        f: impl FnOnce(&Session, &mut E) -> R,
+    ) -> Option<R> {
+        let mut shard = self.lock_shard(self.shard_index(key));
+        shard.live.get_mut(key).map(|(s, e)| f(s, e))
     }
 
     /// Number of live sessions.
     pub fn live_count(&self) -> usize {
-        self.live_total
+        self.live_total.load(Ordering::Relaxed)
     }
 
     /// Finalizes every session idle past the timeout as of `now` and
-    /// returns all sessions finalized since the last drain (including
-    /// rollover and eviction casualties). Shards are visited in index
-    /// order and expired keys within a shard in key order, so the batch
-    /// is deterministically ordered.
-    pub fn sweep(&mut self, now: SimTime) -> Vec<Session> {
+    /// returns all sessions finalized since the last collection
+    /// (including rollover and eviction casualties). Shards are visited
+    /// in index order — each yielding its casualties then its expired
+    /// keys in key order — so the batch is deterministically ordered.
+    pub fn sweep(&self, now: SimTime) -> Vec<Finalized<E>> {
+        let mut out = Vec::new();
         for idx in 0..self.shards.len() {
-            let mut expired: Vec<SessionKey> = self.shards[idx]
+            let mut shard = self.lock_shard(idx);
+            out.append(&mut shard.finalized);
+            let mut expired: Vec<SessionKey> = shard
+                .live
                 .iter()
-                .filter(|(_, s)| now.since(s.last_seen()) > self.config.idle_timeout_ms)
+                .filter(|(_, (s, _))| now.since(s.last_seen()) > self.config.idle_timeout_ms)
                 .map(|(k, _)| k.clone())
                 .collect();
             expired.sort_unstable();
             for k in expired {
-                let s = self.shards[idx].remove(&k).expect("listed as live");
-                self.live_total -= 1;
-                self.finalized.push(s);
+                let (session, ext) = shard.live.remove(&k).expect("listed as live");
+                self.live_total.fetch_sub(1, Ordering::Relaxed);
+                out.push(Finalized { session, ext });
             }
         }
-        std::mem::take(&mut self.finalized)
+        out
     }
 
     /// Finalizes everything unconditionally (end of experiment) and
     /// returns all remaining sessions: prior casualties first, then live
     /// sessions shard by shard, key-ordered within each shard.
-    pub fn drain(&mut self) -> Vec<Session> {
-        let mut out = std::mem::take(&mut self.finalized);
-        for shard in &mut self.shards {
-            let mut live: Vec<Session> = shard.drain().map(|(_, s)| s).collect();
-            live.sort_unstable_by(|a, b| a.key().cmp(b.key()));
-            out.extend(live);
+    pub fn drain(&self) -> Vec<Finalized<E>> {
+        let mut out = Vec::new();
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx);
+            out.append(&mut shard.finalized);
         }
-        self.live_total = 0;
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx);
+            let mut live: Vec<Finalized<E>> = shard
+                .live
+                .drain()
+                .map(|(_, (session, ext))| Finalized { session, ext })
+                .collect();
+            self.live_total.fetch_sub(live.len(), Ordering::Relaxed);
+            live.sort_unstable_by(|a, b| a.session.key().cmp(b.session.key()));
+            out.append(&mut live);
+        }
         out
     }
 
@@ -297,22 +430,37 @@ impl SessionTracker {
         session.request_count() > self.config.min_requests_to_classify
     }
 
-    fn evict_most_idle(&mut self) {
-        // Ties on idle time are broken by key so eviction does not depend
-        // on map iteration order.
-        let victim = self
-            .shards
-            .iter()
-            .flat_map(|shard| shard.iter())
-            .min_by(|(ka, sa), (kb, sb)| {
-                sa.last_seen().cmp(&sb.last_seen()).then_with(|| ka.cmp(kb))
-            })
-            .map(|(k, _)| k.clone());
-        if let Some(key) = victim {
+    /// Finalizes the globally most-idle session (ties broken by key so
+    /// eviction does not depend on map iteration order). Scans shards one
+    /// lock at a time; under concurrent ingest the choice is best-effort.
+    fn evict_most_idle(&self) {
+        let mut best: Option<(SimTime, SessionKey)> = None;
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            for (k, (s, _)) in shard.live.iter() {
+                let better = match &best {
+                    None => true,
+                    Some((t, bk)) => s.last_seen() < *t || (s.last_seen() == *t && *k < *bk),
+                };
+                if better {
+                    best = Some((s.last_seen(), k.clone()));
+                }
+            }
+        }
+        if let Some((last_seen, key)) = best {
             let idx = self.shard_index(&key);
-            let s = self.shards[idx].remove(&key).expect("chosen from live");
-            self.live_total -= 1;
-            self.finalized.push(s);
+            let mut shard = self.lock_shard(idx);
+            // Re-check under the lock: the victim may have been touched
+            // (or evicted by a racing thread) since the scan.
+            let still_victim = shard
+                .live
+                .get(&key)
+                .is_some_and(|(s, _)| s.last_seen() == last_seen);
+            if still_victim {
+                let (session, ext) = shard.live.remove(&key).expect("checked live");
+                self.live_total.fetch_sub(1, Ordering::Relaxed);
+                shard.finalized.push(Finalized { session, ext });
+            }
         }
     }
 }
@@ -341,7 +489,7 @@ mod tests {
 
     #[test]
     fn one_session_per_key() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         t.observe(
             &req(1, "A", "http://h/2", None),
@@ -363,7 +511,7 @@ mod tests {
 
     #[test]
     fn idle_timeout_rolls_over_session() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         // Just inside the window: same session.
         t.observe(
@@ -386,7 +534,7 @@ mod tests {
 
     #[test]
     fn sweep_finalizes_idle_sessions_only() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         t.observe(
             &req(2, "A", "http://h/1", None),
@@ -400,7 +548,7 @@ mod tests {
 
     #[test]
     fn unseen_referer_tracking() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         let k = t.observe(&req(1, "A", "http://h/a.html", None), &ok(), SimTime::ZERO);
         // Referer names the previously fetched page: seen.
         t.observe(
@@ -426,7 +574,7 @@ mod tests {
             max_records_per_session: 5,
             ..TrackerConfig::default()
         };
-        let mut t = SessionTracker::new(cfg);
+        let t = SessionTracker::new(cfg);
         let mut k = None;
         for i in 0..10 {
             let key = t.observe(
@@ -447,7 +595,7 @@ mod tests {
             max_sessions: 2,
             ..TrackerConfig::default()
         };
-        let mut t = SessionTracker::new(cfg);
+        let t = SessionTracker::new(cfg);
         t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         t.observe(
             &req(2, "A", "http://h/1", None),
@@ -470,7 +618,7 @@ mod tests {
 
     #[test]
     fn classifiable_threshold_is_strictly_greater() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         let mut k = None;
         for i in 0..10 {
             k = Some(t.observe(
@@ -480,18 +628,21 @@ mod tests {
             ));
         }
         let key = k.unwrap();
-        assert!(!t.classifiable(t.get(&key).unwrap()), "10 is not enough");
+        assert!(!t.classifiable(&t.get(&key).unwrap()), "10 is not enough");
         t.observe(
             &req(1, "A", "http://h/last", None),
             &ok(),
             SimTime::from_secs(99),
         );
-        assert!(t.classifiable(t.get(&key).unwrap()), "11 requests classify");
+        assert!(
+            t.classifiable(&t.get(&key).unwrap()),
+            "11 requests classify"
+        );
     }
 
     #[test]
     fn request_rate() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         t.observe(
             &req(1, "A", "http://h/2", None),
@@ -517,7 +668,7 @@ mod tests {
             ..TrackerConfig::default()
         };
         for _ in 0..16 {
-            let mut t = SessionTracker::new(cfg.clone());
+            let t = SessionTracker::new(cfg.clone());
             t.observe(&req(7, "A", "http://h/1", None), &ok(), SimTime::ZERO);
             t.observe(&req(3, "A", "http://h/1", None), &ok(), SimTime::ZERO);
             // Third key forces an eviction; both candidates are equally
@@ -542,7 +693,7 @@ mod tests {
             shards: 8,
             ..TrackerConfig::default()
         };
-        let mut t = SessionTracker::new(cfg);
+        let t = SessionTracker::new(cfg);
         assert_eq!(t.shard_count(), 8);
         for ip in 0..200 {
             t.observe(&req(ip, "A", "http://h/1", None), &ok(), SimTime::ZERO);
@@ -561,7 +712,7 @@ mod tests {
         // Same input into two independent trackers (different HashMap
         // hash seeds) must drain in the same order.
         let run = || {
-            let mut t = SessionTracker::new(TrackerConfig::default());
+            let t = SessionTracker::new(TrackerConfig::default());
             for ip in 0..100 {
                 t.observe(
                     &req(ip * 31 % 97, &format!("ua{}", ip % 7), "http://h/1", None),
@@ -580,7 +731,7 @@ mod tests {
     #[test]
     fn sweep_order_is_deterministic_across_trackers() {
         let run = || {
-            let mut t = SessionTracker::new(TrackerConfig {
+            let t = SessionTracker::new(TrackerConfig {
                 shards: 4,
                 ..TrackerConfig::default()
             });
@@ -603,7 +754,7 @@ mod tests {
             shards: 1,
             ..TrackerConfig::default()
         };
-        let mut t = SessionTracker::new(cfg);
+        let t = SessionTracker::new(cfg);
         assert_eq!(t.shard_count(), 1);
         let k = t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         assert_eq!(t.get(&k).unwrap().request_count(), 1);
@@ -616,18 +767,144 @@ mod tests {
             shards: 0,
             ..TrackerConfig::default()
         };
-        let t = SessionTracker::new(cfg);
+        let t: SessionTracker = SessionTracker::new(cfg);
         assert_eq!(t.shard_count(), 1);
     }
 
     #[test]
+    fn zero_max_sessions_cannot_stall_ingest() {
+        // A memory bound smaller than one session is degenerate, but it
+        // must degrade to best-effort (evict-then-insert), never into a
+        // retry spin that hangs the request path.
+        let cfg = TrackerConfig {
+            max_sessions: 0,
+            ..TrackerConfig::default()
+        };
+        let t = SessionTracker::new(cfg);
+        for ip in 0..5 {
+            t.observe(&req(ip, "A", "http://h/1", None), &ok(), SimTime::ZERO);
+            assert!(t.live_count() <= 1, "each insert evicts the previous");
+        }
+        // 4 evicted casualties + 1 live.
+        assert_eq!(t.drain().len(), 5);
+    }
+
+    #[test]
+    fn rollover_at_capacity_keeps_the_carry_over() {
+        // The successor of a rolled-over session must inherit the
+        // carry-over even when the store is at its capacity bound.
+        let cfg = TrackerConfig {
+            max_sessions: 1,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Tally> = ShardedTracker::new(cfg);
+        let r = req(8, "A", "http://h/1", None);
+        t.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, e| e.touched += 1);
+        t.observe_with(&r, Some(&ok()), SimTime::from_hours(2), |_, _| ());
+        let key = SessionKey::of(&r);
+        assert_eq!(
+            t.with_entry(&key, |_, e| (e.touched, e.carried)),
+            Some((0, true)),
+            "carry marker must survive rollover under capacity pressure"
+        );
+    }
+
+    #[test]
     fn drain_empties_everything() {
-        let mut t = SessionTracker::new(TrackerConfig::default());
+        let t = SessionTracker::new(TrackerConfig::default());
         t.observe(&req(1, "A", "http://h/1", None), &ok(), SimTime::ZERO);
         t.observe(&req(2, "B", "http://h/2", None), &ok(), SimTime::ZERO);
         let done = t.drain();
         assert_eq!(done.len(), 2);
         assert_eq!(t.live_count(), 0);
         assert!(t.drain().is_empty());
+    }
+
+    #[derive(Debug, Default, Clone, PartialEq)]
+    struct Tally {
+        touched: u64,
+        carried: bool,
+    }
+
+    impl SessionExt for Tally {
+        fn on_rollover(&self) -> Tally {
+            // The touch count resets with the incarnation; the carry
+            // marker survives (models the policy block flag).
+            Tally {
+                touched: 0,
+                carried: true,
+            }
+        }
+    }
+
+    #[test]
+    fn extension_state_rides_with_its_session() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(5, "A", "http://h/1", None);
+        for i in 0..3 {
+            t.observe_with(&r, Some(&ok()), SimTime::from_secs(i), |_, e| {
+                e.touched += 1;
+            });
+        }
+        let key = SessionKey::of(&r);
+        assert_eq!(t.with_entry(&key, |_, e| e.touched), Some(3));
+        let done = t.drain();
+        assert_eq!(done[0].ext.touched, 3);
+        assert!(!done[0].ext.carried);
+    }
+
+    #[test]
+    fn rollover_finalizes_state_with_its_incarnation_and_carries_over() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(6, "A", "http://h/1", None);
+        t.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, e| e.touched += 1);
+        // Past the idle timeout: the old incarnation (touched=1) is
+        // finalized; the successor starts from on_rollover (carried).
+        let later = SimTime::from_hours(2);
+        t.observe_with(&r, Some(&ok()), later, |_, e| e.touched += 1);
+        let key = SessionKey::of(&r);
+        assert_eq!(
+            t.with_entry(&key, |_, e| (e.touched, e.carried)),
+            Some((1, true))
+        );
+        let done = t.sweep(later + 1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ext.touched, 1);
+        assert!(!done[0].ext.carried);
+    }
+
+    #[test]
+    fn concurrent_ingest_loses_no_requests() {
+        use std::sync::Arc;
+        let t: Arc<SessionTracker> = Arc::new(SessionTracker::new(TrackerConfig::default()));
+        let threads = 4;
+        let per_thread = 500u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|n| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Distinct key space per thread plus a shared key
+                        // every thread hammers (cross-shard contention).
+                        let ip = if i % 5 == 0 {
+                            9999
+                        } else {
+                            n * 1000 + i as u32
+                        };
+                        t.observe(
+                            &req(ip, "A", "http://h/1", None),
+                            &ok(),
+                            SimTime::from_secs(i),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = t.drain().iter().map(|s| s.request_count()).sum();
+        assert_eq!(total, threads as u64 * per_thread);
+        assert_eq!(t.live_count(), 0);
     }
 }

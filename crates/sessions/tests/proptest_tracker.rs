@@ -26,7 +26,7 @@ fn arb_events() -> impl Strategy<Value = Vec<Event>> {
 }
 
 fn replay(events: &[Event], config: TrackerConfig) -> (SessionTracker, u64, SimTime) {
-    let mut t = SessionTracker::new(config);
+    let t = SessionTracker::new(config);
     let mut now = SimTime::ZERO;
     for e in events {
         now += e.gap_ms as u64;
@@ -45,7 +45,7 @@ proptest! {
     /// the number of observed events.
     #[test]
     fn conservation_of_requests(events in arb_events()) {
-        let (mut t, total, _) = replay(&events, TrackerConfig::default());
+        let (t, total, _) = replay(&events, TrackerConfig::default());
         let drained = t.drain();
         let sum: u64 = drained.iter().map(|s| s.request_count()).sum();
         prop_assert_eq!(sum, total);
@@ -56,7 +56,7 @@ proptest! {
     fn no_internal_gap_exceeds_timeout(events in arb_events()) {
         let config = TrackerConfig { idle_timeout_ms: 10_000, ..TrackerConfig::default() };
         let timeout = config.idle_timeout_ms;
-        let (mut t, _, _) = replay(&events, config);
+        let (t, _, _) = replay(&events, config);
         for s in t.drain() {
             let recs = s.records();
             for pair in recs.windows(2) {
@@ -72,7 +72,7 @@ proptest! {
     /// Record indices are 1-based, contiguous, increasing.
     #[test]
     fn record_indices_are_contiguous(events in arb_events()) {
-        let (mut t, _, _) = replay(&events, TrackerConfig::default());
+        let (t, _, _) = replay(&events, TrackerConfig::default());
         for s in t.drain() {
             for (i, rec) in s.records().iter().enumerate() {
                 prop_assert_eq!(rec.index as usize, i + 1);
@@ -84,7 +84,7 @@ proptest! {
     #[test]
     fn capacity_bound_holds(events in arb_events()) {
         let config = TrackerConfig { max_sessions: 3, ..TrackerConfig::default() };
-        let mut t = SessionTracker::new(config);
+        let t = SessionTracker::new(config);
         let mut now = SimTime::ZERO;
         for e in &events {
             now += e.gap_ms as u64;
@@ -102,7 +102,7 @@ proptest! {
     /// log was not truncated.
     #[test]
     fn counters_match_records(events in arb_events()) {
-        let (mut t, _, _) = replay(&events, TrackerConfig::default());
+        let (t, _, _) = replay(&events, TrackerConfig::default());
         for s in t.drain() {
             if s.request_count() as usize != s.records().len() {
                 continue; // Log truncated; counters keep counting.
@@ -119,7 +119,7 @@ proptest! {
     /// everything.
     #[test]
     fn sweep_past_horizon_finalizes_all(events in arb_events()) {
-        let (mut t, _, end) = replay(&events, TrackerConfig::default());
+        let (t, _, end) = replay(&events, TrackerConfig::default());
         let done = t.sweep(end + 3_600_001);
         prop_assert_eq!(t.live_count(), 0);
         prop_assert!(!done.is_empty());

@@ -11,7 +11,7 @@ use botwall::sessions::SimTime;
 const HTML: &str = "<html><head><title>demo</title></head><body><p>hello</p></body></html>";
 
 /// Every exchange — page, probe, or beacon — goes through the same door.
-fn fetch(gw: &mut Gateway, ip: u32, uri: &str, ua: &str, at_secs: u64) -> Decision {
+fn fetch(gw: &Gateway, ip: u32, uri: &str, ua: &str, at_secs: u64) -> Decision {
     let req = Request::builder(Method::Get, uri)
         .header("User-Agent", ua)
         .client(ClientIp::new(ip))
@@ -28,13 +28,13 @@ fn fetch(gw: &mut Gateway, ip: u32, uri: &str, ua: &str, at_secs: u64) -> Decisi
 }
 
 fn main() {
-    let mut gw = Gateway::builder().seed(2006).build();
+    let gw = Gateway::builder().seed(2006).build();
     let ua = "Mozilla/5.0 (Windows; U) Firefox/1.5";
     let page = "http://www.example.com/index.html";
 
     // Client 1 (a human) fetches the page; the gateway rewrites it in
     // flight, planting the probes.
-    let Decision::Serve { body, manifest, .. } = fetch(&mut gw, 1, page, ua, 0) else {
+    let Decision::Serve { body, manifest, .. } = fetch(&gw, 1, page, ua, 0) else {
         panic!("fresh sessions are served");
     };
     let human_probes = manifest.expect("page was instrumented");
@@ -54,19 +54,19 @@ fn main() {
     // The human's browser fetches the CSS probe, runs the script, and the
     // user moves the mouse — firing the keyed beacon.
     let css = human_probes.css_probe.as_ref().unwrap().to_string();
-    fetch(&mut gw, 1, &css, ua, 1);
+    fetch(&gw, 1, &css, ua, 1);
     let beacon = human_probes.mouse_beacon.as_ref().unwrap().to_string();
-    let verdict = fetch(&mut gw, 1, &beacon, ua, 3).verdict();
+    let verdict = fetch(&gw, 1, &beacon, ua, 3).verdict();
     println!("\nhuman session verdict:  {verdict:?}");
 
     // Client 2 (a robot) fetches the page, scans the script, and blindly
     // fetches a beacon-looking URL — picking a decoy.
-    let Decision::Serve { manifest, .. } = fetch(&mut gw, 2, page, ua, 0) else {
+    let Decision::Serve { manifest, .. } = fetch(&gw, 2, page, ua, 0) else {
         panic!("undecided sessions are served");
     };
     let robot_probes = manifest.expect("page was instrumented");
     let decoy = robot_probes.decoy_beacons[0].to_string();
-    let verdict = fetch(&mut gw, 2, &decoy, ua, 1).verdict();
+    let verdict = fetch(&gw, 2, &decoy, ua, 1).verdict();
     println!("robot session verdict:  {verdict:?}");
 
     // Flush everything and show the gateway's view of the deployment.

@@ -24,7 +24,7 @@ use rand_chacha::ChaCha8Rng;
 /// All the world does is build requests and adapt `Decision`s — the
 /// instrumentation, detection, and policy all live inside the gateway.
 struct ProtectedSite<'a> {
-    gateway: &'a mut Gateway,
+    gateway: &'a Gateway,
     web: &'a Web,
     ip: ClientIp,
     user_agent: String,
@@ -157,7 +157,7 @@ impl ClientWorld for ProtectedSite<'_> {
     }
 }
 
-fn run(gateway: &mut Gateway, web: &Web, site: &Site, name: &str, agent: &mut dyn Agent, ip: u32) {
+fn run(gateway: &Gateway, web: &Web, site: &Site, name: &str, agent: &mut dyn Agent, ip: u32) {
     let mut world = ProtectedSite {
         gateway,
         web,
@@ -195,7 +195,7 @@ fn main() {
         2006,
     );
     let site = web.sites().next().expect("one site");
-    let mut gateway = Gateway::builder().seed(42).build();
+    let gateway = Gateway::builder().seed(42).build();
 
     println!("one gateway in front of http://{}/ :\n", site.host());
 
@@ -208,7 +208,7 @@ fn main() {
             ..HumanConfig::default()
         },
     );
-    run(&mut gateway, &web, site, "human/firefox", &mut human, 1);
+    run(&gateway, &web, site, "human/firefox", &mut human, 1);
 
     let mut no_js = HumanAgent::new(
         BrowserProfile::js_disabled(BrowserFamily::Opera),
@@ -218,16 +218,16 @@ fn main() {
             ..HumanConfig::default()
         },
     );
-    run(&mut gateway, &web, site, "human/no-js", &mut no_js, 2);
+    run(&gateway, &web, site, "human/no-js", &mut no_js, 2);
 
     let mut crawler = CrawlerBot::new(CrawlerConfig::default());
-    run(&mut gateway, &web, site, "blind crawler", &mut crawler, 3);
+    run(&gateway, &web, site, "blind crawler", &mut crawler, 3);
 
     let mut smart = SmartBot::new(SmartBotConfig {
         scan_beacons: true,
         ..SmartBotConfig::default()
     });
-    run(&mut gateway, &web, site, "smart bot", &mut smart, 4);
+    run(&gateway, &web, site, "smart bot", &mut smart, 4);
 
     // Flush every session: the batch set-algebra pass labels them.
     println!("\nfinal labels at flush:");

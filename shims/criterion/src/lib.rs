@@ -111,6 +111,25 @@ impl Bencher {
     ) {
         self.iter(|| routine(setup()));
     }
+
+    /// Caller-timed variant (subset of `criterion::Bencher::iter_custom`):
+    /// `routine(n)` must perform `n` iterations and return the elapsed
+    /// wall time for exactly those iterations. Used by benches whose
+    /// per-iteration work spans threads (spawn/join overhead must stay
+    /// outside the measured region).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Warmup batch, also estimating per-iteration cost.
+        const WARM_ITERS: u64 = 64;
+        let mut warm = routine(WARM_ITERS);
+        if warm.is_zero() {
+            warm = Duration::from_nanos(1);
+        }
+        let per_iter = warm.as_secs_f64() / WARM_ITERS as f64;
+        let measure_iters = ((TARGET_MEASURE.as_secs_f64() / per_iter) as u64).clamp(10, 1_000_000);
+        let elapsed = routine(measure_iters);
+        self.mean_ns = elapsed.as_nanos() as f64 / measure_iters as f64;
+        self.iters = measure_iters;
+    }
 }
 
 /// Batch sizing hint (accepted, ignored).

@@ -42,7 +42,7 @@ fn malformed_wire_input_is_rejected_not_panicked() {
 #[test]
 fn replayed_beacon_is_robot_evidence() {
     let mut ins = Instrumenter::new(InstrumentConfig::default(), 3);
-    let mut det = Detector::new(DetectorConfig::default());
+    let det = Detector::new(DetectorConfig::default());
     let client = ClientIp::new(10);
     let (_, m) = ins.instrument_page(HTML, &page(), client, SimTime::ZERO);
     let beacon = m.mouse_beacon.unwrap();
@@ -142,7 +142,7 @@ fn hostile_html_does_not_break_rewriting() {
 #[test]
 fn detector_tolerates_responseless_exchanges() {
     use botwall::sessions::{SessionTracker, TrackerConfig};
-    let mut t = SessionTracker::new(TrackerConfig::default());
+    let t = SessionTracker::new(TrackerConfig::default());
     let req = Request::builder(Method::Get, "http://h/x")
         .client(ClientIp::new(1))
         .build()

@@ -147,7 +147,7 @@ fn crawler_hidden_link_flow_ends_blocked() {
 /// which the session is served normally.
 #[test]
 fn challenge_flow_issue_verify_captcha_passed() {
-    let mut gw = Gateway::builder()
+    let gw = Gateway::builder()
         .seed(13)
         .captcha(ServingPolicy::MandatoryUnderAttack)
         .build();
@@ -215,4 +215,84 @@ fn gateway_is_deterministic() {
         (statuses, labels, gw.stats())
     };
     assert_eq!(run(), run());
+}
+
+/// The §4.2 throttle escape hatch, end to end: a robot-paced session is
+/// rate limited, but instead of a bare 429 the gateway serves a CAPTCHA;
+/// solving it makes the session ground-truth human and lifts the limit.
+#[test]
+fn throttle_escape_hatch_pass_unthrottles_the_session() {
+    let gw = Gateway::builder()
+        .seed(41)
+        .challenge_on_throttle(true)
+        .build();
+    assert!(gw.config().challenge_on_throttle);
+    let ua = "curl/7.0";
+    let mk = |i: u64| req(8, &format!("http://h.example/{i}.html"), ua);
+    let key = SessionKey::of(&mk(0));
+
+    // Crawl at 1 req/s with zero browser signals: the no-signal
+    // promotion drops the session to the robot allowance, and the first
+    // over-limit request comes back as a challenge, not a 429.
+    let mut challenge = None;
+    for i in 0..60 {
+        match gw.handle_with(&mk(i), SimTime::from_secs(i), |_| Origin::Page(HTML.into())) {
+            Decision::Challenge(ch) => {
+                challenge = Some(ch);
+                break;
+            }
+            Decision::Throttle => panic!("escape hatch must replace the bare 429"),
+            _ => {}
+        }
+    }
+    let ch = challenge.expect("robot-paced session must be challenged");
+    assert_eq!(gw.stats().throttled, 0);
+    assert!(gw.stats().challenged > 0);
+
+    // Pass → ground-truth human → unthrottled from here on.
+    let answer = ch.answer().to_string();
+    assert!(gw.verify_captcha(&key, ch.id, &answer, SimTime::from_secs(70)));
+    assert_eq!(gw.verdict(&key), Verdict::Human(Reason::CaptchaPassed));
+    for i in 0..30 {
+        let d = gw.handle_with(&mk(100 + i), SimTime::from_secs(71), |_| {
+            Origin::Page(HTML.into())
+        });
+        assert!(d.is_serve(), "passed sessions are never limited: {d:?}");
+    }
+    let done = gw.drain();
+    assert_eq!(done[0].label, Label::Human);
+    assert_eq!(done[0].reason, Reason::CaptchaPassed);
+}
+
+/// The gateway is `Send + Sync`: one `Arc<Gateway>` takes traffic from
+/// several threads, and the ledger still balances.
+#[test]
+fn shared_gateway_handles_traffic_from_multiple_threads() {
+    use std::sync::Arc;
+    let gw = Arc::new(Gateway::builder().seed(55).build());
+    let handles: Vec<_> = (0..4u32)
+        .map(|t| {
+            let gw = Arc::clone(&gw);
+            std::thread::spawn(move || {
+                for i in 0..40u64 {
+                    let r = req(
+                        100 + t,
+                        &format!("http://h.example/{i}.html"),
+                        "Mozilla/5.0",
+                    );
+                    gw.handle_with(&r, SimTime::from_secs(i), |_| Origin::Page(HTML.into()));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = gw.stats();
+    assert_eq!(stats.requests, 160);
+    assert_eq!(
+        stats.requests,
+        stats.served + stats.throttled + stats.blocked + stats.challenged
+    );
+    assert_eq!(gw.drain().len(), 4);
 }
