@@ -1,7 +1,9 @@
 //! Gateway front-door throughput: the cost of one `handle()` call end to
-//! end (classify → policy → instrument/serve → observe), plus the
-//! sharded session tracker's raw ingest rate at several shard counts —
-//! the two paths the ROADMAP's scale items landed on.
+//! end (classify → one fused gate/serve/observe critical section), plus
+//! the sharded session tracker's raw ingest rate at several shard
+//! counts — the two paths the ROADMAP's scale items landed on. The
+//! `beacon_redemption` row tracks the request class that used to
+//! write-lock the global instrumenter before PR 4 made it shard-local.
 
 use botwall_gateway::{Decision, Gateway, Origin};
 use botwall_http::request::ClientIp;
@@ -65,6 +67,35 @@ fn bench_gateway_throughput(c: &mut Criterion) {
             black_box(gw.handle_with(&r, clock, |_| {
                 Origin::Response(Response::empty(StatusCode::OK))
             }))
+        })
+    });
+
+    // Beacon redemption alone: the request that used to write-lock the
+    // global instrumenter token table now redeems inside its session's
+    // one shard critical section. Page issuance happens outside the
+    // measured region (iter_custom), so the row isolates redemption.
+    group.bench_function("beacon_redemption", |b| {
+        let gw = Gateway::builder().seed(45).build();
+        let mut clock = SimTime::ZERO;
+        let mut ip = 1u32;
+        b.iter_custom(|iters| {
+            use std::time::{Duration, Instant};
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                clock += 50;
+                ip = ip.wrapping_add(1);
+                let page = req(ip, "http://bench.example/index.html");
+                let d = gw.handle_with(&page, clock, |_| Origin::Page(HTML.into()));
+                let Decision::Serve { manifest, .. } = d else {
+                    unreachable!("fresh sessions are served");
+                };
+                let beacon = manifest.unwrap().mouse_beacon.unwrap();
+                let r = req(ip, &beacon.to_string());
+                let start = Instant::now();
+                black_box(gw.handle(&r, clock));
+                elapsed += start.elapsed();
+            }
+            elapsed
         })
     });
 

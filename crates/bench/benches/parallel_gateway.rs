@@ -1,9 +1,10 @@
 //! Multi-core gateway ingest: N threads hammering one shared
 //! `Arc<Gateway>` with steady-state proven-human traffic — the workload
-//! the PR-3 shard-owned-state refactor exists for. Each thread drives its
-//! own session key, so requests land on distinct tracker shards and the
-//! only shared touches are the instrumenter read lock and the sharded
-//! counter cells.
+//! the PR-3/PR-4 shard-owned-state refactors exist for. Each thread
+//! drives its own session key, so requests land on distinct tracker
+//! shards; since PR 4 the only cross-thread touches left are the sharded
+//! counter cells (one shard lock per request, no `RwLock`, no global
+//! mutex anywhere on the path).
 //!
 //! The reported number is *aggregate* mean ns per request across all
 //! threads: `mean_ns(T threads) < mean_ns(1 thread)` is scaling. On a

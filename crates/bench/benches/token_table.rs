@@ -1,10 +1,12 @@
-//! Token-table and probe-registry costs — the per-page server-side state
-//! §2.1 introduces. The paper's design goal is detection "without
-//! overburdening the server"; issuing and redeeming must be O(1)-ish.
+//! Token-state and probe-classification costs — the per-page server-side
+//! state §2.1 introduces. The paper's design goal is detection "without
+//! overburdening the server"; issuing and redeeming must be O(1)-ish,
+//! and since PR 4 probe classification is a *stateless* keyed-hash
+//! recomputation (no registry lookup at all).
 
 use botwall_http::request::ClientIp;
-use botwall_instrument::probe::{ProbeKind, ProbeRegistry, ProbeRegistryConfig};
-use botwall_instrument::token::{BeaconKey, TokenTable, TokenTableConfig};
+use botwall_instrument::token::{BeaconKey, TokenState, TokenTable, TokenTableConfig};
+use botwall_instrument::{InstrumentConfig, RewriteEngine, Sighting};
 use botwall_sessions::SimTime;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand_chacha::rand_core::SeedableRng;
@@ -43,27 +45,50 @@ fn bench_token_table(c: &mut Criterion) {
             black_box(table.redeem(ip, key, SimTime::from_millis(i as u64 + 1)))
         })
     });
+    // The shard-colocated per-session state the gateway actually uses:
+    // issue + redeem with no table indirection at all.
+    group.bench_function("session_state_issue_then_redeem", |b| {
+        let mut state = TokenState::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = BeaconKey::random(&mut rng);
+            state.issue("/p", key, Vec::new(), None, SimTime::from_millis(i), 64);
+            black_box(state.redeem(key, SimTime::from_millis(i + 1)))
+        })
+    });
     group.finish();
 
-    let mut group = c.benchmark_group("probe_registry");
+    let mut group = c.benchmark_group("probe_classify");
     group.throughput(Throughput::Elements(1));
+    // Stateless MAC-nonce classification: mint a probe URL, then verify
+    // it back — the whole pre-lock half of the request path.
     group.bench_function("issue_and_classify", |b| {
-        let mut reg = ProbeRegistry::new(ProbeRegistryConfig::default());
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            let url = reg.issue(
-                ProbeKind::CssProbe,
-                "h.example",
-                SimTime::from_millis(t),
-                &mut rng,
-            );
-            let req = botwall_http::Request::builder(botwall_http::Method::Get, url.to_string())
-                .build()
-                .unwrap();
-            black_box(reg.classify(&req))
+        let engine = RewriteEngine::new(InstrumentConfig::default(), 7);
+        let mut tokens = TokenState::default();
+        let page: botwall_http::Uri = "http://h.example/index.html".parse().unwrap();
+        let (_, manifest) =
+            engine.instrument_session_page("<html></html>", &page, &mut tokens, 1, SimTime::ZERO);
+        let css = manifest.css_probe.unwrap();
+        let req = botwall_http::Request::builder(botwall_http::Method::Get, css.to_string())
+            .build()
+            .unwrap();
+        b.iter(|| match engine.classify(black_box(&req), SimTime::ZERO) {
+            Sighting::Probe(hit) => black_box(hit.nonce),
+            other => panic!("probe expected, got {other:?}"),
         })
+    });
+    // The miss path: ordinary traffic must reject fast.
+    group.bench_function("classify_ordinary", |b| {
+        let engine = RewriteEngine::new(InstrumentConfig::default(), 7);
+        let req = botwall_http::Request::builder(
+            botwall_http::Method::Get,
+            "http://h.example/catalog/item42.html",
+        )
+        .build()
+        .unwrap();
+        b.iter(|| black_box(engine.classify(black_box(&req), SimTime::ZERO)))
     });
     group.finish();
 }

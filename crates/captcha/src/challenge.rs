@@ -37,10 +37,55 @@ impl Challenge {
     }
 }
 
-/// Deterministic challenge generator.
+impl Challenge {
+    /// Derives the challenge with identity `id` under `seed`, at the
+    /// given difficulty — a pure function, so any holder of the seed can
+    /// *re-derive* (and thereby verify) a challenge from its id alone,
+    /// with no issue table anywhere. The per-challenge RNG stream is
+    /// keyed by both seed and id, so ids never share content.
+    pub fn derive(seed: u64, id: u64, difficulty: f64) -> Challenge {
+        const ALPHABET: &[u8] = b"abcdefghjkmnpqrstuvwxyz23456789";
+        let difficulty = difficulty.clamp(0.0, 1.0);
+        // splitmix64-style stream separation: adjacent ids must not
+        // produce correlated ChaCha streams.
+        let mut stream = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        stream ^= stream >> 30;
+        stream = stream.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        stream ^= stream >> 27;
+        let mut rng = ChaCha8Rng::seed_from_u64(stream);
+        let len = rng.gen_range(5..=7);
+        let answer: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
+        // "Distortion": interleave noise characters proportional to
+        // difficulty.
+        let mut distorted = String::new();
+        for c in answer.chars() {
+            distorted.push(c);
+            if rng.gen_bool(difficulty) {
+                distorted.push(match rng.gen_range(0..3) {
+                    0 => '~',
+                    1 => '/',
+                    _ => '\\',
+                });
+            }
+        }
+        Challenge {
+            id,
+            distorted,
+            difficulty,
+            answer,
+        }
+    }
+}
+
+/// Deterministic challenge generator: a counter over
+/// [`Challenge::derive`]. Single-owner convenience for harnesses; the
+/// shared [`crate::CaptchaService`] derives challenges from an atomic
+/// counter instead.
 #[derive(Debug)]
 pub struct ChallengeGenerator {
-    rng: ChaCha8Rng,
+    seed: u64,
     next_id: u64,
     difficulty: f64,
 }
@@ -49,7 +94,7 @@ impl ChallengeGenerator {
     /// Creates a generator with default difficulty 0.5.
     pub fn new(seed: u64) -> ChallengeGenerator {
         ChallengeGenerator {
-            rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
             next_id: 1,
             difficulty: 0.5,
         }
@@ -62,32 +107,9 @@ impl ChallengeGenerator {
 
     /// Issues a fresh challenge.
     pub fn issue(&mut self) -> Challenge {
-        const ALPHABET: &[u8] = b"abcdefghjkmnpqrstuvwxyz23456789";
-        let len = self.rng.gen_range(5..=7);
-        let answer: String = (0..len)
-            .map(|_| ALPHABET[self.rng.gen_range(0..ALPHABET.len())] as char)
-            .collect();
-        // "Distortion": interleave noise characters proportional to
-        // difficulty.
-        let mut distorted = String::new();
-        for c in answer.chars() {
-            distorted.push(c);
-            if self.rng.gen_bool(self.difficulty) {
-                distorted.push(match self.rng.gen_range(0..3) {
-                    0 => '~',
-                    1 => '/',
-                    _ => '\\',
-                });
-            }
-        }
         let id = self.next_id;
         self.next_id += 1;
-        Challenge {
-            id,
-            distorted,
-            difficulty: self.difficulty,
-            answer,
-        }
+        Challenge::derive(self.seed, id, self.difficulty)
     }
 }
 
@@ -120,6 +142,23 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(g1.issue(), g2.issue());
         }
+    }
+
+    #[test]
+    fn derive_reconstructs_an_issued_challenge_from_its_id() {
+        // The stateless-verification property: seed + id fully determine
+        // the challenge, so a verifier needs no record of issuance.
+        let mut g = ChallengeGenerator::new(9);
+        for _ in 0..10 {
+            let ch = g.issue();
+            let again = Challenge::derive(9, ch.id, ch.difficulty);
+            assert_eq!(ch, again);
+            assert!(again.check(ch.answer()));
+        }
+        // Different seeds or ids derive different answers (w.h.p.).
+        let a = Challenge::derive(1, 5, 0.5);
+        assert_ne!(a.answer(), Challenge::derive(2, 5, 0.5).answer());
+        assert_ne!(a.answer(), Challenge::derive(1, 6, 0.5).answer());
     }
 
     #[test]

@@ -21,21 +21,28 @@
 //! # Shard-owned state
 //!
 //! All per-key mutable state — the evidence set, the cached fast-path
-//! verdict, and the enforcement [`PolicyState`] — lives in a [`KeyState`]
-//! colocated with the session record inside the tracker's shard entry
-//! ([`ShardedTracker<KeyState>`]). One shard-mutex acquisition covers the
-//! session update *and* the evidence fold, the whole API is `&self`, and
-//! the detector is `Send + Sync`: requests for different keys proceed in
-//! parallel on different shards. Incarnation pairing is structural — when
-//! a key rolls over or is evicted, its state is finalized *with* its
-//! session, so a flushed predecessor can never steal (or leak into) a
-//! successor's evidence.
+//! verdict, the enforcement [`PolicyState`], the outstanding beacon
+//! tokens ([`TokenState`]), and the outstanding CAPTCHA challenge record
+//! — lives in a [`KeyState`] colocated with the session record inside
+//! the tracker's shard entry ([`ShardedTracker<KeyState>`]). The fused
+//! entry point [`Detector::gate_and_observe`] runs policy gate →
+//! response production → exchange observation → fast-path classification
+//! inside **one** `with_exchange` critical section, so a steady-state
+//! request costs exactly one shard-mutex acquisition; the whole API is
+//! `&self`, and the detector is `Send + Sync`: requests for different
+//! keys proceed in parallel on different shards. Incarnation pairing is
+//! structural — when a key rolls over or is evicted, its state is
+//! finalized *with* its session, so a flushed predecessor can never
+//! steal (or leak into) a successor's evidence. A CAPTCHA pass that
+//! lands while a key has no live session rides the tracker's
+//! deferred-carry channel ([`PendingCaptchaPass`]) to the key's next
+//! incarnation.
 
 use crate::classifier::{self, Label, Reason, Verdict};
 use crate::evidence::{EvidenceKind, EvidenceSet};
-use crate::policy::PolicyState;
+use crate::policy::{Action, PolicyEngine, PolicyState};
 use botwall_http::{Request, Response, UserAgent};
-use botwall_instrument::{Classified, KeyOutcome, ProbeKind};
+use botwall_instrument::{Classified, KeyOutcome, ProbeKind, Sighting, TokenState};
 use botwall_sessions::{
     Finalized, Session, SessionExt, SessionKey, ShardedTracker, SimTime, TrackerConfig,
 };
@@ -79,9 +86,47 @@ pub struct CompletedSession {
     pub classifiable: bool,
 }
 
+/// An outstanding CAPTCHA challenge for one session: which challenge the
+/// session must answer, when it was issued, and how many wrong answers
+/// it has burned. Colocated in [`KeyState`], replacing the old global
+/// issue-table mutex — matching, clearing, and attempt counting all
+/// happen under the session's shard lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChallengeState {
+    /// The outstanding challenge's id.
+    pub id: u64,
+    /// When it was issued.
+    pub issued: SimTime,
+    /// Wrong answers so far.
+    pub attempts: u32,
+}
+
+impl ChallengeState {
+    /// A freshly issued challenge record.
+    pub fn new(id: u64, issued: SimTime) -> ChallengeState {
+        ChallengeState {
+            id,
+            issued,
+            attempts: 0,
+        }
+    }
+}
+
+/// A CAPTCHA pass verified while its key had no live session (swept or
+/// evicted between issue and answer) — the detector's deferred-carry
+/// payload. It parks in the key's tracker shard and is absorbed by the
+/// key's next incarnation the moment it is created, so a correct answer
+/// is never silently dropped and no global pending table exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingCaptchaPass {
+    /// When the pass was verified.
+    pub at: SimTime,
+}
+
 /// Per-key detection state, colocated with the session record in its
 /// tracker shard entry: the accumulated evidence, the cached fast-path
-/// verdict, and the enforcement state.
+/// verdict, the enforcement state, the outstanding beacon tokens, and
+/// the outstanding challenge record.
 #[derive(Debug)]
 pub struct KeyState {
     /// Evidence accumulated for the live incarnation.
@@ -90,6 +135,11 @@ pub struct KeyState {
     pub verdict: Verdict,
     /// Rate-bucket and block state for the policy engine.
     pub policy: PolicyState,
+    /// Outstanding beacon keys and stored scripts for this session.
+    pub tokens: TokenState,
+    /// The CAPTCHA challenge this session must answer, if one is
+    /// outstanding.
+    pub challenge: Option<ChallengeState>,
 }
 
 impl Default for KeyState {
@@ -98,24 +148,48 @@ impl Default for KeyState {
             evidence: EvidenceSet::new(),
             verdict: Verdict::Undecided,
             policy: PolicyState::default(),
+            tokens: TokenState::default(),
+            challenge: None,
         }
     }
 }
 
 impl SessionExt for KeyState {
-    /// At idle rollover, evidence and verdict start clean (the successor
-    /// is a *new* session and must be judged on its own behaviour), but
-    /// the policy block flag survives — a blocked robot does not earn a
-    /// reset by going quiet for an hour.
+    type Carry = PendingCaptchaPass;
+
+    /// At idle rollover, evidence, verdict, tokens, and any outstanding
+    /// challenge start clean (the successor is a *new* session and must
+    /// be judged on its own behaviour; its beacon keys and challenges
+    /// are long expired), but the policy block flag survives — a blocked
+    /// robot does not earn a reset by going quiet for an hour.
     fn on_rollover(&self) -> KeyState {
         KeyState {
             policy: self.policy.carry_over(),
             ..KeyState::default()
         }
     }
+
+    /// A deferred CAPTCHA pass reaches the key's next incarnation here:
+    /// ground-truth-human evidence lands before the first exchange is
+    /// even recorded, so mandatory-challenge gates already see a proven
+    /// human.
+    fn absorb(&mut self, carry: PendingCaptchaPass, session: &Session) {
+        self.record_captcha_pass(session.request_count() as u32, carry.at);
+    }
 }
 
 impl KeyState {
+    /// Records a ground-truth CAPTCHA pass directly on this state (hard
+    /// human evidence; the fast-path verdict updates immediately). For
+    /// callers already holding the session's shard lock — the detector's
+    /// [`Detector::record_captcha_pass`] and the carry absorption both
+    /// route through here.
+    pub fn record_captcha_pass(&mut self, index: u32, at: SimTime) {
+        self.evidence.record(EvidenceKind::PassedCaptcha, index, at);
+        self.verdict =
+            classifier::classify_hard(&self.evidence).expect("captcha pass is hard evidence");
+    }
+
     /// Records one evidence observation and returns whether it was hard
     /// (decides the verdict on its own).
     fn accumulate(&mut self, kind: EvidenceKind, index: u32, now: SimTime) -> bool {
@@ -193,83 +267,7 @@ impl Detector {
         let (key, (verdict, transitioned, request_index)) =
             self.tracker
                 .observe_with(request, Some(response), now, |session, state| {
-                    let request_count = session.request_count();
-                    let index = request_count as u32;
-                    let prev = state.verdict;
-
-                    let mut hard = false;
-                    match classified {
-                        Classified::MouseBeacon { outcome, .. } => {
-                            let kind = match outcome {
-                                KeyOutcome::Valid => EvidenceKind::MouseEvent,
-                                KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
-                                KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
-                                KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
-                            };
-                            hard |= state.accumulate(kind, index, now);
-                        }
-                        Classified::Probe(hit) => match hit.kind {
-                            ProbeKind::CssProbe => {
-                                hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
-                            }
-                            ProbeKind::JsFile => {
-                                hard |=
-                                    state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
-                            }
-                            ProbeKind::AgentBeacon => {
-                                hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
-                                if let Some(reported) = &hit.reported_agent {
-                                    let header = request.user_agent().unwrap_or("");
-                                    if !reported.is_empty()
-                                        && UserAgent::canonicalize(header) != *reported
-                                    {
-                                        hard |=
-                                            state.accumulate(EvidenceKind::UaMismatch, index, now);
-                                    }
-                                }
-                            }
-                            ProbeKind::HiddenLink => {
-                                hard |=
-                                    state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
-                            }
-                            ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
-                        },
-                        Classified::Ordinary => {}
-                    }
-
-                    if hard {
-                        state.verdict = classifier::classify_hard(&state.evidence)
-                            .expect("hard evidence just recorded");
-                    } else if state.verdict == Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
-                        && state.has_browser_signals()
-                    {
-                        // Browser signals arrived after the no-signal promotion
-                        // (e.g. a human whose CSS probe fetch trailed a burst of
-                        // asset requests): the promotion's premise no longer
-                        // holds. Drop back to Undecided; the batch pass at
-                        // flush decides.
-                        state.verdict = Verdict::Undecided;
-                    } else if state.verdict == Verdict::Undecided && request_count > min_to_classify
-                    {
-                        if !state.has_browser_signals() {
-                            // A session past the classification minimum with no
-                            // browser signals at all is robot-leaning: crawlers,
-                            // spammers and scanners never touch a probe, and
-                            // waiting longer cannot exonerate them (§3.1's noise
-                            // rule doubles as the browser-test window).
-                            state.verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
-                        } else if state.evidence.has(EvidenceKind::ExecutedJs) {
-                            // JS executed but still no mouse event after the
-                            // classification minimum: the S_JS − S_MM term leans
-                            // robot. Promoting here keeps the paper's §4.1
-                            // adversary (a JS-capable bot) under robot-class
-                            // enforcement while it is live; a later mouse event
-                            // (hard) overturns this, and the flush applies the
-                            // full set algebra either way.
-                            state.verdict = Verdict::ProvisionalRobot(Reason::JsWithoutMouse);
-                        }
-                    }
-                    (state.verdict, prev != state.verdict, index)
+                    fold_exchange(state, session, classified, request, min_to_classify, now)
                 });
         ObserveOutcome {
             key,
@@ -279,6 +277,103 @@ impl Detector {
         }
     }
 
+    /// The fused request path: policy gate → response production →
+    /// exchange observation → fast-path classification, all inside
+    /// **one** shard critical section — a steady-state request costs
+    /// exactly one shard-mutex acquisition, where the PR-3 gateway took
+    /// the same lock twice (gate, then observe) plus an instrumenter
+    /// `RwLock` and assorted global mutexes.
+    ///
+    /// The flow inside the critical section:
+    ///
+    /// 1. **Gate.** With `enforce`, the policy engine decides on the
+    ///    verdict and counters *as of the previous request*. The first
+    ///    exchange of an incarnation has nothing to rate-limit yet and
+    ///    passes — unless a rollover carried a block flag, which holds.
+    /// 2. **Resolve.** The engine's stateless [`Sighting`] is resolved
+    ///    against per-session state: a beacon-shaped fetch redeems its
+    ///    key in the session's colocated [`TokenState`] (the operation
+    ///    that used to write-lock a global token table).
+    /// 3. **Respond.** The caller builds the response — serving probe
+    ///    objects from session state, instrumenting origin pages into
+    ///    it, issuing challenges into the session's [`ChallengeState`] —
+    ///    with full mutable access to the [`KeyState`].
+    /// 4. **Observe.** The finished exchange is recorded and its
+    ///    evidence folded, updating the fast-path verdict.
+    ///
+    /// The respond callback runs under the shard lock: it must not call
+    /// back into this detector (or anything that could take the same
+    /// shard lock again).
+    pub fn gate_and_observe<T>(
+        &self,
+        request: &Request,
+        sighting: &Sighting,
+        now: SimTime,
+        enforce: bool,
+        policy: &PolicyEngine,
+        respond: impl FnOnce(Action, &Session, &mut KeyState, &Classified) -> (Response, T),
+    ) -> (ObserveOutcome, Action, Response, T) {
+        let min_to_classify = self.tracker.config().min_requests_to_classify;
+        let (key, (action, response, value, verdict, transitioned, request_index)) =
+            self.tracker.with_exchange(request, now, |entry| {
+                // 1. Policy gate on pre-exchange state.
+                let action = {
+                    let (session, state) = entry.parts();
+                    if !enforce {
+                        Action::Allow
+                    } else if session.request_count() == 0 {
+                        // An incarnation's first exchange creates the
+                        // state — nothing to enforce against yet, except
+                        // a block flag carried over an idle rollover.
+                        if state.policy.is_blocked() {
+                            Action::Block
+                        } else {
+                            Action::Allow
+                        }
+                    } else {
+                        policy.decide(
+                            &mut state.policy,
+                            state.verdict,
+                            session.counters(),
+                            session.request_rate(),
+                            now,
+                        )
+                    }
+                };
+                // 2. Resolve the sighting against session token state.
+                let classified = match sighting {
+                    Sighting::MouseBeacon(key) => {
+                        let outcome = entry.ext().tokens.redeem(*key, now);
+                        Classified::MouseBeacon { key: *key, outcome }
+                    }
+                    Sighting::Probe(hit) => Classified::Probe(hit.clone()),
+                    Sighting::Ordinary => Classified::Ordinary,
+                };
+                // 3. Build the response.
+                let (response, value) = {
+                    let (session, state) = entry.parts();
+                    respond(action, session, state, &classified)
+                };
+                // 4. Record the exchange and fold its evidence.
+                entry.record(request, Some(&response), now);
+                let (session, state) = entry.parts();
+                let (verdict, transitioned, index) =
+                    fold_exchange(state, session, &classified, request, min_to_classify, now);
+                (action, response, value, verdict, transitioned, index)
+            });
+        (
+            ObserveOutcome {
+                key,
+                verdict,
+                transitioned,
+                request_index,
+            },
+            action,
+            response,
+            value,
+        )
+    }
+
     /// Records a CAPTCHA pass for a session (ground-truth human).
     ///
     /// A key the tracker has never seen is a no-op: there is no session
@@ -286,12 +381,7 @@ impl Detector {
     /// evidence to a phantom record.
     pub fn record_captcha_pass(&self, key: &SessionKey, now: SimTime) {
         self.tracker.with_entry(key, |session, state| {
-            let index = session.request_count() as u32;
-            state
-                .evidence
-                .record(EvidenceKind::PassedCaptcha, index, now);
-            state.verdict =
-                classifier::classify_hard(&state.evidence).expect("captcha pass is hard evidence");
+            state.record_captcha_pass(session.request_count() as u32, now);
         });
     }
 
@@ -325,6 +415,32 @@ impl Detector {
         &self.tracker
     }
 
+    /// Folds every live session's colocated state (shards in index
+    /// order, one lock at a time) — how per-key aggregates like token
+    /// occupancy and outstanding challenges merge into stats without any
+    /// global table.
+    pub fn fold_key_states<A>(&self, init: A, f: impl FnMut(A, &Session, &KeyState) -> A) -> A {
+        self.tracker.fold_entries(init, f)
+    }
+
+    /// Expires per-key instrumentation state of *live* sessions:
+    /// beacon tokens older than `token_ttl_ms` and challenge records
+    /// older than `challenge_ttl_ms` as of `now`. Dead sessions need no
+    /// pass — their state flushes with the entry. Called by the
+    /// gateway's sweep, replacing the old global token-table and
+    /// issue-table sweeps.
+    pub fn expire_key_state(&self, now: SimTime, token_ttl_ms: u64, challenge_ttl_ms: u64) {
+        self.tracker.visit_entries_mut(|_, state| {
+            state.tokens.sweep(now, token_ttl_ms);
+            if state
+                .challenge
+                .is_some_and(|ch| now.since(ch.issued) > challenge_ttl_ms)
+            {
+                state.challenge = None;
+            }
+        });
+    }
+
     /// Expires idle sessions as of `now`, applying the batch set-algebra
     /// classification to each and finalizing their labels.
     pub fn sweep(&self, now: SimTime) -> Vec<CompletedSession> {
@@ -343,7 +459,7 @@ impl Detector {
     /// The batch boundary: accumulated evidence is applied through the
     /// full set-algebra rule for every flushed session at once. Pairing
     /// is structural — each finalized session carries the state of its
-    /// own incarnation.
+    /// own incarnation (tokens and challenge records expire with it).
     fn complete(&self, finished: Vec<Finalized<KeyState>>) -> Vec<CompletedSession> {
         finished
             .into_iter()
@@ -361,6 +477,92 @@ impl Detector {
             })
             .collect()
     }
+}
+
+/// Folds one recorded exchange's evidence into the key state and updates
+/// the fast-path verdict. Runs under the session's shard lock (called
+/// from both [`Detector::observe`] and [`Detector::gate_and_observe`]);
+/// the session's counters already include the exchange. Returns
+/// `(verdict, transitioned, request_index)`.
+fn fold_exchange(
+    state: &mut KeyState,
+    session: &Session,
+    classified: &Classified,
+    request: &Request,
+    min_to_classify: u64,
+    now: SimTime,
+) -> (Verdict, bool, u32) {
+    let request_count = session.request_count();
+    let index = request_count as u32;
+    let prev = state.verdict;
+
+    let mut hard = false;
+    match classified {
+        Classified::MouseBeacon { outcome, .. } => {
+            let kind = match outcome {
+                KeyOutcome::Valid => EvidenceKind::MouseEvent,
+                KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
+                KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
+                KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
+            };
+            hard |= state.accumulate(kind, index, now);
+        }
+        Classified::Probe(hit) => match hit.kind {
+            ProbeKind::CssProbe => {
+                hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
+            }
+            ProbeKind::JsFile => {
+                hard |= state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
+            }
+            ProbeKind::AgentBeacon => {
+                hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
+                if let Some(reported) = &hit.reported_agent {
+                    let header = request.user_agent().unwrap_or("");
+                    if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
+                        hard |= state.accumulate(EvidenceKind::UaMismatch, index, now);
+                    }
+                }
+            }
+            ProbeKind::HiddenLink => {
+                hard |= state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
+            }
+            ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
+        },
+        Classified::Ordinary => {}
+    }
+
+    if hard {
+        state.verdict =
+            classifier::classify_hard(&state.evidence).expect("hard evidence just recorded");
+    } else if state.verdict == Verdict::ProvisionalRobot(Reason::NoBrowserSignals)
+        && state.has_browser_signals()
+    {
+        // Browser signals arrived after the no-signal promotion
+        // (e.g. a human whose CSS probe fetch trailed a burst of
+        // asset requests): the promotion's premise no longer
+        // holds. Drop back to Undecided; the batch pass at
+        // flush decides.
+        state.verdict = Verdict::Undecided;
+    } else if state.verdict == Verdict::Undecided && request_count > min_to_classify {
+        if !state.has_browser_signals() {
+            // A session past the classification minimum with no
+            // browser signals at all is robot-leaning: crawlers,
+            // spammers and scanners never touch a probe, and
+            // waiting longer cannot exonerate them (§3.1's noise
+            // rule doubles as the browser-test window).
+            state.verdict = Verdict::ProvisionalRobot(Reason::NoBrowserSignals);
+        } else if state.evidence.has(EvidenceKind::ExecutedJs) {
+            // JS executed but still no mouse event after the
+            // classification minimum: the S_JS − S_MM term leans
+            // robot. Promoting here keeps the paper's §4.1
+            // adversary (a JS-capable bot) under robot-class
+            // enforcement while it is live; a later mouse event
+            // (hard) overturns this, and the flush applies the
+            // full set algebra either way.
+            state.verdict = Verdict::ProvisionalRobot(Reason::JsWithoutMouse);
+        }
+    }
+    (state.verdict, prev != state.verdict, index)
 }
 
 #[cfg(test)]
@@ -760,6 +962,155 @@ mod tests {
         assert!(det.sweep(SimTime::from_secs(10)).is_empty());
         let done = det.sweep(SimTime::from_hours(2));
         assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn gate_and_observe_gates_on_pre_exchange_state_then_records() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(30, "http://h/a.html", "wget/1.0");
+        let (out, action, response, seen) = det.gate_and_observe(
+            &r,
+            &Sighting::Ordinary,
+            SimTime::ZERO,
+            true,
+            &policy,
+            |action, session, _state, classified| {
+                assert_eq!(
+                    session.request_count(),
+                    0,
+                    "the gate must see pre-exchange counters"
+                );
+                assert_eq!(action, Action::Allow, "first exchange passes");
+                assert_eq!(classified, &Classified::Ordinary);
+                (ok(), 7u32)
+            },
+        );
+        assert_eq!(seen, 7);
+        assert_eq!(action, Action::Allow);
+        assert_eq!(out.request_index, 1, "the exchange was recorded");
+        assert_eq!(response.status(), StatusCode::OK);
+        assert_eq!(det.tracker().get(&out.key).unwrap().request_count(), 1);
+    }
+
+    #[test]
+    fn gate_and_observe_redeems_beacons_against_session_tokens() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        use botwall_instrument::BeaconKey;
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r0 = req(31, "http://h/index.html", "Mozilla/5.0");
+        let out = det.observe(&r0, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        // A page rewrite (normally the gateway's respond closure) parked
+        // a beacon key in the session's colocated token state.
+        let key = BeaconKey::from_raw(0xfeed);
+        det.with_key_state(&out.key, |_, state| {
+            state
+                .tokens
+                .issue("/index.html", key, vec![], None, SimTime::ZERO, 64);
+        });
+        // The beacon fetch resolves inside the same critical section.
+        let beacon = botwall_instrument::beacon::encode("h", key);
+        let r1 = req(31, &beacon.to_string(), "Mozilla/5.0");
+        let (out, _, _, ()) = det.gate_and_observe(
+            &r1,
+            &Sighting::MouseBeacon(key),
+            SimTime::from_secs(1),
+            true,
+            &policy,
+            |_, _, _, classified| {
+                assert!(matches!(
+                    classified,
+                    Classified::MouseBeacon {
+                        outcome: KeyOutcome::Valid,
+                        ..
+                    }
+                ));
+                (ok(), ())
+            },
+        );
+        assert_eq!(out.verdict, Verdict::Human(Reason::MouseActivity));
+    }
+
+    #[test]
+    fn gate_and_observe_holds_a_carried_block_on_the_rollover_request() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(32, "http://h/a.html", "wget/1.0");
+        let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        det.with_key_state(&out.key, |_, state| state.policy.block());
+        // Two hours idle: the return request starts a new incarnation,
+        // but the carried block must gate it immediately.
+        let later = SimTime::from_hours(2);
+        let (_, action, response, ()) = det.gate_and_observe(
+            &r,
+            &Sighting::Ordinary,
+            later,
+            true,
+            &policy,
+            |action, _, _, _| {
+                assert_eq!(action, Action::Block);
+                (Response::empty(StatusCode::FORBIDDEN), ())
+            },
+        );
+        assert_eq!(action, Action::Block);
+        assert_eq!(response.status(), StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn pending_pass_carry_reaches_the_next_incarnation() {
+        let det = Detector::new(DetectorConfig::default());
+        let r = req(33, "http://h/a.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        // A CAPTCHA pass verified while the key has no live session
+        // parks in the shard...
+        det.tracker().with_entry_and_carry(&key, |entry, slot| {
+            assert!(entry.is_none());
+            *slot = Some(PendingCaptchaPass {
+                at: SimTime::from_secs(5),
+            });
+        });
+        // ...and the key's first exchange absorbs it as ground truth.
+        let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(6));
+        assert_eq!(out.verdict, Verdict::Human(Reason::CaptchaPassed));
+        assert!(det
+            .evidence(&out.key)
+            .unwrap()
+            .has(EvidenceKind::PassedCaptcha));
+    }
+
+    #[test]
+    fn expire_key_state_purges_tokens_and_stale_challenges_of_live_sessions() {
+        use botwall_instrument::BeaconKey;
+        let det = Detector::new(DetectorConfig::default());
+        let r = req(34, "http://h/a.html", "Mozilla/5.0");
+        let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        det.with_key_state(&out.key, |_, state| {
+            state.tokens.issue(
+                "/a.html",
+                BeaconKey::from_raw(1),
+                vec![],
+                None,
+                SimTime::ZERO,
+                64,
+            );
+            state.challenge = Some(ChallengeState::new(9, SimTime::ZERO));
+        });
+        // Within TTL: untouched.
+        det.expire_key_state(SimTime::from_secs(10), 3_600_000, 3_600_000);
+        det.with_key_state(&out.key, |_, state| {
+            assert_eq!(state.tokens.len(), 1);
+            assert!(state.challenge.is_some());
+        });
+        // Past TTL: both expire, without flushing the session.
+        det.expire_key_state(SimTime::from_hours(2), 3_600_000, 3_600_000);
+        det.with_key_state(&out.key, |_, state| {
+            assert!(state.tokens.is_empty());
+            assert!(state.challenge.is_none());
+        });
+        assert_eq!(det.tracker().live_count(), 1);
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub mod report;
 pub mod staged;
 
 pub use classifier::{Label, Reason, Verdict};
-pub use detector::{CompletedSession, Detector, DetectorConfig, KeyState, ObserveOutcome};
+pub use detector::{
+    ChallengeState, CompletedSession, Detector, DetectorConfig, KeyState, ObserveOutcome,
+    PendingCaptchaPass,
+};
 pub use evidence::{EvidenceKind, EvidenceSet};
 pub use policy::{Action, PolicyConfig, PolicyEngine, PolicyState};
 pub use report::{Figure2Report, RequestCdf, Table1Report};

@@ -4,34 +4,53 @@
 //!
 //! The entire request path is `&self` and the gateway is `Send + Sync`:
 //! wrap it in an [`std::sync::Arc`] and call [`Gateway::handle`] from as
-//! many threads as the hardware offers. Per-key mutable state (session
-//! record, evidence, verdict, rate bucket, block flag) lives inside the
-//! detector's sharded tracker — one shard-mutex acquisition covers the
-//! policy gate, and one covers the exchange observation, so requests for
-//! different keys proceed in parallel. Cross-key state is either
-//! immutable (config, thresholds), atomic (activity counters, the
-//! under-attack flag), or behind a lock only rare paths touch (the
-//! instrumenter's token table for beacon redemptions and page rewrites —
-//! ordinary classification takes the read side only).
+//! many threads as the hardware offers.
+//!
+//! Since PR 4 a steady-state request costs **exactly one lock
+//! acquisition**: its session's shard mutex, held once for the fused
+//! gate → respond → observe critical section
+//! ([`botwall_core::Detector::gate_and_observe`]). Everything the
+//! request touches is one of three kinds:
+//!
+//! * **shard-local** — the session record and its colocated `KeyState`
+//!   (evidence, verdict, rate bucket, block flag, beacon tokens +
+//!   stored scripts, outstanding CAPTCHA challenge), all inside the one
+//!   shard entry;
+//! * **immutable-shared** — the config, thresholds, the boundary model,
+//!   and the [`RewriteEngine`] (page rewriting and probe classification
+//!   with no interior mutability at all — probe URLs authenticate
+//!   themselves, so classification is recomputation, not lookup);
+//! * **global-atomic** — the cache-line-padded per-shard counter cells
+//!   merged at [`Gateway::stats`], the CAPTCHA id counter, and the
+//!   under-attack flag.
+//!
+//! There is no `RwLock`, no global mutex, and no cross-shard anything on
+//! the request path; a debug-build regression test asserts the exact
+//! lock count.
 
 use crate::config::{GatewayBuilder, GatewayConfig};
 use crate::decision::{challenge_response, Decision, Origin};
 use botwall_captcha::{CaptchaService, Challenge};
 use botwall_core::classifier::{Reason, Verdict};
 use botwall_core::staged::{Stage, StagedPipeline};
-use botwall_core::{Action, BoundaryClassifier, CompletedSession, Detector, PolicyEngine};
+use botwall_core::{
+    Action, BoundaryClassifier, ChallengeState, CompletedSession, Detector, KeyState,
+    PendingCaptchaPass, PolicyEngine,
+};
 use botwall_http::{Request, Response, StatusCode};
-use botwall_instrument::{Classified, Instrumenter};
+use botwall_instrument::{Classified, ProbeKind, ProbeManifest, RewriteEngine};
 use botwall_sessions::{Session, SessionKey, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Salt applied to the gateway seed for the CAPTCHA generator, so the
 /// instrumentation and challenge RNG streams never collide.
 const CAPTCHA_SEED_SALT: u64 = 0x0c47_c4a0;
+
+/// Wrong answers allowed against one outstanding challenge before its
+/// record is dropped (the next request re-challenges with a fresh id).
+const MAX_CHALLENGE_ATTEMPTS: u32 = 3;
 
 /// A point-in-time snapshot of gateway activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +86,14 @@ pub struct GatewayStats {
     pub captcha_passed: u64,
     /// Challenges failed.
     pub captcha_failed: u64,
+    /// Outstanding per-session challenge records at snapshot time,
+    /// merged across shards (the decentralized successor of the old
+    /// global issue table).
+    pub pending_challenges: u64,
+    /// Outstanding per-session beacon-token entries at snapshot time,
+    /// merged across shards (the decentralized successor of the old
+    /// global token table).
+    pub token_entries: u64,
 }
 
 /// One cache-line-padded cell of per-request counters. Requests update
@@ -113,13 +140,34 @@ impl ShardedCounters {
     }
 }
 
+/// What the in-section respond step produced, carried out of the
+/// critical section so the decision can be assembled after the shard
+/// lock is released.
+// Like `Decision`, the serve payload dwarfs the rejection variants, but
+// one `Produced` lives for one request and is moved straight into the
+// decision — boxing it would only add an allocation to the hot path.
+#[allow(clippy::large_enum_variant)]
+enum Produced {
+    Blocked,
+    Throttled,
+    Challenged(Challenge),
+    /// Instrumentation traffic answered by the gateway itself.
+    Probe,
+    /// Origin traffic (page, pass-through, or 404).
+    OriginServe {
+        body: Option<String>,
+        manifest: Option<ProbeManifest>,
+    },
+}
+
 /// The single front door over the detection core.
 ///
 /// One `Gateway` owns the whole per-deployment composition the paper
-/// describes: the page instrumenter, the sessionized detector (sharded
-/// tracker with colocated evidence/policy state), the policy engine, and
-/// the CAPTCHA service. Every exchange goes through [`Gateway::handle`]
-/// or [`Gateway::handle_with`]; idle sessions flush through
+/// describes: the immutable page-rewrite engine, the sessionized
+/// detector (sharded tracker with colocated evidence/policy/token/
+/// challenge state), the policy engine, and the stateless CAPTCHA
+/// service. Every exchange goes through [`Gateway::handle`] or
+/// [`Gateway::handle_with`]; idle sessions flush through
 /// [`Gateway::sweep`] / [`Gateway::drain`]. All of it takes `&self` —
 /// see the module docs for the locking model.
 ///
@@ -145,26 +193,15 @@ impl ShardedCounters {
 /// ```
 pub struct Gateway {
     config: GatewayConfig,
-    instrumenter: RwLock<Instrumenter>,
+    engine: RewriteEngine,
     detector: Detector,
     policy: PolicyEngine,
     captcha: CaptchaService,
     boundary: Option<Box<dyn BoundaryClassifier + Send + Sync>>,
-    /// CAPTCHA passes verified while the keyed session was not live
-    /// (swept or evicted between issue and answer): credited to the
-    /// key's next incarnation on its first observed exchange.
-    pending_captcha: Mutex<HashMap<SessionKey, SimTime>>,
-    /// Lock-free gate for `pending_captcha`: the hot path only takes the
-    /// mutex when at least one pass is actually pending.
-    pending_count: AtomicUsize,
     counters: ShardedCounters,
     completed_sessions: AtomicU64,
     ml_overrides: AtomicU64,
 }
-
-/// Bound on [`Gateway::pending_captcha`]; beyond it the smallest key is
-/// dropped (deterministic, unlike arbitrary map eviction).
-const MAX_PENDING_CAPTCHA: usize = 100_000;
 
 impl fmt::Debug for Gateway {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -190,13 +227,11 @@ impl Gateway {
     ) -> Gateway {
         let counter_shards = config.detector.tracker.shards;
         Gateway {
-            instrumenter: RwLock::new(Instrumenter::new(config.instrument.clone(), config.seed)),
+            engine: RewriteEngine::new(config.instrument.clone(), config.seed),
             detector: Detector::new(config.detector.clone()),
             policy: PolicyEngine::new(config.policy.clone()),
             captcha: CaptchaService::new(config.captcha, config.seed ^ CAPTCHA_SEED_SALT),
             boundary,
-            pending_captcha: Mutex::new(HashMap::new()),
-            pending_count: AtomicUsize::new(0),
             counters: ShardedCounters::new(counter_shards),
             completed_sessions: AtomicU64::new(0),
             ml_overrides: AtomicU64::new(0),
@@ -212,6 +247,11 @@ impl Gateway {
     /// Read access to the detection engine (verdicts, evidence, tracker).
     pub fn detector(&self) -> &Detector {
         &self.detector
+    }
+
+    /// The shared, immutable rewrite engine.
+    pub fn engine(&self) -> &RewriteEngine {
+        &self.engine
     }
 
     /// The current fast-path verdict for a session.
@@ -234,18 +274,6 @@ impl Gateway {
         self.captcha.set_under_attack(yes);
     }
 
-    fn read_instrumenter(&self) -> std::sync::RwLockReadGuard<'_, Instrumenter> {
-        botwall_sessions::sync::read_or_recover(&self.instrumenter)
-    }
-
-    fn write_instrumenter(&self) -> std::sync::RwLockWriteGuard<'_, Instrumenter> {
-        botwall_sessions::sync::write_or_recover(&self.instrumenter)
-    }
-
-    fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashMap<SessionKey, SimTime>> {
-        botwall_sessions::sync::lock_or_recover(&self.pending_captcha)
-    }
-
     /// Handles one exchange with no origin behind the gateway: probe and
     /// beacon traffic is answered in full; allowed ordinary paths 404.
     pub fn handle(&self, request: &Request, now: SimTime) -> Decision {
@@ -259,6 +287,11 @@ impl Gateway {
     /// (instrumenting HTML pages on the way out), and feed the final
     /// exchange back into the detector — error responses included, so
     /// rejected traffic keeps feeding the behavioural thresholds.
+    ///
+    /// All of that happens inside **one** shard-mutex critical section
+    /// (the session's), entered exactly once per call. The `origin`
+    /// callback therefore runs under that shard lock: it must not call
+    /// back into this gateway.
     pub fn handle_with<F>(&self, request: &Request, now: SimTime, origin: F) -> Decision
     where
         F: FnOnce(&Request) -> Origin,
@@ -267,178 +300,186 @@ impl Gateway {
         let cell = self.counters.cell(&key);
         cell.requests.fetch_add(1, Ordering::Relaxed);
 
-        // Ordinary and probe traffic classifies through the read lock;
-        // only mouse-beacon redemptions (single-use keys) take the write
-        // side. The guard must drop before the write attempt.
-        let fast = self.read_instrumenter().classify_probe(request);
-        let classified = match fast {
-            Some(c) => c,
-            None => self.write_instrumenter().classify(request, now),
-        };
+        // Stateless pre-classification: probe URLs authenticate
+        // themselves against the engine's keyed-hash scheme, beacon
+        // URLs are recognized by shape. No state is touched until the
+        // session's own critical section resolves the rest.
+        let sighting = self.engine.classify(request, now);
 
-        // Policy gate first, on the verdict as of the previous request:
-        // the gateway decides before doing origin work. One shard-lock
-        // acquisition covers verdict read, thresholds, and the bucket.
-        let action = if self.config.enforcement {
-            self.detector
-                .with_key_state(&key, |session, state| {
-                    self.policy.decide(
-                        &mut state.policy,
-                        state.verdict,
-                        session.counters(),
-                        session.request_rate(),
-                        now,
-                    )
-                })
-                // A key with no live session has nothing to enforce
-                // against yet; its first exchange creates the state.
-                .unwrap_or(Action::Allow)
-        } else {
-            Action::Allow
-        };
+        let (outcome, _action, response, produced) = self.detector.gate_and_observe(
+            request,
+            &sighting,
+            now,
+            self.config.enforcement,
+            &self.policy,
+            |action, session, state, classified| {
+                self.respond_in_section(
+                    request, action, session, state, classified, now, cell, origin,
+                )
+            },
+        );
 
-        match action {
-            Action::Block => {
+        // Post-section accounting and decision assembly: the byte
+        // ledgers are atomic cells, so nothing here needs the lock back.
+        let bytes = (request.wire_len() + response.wire_len()) as u64;
+        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        if !matches!(sighting, botwall_instrument::Sighting::Ordinary) {
+            cell.instrumentation_bytes
+                .fetch_add(bytes, Ordering::Relaxed);
+        }
+        match produced {
+            Produced::Blocked => {
                 cell.blocked.fetch_add(1, Ordering::Relaxed);
-                let response = Response::empty(StatusCode::FORBIDDEN);
-                self.observe(request, &response, &classified, now, cell);
                 Decision::Block
             }
+            Produced::Throttled => {
+                cell.throttled.fetch_add(1, Ordering::Relaxed);
+                Decision::Throttle
+            }
+            Produced::Challenged(challenge) => {
+                cell.challenged.fetch_add(1, Ordering::Relaxed);
+                Decision::Challenge(challenge)
+            }
+            Produced::Probe => {
+                cell.served.fetch_add(1, Ordering::Relaxed);
+                cell.probe_requests.fetch_add(1, Ordering::Relaxed);
+                Decision::Serve {
+                    response,
+                    body: None,
+                    manifest: None,
+                    verdict: outcome.verdict,
+                    key,
+                    probe: true,
+                }
+            }
+            Produced::OriginServe { body, manifest } => {
+                cell.served.fetch_add(1, Ordering::Relaxed);
+                Decision::Serve {
+                    response,
+                    body,
+                    manifest,
+                    verdict: outcome.verdict,
+                    key,
+                    probe: false,
+                }
+            }
+        }
+    }
+
+    /// The respond step of the fused critical section: everything
+    /// between the policy gate and the exchange observation, with full
+    /// access to the session's colocated state and nothing else mutable.
+    #[allow(clippy::too_many_arguments)]
+    fn respond_in_section<F>(
+        &self,
+        request: &Request,
+        action: Action,
+        session: &Session,
+        state: &mut KeyState,
+        classified: &Classified,
+        now: SimTime,
+        cell: &CounterCell,
+        origin: F,
+    ) -> (Response, Produced)
+    where
+        F: FnOnce(&Request) -> Origin,
+    {
+        match action {
+            Action::Block => (Response::empty(StatusCode::FORBIDDEN), Produced::Blocked),
             Action::Throttle => {
                 // §4.2 escape hatch: a throttled session can be offered a
                 // CAPTCHA instead of a bare 429 — solving it makes the
                 // session ground-truth human and sheds the rate limit.
                 if self.config.challenge_on_throttle && self.captcha.is_enabled() {
                     let challenge = self.captcha.issue();
-                    cell.challenged.fetch_add(1, Ordering::Relaxed);
-                    let response = challenge_response(&challenge);
-                    self.observe(request, &response, &classified, now, cell);
-                    return Decision::Challenge(challenge);
+                    state.challenge = Some(ChallengeState::new(challenge.id, now));
+                    (
+                        challenge_response(&challenge),
+                        Produced::Challenged(challenge),
+                    )
+                } else {
+                    (
+                        Response::empty(StatusCode::TOO_MANY_REQUESTS),
+                        Produced::Throttled,
+                    )
                 }
-                cell.throttled.fetch_add(1, Ordering::Relaxed);
-                let response = Response::empty(StatusCode::TOO_MANY_REQUESTS);
-                self.observe(request, &response, &classified, now, cell);
-                Decision::Throttle
             }
-            Action::Allow => self.respond(request, &classified, key, now, cell, origin),
-        }
-    }
+            Action::Allow => {
+                // Instrumentation traffic is answered by the gateway
+                // itself — it must flow even under mandatory-challenge
+                // mode, because it is the channel through which humans
+                // prove themselves. The generated script comes out of
+                // this session's own token state.
+                let js = match classified {
+                    Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
+                        state.tokens.script_for(hit.nonce)
+                    }
+                    _ => None,
+                };
+                if let Some(response) = self.engine.respond(classified, js) {
+                    return (response, Produced::Probe);
+                }
 
-    /// Produces the served decision for an allowed request.
-    fn respond<F>(
-        &self,
-        request: &Request,
-        classified: &Classified,
-        key: SessionKey,
-        now: SimTime,
-        cell: &CounterCell,
-        origin: F,
-    ) -> Decision
-    where
-        F: FnOnce(&Request) -> Origin,
-    {
-        // Instrumentation traffic is answered by the gateway itself —
-        // it must flow even under mandatory-challenge mode, because it
-        // is the channel through which humans prove themselves.
-        let probe_response = self.read_instrumenter().respond(classified);
-        if let Some(response) = probe_response {
-            cell.served.fetch_add(1, Ordering::Relaxed);
-            cell.probe_requests.fetch_add(1, Ordering::Relaxed);
-            let out = self.observe(request, &response, classified, now, cell);
-            return Decision::Serve {
-                response,
-                body: None,
-                manifest: None,
-                verdict: out,
-                key,
-                probe: true,
-            };
-        }
+                // Kandula-style mandatory challenges gate ordinary
+                // traffic for every session not yet proven human (a
+                // deferred pass was already absorbed at entry creation,
+                // so it reads as proven here).
+                if self.captcha.is_mandatory() && !matches!(state.verdict, Verdict::Human(_)) {
+                    let challenge = self.captcha.issue();
+                    state.challenge = Some(ChallengeState::new(challenge.id, now));
+                    return (
+                        challenge_response(&challenge),
+                        Produced::Challenged(challenge),
+                    );
+                }
 
-        // Kandula-style mandatory challenges gate ordinary traffic for
-        // every session not yet proven human (a pending pass awaiting
-        // its first exchange counts as proven).
-        if self.captcha.is_mandatory()
-            && !matches!(self.detector.verdict(&key), Verdict::Human(_))
-            && !self.pending_contains(&key)
-        {
-            let challenge = self.captcha.issue();
-            cell.challenged.fetch_add(1, Ordering::Relaxed);
-            let response = challenge_response(&challenge);
-            self.observe(request, &response, classified, now, cell);
-            return Decision::Challenge(challenge);
-        }
-
-        let (response, body, manifest) = match origin(request) {
-            Origin::Page(html) => {
-                let (rewritten, manifest) = self.write_instrumenter().instrument_page(
-                    &html,
-                    request.uri(),
-                    request.client(),
-                    now,
-                );
-                // The page's wire bytes are tallied by `observe`; only
-                // the injected share moves into the overhead column here.
-                cell.instrumentation_bytes
-                    .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
-                let mut response = Response::builder(StatusCode::OK)
-                    .header("Content-Type", "text/html")
-                    .body_bytes(rewritten.clone().into_bytes())
-                    .build();
-                Instrumenter::mark_uncacheable(&mut response);
-                (response, Some(rewritten), Some(manifest))
-            }
-            Origin::Response(response) => (response, None, None),
-            Origin::NotFound => (Response::empty(StatusCode::NOT_FOUND), None, None),
-        };
-        cell.served.fetch_add(1, Ordering::Relaxed);
-        let out = self.observe(request, &response, classified, now, cell);
-        Decision::Serve {
-            response,
-            body,
-            manifest,
-            verdict: out,
-            key,
-            probe: false,
-        }
-    }
-
-    /// Feeds the finished exchange into the detector and the byte
-    /// ledgers; returns the fast-path verdict.
-    fn observe(
-        &self,
-        request: &Request,
-        response: &Response,
-        classified: &Classified,
-        now: SimTime,
-        cell: &CounterCell,
-    ) -> Verdict {
-        let out = self.detector.observe(request, response, classified, now);
-        let bytes = (request.wire_len() + response.wire_len()) as u64;
-        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-        if !matches!(classified, Classified::Ordinary) {
-            cell.instrumentation_bytes
-                .fetch_add(bytes, Ordering::Relaxed);
-        }
-        // A CAPTCHA pass verified while this key had no live session is
-        // credited now that one exists.
-        if self.pending_count.load(Ordering::Acquire) != 0 {
-            let credited = {
-                let mut pending = self.lock_pending();
-                let hit = pending.remove(&out.key);
-                self.pending_count.store(pending.len(), Ordering::Release);
-                hit
-            };
-            if let Some(at) = credited {
-                self.detector.record_captcha_pass(&out.key, at);
-                return self.detector.verdict(&out.key);
+                match origin(request) {
+                    Origin::Page(html) => {
+                        let seed = self
+                            .engine
+                            .session_stream_seed(session.key().shard_hash(), session.started());
+                        let (rewritten, manifest) = self.engine.instrument_session_page(
+                            &html,
+                            request.uri(),
+                            &mut state.tokens,
+                            seed,
+                            now,
+                        );
+                        // The page's wire bytes are tallied after the
+                        // section; only the injected share moves into
+                        // the overhead column here.
+                        cell.instrumentation_bytes
+                            .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
+                        let mut response = Response::builder(StatusCode::OK)
+                            .header("Content-Type", "text/html")
+                            .body_bytes(rewritten.clone().into_bytes())
+                            .build();
+                        RewriteEngine::mark_uncacheable(&mut response);
+                        (
+                            response,
+                            Produced::OriginServe {
+                                body: Some(rewritten),
+                                manifest: Some(manifest),
+                            },
+                        )
+                    }
+                    Origin::Response(response) => (
+                        response,
+                        Produced::OriginServe {
+                            body: None,
+                            manifest: None,
+                        },
+                    ),
+                    Origin::NotFound => (
+                        Response::empty(StatusCode::NOT_FOUND),
+                        Produced::OriginServe {
+                            body: None,
+                            manifest: None,
+                        },
+                    ),
+                }
             }
         }
-        out.verdict
-    }
-
-    fn pending_contains(&self, key: &SessionKey) -> bool {
-        self.pending_count.load(Ordering::Acquire) != 0 && self.lock_pending().contains_key(key)
     }
 
     /// Offers a CAPTCHA if the serving policy says so.
@@ -450,36 +491,87 @@ impl Gateway {
     }
 
     /// Verifies a CAPTCHA answer; on success the session is marked
-    /// ground-truth human. If the keyed session is no longer live (swept
-    /// or evicted between issue and answer), the pass is held and
-    /// credited to the key's next incarnation on its first exchange —
-    /// a correct answer is never silently dropped.
+    /// ground-truth human. Everything per-key — the outstanding
+    /// challenge record, attempt counting, the pass evidence — updates
+    /// under the session's one shard lock, and challenge ids are
+    /// single-use service-wide, so a captured `(id, answer)` pair is
+    /// worthless after its first successful submission.
+    ///
+    /// A session answering its outstanding challenge record gets a
+    /// small fixed attempt budget on the record's authority (exhausting
+    /// it consumes the id service-wide and drops the record, so the
+    /// next request re-challenges with a fresh one). Any other id — an
+    /// earlier challenge of the same session, or the opt-in offer flow
+    /// — is accepted if the answer is correct and the id unconsumed,
+    /// exactly as the old outstanding table accepted any live entry;
+    /// wrong answers there consume nothing, so spraying garbage at
+    /// predictable ids cannot invalidate anyone's challenge. If the
+    /// keyed session is no longer live (swept or evicted between issue
+    /// and answer), the pass parks in the key's shard as a deferred
+    /// carry and is credited to the next incarnation on its first
+    /// exchange — a correct answer is never silently dropped.
     pub fn verify_captcha(&self, key: &SessionKey, id: u64, answer: &str, now: SimTime) -> bool {
-        let ok = self.captcha.verify(id, answer);
-        if ok {
-            // A session idle past the timeout is already dead — its next
-            // exchange rolls it over — so crediting it would bury the
-            // pass with the old incarnation. Only a genuinely live
-            // session takes the credit directly.
-            let tracker = self.detector.tracker();
-            let live = tracker
-                .get(key)
-                .is_some_and(|s| now.since(s.last_seen()) <= tracker.config().idle_timeout_ms);
-            if live {
-                self.detector.record_captcha_pass(key, now);
-            } else {
-                let mut pending = self.lock_pending();
-                if pending.len() >= MAX_PENDING_CAPTCHA && !pending.contains_key(key) {
-                    // Deterministic eviction: drop the smallest key.
-                    if let Some(min) = pending.keys().min().cloned() {
-                        pending.remove(&min);
+        let tracker = self.detector.tracker();
+        let idle_timeout = tracker.config().idle_timeout_ms;
+        tracker.with_entry_and_carry(key, |entry, carry| {
+            match entry {
+                // A session idle past the timeout is already dead — its
+                // next exchange rolls it over — so crediting it would
+                // bury the pass with the old incarnation. Only a
+                // genuinely live session takes the credit directly.
+                Some((session, state)) if now.since(session.last_seen()) <= idle_timeout => {
+                    let passed = match state.challenge {
+                        Some(outstanding) if outstanding.id == id => {
+                            // The outstanding record is the single-use
+                            // authority for its own id: accept on its
+                            // say-so (immune to id pre-burning), within
+                            // the attempt budget.
+                            if self.captcha.verify_attempt(id, answer) {
+                                state.challenge = None;
+                                true
+                            } else {
+                                let record = state.challenge.as_mut().expect("matched above");
+                                record.attempts += 1;
+                                if record.attempts >= MAX_CHALLENGE_ATTEMPTS {
+                                    // Ground out: consume the id
+                                    // everywhere and drop the record so
+                                    // the next request re-challenges.
+                                    self.captcha.burn(id);
+                                    state.challenge = None;
+                                }
+                                false
+                            }
+                        }
+                        _ => {
+                            // No record, or an *older* challenge of this
+                            // session (two tabs each rendered one): a
+                            // correct answer to any still-unconsumed id
+                            // proves the human, exactly as the old
+                            // outstanding table accepted any live entry.
+                            let passed = self.captcha.verify_once(id, answer);
+                            if passed {
+                                state.challenge = None;
+                            }
+                            passed
+                        }
+                    };
+                    if passed {
+                        state.record_captcha_pass(session.request_count() as u32, now);
                     }
+                    passed
                 }
-                pending.insert(key.clone(), now);
-                self.pending_count.store(pending.len(), Ordering::Release);
+                _ => {
+                    // Dead key: consume-on-success only, so garbage
+                    // sprayed at predictable ids can never pre-burn the
+                    // pass a swept session's answer depends on.
+                    let passed = self.captcha.verify_once(id, answer);
+                    if passed {
+                        *carry = Some(PendingCaptchaPass { at: now });
+                    }
+                    passed
+                }
             }
-        }
-        ok
+        })
     }
 
     /// Marks a CAPTCHA pass for a session directly (harnesses with their
@@ -488,10 +580,16 @@ impl Gateway {
         self.detector.record_captcha_pass(key, now);
     }
 
-    /// Expires idle sessions and instrumentation state as of `now`,
-    /// applying the batch classification to every flushed session.
+    /// Expires idle sessions as of `now`, applying the batch
+    /// classification to every flushed session. Per-key instrumentation
+    /// state needs no global sweep: tokens and challenge records of
+    /// flushed sessions leave *with their entries*, and live sessions'
+    /// expired tokens/challenges are purged in the same deterministic
+    /// shard walk — so long runs cannot grow an unbounded table
+    /// anywhere.
     pub fn sweep(&self, now: SimTime) -> Vec<CompletedSession> {
-        self.write_instrumenter().sweep(now);
+        let ttl = self.config.instrument.token_table.entry_ttl_ms;
+        self.detector.expire_key_state(now, ttl, ttl);
         let completed = self.detector.sweep(now);
         self.finish(completed)
     }
@@ -529,10 +627,24 @@ impl Gateway {
     }
 
     /// Snapshots the gateway's activity counters, merging the per-shard
-    /// cells.
+    /// cells and folding the per-session challenge/token occupancy
+    /// across the tracker shards.
+    ///
+    /// The occupancy fold visits each tracker shard once (one lock at a
+    /// time, like sweep) and walks live entries — O(live sessions), not
+    /// free. Poll it at operator cadence, not per request; the request
+    /// path itself never calls it.
     pub fn stats(&self) -> GatewayStats {
         let (captcha_issued, captcha_passed, captcha_failed) = self.captcha.stats();
         let tracker = self.detector.tracker();
+        let (pending_challenges, token_entries) =
+            self.detector
+                .fold_key_states((0u64, 0u64), |(pending, tokens), _, state| {
+                    (
+                        pending + u64::from(state.challenge.is_some()),
+                        tokens + state.tokens.len() as u64,
+                    )
+                });
         GatewayStats {
             requests: self.counters.sum(|c| &c.requests),
             served: self.counters.sum(|c| &c.served),
@@ -549,6 +661,8 @@ impl Gateway {
             captcha_issued,
             captcha_passed,
             captcha_failed,
+            pending_challenges,
+            token_entries,
         }
     }
 }
@@ -651,6 +765,27 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(gw.stats().probe_requests, 1);
+    }
+
+    #[test]
+    fn generated_script_serves_from_session_state() {
+        let gw = Gateway::builder().seed(35).build();
+        let manifest = match page_decision(&gw, 14, "Mozilla/5.0", SimTime::ZERO) {
+            Decision::Serve { manifest, .. } => manifest.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let js = manifest.js_file.unwrap();
+        let d = gw.handle(&req(14, &js.to_string(), "Mozilla/5.0"), SimTime::ZERO);
+        match d {
+            Decision::Serve { response, .. } => {
+                let body = String::from_utf8(response.body().to_vec()).unwrap();
+                assert!(
+                    body.contains("new Image()"),
+                    "script must come back from the session's token state"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -767,6 +902,149 @@ mod tests {
     }
 
     #[test]
+    fn a_solved_challenge_cannot_be_replayed_by_other_sessions() {
+        // One bot observes a human solving challenge (id, answer) and
+        // the whole fleet replays it: only the first verification may
+        // ever succeed. (The old global issue table got this by deleting
+        // the entry; the stateless service gets it from the redeemed-id
+        // set.)
+        let gw = Gateway::builder()
+            .seed(24)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let human = req(20, "http://site.example/index.html", "Mozilla/5.0");
+        let Decision::Challenge(ch) = gw.handle_with(&human, SimTime::ZERO, |_| Origin::NotFound)
+        else {
+            panic!("challenge expected");
+        };
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(
+            &SessionKey::of(&human),
+            ch.id,
+            &answer,
+            SimTime::from_secs(1)
+        ));
+        // Every replaying bot session fails verification, stays
+        // unproven, and keeps getting challenged.
+        for bot in 21..26u32 {
+            let r = req(bot, "http://site.example/index.html", "Mozilla/5.0");
+            gw.handle_with(&r, SimTime::from_secs(2), |_| Origin::NotFound);
+            let key = SessionKey::of(&r);
+            assert!(
+                !gw.verify_captcha(&key, ch.id, &answer, SimTime::from_secs(3)),
+                "replayed (id, answer) must not verify"
+            );
+            assert_eq!(gw.verdict(&key), Verdict::Undecided);
+            let d = gw.handle_with(&r, SimTime::from_secs(4), |_| Origin::NotFound);
+            assert!(matches!(d, Decision::Challenge(_)), "{d:?}");
+        }
+        // And a dead-key replay parks no phantom carry either.
+        let r = req(99, "http://site.example/index.html", "Mozilla/5.0");
+        let ghost = SessionKey::of(&r);
+        assert!(!gw.verify_captcha(&ghost, ch.id, &answer, SimTime::from_secs(5)));
+        let d = gw.handle_with(&r, SimTime::from_secs(6), |_| Origin::NotFound);
+        assert!(matches!(d, Decision::Challenge(_)), "{d:?}");
+    }
+
+    #[test]
+    fn an_earlier_challenge_of_the_same_session_still_verifies() {
+        // Two tabs: the session is challenged twice (ids A then B, the
+        // record holds B), and the human solves the one they rendered
+        // first. A correct answer to A must still prove them — the old
+        // outstanding table accepted any live entry.
+        let gw = Gateway::builder()
+            .seed(25)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(27, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let Decision::Challenge(a) = gw.handle_with(&r, SimTime::ZERO, |_| Origin::NotFound) else {
+            panic!("challenge expected");
+        };
+        let Decision::Challenge(b) =
+            gw.handle_with(&r, SimTime::from_secs(1), |_| Origin::NotFound)
+        else {
+            panic!("challenge expected");
+        };
+        assert_ne!(a.id, b.id);
+        let answer = a.answer().to_string();
+        assert!(gw.verify_captcha(&key, a.id, &answer, SimTime::from_secs(2)));
+        assert_eq!(gw.verdict(&key), Verdict::Human(Reason::CaptchaPassed));
+        assert_eq!(
+            gw.stats().pending_challenges,
+            0,
+            "record cleared by the pass"
+        );
+    }
+
+    #[test]
+    fn garbage_sprayed_at_predictable_ids_cannot_preburn_a_deferred_pass() {
+        // A swept session's correct answer rides the deferred-carry
+        // channel; an attacker spraying wrong answers at the (sequential,
+        // guessable) id beforehand must not consume it.
+        let gw = Gateway::builder()
+            .seed(26)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(28, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let Decision::Challenge(ch) = gw.handle_with(&r, SimTime::ZERO, |_| Origin::NotFound)
+        else {
+            panic!("challenge expected");
+        };
+        // The session is swept before the answer arrives...
+        assert_eq!(gw.sweep(SimTime::from_hours(2)).len(), 1);
+        // ...and an attacker grinds wrong answers at the id from a key
+        // that has no session at all.
+        let attacker = req(666, "http://site.example/x.html", "evil/1.0");
+        let attacker_key = SessionKey::of(&attacker);
+        for i in 0..10 {
+            assert!(!gw.verify_captcha(
+                &attacker_key,
+                ch.id,
+                &format!("wrong{i}"),
+                SimTime::from_hours(2) + i
+            ));
+        }
+        // The human's late correct answer still lands and carries over.
+        let answer = ch.answer().to_string();
+        assert!(gw.verify_captcha(&key, ch.id, &answer, SimTime::from_hours(2) + 100));
+        let d = gw.handle_with(&r, SimTime::from_hours(2) + 200, |_| Origin::NotFound);
+        assert_eq!(
+            d.verdict(),
+            Some(Verdict::Human(Reason::CaptchaPassed)),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_answers_burn_attempts_then_the_record() {
+        let gw = Gateway::builder()
+            .seed(23)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(11, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let Decision::Challenge(ch) = gw.handle_with(&r, SimTime::ZERO, |_| Origin::NotFound)
+        else {
+            panic!("challenge expected");
+        };
+        assert_eq!(gw.stats().pending_challenges, 1);
+        for i in 0..MAX_CHALLENGE_ATTEMPTS {
+            assert!(!gw.verify_captcha(&key, ch.id, "wrong", SimTime::from_secs(1 + u64::from(i))));
+        }
+        // Record burned: the outstanding-challenge column drops to zero
+        // without any sweep.
+        assert_eq!(gw.stats().pending_challenges, 0);
+        assert_eq!(gw.stats().captcha_failed, u64::from(MAX_CHALLENGE_ATTEMPTS));
+        assert_eq!(gw.verdict(&key), Verdict::Undecided);
+    }
+
+    #[test]
     fn origin_variants_map_to_responses() {
         let gw = Gateway::builder().seed(8).build();
         let r = req(6, "http://site.example/asset.bin", "Mozilla/5.0");
@@ -858,6 +1136,97 @@ mod tests {
     fn stats_snapshot_reports_shards() {
         let gw = Gateway::builder().seed(11).build();
         assert_eq!(gw.stats().shard_count, 16);
+    }
+
+    #[test]
+    fn stats_merge_token_and_challenge_occupancy_across_shards() {
+        let gw = Gateway::builder().seed(36).build();
+        assert_eq!(gw.stats().token_entries, 0);
+        // Each instrumented page parks one token entry in its session's
+        // shard; the snapshot folds them back together.
+        for ip in 0..8 {
+            page_decision(&gw, 100 + ip, "Mozilla/5.0", SimTime::ZERO);
+        }
+        let stats = gw.stats();
+        assert_eq!(stats.token_entries, 8);
+        assert_eq!(stats.pending_challenges, 0);
+        // Sweeping the sessions takes their tokens with them — no
+        // orphaned global table to leak.
+        gw.sweep(SimTime::from_hours(2));
+        let stats = gw.stats();
+        assert_eq!(stats.token_entries, 0);
+        assert_eq!(stats.live_sessions, 0);
+    }
+
+    #[test]
+    fn stats_parity_across_identical_runs() {
+        // The decentralized stats must reproduce exactly: same traffic,
+        // same snapshot, field for field.
+        let run = || {
+            let gw = Gateway::builder()
+                .seed(37)
+                .challenge_on_throttle(true)
+                .build();
+            for i in 0..30u64 {
+                let r = req(
+                    (1 + i % 3) as u32,
+                    &format!("http://site.example/{}.html", i % 7),
+                    "wget/1.0",
+                );
+                gw.handle_with(&r, SimTime::from_secs(i), |_| Origin::Page(HTML.into()));
+            }
+            gw.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn steady_state_handle_takes_exactly_one_shard_lock_and_no_global_locks() {
+        use botwall_sessions::sync::counters;
+        // Prove a human, then measure one steady-state ordinary request.
+        let gw = Gateway::builder().seed(38).build();
+        let manifest = match page_decision(&gw, 60, "Mozilla/5.0", SimTime::ZERO) {
+            Decision::Serve { manifest, .. } => manifest.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        let beacon = manifest.mouse_beacon.unwrap();
+        let d = gw.handle(
+            &req(60, &beacon.to_string(), "Mozilla/5.0"),
+            SimTime::from_secs(1),
+        );
+        assert_eq!(d.verdict(), Some(Verdict::Human(Reason::MouseActivity)));
+
+        let r = req(60, "http://site.example/steady.html", "Mozilla/5.0");
+        counters::reset();
+        let d = gw.handle_with(&r, SimTime::from_secs(2), |_| {
+            Origin::Response(Response::empty(StatusCode::OK))
+        });
+        let (shard, global) = counters::snapshot();
+        assert!(d.is_serve(), "{d:?}");
+        assert_eq!(
+            (shard, global),
+            (1, 0),
+            "steady-state handle must cost exactly one shard lock and zero global locks"
+        );
+
+        // The same holds for a page serve (instrumentation included) and
+        // for a beacon redemption — the whole request taxonomy rides one
+        // critical section.
+        counters::reset();
+        let d = page_decision(&gw, 60, "Mozilla/5.0", SimTime::from_secs(3));
+        assert!(d.is_serve());
+        assert_eq!(counters::snapshot(), (1, 0), "page serve");
+        let Decision::Serve { manifest, .. } = d else {
+            unreachable!()
+        };
+        let beacon = manifest.unwrap().mouse_beacon.unwrap();
+        counters::reset();
+        gw.handle(
+            &req(60, &beacon.to_string(), "Mozilla/5.0"),
+            SimTime::from_secs(4),
+        );
+        assert_eq!(counters::snapshot(), (1, 0), "beacon redemption");
     }
 
     #[test]

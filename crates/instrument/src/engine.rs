@@ -1,0 +1,766 @@
+//! The shared, immutable rewrite engine.
+//!
+//! [`RewriteEngine`] is the PR-4 split of the old monolithic
+//! instrumenter: everything that is *not* per-session — the
+//! configuration, the HTML rewriter, the script generator, and the probe
+//! classifier — with **no interior mutability at all**. Every method is
+//! plain `&self` over immutable data, so one engine is shared freely
+//! across request threads with no lock, no `RwLock`, not even an atomic.
+//!
+//! Two design moves make that possible:
+//!
+//! * **Self-authenticating probe URLs.** The old probe registry
+//!   recognized probe traffic by *remembering the nonces it issued* — a
+//!   global mutable table on the request path. The engine instead makes
+//!   the nonce prove itself: its 64 bits pack a random salt, the probe
+//!   kind, and a keyed-hash tag over both (`tag = H(secret, salt,
+//!   kind)`), so classification is a recomputation, not a lookup. Probe
+//!   URLs still look like ordinary site content (a bare 20-digit name,
+//!   exactly as before — the paper's `2031464296.css` camouflage), a
+//!   blindly forged nonce has a 2⁻⁴⁰ chance per guess of classifying at
+//!   all, and the MAC input includes the full issue hour, so harvested
+//!   URLs expire like the old registry's TTL. (The keyed hash is
+//!   simulation-grade double splitmix64, not cryptographic — a real
+//!   deployment would swap in SipHash/HMAC, same construction.)
+//! * **Per-session mutable state.** Issued beacon keys, their decoys,
+//!   and the generated scripts belong to exactly one session, so they
+//!   live in that session's [`TokenState`] — colocated with the rest of
+//!   the per-key detection state in its tracker shard entry. The engine
+//!   only *produces* them ([`RewriteEngine::build_page`]); the caller
+//!   stores them under whatever lock it already holds.
+
+use crate::beacon;
+use crate::jsgen::{self, GeneratedJs, JsSpec};
+use crate::probe::{ProbeHit, ProbeKind};
+use crate::rewrite::{Classified, InstrumentConfig, ProbeManifest};
+use crate::token::{BeaconKey, TokenState};
+use botwall_http::{Request, Response, StatusCode, Uri};
+use botwall_sessions::SimTime;
+use rand::Rng;
+
+/// Bits of MAC tag in a probe nonce.
+const TAG_BITS: u32 = 40;
+const TAG_MASK: u64 = (1 << TAG_BITS) - 1;
+/// Bits encoding the probe kind.
+const KIND_BITS: u32 = 3;
+const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
+/// The 21-bit salt splits into the issue hour (freshness) and random
+/// bits: `[hour:10 | rand:11]`. The *full* (unwrapped) issue hour goes
+/// into the MAC input — the nonce only stores its low 10 bits, and the
+/// verifier reconstructs the full hour from its own clock — so a
+/// harvested nonce stops verifying outside the current/previous hour
+/// (the same ~1-hour lifetime the old probe registry enforced by
+/// sweeping its nonce table) and does NOT come back when the stamped
+/// bits wrap ~43 days later: the reconstructed full hour would differ,
+/// and with it the tag.
+const HOUR_BITS: u32 = 10;
+const HOUR_MASK: u64 = (1 << HOUR_BITS) - 1;
+const SALT_RAND_BITS: u32 = 64 - TAG_BITS - KIND_BITS - HOUR_BITS;
+const SALT_RAND_MASK: u64 = (1 << SALT_RAND_BITS) - 1;
+
+/// Domain-separation constants for deriving the two engine secrets from
+/// the public seed.
+const SECRET_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const SECRET_SALT_2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit bijection used as
+/// the round function of the nonce MAC and for stream-seed derivation.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+fn kind_code(kind: ProbeKind) -> u64 {
+    match kind {
+        ProbeKind::CssProbe => 0,
+        ProbeKind::JsFile => 1,
+        ProbeKind::AgentBeacon => 2,
+        ProbeKind::MouseBeacon => 3,
+        ProbeKind::HiddenLink => 4,
+        ProbeKind::TransparentPixel => 5,
+    }
+}
+
+fn code_kind(code: u64) -> Option<ProbeKind> {
+    Some(match code {
+        0 => ProbeKind::CssProbe,
+        1 => ProbeKind::JsFile,
+        2 => ProbeKind::AgentBeacon,
+        3 => ProbeKind::MouseBeacon,
+        4 => ProbeKind::HiddenLink,
+        5 => ProbeKind::TransparentPixel,
+        _ => return None,
+    })
+}
+
+/// What the engine's stateless classifier saw in a request, before any
+/// per-session state is consulted.
+///
+/// This is the pre-lock half of classification: beacon-shaped URLs are
+/// recognized by shape only (whether the key is genuine, a decoy, or a
+/// replay is the session's [`TokenState`]'s call, made under the
+/// session's shard lock), and probe URLs are verified against the
+/// engine's keyed-hash nonce scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sighting {
+    /// A mouse-beacon-shaped fetch carrying `key` (validity unresolved).
+    MouseBeacon(BeaconKey),
+    /// A verified probe hit.
+    Probe(ProbeHit),
+    /// Not instrumentation traffic.
+    Ordinary,
+}
+
+/// Everything one page rewrite produced: the rewritten HTML, the probe
+/// manifest, and — when the mouse beacon is deployed — the issued token
+/// (key + decoys) and generated script for the caller to store in the
+/// session's [`TokenState`].
+#[derive(Debug, Clone)]
+pub struct BuiltPage {
+    /// The rewritten HTML.
+    pub html: String,
+    /// The manifest of injected probes.
+    pub manifest: ProbeManifest,
+    /// The issued beacon token, when the mouse beacon is deployed.
+    pub token: Option<IssuedPageToken>,
+}
+
+/// The per-page beacon token a rewrite issues: the real key, its decoys,
+/// and the generated script (keyed by its probe nonce) that references
+/// them.
+#[derive(Debug, Clone)]
+pub struct IssuedPageToken {
+    /// The real 128-bit beacon key.
+    pub key: BeaconKey,
+    /// The decoy keys embedded alongside it.
+    pub decoys: Vec<BeaconKey>,
+    /// The nonce of the `<script src>` probe URL.
+    pub js_nonce: u64,
+    /// The generated script served under that nonce.
+    pub js: GeneratedJs,
+}
+
+/// A 1×1 transparent GIF (the classic 43-byte pixel).
+const TRANSPARENT_GIF: &[u8] = &[
+    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00,
+    0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
+];
+
+/// A minimal JPEG payload ("any JPEG image [works] because the picture is
+/// not used" — §2.1).
+const FAKE_JPEG: &[u8] = &[
+    0xff, 0xd8, 0xff, 0xe0, 0x00, 0x10, 0x4a, 0x46, 0x49, 0x46, 0x00, 0x01, 0x01, 0x00, 0x00, 0x01,
+    0x00, 0x01, 0x00, 0x00, 0xff, 0xd9,
+];
+
+/// The immutable page-rewriting and probe-classifying engine.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_http::Uri;
+/// use botwall_instrument::{InstrumentConfig, RewriteEngine, TokenState};
+/// use botwall_sessions::SimTime;
+///
+/// let engine = RewriteEngine::new(InstrumentConfig::default(), 7);
+/// let page: Uri = "http://site.example/index.html".parse().unwrap();
+/// let mut tokens = TokenState::default();
+/// let (html, manifest) = engine.instrument_session_page(
+///     "<html><head></head><body></body></html>",
+///     &page,
+///     &mut tokens,
+///     1234, // per-session stream seed
+///     SimTime::ZERO,
+/// );
+/// assert!(html.contains("onmousemove"));
+/// assert!(manifest.mouse_beacon.is_some());
+/// assert_eq!(tokens.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RewriteEngine {
+    config: InstrumentConfig,
+    secret: u64,
+    secret2: u64,
+}
+
+impl RewriteEngine {
+    /// Creates an engine; `seed` keys the nonce MAC and every derived
+    /// per-session RNG stream.
+    pub fn new(config: InstrumentConfig, seed: u64) -> RewriteEngine {
+        RewriteEngine {
+            config,
+            secret: mix64(seed ^ SECRET_SALT),
+            secret2: mix64(seed.rotate_left(31) ^ SECRET_SALT_2),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &InstrumentConfig {
+        &self.config
+    }
+
+    /// Derives the deterministic RNG stream seed for one session
+    /// incarnation, from the engine secret and the session's identity
+    /// (key hash + start time). Identical runs derive identical streams;
+    /// distinct sessions never share one.
+    pub fn session_stream_seed(&self, key_hash: u64, started: SimTime) -> u64 {
+        mix64(self.secret ^ key_hash.rotate_left(17) ^ started.as_millis())
+    }
+
+    /// The nonce MAC: two keyed splitmix64 rounds over the random bits,
+    /// the kind, and the **full** (unwrapped) issue hour, truncated to
+    /// the tag width. Two independently derived secrets sandwich the
+    /// rounds, so inverting the (public) bijection from a truncated tag
+    /// does not fall out to a small enumeration the way a single
+    /// `mix64(secret ^ input)` would — recovering the key pair from
+    /// harvested nonces requires a 64-bit search per candidate pair.
+    /// Still simulation-grade, not cryptographic: a production build
+    /// would drop in SipHash/HMAC here, same shape.
+    fn nonce_tag(&self, rand_bits: u64, code: u64, full_hour: u64) -> u64 {
+        let input = (full_hour << (SALT_RAND_BITS + KIND_BITS)) ^ (rand_bits << KIND_BITS) ^ code;
+        mix64(mix64(input ^ self.secret) ^ self.secret2) & TAG_MASK
+    }
+
+    /// Mints a self-authenticating probe nonce of `kind`, stamped with
+    /// the issue hour.
+    fn probe_nonce<R: Rng>(&self, kind: ProbeKind, now: SimTime, rng: &mut R) -> u64 {
+        let full_hour = now.as_millis() / 3_600_000;
+        let rand_bits = rng.gen::<u64>() & SALT_RAND_MASK;
+        let salt = ((full_hour & HOUR_MASK) << SALT_RAND_BITS) | rand_bits;
+        let code = kind_code(kind);
+        (salt << (TAG_BITS + KIND_BITS))
+            | (code << TAG_BITS)
+            | self.nonce_tag(rand_bits, code, full_hour)
+    }
+
+    /// Recomputes the MAC for a candidate nonce and checks its
+    /// freshness; `Some(kind)` iff this engine minted it within the
+    /// current or previous hour of `now`. The full issue hour is
+    /// reconstructed from the verifier's clock (the nonce carries only
+    /// its low bits), so a stale nonce fails the tag check outright —
+    /// including after the stamped bits wrap.
+    fn verify_nonce(&self, nonce: u64, now: SimTime) -> Option<ProbeKind> {
+        let salt = nonce >> (TAG_BITS + KIND_BITS);
+        let code = (nonce >> TAG_BITS) & KIND_MASK;
+        let kind = code_kind(code)?;
+        let rand_bits = salt & SALT_RAND_MASK;
+        let stamped = salt >> SALT_RAND_BITS;
+        let tag = nonce & TAG_MASK;
+        let hour = now.as_millis() / 3_600_000;
+        let fresh = [hour, hour.wrapping_sub(1)].into_iter().any(|candidate| {
+            candidate & HOUR_MASK == stamped && self.nonce_tag(rand_bits, code, candidate) == tag
+        });
+        fresh.then_some(kind)
+    }
+
+    fn probe_url<R: Rng>(
+        &self,
+        kind: ProbeKind,
+        host: &str,
+        now: SimTime,
+        rng: &mut R,
+    ) -> (Uri, u64) {
+        let nonce = self.probe_nonce(kind, now, rng);
+        (
+            Uri::absolute(host, format!("/{nonce:020}.{}", kind.extension())),
+            nonce,
+        )
+    }
+
+    /// Classifies a request against the instrumentation scheme without
+    /// touching any mutable state — the engine's whole contribution to
+    /// the hot path happens before any lock is taken. Probe nonces
+    /// older than their freshness window (~1 hour, like the old
+    /// registry's TTL) read as ordinary traffic: a harvested probe URL
+    /// stops earning browser-signal evidence.
+    pub fn classify(&self, request: &Request, now: SimTime) -> Sighting {
+        let uri = request.uri();
+        if let Some(key) = beacon::decode(uri) {
+            return Sighting::MouseBeacon(key);
+        }
+        let name = uri.file_name();
+        let Some((stem, ext)) = name.rsplit_once('.') else {
+            return Sighting::Ordinary;
+        };
+        if stem.len() != 20 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+            return Sighting::Ordinary;
+        }
+        let Ok(nonce) = stem.parse::<u64>() else {
+            return Sighting::Ordinary;
+        };
+        let Some(kind) = self.verify_nonce(nonce, now) else {
+            return Sighting::Ordinary;
+        };
+        if kind.extension() != ext {
+            return Sighting::Ordinary;
+        }
+        let reported_agent = if kind == ProbeKind::AgentBeacon {
+            uri.query().and_then(|q| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("agent="))
+                    .map(|v| v.to_string())
+            })
+        } else {
+            None
+        };
+        Sighting::Probe(ProbeHit {
+            kind,
+            nonce,
+            reported_agent,
+        })
+    }
+
+    /// Rewrites one HTML page, drawing all randomness from `rng` and
+    /// returning the issued token for the caller to store (`now` stamps
+    /// the probe nonces' freshness window). This is the storage-agnostic
+    /// core; most callers want
+    /// [`RewriteEngine::instrument_session_page`].
+    pub fn build_page<R: Rng>(
+        &self,
+        html: &str,
+        page: &Uri,
+        now: SimTime,
+        rng: &mut R,
+    ) -> BuiltPage {
+        let host = page.host().unwrap_or("unknown.example");
+        let mut manifest = ProbeManifest {
+            page: page.clone(),
+            js_file: None,
+            agent_beacon: None,
+            mouse_beacon: None,
+            decoy_beacons: Vec::new(),
+            css_probe: None,
+            hidden_link: None,
+            transparent_pixel: None,
+            html_overhead: 0,
+        };
+        let mut token = None;
+        let mut head_inject = String::new();
+        let mut body_attr = String::new();
+        let mut body_inject = String::new();
+
+        if self.config.css_probe {
+            let (url, _) = self.probe_url(ProbeKind::CssProbe, host, now, rng);
+            head_inject.push_str(&format!(
+                "<link rel=\"stylesheet\" type=\"text/css\" href=\"{url}\">\n"
+            ));
+            manifest.css_probe = Some(url);
+        }
+        if self.config.mouse_beacon {
+            let key = BeaconKey::random(rng);
+            let decoys: Vec<BeaconKey> = (0..self.config.decoys)
+                .map(|_| BeaconKey::random(rng))
+                .collect();
+            let mouse_url = beacon::encode(host, key);
+            let decoy_urls: Vec<Uri> = decoys.iter().map(|d| beacon::encode(host, *d)).collect();
+            let (agent_url, _) = self.probe_url(ProbeKind::AgentBeacon, host, now, rng);
+            let (js_url, js_nonce) = self.probe_url(ProbeKind::JsFile, host, now, rng);
+            let spec = JsSpec {
+                mouse_beacon: mouse_url.clone(),
+                decoys: decoy_urls.clone(),
+                agent_beacon: agent_url.clone(),
+                obfuscation: self.config.obfuscation,
+                target_size: self.config.js_target_size,
+            };
+            let js = jsgen::generate(&spec, rng);
+            head_inject.push_str(&format!(
+                "<script language=\"javascript\" src=\"{js_url}\"></script>\n"
+            ));
+            body_attr = format!(" onmousemove=\"return {}();\"", js.handler_name);
+            token = Some(IssuedPageToken {
+                key,
+                decoys,
+                js_nonce,
+                js,
+            });
+            manifest.mouse_beacon = Some(mouse_url);
+            manifest.decoy_beacons = decoy_urls;
+            manifest.agent_beacon = Some(agent_url);
+            manifest.js_file = Some(js_url);
+        }
+        if self.config.hidden_link {
+            let (link, _) = self.probe_url(ProbeKind::HiddenLink, host, now, rng);
+            let (pixel, _) = self.probe_url(ProbeKind::TransparentPixel, host, now, rng);
+            body_inject.push_str(&format!(
+                "<a href=\"{link}\"><img src=\"{pixel}\" width=\"1\" height=\"1\" border=\"0\"></a>\n"
+            ));
+            manifest.hidden_link = Some(link);
+            manifest.transparent_pixel = Some(pixel);
+        }
+
+        let rewritten = inject(html, &head_inject, &body_attr, &body_inject);
+        manifest.html_overhead = rewritten.len().saturating_sub(html.len());
+        BuiltPage {
+            html: rewritten,
+            manifest,
+            token,
+        }
+    }
+
+    /// Rewrites one HTML page for a session, drawing randomness from the
+    /// session's own RNG stream and storing the issued token (and its
+    /// script) directly in the session's [`TokenState`] — designed to
+    /// run inside the session's shard critical section, touching nothing
+    /// shared.
+    pub fn instrument_session_page(
+        &self,
+        html: &str,
+        page: &Uri,
+        tokens: &mut TokenState,
+        stream_seed: u64,
+        now: SimTime,
+    ) -> (String, ProbeManifest) {
+        let built = {
+            let rng = tokens.rng_seeded(stream_seed);
+            self.build_page(html, page, now, rng)
+        };
+        if let Some(tok) = built.token {
+            tokens.issue(
+                page.path(),
+                tok.key,
+                tok.decoys,
+                Some((tok.js_nonce, tok.js.source)),
+                now,
+                self.config.token_table.max_entries_per_ip,
+            );
+        }
+        (built.html, built.manifest)
+    }
+
+    /// Serves the response for instrumentation traffic: the generated
+    /// script for JS-file hits (looked up by the caller in the owning
+    /// session's [`TokenState`] and passed as `js_source`), an empty
+    /// style sheet for CSS probes, tiny images for beacons, a stub page
+    /// for hidden links.
+    ///
+    /// Returns `None` for [`Classified::Ordinary`]. Byte accounting is
+    /// the caller's job (the engine holds no counters).
+    pub fn respond(&self, classified: &Classified, js_source: Option<&str>) -> Option<Response> {
+        let (body, content_type): (Vec<u8>, &str) = match classified {
+            Classified::MouseBeacon { .. } => (FAKE_JPEG.to_vec(), "image/jpeg"),
+            Classified::Probe(hit) => match hit.kind {
+                ProbeKind::CssProbe => (Vec::new(), "text/css"),
+                ProbeKind::JsFile => (
+                    js_source.unwrap_or_default().as_bytes().to_vec(),
+                    "application/x-javascript",
+                ),
+                ProbeKind::AgentBeacon | ProbeKind::TransparentPixel => {
+                    (TRANSPARENT_GIF.to_vec(), "image/gif")
+                }
+                ProbeKind::MouseBeacon => (FAKE_JPEG.to_vec(), "image/jpeg"),
+                ProbeKind::HiddenLink => (
+                    b"<html><body>nothing to see</body></html>".to_vec(),
+                    "text/html",
+                ),
+            },
+            Classified::Ordinary => return None,
+        };
+        let mut resp = Response::builder(StatusCode::OK)
+            .header("Content-Type", content_type)
+            .body_bytes(body)
+            .build();
+        Self::mark_uncacheable(&mut resp);
+        Some(resp)
+    }
+
+    /// Marks a page response uncacheable, as §2.1 requires for rewritten
+    /// pages and probe objects.
+    pub fn mark_uncacheable(response: &mut Response) {
+        response
+            .headers_mut()
+            .set("Cache-Control", "no-cache, no-store");
+    }
+}
+
+/// Injects markup into an HTML document: `head_inject` before `</head>`,
+/// `body_attr` into the `<body>` tag, `body_inject` before `</body>`.
+/// Degrades gracefully when tags are missing.
+fn inject(html: &str, head_inject: &str, body_attr: &str, body_inject: &str) -> String {
+    let mut out = String::with_capacity(
+        html.len() + head_inject.len() + body_attr.len() + body_inject.len() + 16,
+    );
+    // Head injection.
+    let lower = html.to_ascii_lowercase();
+    let (pre, rest) = match lower.find("</head>") {
+        Some(i) => (&html[..i], &html[i..]),
+        None => match lower.find("<body") {
+            Some(i) => (&html[..i], &html[i..]),
+            None => ("", html),
+        },
+    };
+    out.push_str(pre);
+    out.push_str(head_inject);
+    // Body attribute injection.
+    let rest_lower = rest.to_ascii_lowercase();
+    if let Some(b) = rest_lower.find("<body") {
+        let after_tag_name = b + "<body".len();
+        out.push_str(&rest[..after_tag_name]);
+        out.push_str(body_attr);
+        let remaining = &rest[after_tag_name..];
+        // Body-end injection.
+        let rl = remaining.to_ascii_lowercase();
+        if let Some(e) = rl.rfind("</body>") {
+            out.push_str(&remaining[..e]);
+            out.push_str(body_inject);
+            out.push_str(&remaining[e..]);
+        } else {
+            out.push_str(remaining);
+            out.push_str(body_inject);
+        }
+    } else {
+        out.push_str(rest);
+        out.push_str(body_inject);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::request::ClientIp;
+    use botwall_http::Method;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const HTML: &str = "<html><head><title>t</title></head><body><p>content</p></body></html>";
+
+    fn engine() -> RewriteEngine {
+        RewriteEngine::new(InstrumentConfig::default(), 77)
+    }
+
+    fn page_uri() -> Uri {
+        "http://site.example/index.html".parse().unwrap()
+    }
+
+    fn get(uri: &str) -> Request {
+        Request::builder(Method::Get, uri)
+            .client(ClientIp::new(1))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nonces_round_trip_for_every_kind() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for kind in [
+            ProbeKind::CssProbe,
+            ProbeKind::JsFile,
+            ProbeKind::AgentBeacon,
+            ProbeKind::MouseBeacon,
+            ProbeKind::HiddenLink,
+            ProbeKind::TransparentPixel,
+        ] {
+            for _ in 0..50 {
+                let nonce = e.probe_nonce(kind, SimTime::ZERO, &mut rng);
+                assert_eq!(e.verify_nonce(nonce, SimTime::ZERO), Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn classify_recognizes_issued_probe_urls() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for kind in [
+            ProbeKind::CssProbe,
+            ProbeKind::JsFile,
+            ProbeKind::AgentBeacon,
+            ProbeKind::HiddenLink,
+            ProbeKind::TransparentPixel,
+        ] {
+            let (url, nonce) = e.probe_url(kind, "h.example", SimTime::ZERO, &mut rng);
+            match e.classify(&get(&url.to_string()), SimTime::ZERO) {
+                Sighting::Probe(hit) => {
+                    assert_eq!(hit.kind, kind);
+                    assert_eq!(hit.nonce, nonce);
+                }
+                other => panic!("{kind:?} misclassified: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forged_and_foreign_nonces_stay_ordinary() {
+        let e = engine();
+        // Random 20-digit names do not verify.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..200 {
+            let forged: u64 = rng.gen();
+            let req = get(&format!("http://h/{forged:020}.css"));
+            assert_eq!(
+                e.classify(&req, SimTime::ZERO),
+                Sighting::Ordinary,
+                "forged {forged}"
+            );
+        }
+        // Another engine's genuine nonces do not verify here.
+        let other = RewriteEngine::new(InstrumentConfig::default(), 78);
+        let (url, _) = other.probe_url(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
+        assert_eq!(
+            e.classify(&get(&url.to_string()), SimTime::ZERO),
+            Sighting::Ordinary
+        );
+        // Ordinary site content stays ordinary.
+        for u in [
+            "http://h/index.html",
+            "http://h/12345.css",
+            "http://h/style.css",
+        ] {
+            assert_eq!(
+                e.classify(&get(u), SimTime::ZERO),
+                Sighting::Ordinary,
+                "{u}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_extension_is_rejected() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let (url, _) = e.probe_url(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
+        let forged = url.to_string().replace(".css", ".html");
+        assert_eq!(e.classify(&get(&forged), SimTime::ZERO), Sighting::Ordinary);
+    }
+
+    #[test]
+    fn harvested_probe_urls_expire_like_the_old_registry_ttl() {
+        // A probe URL scraped from an instrumented page must stop
+        // classifying (and thus stop earning browser-signal evidence)
+        // after its freshness window, even though no table remembers it.
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let issued_at = SimTime::from_hours(5);
+        let (url, _) = e.probe_url(ProbeKind::CssProbe, "h", issued_at, &mut rng);
+        let req = get(&url.to_string());
+        // Fresh (same hour) and grace (next hour): classifies.
+        assert!(matches!(
+            e.classify(&req, issued_at + 1),
+            Sighting::Probe(_)
+        ));
+        assert!(matches!(
+            e.classify(&req, SimTime::from_hours(6) + 1),
+            Sighting::Probe(_)
+        ));
+        // Two hours on: a replayed URL reads as ordinary traffic.
+        assert_eq!(
+            e.classify(&req, SimTime::from_hours(7) + 1),
+            Sighting::Ordinary
+        );
+        assert_eq!(e.classify(&req, SimTime::from_days(3)), Sighting::Ordinary);
+        // And a nonce "from the future" (clock skew / fabrication) does
+        // not classify either.
+        assert_eq!(e.classify(&req, SimTime::from_hours(4)), Sighting::Ordinary);
+    }
+
+    #[test]
+    fn agent_beacon_carries_reported_agent() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (url, _) = e.probe_url(ProbeKind::AgentBeacon, "h", SimTime::ZERO, &mut rng);
+        let with_agent = format!("{url}?agent=mozilla/4.0(compatible;msie6.0)");
+        match e.classify(&get(&with_agent), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(
+                hit.reported_agent.as_deref(),
+                Some("mozilla/4.0(compatible;msie6.0)")
+            ),
+            other => panic!("{other:?}"),
+        }
+        match e.classify(&get(&url.to_string()), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(hit.reported_agent, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn beacon_shaped_urls_are_sighted_by_shape_only() {
+        let e = engine();
+        let key = BeaconKey::from_raw(0xabc);
+        let url = beacon::encode("h", key);
+        assert_eq!(
+            e.classify(&get(&url.to_string()), SimTime::ZERO),
+            Sighting::MouseBeacon(key)
+        );
+    }
+
+    #[test]
+    fn probe_urls_look_ordinary() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (url, _) = e.probe_url(
+            ProbeKind::CssProbe,
+            "www.example.com",
+            SimTime::ZERO,
+            &mut rng,
+        );
+        let s = url.to_string();
+        assert!(s.starts_with("http://www.example.com/"));
+        assert!(s.ends_with(".css"));
+        assert!(!s.contains("probe"), "no give-away in the URL: {s}");
+        assert_eq!(url.file_name().len(), 20 + 4);
+    }
+
+    #[test]
+    fn session_page_stores_token_and_script_in_the_session() {
+        let e = engine();
+        let mut tokens = TokenState::default();
+        let (html, m) =
+            e.instrument_session_page(HTML, &page_uri(), &mut tokens, 99, SimTime::ZERO);
+        assert!(html.contains("onmousemove=\"return "));
+        assert_eq!(tokens.len(), 1);
+        // The beacon key redeems against the session state.
+        let key = beacon::decode(m.mouse_beacon.as_ref().unwrap()).unwrap();
+        assert_eq!(
+            tokens.redeem(key, SimTime::from_secs(1)),
+            crate::KeyOutcome::Valid
+        );
+        // The generated script is retrievable by its nonce.
+        let js_name = m.js_file.as_ref().unwrap().file_name();
+        let nonce: u64 = js_name.rsplit_once('.').unwrap().0.parse().unwrap();
+        let src = tokens.script_for(nonce).expect("script stored");
+        assert!(src.contains("new Image()"));
+    }
+
+    #[test]
+    fn identical_stream_seeds_rewrite_identically() {
+        let e = engine();
+        let run = |seed| {
+            let mut tokens = TokenState::default();
+            e.instrument_session_page(HTML, &page_uri(), &mut tokens, seed, SimTime::ZERO)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).1.mouse_beacon, run(6).1.mouse_beacon);
+    }
+
+    #[test]
+    fn respond_serves_probe_payloads() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let (url, _) = e.probe_url(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
+        let Sighting::Probe(hit) = e.classify(&get(&url.to_string()), SimTime::ZERO) else {
+            panic!("probe expected");
+        };
+        let resp = e.respond(&Classified::Probe(hit), None).unwrap();
+        assert_eq!(resp.content_type(), Some("text/css"));
+        assert!(resp.body().is_empty());
+        assert!(resp.is_uncacheable());
+        assert!(e.respond(&Classified::Ordinary, None).is_none());
+    }
+
+    #[test]
+    fn session_stream_seeds_differ_across_sessions_and_incarnations() {
+        let e = engine();
+        let a = e.session_stream_seed(1, SimTime::ZERO);
+        let b = e.session_stream_seed(2, SimTime::ZERO);
+        let c = e.session_stream_seed(1, SimTime::from_secs(1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, e.session_stream_seed(1, SimTime::ZERO));
+    }
+}

@@ -7,7 +7,8 @@
 //!
 //! * a **mouse-event beacon**: injected JavaScript whose event handler
 //!   fetches a fake image URL carrying a per-client 128-bit key, recorded
-//!   in a [`token::TokenTable`]; `m` decoy functions catch robots that
+//!   in per-session [`token::TokenState`] (or the paper's literal per-IP
+//!   [`token::TokenTable`]); `m` decoy functions catch robots that
 //!   blindly fetch script-referenced URLs with probability `m/(m+1)`;
 //! * an **agent-string beacon** proving JavaScript execution and reporting
 //!   `navigator.userAgent` for mismatch checks;
@@ -16,8 +17,14 @@
 //! * a **hidden link** behind a transparent 1×1 image that humans cannot
 //!   see but blind crawlers follow.
 //!
-//! The top-level type is [`Instrumenter`]; `botwall-core` builds the
-//! detector on top of its [`Classified`] stream.
+//! Two top-level types split the work along the mutability boundary:
+//! the immutable, freely shareable [`RewriteEngine`] (rewriting,
+//! stateless MAC-nonce probe classification, script generation) and the
+//! per-session [`TokenState`] (outstanding beacon keys + stored
+//! scripts), which callers colocate with their other per-session state.
+//! [`Instrumenter`] composes both into a self-contained single-owner
+//! endpoint; `botwall-core` builds the detector on top of the
+//! [`Classified`] stream either produces.
 //!
 //! # Examples
 //!
@@ -43,12 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod beacon;
+pub mod engine;
 pub mod jsgen;
 pub mod probe;
 pub mod rewrite;
 pub mod token;
 
+pub use engine::{BuiltPage, IssuedPageToken, RewriteEngine, Sighting};
 pub use jsgen::Obfuscation;
 pub use probe::{ProbeHit, ProbeKind};
 pub use rewrite::{Classified, InstrumentConfig, Instrumenter, InstrumenterStats, ProbeManifest};
-pub use token::{BeaconKey, KeyOutcome, TokenTable, TokenTableConfig};
+pub use token::{BeaconKey, KeyOutcome, TokenState, TokenTable, TokenTableConfig};

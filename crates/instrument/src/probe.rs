@@ -1,17 +1,16 @@
-//! The probe registry: issuing camouflaged probe URLs and classifying
-//! incoming requests against them.
+//! Probe kinds and classified probe hits.
 //!
 //! Probes must blend into ordinary site traffic — the paper's CSS probe is
 //! `http://www.example.com/2031464296.css`, its hidden link an ordinary
 //! page URL behind a transparent image. So probe URLs carry no
-//! distinguishing prefix; the server recognizes them by *remembering the
-//! nonces it issued*, in a bounded table.
+//! distinguishing prefix; since PR 4 the server recognizes them *without
+//! remembering anything*: each URL's 20-digit name is a
+//! self-authenticating nonce carrying a keyed-hash tag that only the
+//! issuing [`crate::RewriteEngine`] can mint or verify. (The old
+//! stateful `ProbeRegistry` — a global table of issued nonces on the
+//! request path — is gone.)
 
-use botwall_http::{Request, Uri};
-use botwall_sessions::SimTime;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The kinds of probe objects the instrumenter plants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -26,7 +25,7 @@ pub enum ProbeKind {
     /// the canonicalized `navigator.userAgent`).
     AgentBeacon,
     /// The beacon fetched by the mouse/keyboard event handler; carries the
-    /// 128-bit key checked against the token table.
+    /// 128-bit key checked against the session's token state.
     MouseBeacon,
     /// The hidden link behind a transparent 1×1 image. Humans cannot see
     /// it; blind crawlers follow it.
@@ -50,24 +49,6 @@ impl ProbeKind {
     }
 }
 
-/// Configuration for [`ProbeRegistry`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ProbeRegistryConfig {
-    /// Maximum outstanding nonces; oldest are evicted beyond this.
-    pub max_nonces: usize,
-    /// Nonces older than this are purged on sweep.
-    pub nonce_ttl_ms: u64,
-}
-
-impl Default for ProbeRegistryConfig {
-    fn default() -> Self {
-        ProbeRegistryConfig {
-            max_nonces: 1_000_000,
-            nonce_ttl_ms: 3_600_000,
-        }
-    }
-}
-
 /// A classified probe hit.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeHit {
@@ -78,252 +59,4 @@ pub struct ProbeHit {
     /// For [`ProbeKind::AgentBeacon`] hits: the agent string the script
     /// reported (already canonicalized by the client-side code).
     pub reported_agent: Option<String>,
-}
-
-#[derive(Debug, Clone)]
-struct NonceInfo {
-    kind: ProbeKind,
-    issued: SimTime,
-}
-
-/// Issues camouflaged probe URLs and classifies requests against them.
-///
-/// # Examples
-///
-/// ```
-/// use botwall_instrument::probe::{ProbeKind, ProbeRegistry, ProbeRegistryConfig};
-/// use botwall_http::{Method, Request};
-/// use botwall_sessions::SimTime;
-/// use rand_chacha::rand_core::SeedableRng;
-///
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-/// let mut reg = ProbeRegistry::new(ProbeRegistryConfig::default());
-/// let url = reg.issue(ProbeKind::CssProbe, "site.example", SimTime::ZERO, &mut rng);
-/// let req = Request::builder(Method::Get, url.to_string()).build().unwrap();
-/// let hit = reg.classify(&req).unwrap();
-/// assert_eq!(hit.kind, ProbeKind::CssProbe);
-/// ```
-#[derive(Debug)]
-pub struct ProbeRegistry {
-    config: ProbeRegistryConfig,
-    nonces: HashMap<u64, NonceInfo>,
-    insertion_order: Vec<u64>,
-    issued_total: u64,
-}
-
-impl ProbeRegistry {
-    /// Creates an empty registry.
-    pub fn new(config: ProbeRegistryConfig) -> ProbeRegistry {
-        ProbeRegistry {
-            config,
-            nonces: HashMap::new(),
-            insertion_order: Vec::new(),
-            issued_total: 0,
-        }
-    }
-
-    /// Issues a probe URL of `kind` on `host`. The URL is a bare
-    /// `<nonce>.<ext>` name at the site root, indistinguishable from
-    /// ordinary content.
-    pub fn issue<R: Rng>(&mut self, kind: ProbeKind, host: &str, now: SimTime, rng: &mut R) -> Uri {
-        let nonce: u64 = loop {
-            let n: u64 = rng.gen();
-            if !self.nonces.contains_key(&n) {
-                break n;
-            }
-        };
-        if self.nonces.len() >= self.config.max_nonces {
-            self.evict_oldest();
-        }
-        self.nonces.insert(nonce, NonceInfo { kind, issued: now });
-        self.insertion_order.push(nonce);
-        self.issued_total += 1;
-        Uri::absolute(host, format!("/{nonce:020}.{}", kind.extension()))
-    }
-
-    /// Classifies a request as a probe hit, if its URL names a nonce this
-    /// registry issued (and the extension matches the issued kind).
-    pub fn classify(&self, request: &Request) -> Option<ProbeHit> {
-        let uri = request.uri();
-        let name = uri.file_name();
-        let (stem, ext) = name.rsplit_once('.')?;
-        if stem.len() != 20 || !stem.bytes().all(|b| b.is_ascii_digit()) {
-            return None;
-        }
-        let nonce: u64 = stem.parse().ok()?;
-        let info = self.nonces.get(&nonce)?;
-        if info.kind.extension() != ext {
-            return None;
-        }
-        let reported_agent = if info.kind == ProbeKind::AgentBeacon {
-            uri.query().and_then(|q| {
-                q.split('&')
-                    .find_map(|kv| kv.strip_prefix("agent="))
-                    .map(|v| v.to_string())
-            })
-        } else {
-            None
-        };
-        Some(ProbeHit {
-            kind: info.kind,
-            nonce,
-            reported_agent,
-        })
-    }
-
-    /// Purges nonces older than the TTL; returns how many were removed.
-    pub fn sweep(&mut self, now: SimTime) -> usize {
-        let ttl = self.config.nonce_ttl_ms;
-        let before = self.nonces.len();
-        self.nonces.retain(|_, info| now.since(info.issued) <= ttl);
-        self.insertion_order.retain(|n| self.nonces.contains_key(n));
-        before - self.nonces.len()
-    }
-
-    /// Outstanding nonce count.
-    pub fn outstanding(&self) -> usize {
-        self.nonces.len()
-    }
-
-    /// Total nonces ever issued.
-    pub fn issued_total(&self) -> u64 {
-        self.issued_total
-    }
-
-    fn evict_oldest(&mut self) {
-        while let Some(oldest) = self.insertion_order.first().copied() {
-            self.insertion_order.remove(0);
-            if self.nonces.remove(&oldest).is_some() {
-                break;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use botwall_http::Method;
-    use rand_chacha::rand_core::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
-
-    fn reg() -> (ProbeRegistry, ChaCha8Rng) {
-        (
-            ProbeRegistry::new(ProbeRegistryConfig::default()),
-            ChaCha8Rng::seed_from_u64(11),
-        )
-    }
-
-    fn get(uri: &Uri) -> Request {
-        Request::builder(Method::Get, uri.to_string())
-            .build()
-            .unwrap()
-    }
-
-    #[test]
-    fn issue_and_classify_every_kind() {
-        let (mut r, mut rng) = reg();
-        for kind in [
-            ProbeKind::CssProbe,
-            ProbeKind::JsFile,
-            ProbeKind::AgentBeacon,
-            ProbeKind::MouseBeacon,
-            ProbeKind::HiddenLink,
-            ProbeKind::TransparentPixel,
-        ] {
-            let url = r.issue(kind, "h", SimTime::ZERO, &mut rng);
-            let hit = r.classify(&get(&url)).expect("classified");
-            assert_eq!(hit.kind, kind);
-        }
-    }
-
-    #[test]
-    fn ordinary_requests_are_not_probes() {
-        let (mut r, mut rng) = reg();
-        r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        for u in [
-            "http://h/index.html",
-            "http://h/12345.css",
-            "http://h/style.css",
-        ] {
-            let req = Request::builder(Method::Get, u).build().unwrap();
-            assert!(r.classify(&req).is_none(), "{u}");
-        }
-    }
-
-    #[test]
-    fn wrong_extension_is_rejected() {
-        let (mut r, mut rng) = reg();
-        let url = r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        // Take the issued nonce but ask for it as .html.
-        let forged = url.to_string().replace(".css", ".html");
-        let req = Request::builder(Method::Get, forged).build().unwrap();
-        assert!(r.classify(&req).is_none());
-    }
-
-    #[test]
-    fn agent_beacon_carries_reported_agent() {
-        let (mut r, mut rng) = reg();
-        let url = r.issue(ProbeKind::AgentBeacon, "h", SimTime::ZERO, &mut rng);
-        let with_agent = format!("{url}?agent=mozilla/4.0(compatible;msie6.0)");
-        let req = Request::builder(Method::Get, with_agent).build().unwrap();
-        let hit = r.classify(&req).unwrap();
-        assert_eq!(
-            hit.reported_agent.as_deref(),
-            Some("mozilla/4.0(compatible;msie6.0)")
-        );
-    }
-
-    #[test]
-    fn agent_beacon_without_query_has_no_agent() {
-        let (mut r, mut rng) = reg();
-        let url = r.issue(ProbeKind::AgentBeacon, "h", SimTime::ZERO, &mut rng);
-        let hit = r.classify(&get(&url)).unwrap();
-        assert_eq!(hit.reported_agent, None);
-    }
-
-    #[test]
-    fn capacity_eviction_drops_oldest() {
-        let mut r = ProbeRegistry::new(ProbeRegistryConfig {
-            max_nonces: 2,
-            ..ProbeRegistryConfig::default()
-        });
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let a = r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        let b = r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        let c = r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        assert!(r.classify(&get(&a)).is_none(), "oldest evicted");
-        assert!(r.classify(&get(&b)).is_some());
-        assert!(r.classify(&get(&c)).is_some());
-        assert_eq!(r.outstanding(), 2);
-    }
-
-    #[test]
-    fn sweep_purges_expired() {
-        let mut r = ProbeRegistry::new(ProbeRegistryConfig {
-            nonce_ttl_ms: 1000,
-            ..ProbeRegistryConfig::default()
-        });
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let a = r.issue(ProbeKind::CssProbe, "h", SimTime::ZERO, &mut rng);
-        let b = r.issue(ProbeKind::JsFile, "h", SimTime::from_secs(5), &mut rng);
-        assert_eq!(r.sweep(SimTime::from_secs(5)), 1);
-        assert!(r.classify(&get(&a)).is_none());
-        assert!(r.classify(&get(&b)).is_some());
-    }
-
-    #[test]
-    fn probe_urls_look_ordinary() {
-        let (mut r, mut rng) = reg();
-        let url = r.issue(
-            ProbeKind::CssProbe,
-            "www.example.com",
-            SimTime::ZERO,
-            &mut rng,
-        );
-        let s = url.to_string();
-        assert!(s.starts_with("http://www.example.com/"));
-        assert!(s.ends_with(".css"));
-        assert!(!s.contains("probe"), "no give-away in the URL: {s}");
-    }
 }

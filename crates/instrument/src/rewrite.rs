@@ -1,24 +1,22 @@
-//! The instrumenter: HTML rewriting plus probe serving.
+//! Instrumentation configuration, classification types, and the
+//! single-owner [`Instrumenter`] harness.
 //!
-//! [`Instrumenter`] is the server-side component a proxy or origin embeds.
-//! For every HTML page it serves, it:
-//!
-//! * issues a fresh 128-bit key + `m` decoys and records them in the
-//!   [`TokenTable`],
-//! * generates the event-handler JavaScript ([`crate::jsgen`]),
-//! * injects `<script src>`, an `onmousemove` handler on `<body>`, the
-//!   empty CSS probe `<link>`, and the hidden-link trap into the HTML,
-//! * marks everything `Cache-Control: no-cache, no-store` (§2.1).
-//!
-//! It then recognizes incoming probe traffic ([`Instrumenter::classify`])
-//! and serves the fake objects ([`Instrumenter::respond`]).
+//! Since PR 4 the actual rewriting and classification machinery lives in
+//! the immutable [`crate::RewriteEngine`]; per-session beacon state
+//! lives in [`crate::TokenState`]. The [`Instrumenter`] here composes
+//! both behind the original `&mut self` API — a self-contained
+//! instrumentation endpoint for tests, harnesses, and single-threaded
+//! pipelines (the paper's per-IP token table, a shared RNG stream, a
+//! script store). The concurrent gateway does not use it: it shares one
+//! `RewriteEngine` and keeps each session's `TokenState` inside the
+//! detector's shard entries instead.
 
-use crate::beacon;
-use crate::jsgen::{self, GeneratedJs, JsSpec, Obfuscation};
-use crate::probe::{ProbeHit, ProbeKind, ProbeRegistry, ProbeRegistryConfig};
+use crate::engine::{RewriteEngine, Sighting};
+use crate::jsgen::Obfuscation;
+use crate::probe::{ProbeHit, ProbeKind};
 use crate::token::{BeaconKey, KeyOutcome, TokenTable, TokenTableConfig};
 use botwall_http::request::ClientIp;
-use botwall_http::{Request, Response, StatusCode, Uri};
+use botwall_http::{Request, Response, Uri};
 use botwall_sessions::SimTime;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -26,7 +24,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Configuration for [`Instrumenter`].
+/// Configuration for the instrumentation scheme (shared by
+/// [`crate::RewriteEngine`] and [`Instrumenter`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstrumentConfig {
     /// Number of decoy functions `m` (§2.1); a blind fetcher is caught
@@ -42,11 +41,12 @@ pub struct InstrumentConfig {
     pub hidden_link: bool,
     /// Inject the mouse-event beacon machinery (§2.1).
     pub mouse_beacon: bool,
-    /// Token table tuning.
+    /// Token tuning: `max_entries_per_ip` bounds one session's (or, in
+    /// the per-IP table, one client's) outstanding keys; `entry_ttl_ms`
+    /// expires them at sweep.
     pub token_table: TokenTableConfig,
-    /// Probe registry tuning.
-    pub probe_registry: ProbeRegistryConfig,
-    /// Maximum generated scripts retained for serving.
+    /// Maximum generated scripts the [`Instrumenter`] harness retains
+    /// for serving (the gateway stores scripts per-session instead).
     pub max_stored_scripts: usize,
 }
 
@@ -60,7 +60,6 @@ impl Default for InstrumentConfig {
             hidden_link: true,
             mouse_beacon: true,
             token_table: TokenTableConfig::default(),
-            probe_registry: ProbeRegistryConfig::default(),
             max_stored_scripts: 100_000,
         }
     }
@@ -97,12 +96,12 @@ pub struct ProbeManifest {
 /// Classification of an incoming request against the instrumentation.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Classified {
-    /// A mouse-beacon fetch carrying `key`; `outcome` is the token-table
+    /// A mouse-beacon fetch carrying `key`; `outcome` is the token-state
     /// verdict (valid/replay/decoy/unknown).
     MouseBeacon {
         /// The key presented in the URL.
         key: BeaconKey,
-        /// The token-table verdict for this client and key.
+        /// The token-state verdict for this session and key.
         outcome: KeyOutcome,
     },
     /// A non-beacon probe hit (CSS probe, JS file, agent beacon, hidden
@@ -134,9 +133,7 @@ impl InstrumenterStats {
 }
 
 /// Atomic backing store for [`InstrumenterStats`], so probe serving
-/// ([`Instrumenter::respond`]) can account bytes through `&self` and the
-/// instrumenter can sit behind a read-write lock without write-locking
-/// for every served probe object.
+/// ([`Instrumenter::respond`]) can account bytes through `&self`.
 #[derive(Debug, Default)]
 struct SharedStats {
     pages_instrumented: AtomicU64,
@@ -156,7 +153,9 @@ impl SharedStats {
     }
 }
 
-/// The server-side instrumentation engine.
+/// A self-contained server-side instrumentation endpoint: one
+/// [`RewriteEngine`] plus the paper's per-IP [`TokenTable`], a shared
+/// RNG stream, and a bounded script store.
 ///
 /// # Examples
 ///
@@ -176,11 +175,10 @@ impl SharedStats {
 /// ```
 #[derive(Debug)]
 pub struct Instrumenter {
-    config: InstrumentConfig,
+    engine: RewriteEngine,
     tokens: TokenTable,
-    registry: ProbeRegistry,
     rng: ChaCha8Rng,
-    scripts: HashMap<u64, GeneratedJs>,
+    scripts: HashMap<u64, String>,
     script_order: Vec<u64>,
     stats: SharedStats,
 }
@@ -190,18 +188,22 @@ impl Instrumenter {
     pub fn new(config: InstrumentConfig, seed: u64) -> Instrumenter {
         Instrumenter {
             tokens: TokenTable::new(config.token_table.clone()),
-            registry: ProbeRegistry::new(config.probe_registry.clone()),
             rng: ChaCha8Rng::seed_from_u64(seed),
+            engine: RewriteEngine::new(config, seed),
             scripts: HashMap::new(),
             script_order: Vec::new(),
-            config,
             stats: SharedStats::default(),
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &InstrumentConfig {
-        &self.config
+        self.engine.config()
+    }
+
+    /// The underlying immutable engine.
+    pub fn engine(&self) -> &RewriteEngine {
+        &self.engine
     }
 
     /// Cumulative statistics.
@@ -223,134 +225,45 @@ impl Instrumenter {
         client: ClientIp,
         now: SimTime,
     ) -> (String, ProbeManifest) {
-        let host = page.host().unwrap_or("unknown.example");
-        let mut manifest = ProbeManifest {
-            page: page.clone(),
-            js_file: None,
-            agent_beacon: None,
-            mouse_beacon: None,
-            decoy_beacons: Vec::new(),
-            css_probe: None,
-            hidden_link: None,
-            transparent_pixel: None,
-            html_overhead: 0,
-        };
-        let mut head_inject = String::new();
-        let mut body_attr = String::new();
-        let mut body_inject = String::new();
-
-        if self.config.css_probe {
-            let url = self
-                .registry
-                .issue(ProbeKind::CssProbe, host, now, &mut self.rng);
-            head_inject.push_str(&format!(
-                "<link rel=\"stylesheet\" type=\"text/css\" href=\"{url}\">\n"
-            ));
-            manifest.css_probe = Some(url);
-        }
-        if self.config.mouse_beacon {
-            let key = BeaconKey::random(&mut self.rng);
-            let decoys: Vec<BeaconKey> = (0..self.config.decoys)
-                .map(|_| BeaconKey::random(&mut self.rng))
-                .collect();
+        let built = self.engine.build_page(html, page, now, &mut self.rng);
+        if let Some(token) = built.token {
             self.tokens
-                .issue(client, page.path(), key, decoys.clone(), now);
-            let mouse_url = beacon::encode(host, key);
-            let decoy_urls: Vec<Uri> = decoys.iter().map(|d| beacon::encode(host, *d)).collect();
-            let agent_url = self
-                .registry
-                .issue(ProbeKind::AgentBeacon, host, now, &mut self.rng);
-            let js_url = self
-                .registry
-                .issue(ProbeKind::JsFile, host, now, &mut self.rng);
-            let spec = JsSpec {
-                mouse_beacon: mouse_url.clone(),
-                decoys: decoy_urls.clone(),
-                agent_beacon: agent_url.clone(),
-                obfuscation: self.config.obfuscation,
-                target_size: self.config.js_target_size,
-            };
-            let js = jsgen::generate(&spec, &mut self.rng);
-            head_inject.push_str(&format!(
-                "<script language=\"javascript\" src=\"{js_url}\"></script>\n"
-            ));
-            body_attr = format!(" onmousemove=\"return {}();\"", js.handler_name);
-            // Store the script under its nonce for serving.
-            if let Some(nonce) = nonce_of(&js_url) {
-                if self.scripts.len() >= self.config.max_stored_scripts {
-                    if let Some(old) = self.script_order.first().copied() {
-                        self.script_order.remove(0);
-                        self.scripts.remove(&old);
-                    }
+                .issue(client, page.path(), token.key, token.decoys, now);
+            if self.scripts.len() >= self.config().max_stored_scripts {
+                if let Some(old) = self.script_order.first().copied() {
+                    self.script_order.remove(0);
+                    self.scripts.remove(&old);
                 }
-                self.scripts.insert(nonce, js);
-                self.script_order.push(nonce);
             }
-            manifest.mouse_beacon = Some(mouse_url);
-            manifest.decoy_beacons = decoy_urls;
-            manifest.agent_beacon = Some(agent_url);
-            manifest.js_file = Some(js_url);
+            self.scripts.insert(token.js_nonce, token.js.source);
+            self.script_order.push(token.js_nonce);
         }
-        if self.config.hidden_link {
-            let link = self
-                .registry
-                .issue(ProbeKind::HiddenLink, host, now, &mut self.rng);
-            let pixel = self
-                .registry
-                .issue(ProbeKind::TransparentPixel, host, now, &mut self.rng);
-            body_inject.push_str(&format!(
-                "<a href=\"{link}\"><img src=\"{pixel}\" width=\"1\" height=\"1\" border=\"0\"></a>\n"
-            ));
-            manifest.hidden_link = Some(link);
-            manifest.transparent_pixel = Some(pixel);
-        }
-
-        let rewritten = inject(html, &head_inject, &body_attr, &body_inject);
-        manifest.html_overhead = rewritten.len().saturating_sub(html.len());
         self.stats
             .pages_instrumented
             .fetch_add(1, Ordering::Relaxed);
         self.stats
             .html_overhead_bytes
-            .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
-        (rewritten, manifest)
+            .fetch_add(built.manifest.html_overhead as u64, Ordering::Relaxed);
+        (built.html, built.manifest)
     }
 
     /// Marks a page response uncacheable, as §2.1 requires for rewritten
     /// pages and probe objects.
     pub fn mark_uncacheable(response: &mut Response) {
-        response
-            .headers_mut()
-            .set("Cache-Control", "no-cache, no-store");
+        RewriteEngine::mark_uncacheable(response);
     }
 
     /// Classifies an incoming request against the instrumentation state,
     /// redeeming beacon keys as a side effect.
     pub fn classify(&mut self, request: &Request, now: SimTime) -> Classified {
-        if let Some(key) = beacon::decode(request.uri()) {
-            let outcome = self.tokens.redeem(request.client(), key, now);
-            return Classified::MouseBeacon { key, outcome };
+        match self.engine.classify(request, now) {
+            Sighting::MouseBeacon(key) => Classified::MouseBeacon {
+                key,
+                outcome: self.tokens.redeem(request.client(), key, now),
+            },
+            Sighting::Probe(hit) => Classified::Probe(hit),
+            Sighting::Ordinary => Classified::Ordinary,
         }
-        match self.registry.classify(request) {
-            Some(hit) => Classified::Probe(hit),
-            None => Classified::Ordinary,
-        }
-    }
-
-    /// Read-only classification for non-beacon traffic — the concurrent
-    /// fast path. Returns `None` when the request is a mouse-beacon fetch
-    /// (beacon keys are single-use, so redeeming one needs
-    /// [`Instrumenter::classify`] and a write lock); everything else —
-    /// the overwhelming majority of traffic — classifies against the
-    /// probe registry without mutating anything.
-    pub fn classify_probe(&self, request: &Request) -> Option<Classified> {
-        if beacon::decode(request.uri()).is_some() {
-            return None;
-        }
-        Some(match self.registry.classify(request) {
-            Some(hit) => Classified::Probe(hit),
-            None => Classified::Ordinary,
-        })
     }
 
     /// Serves the response for instrumentation traffic: the generated
@@ -359,30 +272,14 @@ impl Instrumenter {
     ///
     /// Returns `None` for [`Classified::Ordinary`].
     pub fn respond(&self, classified: &Classified) -> Option<Response> {
-        let (body, content_type): (Vec<u8>, &str) = match classified {
-            Classified::MouseBeacon { .. } => (FAKE_JPEG.to_vec(), "image/jpeg"),
-            Classified::Probe(hit) => match hit.kind {
-                ProbeKind::CssProbe => (Vec::new(), "text/css"),
-                ProbeKind::JsFile => {
-                    let src = self
-                        .scripts
-                        .get(&hit.nonce)
-                        .map(|js| js.source.clone())
-                        .unwrap_or_default();
-                    (src.into_bytes(), "application/x-javascript")
-                }
-                ProbeKind::AgentBeacon | ProbeKind::TransparentPixel => {
-                    (TRANSPARENT_GIF.to_vec(), "image/gif")
-                }
-                ProbeKind::MouseBeacon => (FAKE_JPEG.to_vec(), "image/jpeg"),
-                ProbeKind::HiddenLink => (
-                    b"<html><body>nothing to see</body></html>".to_vec(),
-                    "text/html",
-                ),
-            },
-            Classified::Ordinary => return None,
+        let js = match classified {
+            Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
+                self.scripts.get(&hit.nonce).map(String::as_str)
+            }
+            _ => None,
         };
-        let served = body.len() as u64;
+        let resp = self.engine.respond(classified, js)?;
+        let served = resp.body().len() as u64;
         match classified {
             Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
                 self.stats
@@ -395,86 +292,14 @@ impl Instrumenter {
                     .fetch_add(served, Ordering::Relaxed);
             }
         }
-        let mut resp = Response::builder(StatusCode::OK)
-            .header("Content-Type", content_type)
-            .body_bytes(body)
-            .build();
-        Self::mark_uncacheable(&mut resp);
         Some(resp)
     }
 
-    /// Purges expired tokens and nonces.
+    /// Purges expired tokens.
     pub fn sweep(&mut self, now: SimTime) {
         self.tokens.sweep(now);
-        self.registry.sweep(now);
         self.script_order.retain(|n| self.scripts.contains_key(n));
     }
-}
-
-/// A 1×1 transparent GIF (the classic 43-byte pixel).
-const TRANSPARENT_GIF: &[u8] = &[
-    0x47, 0x49, 0x46, 0x38, 0x39, 0x61, 0x01, 0x00, 0x01, 0x00, 0x80, 0x00, 0x00, 0x00, 0x00, 0x00,
-    0xff, 0xff, 0xff, 0x21, 0xf9, 0x04, 0x01, 0x00, 0x00, 0x00, 0x00, 0x2c, 0x00, 0x00, 0x00, 0x00,
-    0x01, 0x00, 0x01, 0x00, 0x00, 0x02, 0x02, 0x44, 0x01, 0x00, 0x3b,
-];
-
-/// A minimal JPEG payload ("any JPEG image [works] because the picture is
-/// not used" — §2.1).
-const FAKE_JPEG: &[u8] = &[
-    0xff, 0xd8, 0xff, 0xe0, 0x00, 0x10, 0x4a, 0x46, 0x49, 0x46, 0x00, 0x01, 0x01, 0x00, 0x00, 0x01,
-    0x00, 0x01, 0x00, 0x00, 0xff, 0xd9,
-];
-
-/// Extracts the 20-digit nonce from a registry-issued URL.
-fn nonce_of(uri: &Uri) -> Option<u64> {
-    let (stem, _) = uri.file_name().rsplit_once('.')?;
-    if stem.len() == 20 && stem.bytes().all(|b| b.is_ascii_digit()) {
-        stem.parse().ok()
-    } else {
-        None
-    }
-}
-
-/// Injects markup into an HTML document: `head_inject` before `</head>`,
-/// `body_attr` into the `<body>` tag, `body_inject` before `</body>`.
-/// Degrades gracefully when tags are missing.
-fn inject(html: &str, head_inject: &str, body_attr: &str, body_inject: &str) -> String {
-    let mut out = String::with_capacity(
-        html.len() + head_inject.len() + body_attr.len() + body_inject.len() + 16,
-    );
-    // Head injection.
-    let lower = html.to_ascii_lowercase();
-    let (pre, rest) = match lower.find("</head>") {
-        Some(i) => (&html[..i], &html[i..]),
-        None => match lower.find("<body") {
-            Some(i) => (&html[..i], &html[i..]),
-            None => ("", html),
-        },
-    };
-    out.push_str(pre);
-    out.push_str(head_inject);
-    // Body attribute injection.
-    let rest_lower = rest.to_ascii_lowercase();
-    if let Some(b) = rest_lower.find("<body") {
-        let after_tag_name = b + "<body".len();
-        out.push_str(&rest[..after_tag_name]);
-        out.push_str(body_attr);
-        let remaining = &rest[after_tag_name..];
-        // Body-end injection.
-        let rl = remaining.to_ascii_lowercase();
-        if let Some(e) = rl.rfind("</body>") {
-            out.push_str(&remaining[..e]);
-            out.push_str(body_inject);
-            out.push_str(&remaining[e..]);
-        } else {
-            out.push_str(remaining);
-            out.push_str(body_inject);
-        }
-    } else {
-        out.push_str(rest);
-        out.push_str(body_inject);
-    }
-    out
 }
 
 #[cfg(test)]

@@ -1,14 +1,26 @@
-//! 128-bit beacon keys and the per-client token table.
+//! 128-bit beacon keys and the per-session token state.
 //!
 //! §2.1 of the paper: "the server generates a random key
 //! `k ∈ [0, 2^128 − 1]` and records the tuple `<foo.html, k>` in a table
 //! indexed by the client's IP address. The table holds multiple entries per
 //! IP address." A matching key in a later beacon fetch proves a mouse or
 //! keyboard event; the random key prevents replay across clients and pages.
+//!
+//! Two containers implement that record:
+//!
+//! * [`TokenState`] — the outstanding keys of *one* session, designed to
+//!   be colocated with the session's other per-key state inside its
+//!   tracker shard entry, so issuing and redeeming share the session's
+//!   shard lock (no global token table, no global lock).
+//! * [`TokenTable`] — the paper's literal per-IP table, a map of
+//!   [`TokenState`]s. The standalone [`crate::Instrumenter`] harness
+//!   uses it; the concurrent gateway does not.
 
 use botwall_http::request::ClientIp;
 use botwall_sessions::SimTime;
 use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -67,13 +79,139 @@ pub enum KeyOutcome {
     Unknown,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Entry {
     page: String,
     key: BeaconKey,
     decoys: Vec<BeaconKey>,
     issued: SimTime,
     redeemed: bool,
+    /// The generated script served for this page's `<script src>` probe,
+    /// keyed by its URL nonce — stored with the session so script
+    /// serving needs no global store.
+    js: Option<(u64, String)>,
+}
+
+/// The outstanding beacon keys (and their generated scripts) of one
+/// session.
+///
+/// This is the per-session half of the PR-4 instrumenter split: it lives
+/// inside the session's tracker shard entry, so every operation on it —
+/// issuing keys at page-rewrite time, redeeming them when a beacon
+/// fires, serving the stored script — happens under the shard lock the
+/// request already holds. It also owns the session's deterministic RNG
+/// stream (seeded by the engine's secret and the session identity), so
+/// instrumentation randomness needs no shared generator.
+///
+/// # Examples
+///
+/// ```
+/// use botwall_instrument::token::{BeaconKey, KeyOutcome, TokenState};
+/// use botwall_sessions::SimTime;
+///
+/// let mut state = TokenState::default();
+/// state.issue("/index.html", BeaconKey::from_raw(42), vec![], None, SimTime::ZERO, 64);
+/// assert_eq!(state.redeem(BeaconKey::from_raw(42), SimTime::ZERO), KeyOutcome::Valid);
+/// assert_eq!(state.redeem(BeaconKey::from_raw(42), SimTime::ZERO), KeyOutcome::Replay);
+/// assert_eq!(state.redeem(BeaconKey::from_raw(9), SimTime::ZERO), KeyOutcome::Unknown);
+/// ```
+#[derive(Debug, Default)]
+pub struct TokenState {
+    entries: Vec<Entry>,
+    rng: Option<ChaCha8Rng>,
+}
+
+impl TokenState {
+    /// Records a freshly issued `<page, key>` tuple plus the decoys (and
+    /// optionally the generated script) served alongside it, dropping
+    /// the oldest entry beyond `max_entries`.
+    pub fn issue(
+        &mut self,
+        page: impl Into<String>,
+        key: BeaconKey,
+        decoys: Vec<BeaconKey>,
+        js: Option<(u64, String)>,
+        now: SimTime,
+        max_entries: usize,
+    ) {
+        if self.entries.len() >= max_entries.max(1) {
+            self.entries.remove(0);
+        }
+        self.entries.push(Entry {
+            page: page.into(),
+            key,
+            decoys,
+            issued: now,
+            redeemed: false,
+            js,
+        });
+    }
+
+    /// Checks a presented key against this session's outstanding
+    /// entries, marking it redeemed when valid.
+    pub fn redeem(&mut self, key: BeaconKey, _now: SimTime) -> KeyOutcome {
+        for e in self.entries.iter_mut() {
+            if e.key == key {
+                if e.redeemed {
+                    return KeyOutcome::Replay;
+                }
+                e.redeemed = true;
+                return KeyOutcome::Valid;
+            }
+        }
+        if self.entries.iter().any(|e| e.decoys.contains(&key)) {
+            return KeyOutcome::Decoy;
+        }
+        KeyOutcome::Unknown
+    }
+
+    /// The stored script for a JS-file probe nonce, if this session was
+    /// served it.
+    pub fn script_for(&self, nonce: u64) -> Option<&str> {
+        self.entries.iter().rev().find_map(|e| match &e.js {
+            Some((n, src)) if *n == nonce => Some(src.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The page associated with an outstanding key, if any (diagnostics).
+    pub fn page_for(&self, key: BeaconKey) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.page.as_str())
+    }
+
+    /// Purges entries older than `ttl_ms`; returns how many were removed.
+    pub fn sweep(&mut self, now: SimTime, ttl_ms: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| now.since(e.issued) <= ttl_ms);
+        before - self.entries.len()
+    }
+
+    /// Outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Issue time of the most recent entry.
+    pub fn last_issued(&self) -> Option<SimTime> {
+        self.entries.last().map(|e| e.issued)
+    }
+
+    /// The session's instrumentation RNG, seeded on first use from
+    /// `stream_seed` (derived by the engine from its secret and the
+    /// session identity, so streams never collide across sessions and
+    /// identical runs draw identical streams).
+    pub fn rng_seeded(&mut self, stream_seed: u64) -> &mut ChaCha8Rng {
+        self.rng
+            .get_or_insert_with(|| ChaCha8Rng::seed_from_u64(stream_seed))
+    }
 }
 
 /// Configuration for [`TokenTable`].
@@ -122,7 +260,7 @@ impl Default for TokenTableConfig {
 #[derive(Debug)]
 pub struct TokenTable {
     config: TokenTableConfig,
-    by_ip: HashMap<ClientIp, Vec<Entry>>,
+    by_ip: HashMap<ClientIp, TokenState>,
     issued_total: u64,
     redeemed_total: u64,
 }
@@ -151,66 +289,42 @@ impl TokenTable {
         if !self.by_ip.contains_key(&ip) && self.by_ip.len() >= self.config.max_clients {
             self.evict_oldest_client();
         }
-        let entries = self.by_ip.entry(ip).or_default();
-        if entries.len() >= self.config.max_entries_per_ip {
-            entries.remove(0);
-        }
-        entries.push(Entry {
-            page: page.into(),
-            key,
-            decoys,
-            issued: now,
-            redeemed: false,
-        });
+        let state = self.by_ip.entry(ip).or_default();
+        state.issue(page, key, decoys, None, now, self.config.max_entries_per_ip);
         self.issued_total += 1;
     }
 
     /// Checks a presented key for `ip`, marking it redeemed when valid.
-    pub fn redeem(&mut self, ip: ClientIp, key: BeaconKey, _now: SimTime) -> KeyOutcome {
-        let Some(entries) = self.by_ip.get_mut(&ip) else {
+    pub fn redeem(&mut self, ip: ClientIp, key: BeaconKey, now: SimTime) -> KeyOutcome {
+        let Some(state) = self.by_ip.get_mut(&ip) else {
             return KeyOutcome::Unknown;
         };
-        for e in entries.iter_mut() {
-            if e.key == key {
-                if e.redeemed {
-                    return KeyOutcome::Replay;
-                }
-                e.redeemed = true;
-                self.redeemed_total += 1;
-                return KeyOutcome::Valid;
-            }
+        let outcome = state.redeem(key, now);
+        if outcome == KeyOutcome::Valid {
+            self.redeemed_total += 1;
         }
-        if entries.iter().any(|e| e.decoys.contains(&key)) {
-            return KeyOutcome::Decoy;
-        }
-        KeyOutcome::Unknown
+        outcome
     }
 
     /// Purges entries older than the TTL. Returns how many were removed.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let ttl = self.config.entry_ttl_ms;
         let mut removed = 0;
-        self.by_ip.retain(|_, entries| {
-            let before = entries.len();
-            entries.retain(|e| now.since(e.issued) <= ttl);
-            removed += before - entries.len();
-            !entries.is_empty()
+        self.by_ip.retain(|_, state| {
+            removed += state.sweep(now, ttl);
+            !state.is_empty()
         });
         removed
     }
 
     /// The page associated with an outstanding key, if any (diagnostics).
     pub fn page_for(&self, ip: ClientIp, key: BeaconKey) -> Option<&str> {
-        self.by_ip
-            .get(&ip)?
-            .iter()
-            .find(|e| e.key == key)
-            .map(|e| e.page.as_str())
+        self.by_ip.get(&ip)?.page_for(key)
     }
 
     /// Outstanding entries for `ip`.
     pub fn entries_for(&self, ip: ClientIp) -> usize {
-        self.by_ip.get(&ip).map(|v| v.len()).unwrap_or(0)
+        self.by_ip.get(&ip).map(|s| s.len()).unwrap_or(0)
     }
 
     /// Number of tracked client IPs.
@@ -232,7 +346,7 @@ impl TokenTable {
         if let Some(ip) = self
             .by_ip
             .iter()
-            .min_by_key(|(_, es)| es.last().map(|e| e.issued).unwrap_or(SimTime::ZERO))
+            .min_by_key(|(_, s)| s.last_issued().unwrap_or(SimTime::ZERO))
             .map(|(ip, _)| *ip)
         {
             self.by_ip.remove(&ip);

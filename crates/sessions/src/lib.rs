@@ -41,4 +41,6 @@ pub use key::SessionKey;
 pub use record::RequestRecord;
 pub use stats::SessionCounters;
 pub use time::SimTime;
-pub use tracker::{Finalized, Session, SessionExt, SessionTracker, ShardedTracker, TrackerConfig};
+pub use tracker::{
+    EntryGuard, Finalized, Session, SessionExt, SessionTracker, ShardedTracker, TrackerConfig,
+};

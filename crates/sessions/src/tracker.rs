@@ -151,21 +151,39 @@ impl Session {
 
 /// Per-key extension state colocated with each live session.
 ///
-/// The detection core stores its per-key evidence/verdict/policy state
-/// under the same shard lock as the session record. The single hook
-/// controls what survives an idle rollover: when a key returns after the
-/// idle timeout, the old incarnation is finalized with its state and the
-/// successor starts from [`SessionExt::on_rollover`] of it.
+/// The detection core stores its per-key evidence/verdict/policy/token
+/// state under the same shard lock as the session record. Two hooks
+/// control cross-incarnation flow: [`SessionExt::on_rollover`] decides
+/// what survives an idle rollover (when a key returns after the idle
+/// timeout, the old incarnation is finalized with its state and the
+/// successor starts from the carry-over), and [`SessionExt::absorb`]
+/// folds in a *deferred* [`SessionExt::Carry`] — per-key state that
+/// arrived while no session was live (e.g. a CAPTCHA pass verified after
+/// the session was swept), stashed in the key's shard via
+/// [`ShardedTracker::with_entry_and_carry`] and delivered to the key's
+/// next incarnation the moment it is created.
 pub trait SessionExt: Default {
+    /// Deferred per-key state that can arrive while the key has no live
+    /// session, held in the key's shard until the next incarnation
+    /// starts.
+    type Carry: Send + std::fmt::Debug;
+
     /// Derives the successor incarnation's starting state when the
     /// previous incarnation is finalized by idle rollover. Defaults to a
     /// clean slate.
     fn on_rollover(&self) -> Self {
         Self::default()
     }
+
+    /// Folds a stashed carry into a freshly created incarnation (called
+    /// under the shard lock, before the first exchange is recorded).
+    /// Defaults to discarding the carry.
+    fn absorb(&mut self, _carry: Self::Carry, _session: &Session) {}
 }
 
-impl SessionExt for () {}
+impl SessionExt for () {
+    type Carry = ();
+}
 
 /// A finalized session paired with the extension state it accumulated.
 ///
@@ -187,12 +205,81 @@ impl<E> Deref for Finalized<E> {
     }
 }
 
-/// One shard: an independent live map plus the finalized sessions
-/// (rollover and eviction casualties) not yet collected by sweep/drain.
-#[derive(Debug, Default)]
-struct Shard<E> {
+/// One shard: an independent live map, the finalized sessions (rollover
+/// and eviction casualties) not yet collected by sweep/drain, and the
+/// deferred carries awaiting their key's next incarnation.
+#[derive(Debug)]
+struct Shard<E: SessionExt> {
     live: HashMap<SessionKey, (Session, E)>,
     finalized: Vec<Finalized<E>>,
+    carry: HashMap<SessionKey, E::Carry>,
+}
+
+impl<E: SessionExt> Default for Shard<E> {
+    fn default() -> Self {
+        Shard {
+            live: HashMap::new(),
+            finalized: Vec::new(),
+            carry: HashMap::new(),
+        }
+    }
+}
+
+/// Bound on deferred carries held per shard; beyond it the smallest key
+/// is dropped (deterministic, unlike arbitrary map eviction).
+const MAX_CARRIES_PER_SHARD: usize = 8_192;
+
+fn insert_carry_bounded<C>(carries: &mut HashMap<SessionKey, C>, key: &SessionKey, carry: C) {
+    if carries.len() >= MAX_CARRIES_PER_SHARD && !carries.contains_key(key) {
+        if let Some(min) = carries.keys().min().cloned() {
+            carries.remove(&min);
+        }
+    }
+    carries.insert(key.clone(), carry);
+}
+
+/// A live entry pinned inside its shard's critical section, handed to
+/// [`ShardedTracker::with_exchange`] callbacks. The guard exposes the
+/// session and its extension state, and lets the caller decide *when* in
+/// the critical section the exchange is recorded — the enforcement gate
+/// reads pre-exchange counters, the response is built, and only then is
+/// the exchange folded in, all without releasing the shard lock.
+#[derive(Debug)]
+pub struct EntryGuard<'a, E> {
+    session: &'a mut Session,
+    ext: &'a mut E,
+    cap: usize,
+    recorded: bool,
+}
+
+impl<E> EntryGuard<'_, E> {
+    /// The session as of this point in the critical section (before
+    /// [`EntryGuard::record`], its counters exclude the in-flight
+    /// exchange).
+    pub fn session(&self) -> &Session {
+        self.session
+    }
+
+    /// The colocated extension state.
+    pub fn ext(&mut self) -> &mut E {
+        self.ext
+    }
+
+    /// Both halves at once, for callers that read the session while
+    /// mutating the extension state.
+    pub fn parts(&mut self) -> (&Session, &mut E) {
+        (self.session, self.ext)
+    }
+
+    /// Folds the finished exchange into the session record (counters,
+    /// bounded log, `last_seen`). Call exactly once per
+    /// [`ShardedTracker::with_exchange`]; a callback that never records
+    /// has the exchange recorded for it (responseless) on exit.
+    pub fn record(&mut self, request: &Request, response: Option<&Response>, now: SimTime) {
+        debug_assert!(!self.recorded, "one exchange, one record");
+        self.session.observe(request, response, now, self.cap);
+        self.recorded = true;
+    }
 }
 
 /// Streaming `<IP, User-Agent>` session store with idle-timeout
@@ -229,7 +316,7 @@ struct Shard<E> {
 /// assert_eq!(done.len(), 1);
 /// ```
 #[derive(Debug)]
-pub struct ShardedTracker<E> {
+pub struct ShardedTracker<E: SessionExt> {
     config: TrackerConfig,
     shards: Vec<Mutex<Shard<E>>>,
     live_total: AtomicUsize,
@@ -271,7 +358,7 @@ impl<E: SessionExt> ShardedTracker<E> {
     }
 
     fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Shard<E>> {
-        crate::sync::lock_or_recover(&self.shards[idx])
+        crate::sync::lock_shard_or_recover(&self.shards[idx])
     }
 
     /// Feeds one exchange into the store, creating or rolling over the
@@ -296,15 +383,34 @@ impl<E: SessionExt> ShardedTracker<E> {
     }
 
     /// Feeds one exchange and runs `f` against the (just-updated) session
-    /// and its extension state under the shard lock — the one-stop hot
-    /// path: rollover, record update, and the caller's per-key work all
-    /// happen in a single critical section.
+    /// and its extension state under the shard lock.
     pub fn observe_with<R>(
         &self,
         request: &Request,
         response: Option<&Response>,
         now: SimTime,
         f: impl FnOnce(&Session, &mut E) -> R,
+    ) -> (SessionKey, R) {
+        self.with_exchange(request, now, |entry| {
+            entry.record(request, response, now);
+            let (session, ext) = entry.parts();
+            f(session, ext)
+        })
+    }
+
+    /// The one-lock request path: resolves the keyed entry (capacity
+    /// eviction, idle rollover, creation, deferred-carry absorption) and
+    /// runs `f` against it inside a single shard critical section. The
+    /// callback decides when the exchange is recorded via
+    /// [`EntryGuard::record`] — before it, the guard's session exposes
+    /// *pre-exchange* counters (what an enforcement gate wants); a
+    /// callback that never records has the exchange recorded for it
+    /// (responseless) when it returns.
+    pub fn with_exchange<R>(
+        &self,
+        request: &Request,
+        now: SimTime,
+        f: impl FnOnce(&mut EntryGuard<'_, E>) -> R,
     ) -> (SessionKey, R) {
         let key = SessionKey::of(request);
         let idx = self.shard_index(&key);
@@ -326,6 +432,7 @@ impl<E: SessionExt> ShardedTracker<E> {
         // so a racing same-key request can never slip a fresh entry in
         // between and discard the rollover carry-over state.
         let mut shard = self.lock_shard(idx);
+        let shard = &mut *shard;
         // Idle rollover: finalize the previous incarnation with the
         // state it accumulated; the successor starts from its rollover
         // carry-over.
@@ -340,15 +447,33 @@ impl<E: SessionExt> ShardedTracker<E> {
             self.live_total.fetch_sub(1, Ordering::Relaxed);
             shard.finalized.push(Finalized { session, ext });
         }
+        let mut created = false;
         let (session, ext) = shard.live.entry(key.clone()).or_insert_with(|| {
+            created = true;
             self.live_total.fetch_add(1, Ordering::Relaxed);
             (
                 Session::new(key.clone(), now),
                 carried.take().unwrap_or_default(),
             )
         });
-        session.observe(request, response, now, self.config.max_records_per_session);
-        let r = f(session, ext);
+        // A deferred carry (state that arrived while the key had no live
+        // session) lands in the incarnation that starts now — before the
+        // callback, so gates already see its effect.
+        if created && !shard.carry.is_empty() {
+            if let Some(carry) = shard.carry.remove(&key) {
+                ext.absorb(carry, session);
+            }
+        }
+        let mut entry = EntryGuard {
+            session,
+            ext,
+            cap: self.config.max_records_per_session,
+            recorded: false,
+        };
+        let r = f(&mut entry);
+        if !entry.recorded {
+            entry.record(request, None, now);
+        }
         (key, r)
     }
 
@@ -368,6 +493,66 @@ impl<E: SessionExt> ShardedTracker<E> {
     ) -> Option<R> {
         let mut shard = self.lock_shard(self.shard_index(key));
         shard.live.get_mut(key).map(|(s, e)| f(s, e))
+    }
+
+    /// Runs `f` against the key's live entry (if any) *and* its
+    /// deferred-carry slot, under one shard lock. The slot arrives with
+    /// whatever carry is currently stashed for the key; whatever the
+    /// callback leaves in it (subject to the per-shard bound) is what
+    /// the key's next incarnation will absorb. This is how state that
+    /// shows up while a key is dead — a CAPTCHA pass answered after the
+    /// sweep — reaches the successor without any global table.
+    pub fn with_entry_and_carry<R>(
+        &self,
+        key: &SessionKey,
+        f: impl FnOnce(Option<(&Session, &mut E)>, &mut Option<E::Carry>) -> R,
+    ) -> R {
+        let mut shard = self.lock_shard(self.shard_index(key));
+        let shard = &mut *shard;
+        let mut slot = shard.carry.remove(key);
+        let r = f(shard.live.get_mut(key).map(|(s, e)| (&*s, e)), &mut slot);
+        if let Some(carry) = slot {
+            insert_carry_bounded(&mut shard.carry, key, carry);
+        }
+        r
+    }
+
+    /// Folds every live entry (shards in index order, one lock at a
+    /// time) — how cross-key aggregates like per-key token occupancy are
+    /// merged without a global table.
+    pub fn fold_entries<A>(&self, init: A, mut f: impl FnMut(A, &Session, &E) -> A) -> A {
+        let mut acc = init;
+        for idx in 0..self.shards.len() {
+            let shard = self.lock_shard(idx);
+            for (s, e) in shard.live.values() {
+                acc = f(acc, s, e);
+            }
+        }
+        acc
+    }
+
+    /// Visits every live entry mutably, shards in index order and keys
+    /// sorted within each shard (deterministic, like sweep). Maintenance
+    /// walks — expiring per-key tokens and stale challenge records —
+    /// ride this instead of any global registry sweep.
+    pub fn visit_entries_mut(&self, mut f: impl FnMut(&Session, &mut E)) {
+        for idx in 0..self.shards.len() {
+            let mut shard = self.lock_shard(idx);
+            let mut keys: Vec<SessionKey> = shard.live.keys().cloned().collect();
+            keys.sort_unstable();
+            for k in keys {
+                if let Some((s, e)) = shard.live.get_mut(&k) {
+                    f(s, e);
+                }
+            }
+        }
+    }
+
+    /// Deferred carries currently stashed across all shards.
+    pub fn carry_count(&self) -> usize {
+        (0..self.shards.len())
+            .map(|idx| self.lock_shard(idx).carry.len())
+            .sum()
     }
 
     /// Number of live sessions.
@@ -827,6 +1012,12 @@ mod tests {
     }
 
     impl SessionExt for Tally {
+        type Carry = u64;
+
+        fn absorb(&mut self, carry: u64, _session: &Session) {
+            self.touched += carry;
+        }
+
         fn on_rollover(&self) -> Tally {
             // The touch count resets with the incarnation; the carry
             // marker survives (models the policy block flag).
@@ -871,6 +1062,62 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].ext.touched, 1);
         assert!(!done[0].ext.carried);
+    }
+
+    #[test]
+    fn with_exchange_gates_on_pre_exchange_counters() {
+        let t: SessionTracker = SessionTracker::new(TrackerConfig::default());
+        let r = req(12, "A", "http://h/1", None);
+        let (_, (before, after)) = t.with_exchange(&r, SimTime::ZERO, |entry| {
+            let before = entry.session().request_count();
+            entry.record(&r, Some(&ok()), SimTime::ZERO);
+            let after = entry.session().request_count();
+            (before, after)
+        });
+        assert_eq!((before, after), (0, 1));
+        // A callback that never records still counts the exchange.
+        let (_, ()) = t.with_exchange(&r, SimTime::from_secs(1), |_| ());
+        assert_eq!(t.get(&SessionKey::of(&r)).unwrap().request_count(), 2);
+    }
+
+    #[test]
+    fn stashed_carry_is_absorbed_by_the_next_incarnation() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(13, "A", "http://h/1", None);
+        let key = SessionKey::of(&r);
+        // No live session: the carry parks in the shard.
+        t.with_entry_and_carry(&key, |entry, slot| {
+            assert!(entry.is_none());
+            *slot = Some(41);
+        });
+        assert_eq!(t.carry_count(), 1);
+        // First exchange absorbs it before the callback runs.
+        let (_, seen) = t.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, e| e.touched);
+        assert_eq!(seen, 41);
+        assert_eq!(t.carry_count(), 0, "carry is consumed, not replayed");
+        // A live entry takes precedence: the slot stays untouched when
+        // the callback credits the entry directly.
+        t.with_entry_and_carry(&key, |entry, slot| {
+            let (_, e) = entry.expect("live");
+            e.touched += 1;
+            assert!(slot.is_none());
+        });
+        assert_eq!(t.with_entry(&key, |_, e| e.touched), Some(42));
+    }
+
+    #[test]
+    fn carry_survives_sweep_until_the_key_returns() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(14, "A", "http://h/1", None);
+        let key = SessionKey::of(&r);
+        t.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, _| ());
+        assert_eq!(t.sweep(SimTime::from_hours(2)).len(), 1);
+        t.with_entry_and_carry(&key, |_, slot| *slot = Some(7));
+        // Sweeps do not disturb parked carries.
+        assert!(t.sweep(SimTime::from_hours(4)).is_empty());
+        assert_eq!(t.carry_count(), 1);
+        let (_, seen) = t.observe_with(&r, Some(&ok()), SimTime::from_hours(5), |_, e| e.touched);
+        assert_eq!(seen, 7);
     }
 
     #[test]

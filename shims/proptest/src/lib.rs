@@ -1,7 +1,7 @@
 //! Offline shim for `proptest`.
 //!
 //! Implements the subset of the proptest 1.x API the botwall test suites
-//! use: the [`Strategy`] trait with `prop_map`, `Just`, tuple/range/regex
+//! use: the [`strategy::Strategy`] trait with `prop_map`, `Just`, tuple/range/regex
 //! strategies, `collection::vec`, `option::of`, `bool::ANY`, `any::<T>()`,
 //! and the `proptest!`/`prop_assert*!`/`prop_oneof!` macros.
 //!
@@ -77,7 +77,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`] (subset of `proptest::collection::SizeRange`).
+    /// Length specification for [`vec()`] (subset of `proptest::collection::SizeRange`).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

@@ -62,3 +62,76 @@ fn seed_changes_the_report() {
     let config = big_config();
     assert_ne!(render(&config, 1), render(&config, 2));
 }
+
+/// Drives one gateway through interleaved page serves and mouse-beacon
+/// redemptions across many sessions (hence many tracker shards), and
+/// renders every observable — statuses, verdicts, drained labels, the
+/// full stats snapshot — into one byte string.
+///
+/// This is the PR-4 guardrail: beacon state is now per-session
+/// (colocated in shard entries, with per-session RNG streams) instead of
+/// one global table behind one RNG, and redemption ordering across
+/// shards must still reproduce byte-for-byte.
+fn render_gateway_beacon_run(seed: u64) -> Vec<u8> {
+    use botwall::gateway::{Decision, Gateway, Origin};
+    use botwall::http::request::ClientIp;
+    use botwall::http::{Method, Request};
+    use botwall::sessions::SimTime;
+
+    const HTML: &str = "<html><head><title>d</title></head><body><p>x</p></body></html>";
+    let req = |ip: u32, uri: &str| {
+        Request::builder(Method::Get, uri)
+            .header("User-Agent", "Mozilla/5.0 (determinism)")
+            .client(ClientIp::new(ip))
+            .build()
+            .unwrap()
+    };
+
+    let gw = Gateway::builder().seed(seed).build();
+    let mut log = String::new();
+    let mut clock = SimTime::ZERO;
+    for round in 0..3u32 {
+        // Wave of page fetches across 24 keys (spread over the 16
+        // shards), collecting each session's fresh beacon...
+        let mut beacons = Vec::new();
+        for ip in 0..24u32 {
+            clock += 40;
+            let d = gw.handle_with(
+                &req(ip, &format!("http://det.example/p{round}.html")),
+                clock,
+                |_| Origin::Page(HTML.into()),
+            );
+            if let Decision::Serve { manifest, .. } = &d {
+                if let Some(b) = manifest.as_ref().and_then(|m| m.mouse_beacon.clone()) {
+                    beacons.push((ip, b));
+                }
+            }
+            log.push_str(&format!("{round}/{ip} page {:?}\n", d.status()));
+        }
+        // ...then redeem them in REVERSE issue order, so redemptions
+        // interleave across shards in a different order than issuance.
+        for (ip, beacon) in beacons.into_iter().rev() {
+            clock += 15;
+            let d = gw.handle(&req(ip, &beacon.to_string()), clock);
+            log.push_str(&format!("{round}/{ip} beacon {:?}\n", d.verdict()));
+        }
+    }
+    for cs in gw.drain() {
+        log.push_str(&format!(
+            "{} {:?} {:?}\n",
+            cs.session.key(),
+            cs.label,
+            cs.reason
+        ));
+    }
+    log.push_str(&format!("{:#?}", gw.stats()));
+    log.into_bytes()
+}
+
+#[test]
+fn beacon_redemptions_interleaved_across_shards_byte_lock() {
+    let a = render_gateway_beacon_run(20_060_530);
+    let b = render_gateway_beacon_run(20_060_530);
+    assert_eq!(a, b, "identical gateway runs must render byte-identically");
+    assert_ne!(render_gateway_beacon_run(1), a, "seed must matter");
+}

@@ -128,6 +128,97 @@ fn stats_ledger_balances_exactly_under_concurrency() {
 }
 
 #[test]
+fn beacon_redemptions_stay_exact_while_traffic_flows_on_8_threads() {
+    // PR-4 regression: beacon redemption is a shard-local token
+    // operation (it used to write-lock a global table). Eight threads
+    // continuously redeem fresh beacons while their robot halves hammer
+    // ordinary traffic; every single redemption must come back Valid
+    // (no thread may observe another session's token state), and the
+    // ledger must still balance exactly.
+    let threads = 8u32;
+    let rounds = 60u64;
+    let gw = Arc::new(Gateway::builder().seed(4040).build());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let gw = Arc::clone(&gw);
+            std::thread::spawn(move || {
+                let human_ip = 40_000 + t;
+                let robot_ip = 50_000 + t;
+                let ua = "Mozilla/5.0 (beacon-stress)";
+                let mut issued = 0u64;
+                for i in 0..rounds {
+                    let now = SimTime::from_secs(i);
+                    // Fresh page → fresh beacon → immediate redemption.
+                    let d = gw.handle_with(
+                        &req(human_ip, &format!("http://stress.example/b{i}.html"), ua),
+                        now,
+                        |_| Origin::Page(HTML.into()),
+                    );
+                    issued += 1;
+                    let beacon = match d {
+                        Decision::Serve { manifest, .. } => manifest.unwrap().mouse_beacon.unwrap(),
+                        other => panic!("human page fetch rejected: {other:?}"),
+                    };
+                    let d = gw.handle(&req(human_ip, &beacon.to_string(), ua), now + 10);
+                    issued += 1;
+                    assert!(
+                        matches!(
+                            d.verdict(),
+                            Some(v) if v.is_final()
+                        ),
+                        "every redemption is Valid for its own session: {d:?}"
+                    );
+                    // Interleaved robot traffic on the same thread.
+                    gw.handle_with(
+                        &req(
+                            robot_ip,
+                            &format!("http://stress.example/r{i}.html"),
+                            "beaconbot/1.0",
+                        ),
+                        now,
+                        |_| Origin::Page(HTML.into()),
+                    );
+                    issued += 1;
+                }
+                issued
+            })
+        })
+        .collect();
+    let issued: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let stats = gw.stats();
+    assert_eq!(stats.requests, issued);
+    assert_eq!(
+        stats.requests,
+        stats.served + stats.throttled + stats.blocked + stats.challenged
+    );
+    // Every human session ends Human on mouse evidence; token entries
+    // drain with their sessions.
+    let done = gw.drain();
+    let humans = done
+        .iter()
+        .filter(|c| {
+            c.session.key().ip().as_u32() >= 40_000 && c.session.key().ip().as_u32() < 50_000
+        })
+        .count();
+    assert_eq!(humans, threads as usize);
+    for cs in &done {
+        if cs.session.key().ip().as_u32() < 50_000 {
+            assert_eq!(
+                cs.label,
+                botwall::detect::Label::Human,
+                "{:?}",
+                cs.session.key()
+            );
+        }
+    }
+    assert_eq!(
+        gw.stats().token_entries,
+        0,
+        "tokens flush with their entries"
+    );
+}
+
+#[test]
 fn under_attack_flips_while_traffic_is_in_flight() {
     use botwall::captcha::ServingPolicy;
     // The PR-3 bugfix: `set_under_attack` is an atomic `&self` toggle an
