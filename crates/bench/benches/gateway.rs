@@ -8,9 +8,12 @@
 use botwall_gateway::{Decision, Gateway, Origin};
 use botwall_http::request::ClientIp;
 use botwall_http::{Method, Request, Response, StatusCode};
-use botwall_sessions::{SessionTracker, SimTime, TrackerConfig};
+use botwall_sessions::{SessionKey, SessionTracker, SimTime, TrackerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 const HTML: &str = "<html><head><title>b</title></head><body><p>payload</p></body></html>";
 
@@ -144,5 +147,92 @@ fn bench_gateway_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gateway_throughput);
+/// Proves a session human (page + mouse beacon) so its steady-state
+/// requests are pure origin serves, and returns its beacon-primed state.
+fn prove_human(gw: &Gateway, ip: u32, clock: SimTime) {
+    let d = gw.handle_with(&req(ip, "http://bench.example/index.html"), clock, |_| {
+        Origin::Page(HTML.into())
+    });
+    let Decision::Serve { manifest, .. } = d else {
+        unreachable!("fresh sessions are served");
+    };
+    let beacon = manifest.unwrap().mouse_beacon.unwrap();
+    let d = gw.handle(&req(ip, &beacon.to_string()), clock + 10);
+    assert!(matches!(d.verdict(), Some(v) if v.is_final()));
+}
+
+/// The PR-5 head-of-line benchmark: one session's origin sleeps per
+/// fetch (0 / 100µs / 1ms) in a background thread while the measured
+/// session — pinned to the SAME tracker shard — serves ordinary origin
+/// requests. Under the PR-4 fused path the neighbor's throughput would
+/// collapse to the origin latency; with the lease/commit protocol no
+/// lock spans the sleep, so the neighbor row should stay within noise
+/// of the plain steady-state row at every latency.
+fn bench_slow_origin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slow_origin");
+    group.throughput(Throughput::Elements(1));
+    for (label, latency) in [
+        ("0", Duration::ZERO),
+        ("100us", Duration::from_micros(100)),
+        ("1ms", Duration::from_millis(1)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("same_shard_neighbor", label),
+            &latency,
+            |b, &latency| {
+                let gw = Arc::new(Gateway::builder().seed(46).build());
+                let shards = gw.stats().shard_count as u64;
+                let shard_of = |ip: u32| {
+                    SessionKey::of(&req(ip, "http://bench.example/x.html")).shard_hash() % shards
+                };
+                let slow_ip = 90_000u32;
+                let neighbor_ip = (90_001..99_999u32)
+                    .find(|ip| shard_of(*ip) == shard_of(slow_ip))
+                    .expect("same-shard neighbor exists");
+                prove_human(&gw, slow_ip, SimTime::ZERO);
+                prove_human(&gw, neighbor_ip, SimTime::ZERO);
+
+                let stop = Arc::new(AtomicBool::new(false));
+                let slow = {
+                    let gw = Arc::clone(&gw);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut clock = SimTime::from_secs(1);
+                        let mut i = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            clock += 20;
+                            i += 1;
+                            let r = req(slow_ip, &format!("http://bench.example/s{}.html", i % 64));
+                            gw.handle_with(&r, clock, |_| {
+                                if latency > Duration::ZERO {
+                                    std::thread::sleep(latency);
+                                }
+                                Origin::Response(Response::empty(StatusCode::OK))
+                            });
+                        }
+                    })
+                };
+
+                let mut clock = SimTime::from_secs(1);
+                let mut i = 0u64;
+                b.iter(|| {
+                    clock += 20;
+                    i += 1;
+                    let r = req(
+                        neighbor_ip,
+                        &format!("http://bench.example/n{}.html", i % 64),
+                    );
+                    black_box(gw.handle_with(&r, clock, |_| {
+                        Origin::Response(Response::empty(StatusCode::OK))
+                    }))
+                });
+                stop.store(true, Ordering::Relaxed);
+                slow.join().unwrap();
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_throughput, bench_slow_origin);
 criterion_main!(benches);

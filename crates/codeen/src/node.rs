@@ -4,10 +4,12 @@
 //! CoDeeN nodes sit between clients and origin servers; our node does
 //! the same — every exchange goes through one `Gateway::handle_with`
 //! call, which classifies probe traffic, gates through policy, rewrites
-//! origin HTML, and feeds the detector, all in the session's one shard
-//! critical section. The node's own job shrinks to resolving origin
-//! content from the [`Web`] and adapting decisions to the agent-facing
-//! [`ClientWorld`] interface.
+//! origin HTML, and feeds the detector. Since PR 5 the origin
+//! resolution below runs **between** the gateway's two critical
+//! sections with no lock held — a slow upstream stalls only its own
+//! request, never the other sessions on its shard. The node's own job
+//! shrinks to resolving origin content from the [`Web`] and adapting
+//! decisions to the agent-facing [`ClientWorld`] interface.
 
 use crate::metrics::{BandwidthLedger, NodeStats};
 use botwall_agents::world::{ClientWorld, FetchOutcome, FetchSpec, PageView};
@@ -167,11 +169,11 @@ impl ProxyNode {
 
     /// Serves one request end to end through the gateway — the request
     /// path of §2 behind one call: classify, policy-gate, serve probe
-    /// objects or origin content (instrumenting pages), and observe,
-    /// all inside the session's single shard critical section. The
-    /// origin resolution below therefore runs under that shard lock —
-    /// it touches only the immutable [`Web`] substrate, never the
-    /// gateway.
+    /// objects or origin content (instrumenting pages), and observe.
+    /// Rejections, probes, and beacons finish inside one shard critical
+    /// section; origin serves lease the session, resolve the [`Web`]
+    /// content below with **no lock held**, and commit in a second
+    /// short section.
     pub fn serve(&self, request: &Request, now: SimTime) -> (Response, Option<PageViewParts>) {
         let web = Arc::clone(&self.web);
         let mut meta: Option<PageMeta> = None;

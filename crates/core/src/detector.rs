@@ -24,19 +24,27 @@
 //! verdict, the enforcement [`PolicyState`], the outstanding beacon
 //! tokens ([`TokenState`]), and the outstanding CAPTCHA challenge record
 //! — lives in a [`KeyState`] colocated with the session record inside
-//! the tracker's shard entry ([`ShardedTracker<KeyState>`]). The fused
-//! entry point [`Detector::gate_and_observe`] runs policy gate →
-//! response production → exchange observation → fast-path classification
-//! inside **one** `with_exchange` critical section, so a steady-state
-//! request costs exactly one shard-mutex acquisition; the whole API is
-//! `&self`, and the detector is `Send + Sync`: requests for different
-//! keys proceed in parallel on different shards. Incarnation pairing is
-//! structural — when a key rolls over or is evicted, its state is
-//! finalized *with* its session, so a flushed predecessor can never
-//! steal (or leak into) a successor's evidence. A CAPTCHA pass that
-//! lands while a key has no live session rides the tracker's
-//! deferred-carry channel ([`PendingCaptchaPass`]) to the key's next
-//! incarnation.
+//! the tracker's shard entry ([`ShardedTracker<KeyState>`]). The
+//! request path is a **two-phase lease/commit protocol**:
+//! [`Detector::gate`] runs policy gate → sighting resolution inside one
+//! shard critical section and, for every decision that needs no origin
+//! (rejections, challenges, probe objects, beacon redemptions), also
+//! produces the response, records the exchange, and folds its evidence
+//! there — one lock, done. A request that needs origin content instead
+//! comes back as a [`Gated::NeedsOrigin`] lease (stamped with the
+//! entry's incarnation): the caller fetches the origin with **no lock
+//! held**, so one slow origin never stalls the other sessions on its
+//! shard, then [`Detector::commit_exchange`] re-acquires the shard,
+//! re-binds by incarnation, and records + folds the finished exchange —
+//! two lock acquisitions total. The whole API is `&self`, and the
+//! detector is `Send + Sync`: requests for different keys proceed in
+//! parallel on different shards. Incarnation pairing is structural —
+//! when a key rolls over or is evicted, its state is finalized *with*
+//! its session, so a flushed predecessor can never steal (or leak into)
+//! a successor's evidence, and a stale lease can never commit into a
+//! successor. State that arrives while a key has no live session — a
+//! late CAPTCHA pass, a lost leased exchange — rides the tracker's
+//! deferred-carry channel ([`KeyCarry`]) to the key's next incarnation.
 
 use crate::classifier::{self, Label, Reason, Verdict};
 use crate::evidence::{EvidenceKind, EvidenceSet};
@@ -113,14 +121,39 @@ impl ChallengeState {
 }
 
 /// A CAPTCHA pass verified while its key had no live session (swept or
-/// evicted between issue and answer) — the detector's deferred-carry
-/// payload. It parks in the key's tracker shard and is absorbed by the
-/// key's next incarnation the moment it is created, so a correct answer
-/// is never silently dropped and no global pending table exists.
+/// evicted between issue and answer). It rides the detector's
+/// deferred-carry payload ([`KeyCarry`]) to the key's next incarnation,
+/// so a correct answer is never silently dropped and no global pending
+/// table exists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PendingCaptchaPass {
     /// When the pass was verified.
     pub at: SimTime,
+}
+
+/// The detector's deferred-carry payload: per-key state that arrived
+/// while the key had no live session, parked in the key's tracker shard
+/// and absorbed by the next incarnation the moment it is created. Two
+/// producers feed it: a CAPTCHA pass verified after the session was
+/// swept, and a leased exchange whose incarnation was evicted mid-fetch
+/// ([`Detector::commit_exchange`]'s lost path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyCarry {
+    /// A CAPTCHA pass awaiting the next incarnation (ground-truth human
+    /// evidence, credited before the first exchange is recorded).
+    pub pass: Option<PendingCaptchaPass>,
+    /// Origin exchanges whose leased entry was gone by commit time; the
+    /// successor absorbs the count into [`KeyState::lost_commits`].
+    pub lost_exchanges: u32,
+}
+
+impl From<PendingCaptchaPass> for KeyCarry {
+    fn from(pass: PendingCaptchaPass) -> KeyCarry {
+        KeyCarry {
+            pass: Some(pass),
+            ..KeyCarry::default()
+        }
+    }
 }
 
 /// Per-key detection state, colocated with the session record in its
@@ -140,6 +173,10 @@ pub struct KeyState {
     /// The CAPTCHA challenge this session must answer, if one is
     /// outstanding.
     pub challenge: Option<ChallengeState>,
+    /// Leased exchanges of this key whose entry was gone by commit time
+    /// (diagnostic; absorbed from [`KeyCarry::lost_exchanges`] or bumped
+    /// directly when the lost commit finds a live successor).
+    pub lost_commits: u32,
 }
 
 impl Default for KeyState {
@@ -150,12 +187,13 @@ impl Default for KeyState {
             policy: PolicyState::default(),
             tokens: TokenState::default(),
             challenge: None,
+            lost_commits: 0,
         }
     }
 }
 
 impl SessionExt for KeyState {
-    type Carry = PendingCaptchaPass;
+    type Carry = KeyCarry;
 
     /// At idle rollover, evidence, verdict, tokens, and any outstanding
     /// challenge start clean (the successor is a *new* session and must
@@ -169,12 +207,27 @@ impl SessionExt for KeyState {
         }
     }
 
-    /// A deferred CAPTCHA pass reaches the key's next incarnation here:
-    /// ground-truth-human evidence lands before the first exchange is
-    /// even recorded, so mandatory-challenge gates already see a proven
-    /// human.
-    fn absorb(&mut self, carry: PendingCaptchaPass, session: &Session) {
-        self.record_captcha_pass(session.request_count() as u32, carry.at);
+    /// A deferred carry reaches the key's next incarnation here. A
+    /// CAPTCHA pass lands as ground-truth-human evidence before the
+    /// first exchange is even recorded, so mandatory-challenge gates
+    /// already see a proven human; lost leased exchanges land on the
+    /// diagnostic counter.
+    fn absorb(&mut self, carry: KeyCarry, session: &Session) {
+        if let Some(pass) = carry.pass {
+            self.record_captcha_pass(session.request_count() as u32, pass.at);
+        }
+        self.lost_commits += carry.lost_exchanges;
+    }
+
+    /// The occupancy this state reports into the tracker's per-shard
+    /// atomic gauges: `[outstanding beacon-token entries, outstanding
+    /// challenge records]` — the two columns `GatewayStats` used to fold
+    /// out of every live entry.
+    fn gauge(&self) -> [u64; botwall_sessions::EXT_GAUGES] {
+        [
+            self.tokens.len() as u64,
+            u64::from(self.challenge.is_some()),
+        ]
     }
 }
 
@@ -206,6 +259,75 @@ impl KeyState {
     fn has_browser_signals(&self) -> bool {
         self.evidence.has(EvidenceKind::DownloadedCss)
             || self.evidence.has(EvidenceKind::ExecutedJs)
+    }
+}
+
+/// What a [`Detector::gate`] respond callback decides about the request.
+#[derive(Debug)]
+pub enum GateRespond<T> {
+    /// The response is produced here, inside the gate's one critical
+    /// section (rejections, challenges, probe objects — everything that
+    /// needs no origin).
+    Respond(Response, T),
+    /// The request needs the origin: release the shard and lease the
+    /// session ([`Gated::NeedsOrigin`]); the caller fetches outside any
+    /// lock and folds the result in at [`Detector::commit_exchange`].
+    NeedsOrigin,
+}
+
+/// What [`Detector::gate`] produced.
+#[derive(Debug)]
+pub enum Gated<T> {
+    /// The request was decided inside one fused critical section.
+    Done {
+        /// The observation after folding the exchange.
+        outcome: ObserveOutcome,
+        /// The policy gate's decision.
+        action: Action,
+        /// The response produced by the respond callback.
+        response: Response,
+        /// The respond callback's payload.
+        value: T,
+    },
+    /// The session is leased for an origin fetch; no lock is held.
+    NeedsOrigin(OriginLease),
+}
+
+/// A session leased across an origin fetch: the tracker lease (key +
+/// incarnation stamp) plus the gate-phase resolution the commit needs
+/// — the classified sighting and the pre-exchange snapshot. Holds no
+/// lock and no entry state; dropping it abandons the exchange (it is
+/// never recorded) without leaking anything.
+#[derive(Debug)]
+#[must_use = "a lease represents an exchange in flight; commit it via Detector::commit_exchange"]
+pub struct OriginLease {
+    lease: botwall_sessions::ExchangeLease,
+    action: Action,
+    classified: Classified,
+    verdict: Verdict,
+    request_count: u64,
+}
+
+impl OriginLease {
+    /// The leased session's key.
+    pub fn key(&self) -> &SessionKey {
+        self.lease.key()
+    }
+
+    /// The policy decision that allowed the request through (always
+    /// [`Action::Allow`] — rejections never lease).
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// The session's fast-path verdict as of the gate (pre-exchange).
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// How many requests the session had recorded when the gate ran.
+    pub fn request_count(&self) -> u64 {
+        self.request_count
     }
 }
 
@@ -277,12 +399,10 @@ impl Detector {
         }
     }
 
-    /// The fused request path: policy gate → response production →
-    /// exchange observation → fast-path classification, all inside
-    /// **one** shard critical section — a steady-state request costs
-    /// exactly one shard-mutex acquisition, where the PR-3 gateway took
-    /// the same lock twice (gate, then observe) plus an instrumenter
-    /// `RwLock` and assorted global mutexes.
+    /// Phase one of the two-phase request protocol: policy gate →
+    /// sighting resolution → (for decisions that need no origin)
+    /// response production, exchange observation, and fast-path
+    /// classification, all inside **one** shard critical section.
     ///
     /// The flow inside the critical section:
     ///
@@ -294,73 +414,208 @@ impl Detector {
     ///    against per-session state: a beacon-shaped fetch redeems its
     ///    key in the session's colocated [`TokenState`] (the operation
     ///    that used to write-lock a global token table).
-    /// 3. **Respond.** The caller builds the response — serving probe
-    ///    objects from session state, instrumenting origin pages into
-    ///    it, issuing challenges into the session's [`ChallengeState`] —
-    ///    with full mutable access to the [`KeyState`].
-    /// 4. **Observe.** The finished exchange is recorded and its
-    ///    evidence folded, updating the fast-path verdict.
+    /// 3. **Respond or lease.** The caller either builds the response
+    ///    here — probe objects out of session state, rejections,
+    ///    challenges into the session's [`ChallengeState`] — finishing
+    ///    the exchange in this one lock ([`GateRespond::Respond`]), or
+    ///    declares the request needs the origin
+    ///    ([`GateRespond::NeedsOrigin`]): the shard mutex is released
+    ///    and a [`Gated::NeedsOrigin`] lease comes back, stamped with
+    ///    the entry's incarnation. The caller fetches the origin with
+    ///    **no lock held** — a slow origin stalls nobody — and folds
+    ///    the result in at [`Detector::commit_exchange`].
     ///
-    /// The respond callback runs under the shard lock: it must not call
-    /// back into this detector (or anything that could take the same
-    /// shard lock again).
-    pub fn gate_and_observe<T>(
+    /// Fused respond callbacks run under the shard lock: they must not
+    /// call back into this detector. After a lease is returned the lock
+    /// is free — reentering the detector (even for the same key) is
+    /// safe.
+    ///
+    /// **Enforcement lag under concurrent leases.** The gate consumes
+    /// the session's rate-bucket token immediately (so N concurrent
+    /// requests still burn N tokens and the rate limit engages
+    /// mid-burst), but leased exchanges are *recorded* only at commit:
+    /// the recorded-history signals — error/CGI ratios, the sustained
+    /// request rate, verdict promotions — see an in-flight burst only
+    /// after its commits land, so behavioural blocking can lag by the
+    /// number of leases in flight (it grows with origin latency ×
+    /// concurrency). The PR-4 fused path serialized fold-before-next-
+    /// gate and had no such window; this is the deliberate price of not
+    /// holding the shard across the fetch (ROADMAP notes the in-flight
+    /// counter mitigation if it ever matters in practice).
+    pub fn gate<T>(
         &self,
         request: &Request,
         sighting: &Sighting,
         now: SimTime,
         enforce: bool,
         policy: &PolicyEngine,
-        respond: impl FnOnce(Action, &Session, &mut KeyState, &Classified) -> (Response, T),
-    ) -> (ObserveOutcome, Action, Response, T) {
+        respond: impl FnOnce(Action, &Session, &mut KeyState, &Classified) -> GateRespond<T>,
+    ) -> Gated<T> {
+        use botwall_sessions::{Begun, Gate};
+        /// The two payload shapes the gate's critical section produces.
+        enum Phase1<T> {
+            Done(Action, Response, T, Verdict, bool, u32),
+            Lease(Action, Classified, Verdict, u64),
+        }
         let min_to_classify = self.tracker.config().min_requests_to_classify;
-        let (key, (action, response, value, verdict, transitioned, request_index)) =
-            self.tracker.with_exchange(request, now, |entry| {
-                // 1. Policy gate on pre-exchange state.
-                let action = {
-                    let (session, state) = entry.parts();
-                    if !enforce {
-                        Action::Allow
-                    } else if session.request_count() == 0 {
-                        // An incarnation's first exchange creates the
-                        // state — nothing to enforce against yet, except
-                        // a block flag carried over an idle rollover.
-                        if state.policy.is_blocked() {
-                            Action::Block
-                        } else {
-                            Action::Allow
-                        }
+        let (key, begun) = self.tracker.begin_exchange(request, now, |entry| {
+            // 1. Policy gate on pre-exchange state.
+            let action = {
+                let (session, state) = entry.parts();
+                if !enforce {
+                    Action::Allow
+                } else if session.request_count() == 0 {
+                    // An incarnation's first exchange creates the
+                    // state — nothing to enforce against yet, except
+                    // a block flag carried over an idle rollover.
+                    if state.policy.is_blocked() {
+                        Action::Block
                     } else {
-                        policy.decide(
-                            &mut state.policy,
-                            state.verdict,
-                            session.counters(),
-                            session.request_rate(),
-                            now,
-                        )
+                        Action::Allow
                     }
-                };
-                // 2. Resolve the sighting against session token state.
-                let classified = match sighting {
-                    Sighting::MouseBeacon(key) => {
-                        let outcome = entry.ext().tokens.redeem(*key, now);
-                        Classified::MouseBeacon { key: *key, outcome }
-                    }
-                    Sighting::Probe(hit) => Classified::Probe(hit.clone()),
-                    Sighting::Ordinary => Classified::Ordinary,
-                };
-                // 3. Build the response.
+                } else {
+                    policy.decide(
+                        &mut state.policy,
+                        state.verdict,
+                        session.counters(),
+                        session.request_rate(),
+                        now,
+                    )
+                }
+            };
+            // 2. Resolve the sighting against session token state.
+            let classified = match sighting {
+                Sighting::MouseBeacon(key) => {
+                    let outcome = entry.ext().tokens.redeem(*key, now);
+                    Classified::MouseBeacon { key: *key, outcome }
+                }
+                Sighting::Probe(hit) => Classified::Probe(hit.clone()),
+                Sighting::Ordinary => Classified::Ordinary,
+            };
+            // 3. Respond here (fused) or lease for an origin fetch.
+            let decided = {
+                let (session, state) = entry.parts();
+                respond(action, session, state, &classified)
+            };
+            match decided {
+                GateRespond::Respond(response, value) => {
+                    // 4. Record the exchange and fold its evidence.
+                    entry.record(request, Some(&response), now);
+                    let (session, state) = entry.parts();
+                    let (verdict, transitioned, index) =
+                        fold_exchange(state, session, &classified, request, min_to_classify, now);
+                    Gate::Finish(Phase1::Done(
+                        action,
+                        response,
+                        value,
+                        verdict,
+                        transitioned,
+                        index,
+                    ))
+                }
+                GateRespond::NeedsOrigin => {
+                    let (session, state) = entry.parts();
+                    Gate::Lease(Phase1::Lease(
+                        action,
+                        classified,
+                        state.verdict,
+                        session.request_count(),
+                    ))
+                }
+            }
+        });
+        match begun {
+            Begun::Finished(Phase1::Done(
+                action,
+                response,
+                value,
+                verdict,
+                transitioned,
+                index,
+            )) => Gated::Done {
+                outcome: ObserveOutcome {
+                    key,
+                    verdict,
+                    transitioned,
+                    request_index: index,
+                },
+                action,
+                response,
+                value,
+            },
+            Begun::Leased(Phase1::Lease(action, classified, verdict, request_count), lease) => {
+                Gated::NeedsOrigin(OriginLease {
+                    lease,
+                    action,
+                    classified,
+                    verdict,
+                    request_count,
+                })
+            }
+            _ => unreachable!("Gate::Finish finishes and Gate::Lease leases"),
+        }
+    }
+
+    /// Phase two: folds an origin fetch back into the leased session —
+    /// one more shard acquisition, re-bound **by incarnation**. The
+    /// `respond` callback builds the response with full access to the
+    /// session's state (this is where origin HTML is instrumented, its
+    /// beacon token landing in the session's [`TokenState`]); the
+    /// exchange is then recorded and its evidence folded exactly as the
+    /// fused path does.
+    ///
+    /// If the leased incarnation is gone — evicted for capacity, or
+    /// rolled over because the key returned after the idle timeout
+    /// mid-fetch — `lost` builds the response without session state
+    /// (the client still gets its answer), and the exchange commits
+    /// through the deferred-carry channel instead: a live successor
+    /// absorbs it immediately, otherwise a [`KeyCarry`] parks in the
+    /// key's shard for the next incarnation. Evidence is redirected,
+    /// never dropped.
+    pub fn commit_exchange<T>(
+        &self,
+        lease: OriginLease,
+        request: &Request,
+        now: SimTime,
+        respond: impl FnOnce(&Session, &mut KeyState) -> (Response, T),
+        lost: impl FnOnce() -> (Response, T),
+    ) -> (ObserveOutcome, Response, T) {
+        let min_to_classify = self.tracker.config().min_requests_to_classify;
+        let OriginLease {
+            lease,
+            classified,
+            verdict,
+            request_count,
+            ..
+        } = lease;
+        let key = lease.key().clone();
+        let (response, value, verdict, transitioned, request_index) = self.tracker.commit(
+            lease,
+            request,
+            now,
+            |entry| {
                 let (response, value) = {
                     let (session, state) = entry.parts();
-                    respond(action, session, state, &classified)
+                    respond(session, state)
                 };
-                // 4. Record the exchange and fold its evidence.
                 entry.record(request, Some(&response), now);
                 let (session, state) = entry.parts();
                 let (verdict, transitioned, index) =
                     fold_exchange(state, session, &classified, request, min_to_classify, now);
-                (action, response, value, verdict, transitioned, index)
-            });
+                (response, value, verdict, transitioned, index)
+            },
+            |successor, slot| {
+                let (response, value) = lost();
+                match successor {
+                    Some((_, state)) => state.lost_commits += 1,
+                    None => {
+                        slot.get_or_insert_with(KeyCarry::default).lost_exchanges += 1;
+                    }
+                }
+                // Best available observation: the pre-exchange snapshot.
+                (response, value, verdict, false, request_count as u32 + 1)
+            },
+        );
         (
             ObserveOutcome {
                 key,
@@ -368,7 +623,6 @@ impl Detector {
                 transitioned,
                 request_index,
             },
-            action,
             response,
             value,
         )
@@ -416,11 +670,21 @@ impl Detector {
     }
 
     /// Folds every live session's colocated state (shards in index
-    /// order, one lock at a time) — how per-key aggregates like token
-    /// occupancy and outstanding challenges merge into stats without any
-    /// global table.
+    /// order, one lock at a time). O(live sessions) and takes every
+    /// shard lock — kept for audits and gauge-parity checks; stats
+    /// snapshots read [`Detector::state_gauges`] instead.
     pub fn fold_key_states<A>(&self, init: A, f: impl FnMut(A, &Session, &KeyState) -> A) -> A {
         self.tracker.fold_entries(init, f)
+    }
+
+    /// The live census of per-key instrumentation state, `(outstanding
+    /// beacon-token entries, outstanding challenge records)`, maintained
+    /// incrementally by the tracker's per-shard atomic gauges at every
+    /// issue/clear/expire/flush — an O(shards) lock-free read, where
+    /// [`Detector::fold_key_states`] walks every live entry.
+    pub fn state_gauges(&self) -> (u64, u64) {
+        let [tokens, challenges] = self.tracker.gauge_totals();
+        (tokens, challenges)
     }
 
     /// Expires per-key instrumentation state of *live* sessions:
@@ -964,13 +1228,34 @@ mod tests {
         assert_eq!(done.len(), 1);
     }
 
+    /// Unwraps a fused gate result.
+    fn done<T>(gated: Gated<T>) -> (ObserveOutcome, Action, Response, T) {
+        match gated {
+            Gated::Done {
+                outcome,
+                action,
+                response,
+                value,
+            } => (outcome, action, response, value),
+            Gated::NeedsOrigin(lease) => panic!("unexpected lease for {:?}", lease.key()),
+        }
+    }
+
+    /// Unwraps a leased gate result.
+    fn leased<T>(gated: Gated<T>) -> OriginLease {
+        match gated {
+            Gated::NeedsOrigin(lease) => lease,
+            Gated::Done { outcome, .. } => panic!("expected a lease, got {outcome:?}"),
+        }
+    }
+
     #[test]
-    fn gate_and_observe_gates_on_pre_exchange_state_then_records() {
+    fn gate_gates_on_pre_exchange_state_then_records_fused() {
         use crate::policy::{PolicyConfig, PolicyEngine};
         let det = Detector::new(DetectorConfig::default());
         let policy = PolicyEngine::new(PolicyConfig::default());
         let r = req(30, "http://h/a.html", "wget/1.0");
-        let (out, action, response, seen) = det.gate_and_observe(
+        let gated = det.gate(
             &r,
             &Sighting::Ordinary,
             SimTime::ZERO,
@@ -984,9 +1269,10 @@ mod tests {
                 );
                 assert_eq!(action, Action::Allow, "first exchange passes");
                 assert_eq!(classified, &Classified::Ordinary);
-                (ok(), 7u32)
+                GateRespond::Respond(ok(), 7u32)
             },
         );
+        let (out, action, response, seen) = done(gated);
         assert_eq!(seen, 7);
         assert_eq!(action, Action::Allow);
         assert_eq!(out.request_index, 1, "the exchange was recorded");
@@ -995,7 +1281,128 @@ mod tests {
     }
 
     #[test]
-    fn gate_and_observe_redeems_beacons_against_session_tokens() {
+    fn leased_exchange_commits_outside_the_gate() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(40, "http://h/a.html", "Mozilla/5.0");
+        let lease = leased(det.gate(
+            &r,
+            &Sighting::Ordinary,
+            SimTime::ZERO,
+            true,
+            &policy,
+            |action, _, _, _| {
+                assert_eq!(action, Action::Allow);
+                GateRespond::<()>::NeedsOrigin
+            },
+        ));
+        assert_eq!(lease.action(), Action::Allow);
+        assert_eq!(lease.request_count(), 0);
+        assert_eq!(lease.verdict(), Verdict::Undecided);
+        // Nothing recorded while the origin fetch is in flight — and the
+        // shard is free: the detector is fully reentrant here, even for
+        // the same key.
+        assert_eq!(det.tracker().get(lease.key()).unwrap().request_count(), 0);
+        det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(1));
+        let (out, response, served) = det.commit_exchange(
+            lease,
+            &r,
+            SimTime::from_secs(2),
+            |session, _state| {
+                assert_eq!(session.request_count(), 1, "the interleaved exchange");
+                (ok(), true)
+            },
+            || (Response::empty(StatusCode::BAD_GATEWAY), false),
+        );
+        assert!(served, "live lease commits through the fold path");
+        assert_eq!(response.status(), StatusCode::OK);
+        assert_eq!(out.request_index, 2);
+        assert_eq!(det.tracker().get(&out.key).unwrap().request_count(), 2);
+    }
+
+    #[test]
+    fn lost_commit_parks_a_carry_absorbed_by_the_next_incarnation() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let cfg = DetectorConfig {
+            tracker: TrackerConfig {
+                max_sessions: 1,
+                ..TrackerConfig::default()
+            },
+        };
+        let det = Detector::new(cfg);
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(41, "http://h/a.html", "Mozilla/5.0");
+        let lease = leased(det.gate(
+            &r,
+            &Sighting::Ordinary,
+            SimTime::ZERO,
+            true,
+            &policy,
+            |_, _, _, _| GateRespond::<()>::NeedsOrigin,
+        ));
+        // Another key evicts the leased session while the fetch runs.
+        let other = req(42, "http://h/b.html", "Mozilla/5.0");
+        det.observe(&other, &ok(), &Classified::Ordinary, SimTime::from_secs(1));
+        let (out, response, ()) = det.commit_exchange(
+            lease,
+            &r,
+            SimTime::from_secs(2),
+            |_, _| panic!("evicted lease must not fold"),
+            || (ok(), ()),
+        );
+        // The client still got its answer...
+        assert_eq!(response.status(), StatusCode::OK);
+        assert_eq!(out.verdict, Verdict::Undecided);
+        // ...and the key's next incarnation absorbs the lost exchange.
+        let next = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(3));
+        assert_eq!(
+            det.with_key_state(&next.key, |_, state| state.lost_commits),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lost_commit_after_rollover_lands_on_the_successor_with_its_block_intact() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(43, "http://h/a.html", "Mozilla/5.0");
+        let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::ZERO);
+        det.with_key_state(&out.key, |_, state| state.policy.block());
+        // Lease while blocked? No — enforcement off for the lease so the
+        // gate allows it; the point is the successor's carried state.
+        let lease = leased(det.gate(
+            &r,
+            &Sighting::Ordinary,
+            SimTime::from_secs(1),
+            false,
+            &policy,
+            |_, _, _, _| GateRespond::<()>::NeedsOrigin,
+        ));
+        // The key returns after the idle timeout mid-fetch: rollover.
+        let later = SimTime::from_hours(2);
+        det.observe(&r, &ok(), &Classified::Ordinary, later);
+        let (_, response, ()) = det.commit_exchange(
+            lease,
+            &r,
+            later + 1,
+            |_, _| panic!("rolled-over lease must not fold into the successor"),
+            || (ok(), ()),
+        );
+        assert_eq!(response.status(), StatusCode::OK);
+        // The successor took the lost commit directly — and its
+        // rollover-carried block flag is untouched.
+        det.with_key_state(&out.key, |session, state| {
+            assert_eq!(session.request_count(), 1);
+            assert_eq!(state.lost_commits, 1);
+            assert!(state.policy.is_blocked(), "carried block flag survives");
+        })
+        .expect("successor is live");
+    }
+
+    #[test]
+    fn gate_redeems_beacons_against_session_tokens() {
         use crate::policy::{PolicyConfig, PolicyEngine};
         use botwall_instrument::BeaconKey;
         let det = Detector::new(DetectorConfig::default());
@@ -1010,10 +1417,11 @@ mod tests {
                 .tokens
                 .issue("/index.html", key, vec![], None, SimTime::ZERO, 64);
         });
-        // The beacon fetch resolves inside the same critical section.
+        // The beacon fetch resolves inside the same critical section —
+        // the fused single-lock path, never leased.
         let beacon = botwall_instrument::beacon::encode("h", key);
         let r1 = req(31, &beacon.to_string(), "Mozilla/5.0");
-        let (out, _, _, ()) = det.gate_and_observe(
+        let (out, _, _, ()) = done(det.gate(
             &r1,
             &Sighting::MouseBeacon(key),
             SimTime::from_secs(1),
@@ -1027,14 +1435,14 @@ mod tests {
                         ..
                     }
                 ));
-                (ok(), ())
+                GateRespond::Respond(ok(), ())
             },
-        );
+        ));
         assert_eq!(out.verdict, Verdict::Human(Reason::MouseActivity));
     }
 
     #[test]
-    fn gate_and_observe_holds_a_carried_block_on_the_rollover_request() {
+    fn gate_holds_a_carried_block_on_the_rollover_request() {
         use crate::policy::{PolicyConfig, PolicyEngine};
         let det = Detector::new(DetectorConfig::default());
         let policy = PolicyEngine::new(PolicyConfig::default());
@@ -1044,7 +1452,7 @@ mod tests {
         // Two hours idle: the return request starts a new incarnation,
         // but the carried block must gate it immediately.
         let later = SimTime::from_hours(2);
-        let (_, action, response, ()) = det.gate_and_observe(
+        let (_, action, response, ()) = done(det.gate(
             &r,
             &Sighting::Ordinary,
             later,
@@ -1052,9 +1460,9 @@ mod tests {
             &policy,
             |action, _, _, _| {
                 assert_eq!(action, Action::Block);
-                (Response::empty(StatusCode::FORBIDDEN), ())
+                GateRespond::Respond(Response::empty(StatusCode::FORBIDDEN), ())
             },
-        );
+        ));
         assert_eq!(action, Action::Block);
         assert_eq!(response.status(), StatusCode::FORBIDDEN);
     }
@@ -1068,9 +1476,9 @@ mod tests {
         // parks in the shard...
         det.tracker().with_entry_and_carry(&key, |entry, slot| {
             assert!(entry.is_none());
-            *slot = Some(PendingCaptchaPass {
+            *slot = Some(KeyCarry::from(PendingCaptchaPass {
                 at: SimTime::from_secs(5),
-            });
+            }));
         });
         // ...and the key's first exchange absorbs it as ground truth.
         let out = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(6));

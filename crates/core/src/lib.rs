@@ -77,8 +77,8 @@ pub mod staged;
 
 pub use classifier::{Label, Reason, Verdict};
 pub use detector::{
-    ChallengeState, CompletedSession, Detector, DetectorConfig, KeyState, ObserveOutcome,
-    PendingCaptchaPass,
+    ChallengeState, CompletedSession, Detector, DetectorConfig, GateRespond, Gated, KeyCarry,
+    KeyState, ObserveOutcome, OriginLease, PendingCaptchaPass,
 };
 pub use evidence::{EvidenceKind, EvidenceSet};
 pub use policy::{Action, PolicyConfig, PolicyEngine, PolicyState};

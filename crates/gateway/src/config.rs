@@ -35,6 +35,11 @@ pub struct GatewayConfig {
     /// the challenge, become ground-truth human, and shed the rate
     /// limit. Ignored when the CAPTCHA policy is `Disabled`.
     pub challenge_on_throttle: bool,
+    /// Wrong answers allowed against one outstanding challenge record
+    /// before it is burned (the next request re-challenges with a fresh
+    /// id). `0` is treated as `1`: every record tolerates at least the
+    /// attempt that burns it.
+    pub max_challenge_attempts: u32,
     /// Seed for the gateway's deterministic RNGs (instrumentation keys,
     /// challenge generation).
     pub seed: u64,
@@ -50,6 +55,7 @@ impl Default for GatewayConfig {
             staged: StagedConfig::default(),
             enforcement: true,
             challenge_on_throttle: false,
+            max_challenge_attempts: 3,
             seed: 0,
         }
     }
@@ -129,6 +135,13 @@ impl GatewayBuilder {
     /// (§4.2 escape hatch; see [`GatewayConfig::challenge_on_throttle`]).
     pub fn challenge_on_throttle(mut self, on: bool) -> Self {
         self.config.challenge_on_throttle = on;
+        self
+    }
+
+    /// Sets the per-record wrong-answer budget (see
+    /// [`GatewayConfig::max_challenge_attempts`]).
+    pub fn max_challenge_attempts(mut self, attempts: u32) -> Self {
+        self.config.max_challenge_attempts = attempts;
         self
     }
 

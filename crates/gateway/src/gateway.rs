@@ -6,11 +6,24 @@
 //! wrap it in an [`std::sync::Arc`] and call [`Gateway::handle`] from as
 //! many threads as the hardware offers.
 //!
-//! Since PR 4 a steady-state request costs **exactly one lock
-//! acquisition**: its session's shard mutex, held once for the fused
-//! gate → respond → observe critical section
-//! ([`botwall_core::Detector::gate_and_observe`]). Everything the
-//! request touches is one of three kinds:
+//! Since PR 5 the request path is a **two-phase lease/commit protocol**
+//! with an exact lock taxonomy:
+//!
+//! * **Non-origin decisions — one shard lock.** Blocks, throttles,
+//!   challenges, probe objects, and beacon redemptions are produced
+//!   inside the gate's single fused critical section
+//!   ([`botwall_core::Detector::gate`]), exactly as in PR 4.
+//! * **Origin serves — two shard locks, zero held during the fetch.**
+//!   The gate resolves policy and sighting under the first acquisition
+//!   and returns a lease; the origin callback then runs with **no lock
+//!   held** — one slow origin never stalls the other sessions on its
+//!   shard — and [`botwall_core::Detector::commit_exchange`] re-binds
+//!   the entry *by incarnation* under the second acquisition to record
+//!   the exchange and fold its evidence. A session evicted or rolled
+//!   over mid-fetch commits through the deferred-carry channel instead
+//!   of dropping evidence.
+//!
+//! Everything the request touches is one of three kinds:
 //!
 //! * **shard-local** — the session record and its colocated `KeyState`
 //!   (evidence, verdict, rate bucket, block flag, beacon tokens +
@@ -21,12 +34,15 @@
 //!   with no interior mutability at all — probe URLs authenticate
 //!   themselves, so classification is recomputation, not lookup);
 //! * **global-atomic** — the cache-line-padded per-shard counter cells
-//!   merged at [`Gateway::stats`], the CAPTCHA id counter, and the
-//!   under-attack flag.
+//!   and the tracker's occupancy gauges merged at [`Gateway::stats`],
+//!   the CAPTCHA id counter, and the under-attack flag.
 //!
 //! There is no `RwLock`, no global mutex, and no cross-shard anything on
 //! the request path; a debug-build regression test asserts the exact
-//! lock count.
+//! lock counts for both taxonomy classes. Because no lock spans the
+//! origin fetch, the callback may even reenter the gateway, and
+//! executor-driven callers can split the phases across tasks with
+//! [`Gateway::handle_deferred`] / [`Gateway::complete`].
 
 use crate::config::{GatewayBuilder, GatewayConfig};
 use crate::decision::{challenge_response, Decision, Origin};
@@ -34,23 +50,20 @@ use botwall_captcha::{CaptchaService, Challenge};
 use botwall_core::classifier::{Reason, Verdict};
 use botwall_core::staged::{Stage, StagedPipeline};
 use botwall_core::{
-    Action, BoundaryClassifier, ChallengeState, CompletedSession, Detector, KeyState,
-    PendingCaptchaPass, PolicyEngine,
+    Action, BoundaryClassifier, ChallengeState, CompletedSession, Detector, GateRespond, Gated,
+    KeyCarry, KeyState, OriginLease, PendingCaptchaPass, PolicyEngine,
 };
 use botwall_http::{Request, Response, StatusCode};
-use botwall_instrument::{Classified, ProbeKind, ProbeManifest, RewriteEngine};
+use botwall_instrument::{Classified, ProbeKind, RewriteEngine};
 use botwall_sessions::{Session, SessionKey, SimTime};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Salt applied to the gateway seed for the CAPTCHA generator, so the
 /// instrumentation and challenge RNG streams never collide.
 const CAPTCHA_SEED_SALT: u64 = 0x0c47_c4a0;
-
-/// Wrong answers allowed against one outstanding challenge before its
-/// record is dropped (the next request re-challenges with a fresh id).
-const MAX_CHALLENGE_ATTEMPTS: u32 = 3;
 
 /// A point-in-time snapshot of gateway activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,24 +153,66 @@ impl ShardedCounters {
     }
 }
 
-/// What the in-section respond step produced, carried out of the
-/// critical section so the decision can be assembled after the shard
-/// lock is released.
-// Like `Decision`, the serve payload dwarfs the rejection variants, but
-// one `Produced` lives for one request and is moved straight into the
-// decision — boxing it would only add an allocation to the hot path.
-#[allow(clippy::large_enum_variant)]
-enum Produced {
+/// What the gate phase produced inside its critical section — the
+/// decision classes that never need the origin.
+enum ProducedGate {
     Blocked,
     Throttled,
     Challenged(Challenge),
     /// Instrumentation traffic answered by the gateway itself.
     Probe,
-    /// Origin traffic (page, pass-through, or 404).
-    OriginServe {
-        body: Option<String>,
-        manifest: Option<ProbeManifest>,
-    },
+}
+
+/// The gate phase's outcome: a finished decision, or a leased session
+/// awaiting its origin fetch.
+// Like `Decision`, the `Done` payload dwarfs the lease, but a
+// `GatePhase` lives for one request and is matched immediately — boxing
+// would only add an allocation to the hot path.
+#[allow(clippy::large_enum_variant)]
+enum GatePhase {
+    Done(Decision),
+    Leased(OriginLease),
+}
+
+/// A gated request whose decision may still be waiting on the origin —
+/// the executor-facing half of the two-phase protocol, returned by
+/// [`Gateway::handle_deferred`]. No lock is held in either variant.
+// Same trade as `Decision`: one short-lived value per request, moved
+// straight to the caller — boxing `Ready` buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+#[must_use = "resolve the pending serve: match on it and complete AwaitingOrigin leases"]
+pub enum PendingServe {
+    /// The gate decided without the origin (rejection, challenge, probe
+    /// object, beacon redemption): the decision is final.
+    Ready(Decision),
+    /// The session is leased: fetch the origin — on another thread, in
+    /// an async task, whenever — then call [`Gateway::complete`].
+    AwaitingOrigin(PendingOrigin),
+}
+
+/// The lease half of a [`PendingServe`]: the session lease plus the
+/// request it was taken for (owned, so the token is `'static` and can
+/// cross threads/tasks). Dropping it abandons the exchange — nothing is
+/// recorded and nothing leaks; the requests ledger simply keeps one
+/// request that never reached an outcome column.
+#[derive(Debug)]
+#[must_use = "a pending origin serve must be completed (or dropped to abandon the exchange)"]
+pub struct PendingOrigin {
+    lease: OriginLease,
+    request: Request,
+}
+
+impl PendingOrigin {
+    /// The request awaiting its origin content.
+    pub fn request(&self) -> &Request {
+        &self.request
+    }
+
+    /// The session the exchange belongs to.
+    pub fn key(&self) -> &SessionKey {
+        self.lease.key()
+    }
 }
 
 /// The single front door over the detection core.
@@ -201,6 +256,16 @@ pub struct Gateway {
     counters: ShardedCounters,
     completed_sessions: AtomicU64,
     ml_overrides: AtomicU64,
+}
+
+/// Builds the uncacheable HTML response a page serve puts on the wire.
+fn page_response(html: String) -> Response {
+    let mut response = Response::builder(StatusCode::OK)
+        .header("Content-Type", "text/html")
+        .body_bytes(html.into_bytes())
+        .build();
+    RewriteEngine::mark_uncacheable(&mut response);
+    response
 }
 
 impl fmt::Debug for Gateway {
@@ -288,14 +353,83 @@ impl Gateway {
     /// exchange back into the detector — error responses included, so
     /// rejected traffic keeps feeding the behavioural thresholds.
     ///
-    /// All of that happens inside **one** shard-mutex critical section
-    /// (the session's), entered exactly once per call. The `origin`
-    /// callback therefore runs under that shard lock: it must not call
-    /// back into this gateway.
+    /// Decisions that need no origin complete inside one shard critical
+    /// section. When origin content is needed, the session is *leased*:
+    /// the `origin` callback runs with **no lock held** (it may block,
+    /// sleep, or even reenter this gateway without stalling any other
+    /// session), and a second, short critical section commits the
+    /// finished exchange. To run the fetch elsewhere entirely (thread
+    /// pool, async task), use [`Gateway::handle_deferred`].
     pub fn handle_with<F>(&self, request: &Request, now: SimTime, origin: F) -> Decision
     where
         F: FnOnce(&Request) -> Origin,
     {
+        match self.gate_phase(request, now) {
+            GatePhase::Done(decision) => decision,
+            GatePhase::Leased(lease) => {
+                // No lock is held here: a slow origin stalls only this
+                // request, never its shard.
+                let fetched = origin(request);
+                self.commit_phase(lease, request, fetched, now)
+            }
+        }
+    }
+
+    /// The executor-facing split of [`Gateway::handle_with`]: runs the
+    /// gate phase now and, instead of fetching the origin itself, hands
+    /// back a [`PendingServe`] token. `Ready` decisions are final
+    /// (rejections, challenges, probe objects, beacon redemptions);
+    /// `AwaitingOrigin` tokens carry the session lease across threads or
+    /// tasks until [`Gateway::complete`] commits the fetched content. No
+    /// lock is held while a token is outstanding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use botwall_gateway::{Gateway, Origin, PendingServe};
+    /// use botwall_http::request::ClientIp;
+    /// use botwall_http::{Method, Request};
+    /// use botwall_sessions::SimTime;
+    ///
+    /// let gw = Gateway::builder().seed(7).build();
+    /// let req = Request::builder(Method::Get, "http://site.example/index.html")
+    ///     .header("User-Agent", "Mozilla/5.0")
+    ///     .client(ClientIp::new(1))
+    ///     .build()
+    ///     .unwrap();
+    /// // Phase one: gate the request. An ordinary allowed request needs
+    /// // origin content, so the session comes back leased.
+    /// let PendingServe::AwaitingOrigin(pending) = gw.handle_deferred(&req, SimTime::ZERO)
+    /// else {
+    ///     panic!("fresh ordinary requests await the origin");
+    /// };
+    /// // ...fetch the origin with no gateway lock held (any thread)...
+    /// let html = "<html><head></head><body>hi</body></html>".to_string();
+    /// // Phase two: commit the fetched content; the page is
+    /// // instrumented into the leased session's state.
+    /// let decision = gw.complete(pending, Origin::Page(html), SimTime::ZERO);
+    /// assert!(decision.is_serve());
+    /// ```
+    pub fn handle_deferred(&self, request: &Request, now: SimTime) -> PendingServe {
+        match self.gate_phase(request, now) {
+            GatePhase::Done(decision) => PendingServe::Ready(decision),
+            GatePhase::Leased(lease) => PendingServe::AwaitingOrigin(PendingOrigin {
+                lease,
+                request: request.clone(),
+            }),
+        }
+    }
+
+    /// Commits a deferred origin fetch (see [`Gateway::handle_deferred`]).
+    pub fn complete(&self, pending: PendingOrigin, fetched: Origin, now: SimTime) -> Decision {
+        let PendingOrigin { lease, request } = pending;
+        self.commit_phase(lease, &request, fetched, now)
+    }
+
+    /// Phase one: one shard critical section covering the policy gate,
+    /// sighting resolution, and — for every decision that needs no
+    /// origin — the response itself.
+    fn gate_phase(&self, request: &Request, now: SimTime) -> GatePhase {
         let key = SessionKey::of(request);
         let cell = self.counters.cell(&key);
         cell.requests.fetch_add(1, Ordering::Relaxed);
@@ -306,179 +440,195 @@ impl Gateway {
         // session's own critical section resolves the rest.
         let sighting = self.engine.classify(request, now);
 
-        let (outcome, _action, response, produced) = self.detector.gate_and_observe(
+        let gated = self.detector.gate(
             request,
             &sighting,
             now,
             self.config.enforcement,
             &self.policy,
-            |action, session, state, classified| {
-                self.respond_in_section(
-                    request, action, session, state, classified, now, cell, origin,
-                )
+            |action, _session, state, classified| {
+                match action {
+                    Action::Block => GateRespond::Respond(
+                        Response::empty(StatusCode::FORBIDDEN),
+                        ProducedGate::Blocked,
+                    ),
+                    Action::Throttle => {
+                        // §4.2 escape hatch: a throttled session can be
+                        // offered a CAPTCHA instead of a bare 429 —
+                        // solving it makes the session ground-truth
+                        // human and sheds the rate limit.
+                        if self.config.challenge_on_throttle && self.captcha.is_enabled() {
+                            let challenge = self.captcha.issue();
+                            state.challenge = Some(ChallengeState::new(challenge.id, now));
+                            GateRespond::Respond(
+                                challenge_response(&challenge),
+                                ProducedGate::Challenged(challenge),
+                            )
+                        } else {
+                            GateRespond::Respond(
+                                Response::empty(StatusCode::TOO_MANY_REQUESTS),
+                                ProducedGate::Throttled,
+                            )
+                        }
+                    }
+                    Action::Allow => {
+                        // Instrumentation traffic is answered by the
+                        // gateway itself — it must flow even under
+                        // mandatory-challenge mode, because it is the
+                        // channel through which humans prove themselves.
+                        // The generated script comes out of this
+                        // session's own token state.
+                        let js = match classified {
+                            Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
+                                state.tokens.script_for(hit.nonce)
+                            }
+                            _ => None,
+                        };
+                        if let Some(response) = self.engine.respond(classified, js) {
+                            return GateRespond::Respond(response, ProducedGate::Probe);
+                        }
+
+                        // Kandula-style mandatory challenges gate
+                        // ordinary traffic for every session not yet
+                        // proven human (a deferred pass was already
+                        // absorbed at entry creation, so it reads as
+                        // proven here).
+                        if self.captcha.is_mandatory()
+                            && !matches!(state.verdict, Verdict::Human(_))
+                        {
+                            let challenge = self.captcha.issue();
+                            state.challenge = Some(ChallengeState::new(challenge.id, now));
+                            return GateRespond::Respond(
+                                challenge_response(&challenge),
+                                ProducedGate::Challenged(challenge),
+                            );
+                        }
+
+                        // Ordinary allowed traffic: lease the session
+                        // and fetch the origin outside the lock.
+                        GateRespond::NeedsOrigin
+                    }
+                }
             },
         );
 
-        // Post-section accounting and decision assembly: the byte
-        // ledgers are atomic cells, so nothing here needs the lock back.
-        let bytes = (request.wire_len() + response.wire_len()) as u64;
-        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-        if !matches!(sighting, botwall_instrument::Sighting::Ordinary) {
-            cell.instrumentation_bytes
-                .fetch_add(bytes, Ordering::Relaxed);
-        }
-        match produced {
-            Produced::Blocked => {
-                cell.blocked.fetch_add(1, Ordering::Relaxed);
-                Decision::Block
-            }
-            Produced::Throttled => {
-                cell.throttled.fetch_add(1, Ordering::Relaxed);
-                Decision::Throttle
-            }
-            Produced::Challenged(challenge) => {
-                cell.challenged.fetch_add(1, Ordering::Relaxed);
-                Decision::Challenge(challenge)
-            }
-            Produced::Probe => {
-                cell.served.fetch_add(1, Ordering::Relaxed);
-                cell.probe_requests.fetch_add(1, Ordering::Relaxed);
-                Decision::Serve {
-                    response,
-                    body: None,
-                    manifest: None,
-                    verdict: outcome.verdict,
-                    key,
-                    probe: true,
+        match gated {
+            Gated::Done {
+                outcome,
+                response,
+                value,
+                ..
+            } => {
+                // Post-section accounting and decision assembly: the
+                // byte ledgers are atomic cells, nothing needs the lock.
+                let bytes = (request.wire_len() + response.wire_len()) as u64;
+                cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+                if !matches!(sighting, botwall_instrument::Sighting::Ordinary) {
+                    cell.instrumentation_bytes
+                        .fetch_add(bytes, Ordering::Relaxed);
                 }
+                GatePhase::Done(match value {
+                    ProducedGate::Blocked => {
+                        cell.blocked.fetch_add(1, Ordering::Relaxed);
+                        Decision::Block
+                    }
+                    ProducedGate::Throttled => {
+                        cell.throttled.fetch_add(1, Ordering::Relaxed);
+                        Decision::Throttle
+                    }
+                    ProducedGate::Challenged(challenge) => {
+                        cell.challenged.fetch_add(1, Ordering::Relaxed);
+                        Decision::Challenge(challenge)
+                    }
+                    ProducedGate::Probe => {
+                        cell.served.fetch_add(1, Ordering::Relaxed);
+                        cell.probe_requests.fetch_add(1, Ordering::Relaxed);
+                        Decision::Serve {
+                            response,
+                            body: None,
+                            manifest: None,
+                            verdict: outcome.verdict,
+                            key,
+                            probe: true,
+                        }
+                    }
+                })
             }
-            Produced::OriginServe { body, manifest } => {
-                cell.served.fetch_add(1, Ordering::Relaxed);
-                Decision::Serve {
-                    response,
-                    body,
-                    manifest,
-                    verdict: outcome.verdict,
-                    key,
-                    probe: false,
-                }
-            }
+            Gated::NeedsOrigin(lease) => GatePhase::Leased(lease),
         }
     }
 
-    /// The respond step of the fused critical section: everything
-    /// between the policy gate and the exchange observation, with full
-    /// access to the session's colocated state and nothing else mutable.
-    #[allow(clippy::too_many_arguments)]
-    fn respond_in_section<F>(
+    /// Phase two: commits fetched origin content into the leased
+    /// session — the second (short) critical section, where pages are
+    /// instrumented into the session's token state and the exchange is
+    /// recorded. A lease whose incarnation was evicted or rolled over
+    /// mid-fetch still answers the client (the page goes out
+    /// uninstrumented — there is no session state to hold its beacon
+    /// token) and commits through the deferred-carry channel.
+    fn commit_phase(
         &self,
+        lease: OriginLease,
         request: &Request,
-        action: Action,
-        session: &Session,
-        state: &mut KeyState,
-        classified: &Classified,
+        fetched: Origin,
         now: SimTime,
-        cell: &CounterCell,
-        origin: F,
-    ) -> (Response, Produced)
-    where
-        F: FnOnce(&Request) -> Origin,
-    {
-        match action {
-            Action::Block => (Response::empty(StatusCode::FORBIDDEN), Produced::Blocked),
-            Action::Throttle => {
-                // §4.2 escape hatch: a throttled session can be offered a
-                // CAPTCHA instead of a bare 429 — solving it makes the
-                // session ground-truth human and sheds the rate limit.
-                if self.config.challenge_on_throttle && self.captcha.is_enabled() {
-                    let challenge = self.captcha.issue();
-                    state.challenge = Some(ChallengeState::new(challenge.id, now));
-                    (
-                        challenge_response(&challenge),
-                        Produced::Challenged(challenge),
-                    )
-                } else {
-                    (
-                        Response::empty(StatusCode::TOO_MANY_REQUESTS),
-                        Produced::Throttled,
-                    )
-                }
-            }
-            Action::Allow => {
-                // Instrumentation traffic is answered by the gateway
-                // itself — it must flow even under mandatory-challenge
-                // mode, because it is the channel through which humans
-                // prove themselves. The generated script comes out of
-                // this session's own token state.
-                let js = match classified {
-                    Classified::Probe(hit) if hit.kind == ProbeKind::JsFile => {
-                        state.tokens.script_for(hit.nonce)
-                    }
-                    _ => None,
-                };
-                if let Some(response) = self.engine.respond(classified, js) {
-                    return (response, Produced::Probe);
-                }
-
-                // Kandula-style mandatory challenges gate ordinary
-                // traffic for every session not yet proven human (a
-                // deferred pass was already absorbed at entry creation,
-                // so it reads as proven here).
-                if self.captcha.is_mandatory() && !matches!(state.verdict, Verdict::Human(_)) {
-                    let challenge = self.captcha.issue();
-                    state.challenge = Some(ChallengeState::new(challenge.id, now));
-                    return (
-                        challenge_response(&challenge),
-                        Produced::Challenged(challenge),
+    ) -> Decision {
+        let key = lease.key().clone();
+        let cell = self.counters.cell(&key);
+        // One mapping from fetched content to the wire, shared by both
+        // commit outcomes; only pages differ (instrumented into live
+        // session state vs. served plain when the lease was lost).
+        let serve = |fetched: Origin, live: Option<(&Session, &mut KeyState)>| match fetched {
+            Origin::Page(html) => match live {
+                Some((session, state)) => {
+                    let seed = self
+                        .engine
+                        .session_stream_seed(session.key().shard_hash(), session.started());
+                    let (rewritten, manifest) = self.engine.instrument_session_page(
+                        &html,
+                        request.uri(),
+                        &mut state.tokens,
+                        seed,
+                        now,
                     );
+                    // The page's wire bytes are tallied below; only the
+                    // injected share moves into the overhead column.
+                    cell.instrumentation_bytes
+                        .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
+                    (
+                        page_response(rewritten.clone()),
+                        (Some(rewritten), Some(manifest)),
+                    )
                 }
-
-                match origin(request) {
-                    Origin::Page(html) => {
-                        let seed = self
-                            .engine
-                            .session_stream_seed(session.key().shard_hash(), session.started());
-                        let (rewritten, manifest) = self.engine.instrument_session_page(
-                            &html,
-                            request.uri(),
-                            &mut state.tokens,
-                            seed,
-                            now,
-                        );
-                        // The page's wire bytes are tallied after the
-                        // section; only the injected share moves into
-                        // the overhead column here.
-                        cell.instrumentation_bytes
-                            .fetch_add(manifest.html_overhead as u64, Ordering::Relaxed);
-                        let mut response = Response::builder(StatusCode::OK)
-                            .header("Content-Type", "text/html")
-                            .body_bytes(rewritten.clone().into_bytes())
-                            .build();
-                        RewriteEngine::mark_uncacheable(&mut response);
-                        (
-                            response,
-                            Produced::OriginServe {
-                                body: Some(rewritten),
-                                manifest: Some(manifest),
-                            },
-                        )
-                    }
-                    Origin::Response(response) => (
-                        response,
-                        Produced::OriginServe {
-                            body: None,
-                            manifest: None,
-                        },
-                    ),
-                    Origin::NotFound => (
-                        Response::empty(StatusCode::NOT_FOUND),
-                        Produced::OriginServe {
-                            body: None,
-                            manifest: None,
-                        },
-                    ),
-                }
-            }
+                None => (page_response(html.clone()), (Some(html), None)),
+            },
+            Origin::Response(response) => (response, (None, None)),
+            Origin::NotFound => (Response::empty(StatusCode::NOT_FOUND), (None, None)),
+        };
+        // Exactly one of the two commit closures runs; the fetched
+        // content moves into whichever does.
+        let fetched = Cell::new(Some(fetched));
+        let (outcome, response, (body, manifest)) = self.detector.commit_exchange(
+            lease,
+            request,
+            now,
+            |session, state| {
+                serve(
+                    fetched.take().expect("origin consumed once"),
+                    Some((session, state)),
+                )
+            },
+            || serve(fetched.take().expect("origin consumed once"), None),
+        );
+        let bytes = (request.wire_len() + response.wire_len()) as u64;
+        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        cell.served.fetch_add(1, Ordering::Relaxed);
+        Decision::Serve {
+            response,
+            body,
+            manifest,
+            verdict: outcome.verdict,
+            key,
+            probe: false,
         }
     }
 
@@ -532,7 +682,7 @@ impl Gateway {
                             } else {
                                 let record = state.challenge.as_mut().expect("matched above");
                                 record.attempts += 1;
-                                if record.attempts >= MAX_CHALLENGE_ATTEMPTS {
+                                if record.attempts >= self.config.max_challenge_attempts.max(1) {
                                     // Ground out: consume the id
                                     // everywhere and drop the record so
                                     // the next request re-challenges.
@@ -563,10 +713,13 @@ impl Gateway {
                 _ => {
                     // Dead key: consume-on-success only, so garbage
                     // sprayed at predictable ids can never pre-burn the
-                    // pass a swept session's answer depends on.
+                    // pass a swept session's answer depends on. The pass
+                    // merges into any carry already parked for the key
+                    // (e.g. a lost leased exchange).
                     let passed = self.captcha.verify_once(id, answer);
                     if passed {
-                        *carry = Some(PendingCaptchaPass { at: now });
+                        carry.get_or_insert_with(KeyCarry::default).pass =
+                            Some(PendingCaptchaPass { at: now });
                     }
                     passed
                 }
@@ -627,24 +780,16 @@ impl Gateway {
     }
 
     /// Snapshots the gateway's activity counters, merging the per-shard
-    /// cells and folding the per-session challenge/token occupancy
-    /// across the tracker shards.
+    /// cells and the tracker's per-shard occupancy gauges.
     ///
-    /// The occupancy fold visits each tracker shard once (one lock at a
-    /// time, like sweep) and walks live entries — O(live sessions), not
-    /// free. Poll it at operator cadence, not per request; the request
-    /// path itself never calls it.
+    /// Lock-free and O(shards): the challenge/token occupancy columns
+    /// are atomic gauges the tracker maintains incrementally at every
+    /// issue/clear/expire/flush, not a walk over live sessions — cheap
+    /// enough to poll per request if an operator wants to.
     pub fn stats(&self) -> GatewayStats {
         let (captcha_issued, captcha_passed, captcha_failed) = self.captcha.stats();
         let tracker = self.detector.tracker();
-        let (pending_challenges, token_entries) =
-            self.detector
-                .fold_key_states((0u64, 0u64), |(pending, tokens), _, state| {
-                    (
-                        pending + u64::from(state.challenge.is_some()),
-                        tokens + state.tokens.len() as u64,
-                    )
-                });
+        let (token_entries, pending_challenges) = self.detector.state_gauges();
         GatewayStats {
             requests: self.counters.sum(|c| &c.requests),
             served: self.counters.sum(|c| &c.served),
@@ -1034,14 +1179,49 @@ mod tests {
             panic!("challenge expected");
         };
         assert_eq!(gw.stats().pending_challenges, 1);
-        for i in 0..MAX_CHALLENGE_ATTEMPTS {
+        let attempts = gw.config().max_challenge_attempts;
+        for i in 0..attempts {
             assert!(!gw.verify_captcha(&key, ch.id, "wrong", SimTime::from_secs(1 + u64::from(i))));
         }
         // Record burned: the outstanding-challenge column drops to zero
         // without any sweep.
         assert_eq!(gw.stats().pending_challenges, 0);
-        assert_eq!(gw.stats().captcha_failed, u64::from(MAX_CHALLENGE_ATTEMPTS));
+        assert_eq!(gw.stats().captcha_failed, u64::from(attempts));
         assert_eq!(gw.verdict(&key), Verdict::Undecided);
+    }
+
+    #[test]
+    fn challenge_attempt_budget_is_configurable() {
+        // A one-attempt deployment burns the record on the first wrong
+        // answer; the next request re-challenges with a fresh id.
+        let gw = Gateway::builder()
+            .seed(51)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .max_challenge_attempts(1)
+            .build();
+        gw.set_under_attack(true);
+        let r = req(52, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        let Decision::Challenge(ch) = gw.handle_with(&r, SimTime::ZERO, |_| Origin::NotFound)
+        else {
+            panic!("challenge expected");
+        };
+        assert!(!gw.verify_captcha(&key, ch.id, "wrong", SimTime::from_secs(1)));
+        assert_eq!(
+            gw.stats().pending_challenges,
+            0,
+            "single wrong answer burns the record at attempts=1"
+        );
+        let Decision::Challenge(fresh) =
+            gw.handle_with(&r, SimTime::from_secs(2), |_| Origin::NotFound)
+        else {
+            panic!("re-challenge expected");
+        };
+        assert_ne!(fresh.id, ch.id, "burned id is never re-served");
+        // The burned id is consumed service-wide: even the right answer
+        // is worthless now.
+        let answer = ch.answer().to_string();
+        assert!(!gw.verify_captcha(&key, ch.id, &answer, SimTime::from_secs(3)));
     }
 
     #[test]
@@ -1182,9 +1362,12 @@ mod tests {
 
     #[cfg(debug_assertions)]
     #[test]
-    fn steady_state_handle_takes_exactly_one_shard_lock_and_no_global_locks() {
+    fn lock_ledger_pins_the_two_phase_taxonomy() {
         use botwall_sessions::sync::counters;
-        // Prove a human, then measure one steady-state ordinary request.
+        // The PR-5 taxonomy: decisions that need no origin cost exactly
+        // one shard lock (the fused gate section); origin serves cost
+        // exactly two (gate + commit), with NONE held during the fetch.
+        // Zero global locks everywhere.
         let gw = Gateway::builder().seed(38).build();
         let manifest = match page_decision(&gw, 60, "Mozilla/5.0", SimTime::ZERO) {
             Decision::Serve { manifest, .. } => manifest.unwrap(),
@@ -1197,36 +1380,196 @@ mod tests {
         );
         assert_eq!(d.verdict(), Some(Verdict::Human(Reason::MouseActivity)));
 
+        // Origin serves: steady-state ordinary pass-through and a fully
+        // instrumented page serve both take gate + commit.
         let r = req(60, "http://site.example/steady.html", "Mozilla/5.0");
         counters::reset();
         let d = gw.handle_with(&r, SimTime::from_secs(2), |_| {
             Origin::Response(Response::empty(StatusCode::OK))
         });
-        let (shard, global) = counters::snapshot();
         assert!(d.is_serve(), "{d:?}");
         assert_eq!(
-            (shard, global),
-            (1, 0),
-            "steady-state handle must cost exactly one shard lock and zero global locks"
+            counters::snapshot(),
+            (2, 0),
+            "origin serve = exactly (gate, commit) shard locks, no globals"
         );
-
-        // The same holds for a page serve (instrumentation included) and
-        // for a beacon redemption — the whole request taxonomy rides one
-        // critical section.
         counters::reset();
         let d = page_decision(&gw, 60, "Mozilla/5.0", SimTime::from_secs(3));
         assert!(d.is_serve());
-        assert_eq!(counters::snapshot(), (1, 0), "page serve");
-        let Decision::Serve { manifest, .. } = d else {
+        assert_eq!(counters::snapshot(), (2, 0), "page serve");
+
+        // Proof that no lock spans the fetch: the origin callback can
+        // itself drive a full request through the SAME session's shard.
+        counters::reset();
+        let d = gw.handle_with(
+            &req(60, "http://site.example/outer.html", "Mozilla/5.0"),
+            SimTime::from_secs(4),
+            |_| {
+                let nested = gw.handle_with(
+                    &req(60, "http://site.example/nested.html", "Mozilla/5.0"),
+                    SimTime::from_secs(4),
+                    |_| Origin::Response(Response::empty(StatusCode::OK)),
+                );
+                assert!(nested.is_serve(), "reentrant same-key handle: {nested:?}");
+                Origin::Response(Response::empty(StatusCode::OK))
+            },
+        );
+        assert!(d.is_serve(), "{d:?}");
+        assert_eq!(counters::snapshot(), (4, 0), "outer (2) + nested (2)");
+
+        // Non-origin decisions stay single-lock: beacon redemption...
+        let Decision::Serve { manifest, .. } =
+            page_decision(&gw, 60, "Mozilla/5.0", SimTime::from_secs(5))
+        else {
             unreachable!()
         };
         let beacon = manifest.unwrap().mouse_beacon.unwrap();
         counters::reset();
         gw.handle(
             &req(60, &beacon.to_string(), "Mozilla/5.0"),
-            SimTime::from_secs(4),
+            SimTime::from_secs(6),
         );
         assert_eq!(counters::snapshot(), (1, 0), "beacon redemption");
+        // ...probe objects...
+        let Decision::Serve { manifest, .. } =
+            page_decision(&gw, 60, "Mozilla/5.0", SimTime::from_secs(7))
+        else {
+            unreachable!()
+        };
+        let css = manifest.unwrap().css_probe.unwrap();
+        counters::reset();
+        let d = gw.handle(
+            &req(60, &css.to_string(), "Mozilla/5.0"),
+            SimTime::from_secs(8),
+        );
+        assert!(d.is_serve());
+        assert_eq!(counters::snapshot(), (1, 0), "probe serve");
+        // ...and challenges (the origin is never consulted).
+        let mandatory = Gateway::builder()
+            .seed(39)
+            .captcha(ServingPolicy::MandatoryUnderAttack)
+            .build();
+        mandatory.set_under_attack(true);
+        let r = req(61, "http://site.example/index.html", "Mozilla/5.0");
+        counters::reset();
+        let d = mandatory.handle_with(&r, SimTime::ZERO, |_| {
+            panic!("challenged requests must not touch the origin")
+        });
+        assert!(matches!(d, Decision::Challenge(_)), "{d:?}");
+        assert_eq!(counters::snapshot(), (1, 0), "challenge");
+    }
+
+    #[test]
+    fn handle_deferred_splits_the_phases_across_call_sites() {
+        let gw = Gateway::builder().seed(50).build();
+        let r = req(70, "http://site.example/index.html", "Mozilla/5.0");
+        let pending = match gw.handle_deferred(&r, SimTime::ZERO) {
+            PendingServe::AwaitingOrigin(p) => p,
+            PendingServe::Ready(d) => panic!("ordinary request needs the origin: {d:?}"),
+        };
+        assert_eq!(pending.key(), &SessionKey::of(&r));
+        assert_eq!(pending.request().uri(), r.uri());
+        // While the token is outstanding, no lock is held and the
+        // exchange is not yet recorded.
+        assert_eq!(gw.stats().requests, 1);
+        assert_eq!(
+            gw.detector()
+                .tracker()
+                .get(pending.key())
+                .unwrap()
+                .request_count(),
+            0
+        );
+        let d = gw.complete(pending, Origin::Page(HTML.into()), SimTime::from_secs(1));
+        match &d {
+            Decision::Serve { manifest, body, .. } => {
+                assert!(body.as_ref().unwrap().contains("onmousemove"));
+                assert!(manifest.as_ref().unwrap().mouse_beacon.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = gw.stats();
+        assert_eq!((stats.requests, stats.served), (1, 1));
+        // A probe fetch resolves Ready: no origin involved.
+        let Decision::Serve { manifest, .. } = d else {
+            unreachable!()
+        };
+        let css = manifest.unwrap().css_probe.unwrap();
+        match gw.handle_deferred(
+            &req(70, &css.to_string(), "Mozilla/5.0"),
+            SimTime::from_secs(2),
+        ) {
+            PendingServe::Ready(d) => assert!(d.is_serve()),
+            PendingServe::AwaitingOrigin(_) => panic!("probe traffic never leases"),
+        }
+    }
+
+    #[test]
+    fn dropping_a_pending_origin_abandons_the_exchange_cleanly() {
+        let gw = Gateway::builder().seed(52).build();
+        let r = req(71, "http://site.example/index.html", "Mozilla/5.0");
+        let key = SessionKey::of(&r);
+        match gw.handle_deferred(&r, SimTime::ZERO) {
+            PendingServe::AwaitingOrigin(pending) => drop(pending),
+            PendingServe::Ready(d) => panic!("{d:?}"),
+        }
+        // The gate created the session, but the abandoned exchange was
+        // never recorded and nothing parked anywhere.
+        assert_eq!(
+            gw.detector().tracker().get(&key).unwrap().request_count(),
+            0
+        );
+        assert_eq!(gw.detector().tracker().carry_count(), 0);
+        assert_eq!(gw.stats().served, 0);
+        // Sweep reclaims the empty session like any idle one.
+        assert_eq!(gw.sweep(SimTime::from_hours(2)).len(), 1);
+        assert_eq!(gw.stats().live_sessions, 0);
+    }
+
+    #[test]
+    fn stats_gauges_match_a_full_fold() {
+        // The O(shards) gauge snapshot must agree exactly with an
+        // O(live-sessions) fold over the colocated state, across page
+        // issues, challenge issues/clears, expiry, and flushes.
+        let gw = Gateway::builder()
+            .seed(53)
+            .challenge_on_throttle(true)
+            .build();
+        for i in 0..60u64 {
+            let r = req(
+                (80 + i % 6) as u32,
+                &format!("http://site.example/{}.html", i % 9),
+                if i % 2 == 0 {
+                    "Mozilla/5.0"
+                } else {
+                    "wget/1.0"
+                },
+            );
+            gw.handle_with(&r, SimTime::from_secs(i / 2), |_| Origin::Page(HTML.into()));
+        }
+        let parity = |gw: &Gateway| {
+            let stats = gw.stats();
+            let (folded_challenges, folded_tokens) =
+                gw.detector()
+                    .fold_key_states((0u64, 0u64), |(pending, tokens), _, state| {
+                        (
+                            pending + u64::from(state.challenge.is_some()),
+                            tokens + state.tokens.len() as u64,
+                        )
+                    });
+            assert_eq!(
+                (stats.pending_challenges, stats.token_entries),
+                (folded_challenges, folded_tokens),
+                "gauges must mirror the fold"
+            );
+            assert!(stats.token_entries > 0 || stats.live_sessions == 0);
+        };
+        parity(&gw);
+        gw.sweep(SimTime::from_secs(10));
+        parity(&gw);
+        gw.sweep(SimTime::from_hours(3));
+        parity(&gw);
+        assert_eq!(gw.stats().token_entries, 0, "everything flushed");
     }
 
     #[test]

@@ -42,5 +42,6 @@ pub use record::RequestRecord;
 pub use stats::SessionCounters;
 pub use time::SimTime;
 pub use tracker::{
-    EntryGuard, Finalized, Session, SessionExt, SessionTracker, ShardedTracker, TrackerConfig,
+    Begun, EntryGuard, ExchangeLease, Finalized, Gate, Session, SessionExt, SessionTracker,
+    ShardedTracker, TrackerConfig, EXT_GAUGES,
 };

@@ -8,6 +8,15 @@
 //! state (`E`) — the detection core stores its per-key evidence and
 //! policy state there, giving the hot path one lock acquisition instead
 //! of one per subsystem.
+//!
+//! Since PR 5 the store also speaks a *two-phase* exchange protocol:
+//! [`ShardedTracker::begin_exchange`] runs the caller's gate inside the
+//! shard critical section and can hand back an [`ExchangeLease`]
+//! (stamped with the entry's incarnation) instead of finishing, so the
+//! caller can produce the response — e.g. fetch a slow origin — with
+//! **no lock held** and fold it back in at [`ShardedTracker::commit`].
+//! A lease whose incarnation was evicted or rolled over mid-flight
+//! commits through the deferred-carry channel instead of being dropped.
 
 use crate::key::SessionKey;
 use crate::record::RequestRecord;
@@ -18,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Configuration for [`ShardedTracker`].
@@ -41,6 +50,12 @@ pub struct TrackerConfig {
     /// Each shard is an independent map behind its own mutex, so this is
     /// also the ingest concurrency limit. `0` is treated as `1`.
     pub shards: usize,
+    /// Bound on deferred carries held per shard (state that arrives for
+    /// a key while it has no live session, e.g. a CAPTCHA pass answered
+    /// after the sweep). Beyond it the smallest key is dropped
+    /// (deterministic, unlike arbitrary map eviction). `0` disables
+    /// carry parking entirely.
+    pub max_carries_per_shard: usize,
 }
 
 impl Default for TrackerConfig {
@@ -51,6 +66,7 @@ impl Default for TrackerConfig {
             max_sessions: 100_000,
             min_requests_to_classify: 10,
             shards: 16,
+            max_carries_per_shard: 8_192,
         }
     }
 }
@@ -179,7 +195,22 @@ pub trait SessionExt: Default {
     /// under the shard lock, before the first exchange is recorded).
     /// Defaults to discarding the carry.
     fn absorb(&mut self, _carry: Self::Carry, _session: &Session) {}
+
+    /// Occupancy this extension state contributes to the tracker's
+    /// per-shard atomic gauges ([`ShardedTracker::gauge_totals`]) —
+    /// e.g. `[outstanding tokens, outstanding challenges]` for the
+    /// detection core. Called under the shard lock around every entry
+    /// mutation and removal, so it must be cheap. Defaults to all-zero
+    /// (the gauges compile down to no-ops for stateless extensions).
+    fn gauge(&self) -> [u64; EXT_GAUGES] {
+        [0; EXT_GAUGES]
+    }
 }
+
+/// Number of occupancy columns [`SessionExt::gauge`] reports. The
+/// meaning of each column is the extension type's to define; the
+/// tracker only maintains live-census totals per shard.
+pub const EXT_GAUGES: usize = 2;
 
 impl SessionExt for () {
     type Carry = ();
@@ -205,12 +236,23 @@ impl<E> Deref for Finalized<E> {
     }
 }
 
+/// One live entry: the session record, its extension state, and the
+/// incarnation stamp leases re-bind against. Stamps are unique for the
+/// lifetime of the tracker, so a lease taken against one incarnation can
+/// never commit into a successor that reused the key.
+#[derive(Debug)]
+struct Entry<E> {
+    session: Session,
+    ext: E,
+    incarnation: u64,
+}
+
 /// One shard: an independent live map, the finalized sessions (rollover
 /// and eviction casualties) not yet collected by sweep/drain, and the
 /// deferred carries awaiting their key's next incarnation.
 #[derive(Debug)]
 struct Shard<E: SessionExt> {
-    live: HashMap<SessionKey, (Session, E)>,
+    live: HashMap<SessionKey, Entry<E>>,
     finalized: Vec<Finalized<E>>,
     carry: HashMap<SessionKey, E::Carry>,
 }
@@ -225,12 +267,16 @@ impl<E: SessionExt> Default for Shard<E> {
     }
 }
 
-/// Bound on deferred carries held per shard; beyond it the smallest key
-/// is dropped (deterministic, unlike arbitrary map eviction).
-const MAX_CARRIES_PER_SHARD: usize = 8_192;
-
-fn insert_carry_bounded<C>(carries: &mut HashMap<SessionKey, C>, key: &SessionKey, carry: C) {
-    if carries.len() >= MAX_CARRIES_PER_SHARD && !carries.contains_key(key) {
+fn insert_carry_bounded<C>(
+    carries: &mut HashMap<SessionKey, C>,
+    key: &SessionKey,
+    carry: C,
+    bound: usize,
+) {
+    if bound == 0 {
+        return;
+    }
+    if carries.len() >= bound && !carries.contains_key(key) {
         if let Some(min) = carries.keys().min().cloned() {
             carries.remove(&min);
         }
@@ -319,7 +365,84 @@ impl<E> EntryGuard<'_, E> {
 pub struct ShardedTracker<E: SessionExt> {
     config: TrackerConfig,
     shards: Vec<Mutex<Shard<E>>>,
+    gauges: Vec<GaugeCell>,
     live_total: AtomicUsize,
+    tracker_id: u64,
+    next_incarnation: AtomicU64,
+}
+
+/// One shard's extension-occupancy gauge columns, cache-line padded like
+/// the gateway's counter cells. Updated only while the owning shard's
+/// lock is held, so each cell is internally consistent; summing across
+/// cells without locks is the usual relaxed snapshot.
+#[derive(Debug)]
+#[repr(align(128))]
+struct GaugeCell([AtomicI64; EXT_GAUGES]);
+
+impl Default for GaugeCell {
+    fn default() -> Self {
+        GaugeCell(std::array::from_fn(|_| AtomicI64::new(0)))
+    }
+}
+
+/// Process-wide source of tracker identities: incarnation stamps are
+/// only unique *within* one tracker, so every lease also carries the
+/// identity of the tracker that minted it and
+/// [`ShardedTracker::commit`] refuses leases from any other (committing
+/// a foreign lease could otherwise panic on a shard-index mismatch or,
+/// worse, silently record an exchange into an unrelated session whose
+/// stamp happened to collide). The counter is never rendered — only
+/// compared for equality — so it cannot disturb run determinism.
+static NEXT_TRACKER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A session leased out of its shard's critical section by
+/// [`ShardedTracker::begin_exchange`]: the key, its shard, and the
+/// incarnation stamp the eventual [`ShardedTracker::commit`] re-binds
+/// against (plus the minting tracker's identity — a lease is only valid
+/// against the tracker that issued it). The lease holds **no lock** —
+/// other requests for the same shard (even the same session) proceed
+/// while it is outstanding — and owns no entry state, so dropping it
+/// without committing leaks nothing: the exchange is simply never
+/// recorded, and the session stays subject to ordinary sweep/eviction.
+#[derive(Debug)]
+#[must_use = "a lease represents an exchange in flight; commit it (or drop it to abandon the exchange)"]
+pub struct ExchangeLease {
+    tracker: u64,
+    key: SessionKey,
+    shard: usize,
+    incarnation: u64,
+}
+
+impl ExchangeLease {
+    /// The leased session's key.
+    pub fn key(&self) -> &SessionKey {
+        &self.key
+    }
+}
+
+/// What a [`ShardedTracker::begin_exchange`] gate callback decides about
+/// the critical section it is running in.
+#[derive(Debug)]
+pub enum Gate<R> {
+    /// The exchange completes inside this critical section — recorded by
+    /// the callback via [`EntryGuard::record`], or auto-recorded
+    /// (responseless) on exit, exactly like
+    /// [`ShardedTracker::with_exchange`].
+    Finish(R),
+    /// Release the shard and lease the session: the caller fetches the
+    /// response outside any lock and records the exchange at
+    /// [`ShardedTracker::commit`]. The gate callback must **not** have
+    /// recorded the exchange.
+    Lease(R),
+}
+
+/// What [`ShardedTracker::begin_exchange`] produced.
+#[derive(Debug)]
+pub enum Begun<R> {
+    /// The gate finished the exchange inside its one critical section.
+    Finished(R),
+    /// The session is leased; the shard mutex is already released.
+    Leased(R, ExchangeLease),
 }
 
 /// The plain session store: a [`ShardedTracker`] with no extension state.
@@ -332,7 +455,10 @@ impl<E: SessionExt> ShardedTracker<E> {
         ShardedTracker {
             config,
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            gauges: (0..shards).map(|_| GaugeCell::default()).collect(),
             live_total: AtomicUsize::new(0),
+            tracker_id: NEXT_TRACKER_ID.fetch_add(1, Ordering::Relaxed),
+            next_incarnation: AtomicU64::new(0),
         }
     }
 
@@ -412,6 +538,33 @@ impl<E: SessionExt> ShardedTracker<E> {
         now: SimTime,
         f: impl FnOnce(&mut EntryGuard<'_, E>) -> R,
     ) -> (SessionKey, R) {
+        match self.begin_exchange(request, now, |entry| Gate::Finish(f(entry))) {
+            (key, Begun::Finished(r)) => (key, r),
+            _ => unreachable!("Gate::Finish never leases"),
+        }
+    }
+
+    /// Phase one of the two-phase request protocol: resolves the keyed
+    /// entry exactly like [`ShardedTracker::with_exchange`] and runs the
+    /// `gate` callback inside the shard critical section. The callback
+    /// chooses the path:
+    ///
+    /// * [`Gate::Finish`] — the exchange completes here, in one lock
+    ///   (recorded by the callback or auto-recorded on exit); or
+    /// * [`Gate::Lease`] — the shard mutex is released and an
+    ///   [`ExchangeLease`] stamped with the entry's incarnation comes
+    ///   back. The caller produces the response with **no lock held**
+    ///   (a slow origin no longer stalls the shard) and then records
+    ///   the exchange through [`ShardedTracker::commit`].
+    ///
+    /// A leased gate callback must not record the exchange; recording
+    /// belongs to the commit.
+    pub fn begin_exchange<R>(
+        &self,
+        request: &Request,
+        now: SimTime,
+        gate: impl FnOnce(&mut EntryGuard<'_, E>) -> Gate<R>,
+    ) -> (SessionKey, Begun<R>) {
         let key = SessionKey::of(request);
         let idx = self.shard_index(&key);
         // Best-effort capacity bound, resolved BEFORE the entry's
@@ -437,51 +590,204 @@ impl<E: SessionExt> ShardedTracker<E> {
         // state it accumulated; the successor starts from its rollover
         // carry-over.
         let mut carried: Option<E> = None;
+        // Gauge census as of section entry: whatever entry is live under
+        // the key right now (the one a rollover would finalize).
+        let gauge_before = shard
+            .live
+            .get(&key)
+            .map(|e| e.ext.gauge())
+            .unwrap_or([0; EXT_GAUGES]);
         let stale = shard
             .live
             .get(&key)
-            .is_some_and(|(s, _)| now.since(s.last_seen()) > self.config.idle_timeout_ms);
+            .is_some_and(|e| now.since(e.session.last_seen()) > self.config.idle_timeout_ms);
         if stale {
-            let (session, ext) = shard.live.remove(&key).expect("checked live");
+            let Entry { session, ext, .. } = shard.live.remove(&key).expect("checked live");
             carried = Some(ext.on_rollover());
             self.live_total.fetch_sub(1, Ordering::Relaxed);
             shard.finalized.push(Finalized { session, ext });
         }
         let mut created = false;
-        let (session, ext) = shard.live.entry(key.clone()).or_insert_with(|| {
+        let entry = shard.live.entry(key.clone()).or_insert_with(|| {
             created = true;
             self.live_total.fetch_add(1, Ordering::Relaxed);
-            (
-                Session::new(key.clone(), now),
-                carried.take().unwrap_or_default(),
-            )
+            Entry {
+                session: Session::new(key.clone(), now),
+                ext: carried.take().unwrap_or_default(),
+                incarnation: self.next_incarnation.fetch_add(1, Ordering::Relaxed),
+            }
         });
         // A deferred carry (state that arrived while the key had no live
         // session) lands in the incarnation that starts now — before the
         // callback, so gates already see its effect.
         if created && !shard.carry.is_empty() {
             if let Some(carry) = shard.carry.remove(&key) {
-                ext.absorb(carry, session);
+                entry.ext.absorb(carry, &entry.session);
             }
         }
-        let mut entry = EntryGuard {
-            session,
-            ext,
+        let incarnation = entry.incarnation;
+        let mut guard = EntryGuard {
+            session: &mut entry.session,
+            ext: &mut entry.ext,
             cap: self.config.max_records_per_session,
             recorded: false,
         };
-        let r = f(&mut entry);
-        if !entry.recorded {
-            entry.record(request, None, now);
+        let gated = gate(&mut guard);
+        let begun = match gated {
+            Gate::Finish(r) => {
+                if !guard.recorded {
+                    guard.record(request, None, now);
+                }
+                Begun::Finished(r)
+            }
+            Gate::Lease(r) => {
+                debug_assert!(
+                    !guard.recorded,
+                    "a leased exchange is recorded at commit, not at the gate"
+                );
+                Begun::Leased(
+                    r,
+                    ExchangeLease {
+                        tracker: self.tracker_id,
+                        key: key.clone(),
+                        shard: idx,
+                        incarnation,
+                    },
+                )
+            }
+        };
+        self.gauge_apply(idx, gauge_before, entry.ext.gauge());
+        (key, begun)
+    }
+
+    /// Phase two: re-acquires the leased session's shard, re-binds the
+    /// entry **by incarnation**, and runs `fold` against it — recording
+    /// the exchange (via [`EntryGuard::record`], or auto-recorded
+    /// responseless on exit) and folding whatever the out-of-lock fetch
+    /// produced.
+    ///
+    /// When the leased incarnation is gone — evicted for capacity, or
+    /// rolled over because the key returned after the idle timeout
+    /// while the fetch was in flight — `lost` runs instead, under the
+    /// same shard lock, with the key's live *successor* entry (if one
+    /// exists) and its deferred-carry slot: evidence the exchange
+    /// produced is folded into the successor or parked in the carry
+    /// channel for the next incarnation, never silently dropped.
+    pub fn commit<R>(
+        &self,
+        lease: ExchangeLease,
+        request: &Request,
+        now: SimTime,
+        fold: impl FnOnce(&mut EntryGuard<'_, E>) -> R,
+        lost: impl FnOnce(Option<(&Session, &mut E)>, &mut Option<E::Carry>) -> R,
+    ) -> R {
+        let ExchangeLease {
+            tracker,
+            key,
+            shard: idx,
+            incarnation,
+        } = lease;
+        // A lease is only meaningful against the tracker that minted it:
+        // another instance's shard index may be out of bounds, and its
+        // incarnation stamps can collide with ours — re-binding one
+        // would record an exchange into an unrelated session. This is a
+        // caller bug, so fail loudly instead of routing to `lost`.
+        assert_eq!(
+            tracker, self.tracker_id,
+            "ExchangeLease committed against a tracker that did not mint it"
+        );
+        let mut shard = self.lock_shard(idx);
+        let shard = &mut *shard;
+        // One map lookup: the gauge before/after snapshots read off the
+        // same entry borrow the callback mutates through.
+        let (r, gauges) = match shard.live.get_mut(&key) {
+            Some(entry) if entry.incarnation == incarnation => {
+                let before = entry.ext.gauge();
+                let mut guard = EntryGuard {
+                    session: &mut entry.session,
+                    ext: &mut entry.ext,
+                    cap: self.config.max_records_per_session,
+                    recorded: false,
+                };
+                let r = fold(&mut guard);
+                if !guard.recorded {
+                    guard.record(request, None, now);
+                }
+                (r, Some((before, entry.ext.gauge())))
+            }
+            successor => {
+                let mut slot = shard.carry.remove(&key);
+                let (r, gauges) = match successor {
+                    Some(entry) => {
+                        let before = entry.ext.gauge();
+                        let r = lost(Some((&entry.session, &mut entry.ext)), &mut slot);
+                        (r, Some((before, entry.ext.gauge())))
+                    }
+                    None => (lost(None, &mut slot), None),
+                };
+                if let Some(carry) = slot {
+                    insert_carry_bounded(
+                        &mut shard.carry,
+                        &key,
+                        carry,
+                        self.config.max_carries_per_shard,
+                    );
+                }
+                (r, gauges)
+            }
+        };
+        if let Some((before, after)) = gauges {
+            self.gauge_apply(idx, before, after);
         }
-        (key, r)
+        r
+    }
+
+    /// Applies the census delta a critical section produced to one
+    /// shard's gauge columns (called while that shard's lock is held).
+    fn gauge_apply(&self, idx: usize, before: [u64; EXT_GAUGES], after: [u64; EXT_GAUGES]) {
+        for col in 0..EXT_GAUGES {
+            let delta = after[col] as i64 - before[col] as i64;
+            if delta != 0 {
+                self.gauges[idx].0[col].fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Subtracts a removed entry's gauge contribution (rollover via
+    /// [`gauge_apply`], eviction, sweep expiry, drain).
+    ///
+    /// [`gauge_apply`]: ShardedTracker::gauge_apply
+    fn gauge_remove(&self, idx: usize, gauge: [u64; EXT_GAUGES]) {
+        for (col, &count) in gauge.iter().enumerate() {
+            if count != 0 {
+                self.gauges[idx].0[col].fetch_sub(count as i64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The live-census totals of [`SessionExt::gauge`] across all
+    /// shards, maintained incrementally at every entry mutation and
+    /// removal — an O(shards) atomic read, where folding the same
+    /// totals out of the entries ([`ShardedTracker::fold_entries`]) is
+    /// O(live sessions) and takes every shard lock.
+    pub fn gauge_totals(&self) -> [u64; EXT_GAUGES] {
+        let mut out = [0u64; EXT_GAUGES];
+        for (col, total) in out.iter_mut().enumerate() {
+            let sum: i64 = self
+                .gauges
+                .iter()
+                .map(|cell| cell.0[col].load(Ordering::Relaxed))
+                .sum();
+            *total = sum.max(0) as u64;
+        }
+        out
     }
 
     /// Looks up a live session, returning a clone of its record (the
     /// original lives behind the shard lock).
     pub fn get(&self, key: &SessionKey) -> Option<Session> {
         let shard = self.lock_shard(self.shard_index(key));
-        shard.live.get(key).map(|(s, _)| s.clone())
+        shard.live.get(key).map(|e| e.session.clone())
     }
 
     /// Runs `f` against a live session and its extension state under the
@@ -491,8 +797,17 @@ impl<E: SessionExt> ShardedTracker<E> {
         key: &SessionKey,
         f: impl FnOnce(&Session, &mut E) -> R,
     ) -> Option<R> {
-        let mut shard = self.lock_shard(self.shard_index(key));
-        shard.live.get_mut(key).map(|(s, e)| f(s, e))
+        let idx = self.shard_index(key);
+        let mut shard = self.lock_shard(idx);
+        let r = shard.live.get_mut(key).map(|e| {
+            let before = e.ext.gauge();
+            let r = f(&e.session, &mut e.ext);
+            (r, before, e.ext.gauge())
+        });
+        r.map(|(r, before, after)| {
+            self.gauge_apply(idx, before, after);
+            r
+        })
     }
 
     /// Runs `f` against the key's live entry (if any) *and* its
@@ -507,12 +822,29 @@ impl<E: SessionExt> ShardedTracker<E> {
         key: &SessionKey,
         f: impl FnOnce(Option<(&Session, &mut E)>, &mut Option<E::Carry>) -> R,
     ) -> R {
-        let mut shard = self.lock_shard(self.shard_index(key));
+        let idx = self.shard_index(key);
+        let mut shard = self.lock_shard(idx);
         let shard = &mut *shard;
         let mut slot = shard.carry.remove(key);
-        let r = f(shard.live.get_mut(key).map(|(s, e)| (&*s, e)), &mut slot);
+        // One map lookup; gauge snapshots read off the same entry borrow.
+        let (r, gauges) = match shard.live.get_mut(key) {
+            Some(entry) => {
+                let before = entry.ext.gauge();
+                let r = f(Some((&entry.session, &mut entry.ext)), &mut slot);
+                (r, Some((before, entry.ext.gauge())))
+            }
+            None => (f(None, &mut slot), None),
+        };
         if let Some(carry) = slot {
-            insert_carry_bounded(&mut shard.carry, key, carry);
+            insert_carry_bounded(
+                &mut shard.carry,
+                key,
+                carry,
+                self.config.max_carries_per_shard,
+            );
+        }
+        if let Some((before, after)) = gauges {
+            self.gauge_apply(idx, before, after);
         }
         r
     }
@@ -524,8 +856,8 @@ impl<E: SessionExt> ShardedTracker<E> {
         let mut acc = init;
         for idx in 0..self.shards.len() {
             let shard = self.lock_shard(idx);
-            for (s, e) in shard.live.values() {
-                acc = f(acc, s, e);
+            for e in shard.live.values() {
+                acc = f(acc, &e.session, &e.ext);
             }
         }
         acc
@@ -541,8 +873,11 @@ impl<E: SessionExt> ShardedTracker<E> {
             let mut keys: Vec<SessionKey> = shard.live.keys().cloned().collect();
             keys.sort_unstable();
             for k in keys {
-                if let Some((s, e)) = shard.live.get_mut(&k) {
-                    f(s, e);
+                if let Some(e) = shard.live.get_mut(&k) {
+                    let before = e.ext.gauge();
+                    f(&e.session, &mut e.ext);
+                    let after = e.ext.gauge();
+                    self.gauge_apply(idx, before, after);
                 }
             }
         }
@@ -573,13 +908,14 @@ impl<E: SessionExt> ShardedTracker<E> {
             let mut expired: Vec<SessionKey> = shard
                 .live
                 .iter()
-                .filter(|(_, (s, _))| now.since(s.last_seen()) > self.config.idle_timeout_ms)
+                .filter(|(_, e)| now.since(e.session.last_seen()) > self.config.idle_timeout_ms)
                 .map(|(k, _)| k.clone())
                 .collect();
             expired.sort_unstable();
             for k in expired {
-                let (session, ext) = shard.live.remove(&k).expect("listed as live");
+                let Entry { session, ext, .. } = shard.live.remove(&k).expect("listed as live");
                 self.live_total.fetch_sub(1, Ordering::Relaxed);
+                self.gauge_remove(idx, ext.gauge());
                 out.push(Finalized { session, ext });
             }
         }
@@ -600,9 +936,12 @@ impl<E: SessionExt> ShardedTracker<E> {
             let mut live: Vec<Finalized<E>> = shard
                 .live
                 .drain()
-                .map(|(_, (session, ext))| Finalized { session, ext })
+                .map(|(_, Entry { session, ext, .. })| Finalized { session, ext })
                 .collect();
             self.live_total.fetch_sub(live.len(), Ordering::Relaxed);
+            for f in &live {
+                self.gauge_remove(idx, f.ext.gauge());
+            }
             live.sort_unstable_by(|a, b| a.session.key().cmp(b.session.key()));
             out.append(&mut live);
         }
@@ -622,7 +961,8 @@ impl<E: SessionExt> ShardedTracker<E> {
         let mut best: Option<(SimTime, SessionKey)> = None;
         for idx in 0..self.shards.len() {
             let shard = self.lock_shard(idx);
-            for (k, (s, _)) in shard.live.iter() {
+            for (k, e) in shard.live.iter() {
+                let s = &e.session;
                 let better = match &best {
                     None => true,
                     Some((t, bk)) => s.last_seen() < *t || (s.last_seen() == *t && *k < *bk),
@@ -640,10 +980,11 @@ impl<E: SessionExt> ShardedTracker<E> {
             let still_victim = shard
                 .live
                 .get(&key)
-                .is_some_and(|(s, _)| s.last_seen() == last_seen);
+                .is_some_and(|e| e.session.last_seen() == last_seen);
             if still_victim {
-                let (session, ext) = shard.live.remove(&key).expect("checked live");
+                let Entry { session, ext, .. } = shard.live.remove(&key).expect("checked live");
                 self.live_total.fetch_sub(1, Ordering::Relaxed);
+                self.gauge_remove(idx, ext.gauge());
                 shard.finalized.push(Finalized { session, ext });
             }
         }
@@ -1153,5 +1494,354 @@ mod tests {
         let total: u64 = t.drain().iter().map(|s| s.request_count()).sum();
         assert_eq!(total, threads as u64 * per_thread);
         assert_eq!(t.live_count(), 0);
+    }
+
+    /// Leases out a request for `t`, asserting it was not finished fused.
+    fn lease_out(t: &ShardedTracker<Tally>, r: &Request, now: SimTime) -> ExchangeLease {
+        match t.begin_exchange(r, now, |_| Gate::Lease(())) {
+            (_, Begun::Leased((), lease)) => lease,
+            (_, Begun::Finished(())) => panic!("Gate::Lease must lease"),
+        }
+    }
+
+    #[test]
+    fn begin_then_commit_records_one_exchange() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(40, "A", "http://h/1", None);
+        let (key, begun) = t.begin_exchange(&r, SimTime::ZERO, |entry| {
+            assert_eq!(entry.session().request_count(), 0, "pre-exchange gate");
+            entry.ext().touched += 1;
+            Gate::Lease(entry.session().request_count())
+        });
+        let Begun::Leased(pre_count, lease) = begun else {
+            panic!("expected a lease");
+        };
+        assert_eq!(pre_count, 0);
+        assert_eq!(lease.key(), &key);
+        // Nothing recorded while the lease is outstanding.
+        assert_eq!(t.get(&key).unwrap().request_count(), 0);
+        let resp = ok();
+        let folded = t.commit(
+            lease,
+            &r,
+            SimTime::from_secs(1),
+            |entry| {
+                entry.record(&r, Some(&resp), SimTime::from_secs(1));
+                entry.ext().touched += 1;
+                true
+            },
+            |_, _| false,
+        );
+        assert!(folded, "live lease must take the fold path");
+        let s = t.get(&key).unwrap();
+        assert_eq!(s.request_count(), 1);
+        assert_eq!(s.last_seen(), SimTime::from_secs(1));
+        assert_eq!(t.with_entry(&key, |_, e| e.touched), Some(2));
+    }
+
+    #[test]
+    fn fused_and_leased_paths_share_entry_resolution() {
+        // A Gate::Finish from begin_exchange behaves exactly like
+        // with_exchange: auto-recorded (responseless) on exit.
+        let t: SessionTracker = SessionTracker::new(TrackerConfig::default());
+        let r = req(41, "A", "http://h/1", None);
+        let (key, begun) = t.begin_exchange(&r, SimTime::ZERO, |_| Gate::Finish(7u32));
+        assert!(matches!(begun, Begun::Finished(7)));
+        assert_eq!(t.get(&key).unwrap().request_count(), 1);
+    }
+
+    #[test]
+    fn commit_after_eviction_routes_through_the_carry_channel() {
+        let cfg = TrackerConfig {
+            max_sessions: 1,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Tally> = ShardedTracker::new(cfg);
+        let leased = req(42, "A", "http://h/1", None);
+        let lease = lease_out(&t, &leased, SimTime::ZERO);
+        // Another key forces the leased session out of the store.
+        t.observe_with(
+            &req(43, "A", "http://h/1", None),
+            Some(&ok()),
+            SimTime::from_secs(5),
+            |_, _| (),
+        );
+        assert!(t.get(lease.key()).is_none(), "leased entry evicted");
+        let went_lost = t.commit(
+            lease,
+            &leased,
+            SimTime::from_secs(6),
+            |_| false,
+            |successor, slot| {
+                assert!(successor.is_none(), "no live successor after eviction");
+                *slot = Some(11);
+                true
+            },
+        );
+        assert!(went_lost);
+        assert_eq!(t.carry_count(), 1);
+        // The key's next incarnation absorbs the parked evidence.
+        let (_, seen) = t.observe_with(&leased, Some(&ok()), SimTime::from_secs(7), |_, e| {
+            e.touched
+        });
+        assert_eq!(seen, 11);
+    }
+
+    #[test]
+    fn commit_after_rollover_sees_the_live_successor() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(44, "A", "http://h/1", None);
+        t.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, _| ());
+        let lease = lease_out(&t, &r, SimTime::from_secs(1));
+        // The key returns after the idle timeout while the lease is in
+        // flight: the leased incarnation is finalized and a successor
+        // (with the rollover carry-over) takes the key.
+        let later = SimTime::from_hours(2);
+        t.observe_with(&r, Some(&ok()), later, |_, _| ());
+        let committed_into_successor = t.commit(
+            lease,
+            &r,
+            later + 1,
+            |_| false,
+            |successor, slot| {
+                let (_, ext) = successor.expect("successor is live");
+                assert!(ext.carried, "rollover carry-over intact at lost-commit");
+                ext.touched += 100;
+                assert!(slot.is_none());
+                true
+            },
+        );
+        assert!(committed_into_successor);
+        let key = SessionKey::of(&r);
+        assert_eq!(
+            t.with_entry(&key, |_, e| (e.touched, e.carried)),
+            Some((100, true))
+        );
+        // The finalized leased incarnation never got the exchange.
+        let done = t.sweep(SimTime::from_hours(9));
+        assert_eq!(done.len(), 2);
+        assert_eq!(
+            done[0].request_count(),
+            1,
+            "the leased exchange was never recorded into the rolled-over incarnation"
+        );
+    }
+
+    #[test]
+    fn two_concurrent_leases_on_one_session_both_commit() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(45, "A", "http://h/1", None);
+        let a = lease_out(&t, &r, SimTime::ZERO);
+        let b = lease_out(&t, &r, SimTime::from_secs(1));
+        let resp = ok();
+        // Commit out of order: the incarnation is unchanged, so both
+        // re-bind and each records its own exchange.
+        for (lease, at) in [(b, SimTime::from_secs(2)), (a, SimTime::from_secs(3))] {
+            let ok_path = t.commit(
+                lease,
+                &r,
+                at,
+                |entry| {
+                    entry.record(&r, Some(&resp), at);
+                    true
+                },
+                |_, _| false,
+            );
+            assert!(ok_path);
+        }
+        let key = SessionKey::of(&r);
+        assert_eq!(t.get(&key).unwrap().request_count(), 2);
+    }
+
+    #[test]
+    fn a_dropped_lease_leaks_nothing_and_sweep_reclaims() {
+        let t: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(46, "A", "http://h/1", None);
+        let key = SessionKey::of(&r);
+        let lease = lease_out(&t, &r, SimTime::ZERO);
+        drop(lease);
+        // The entry exists (the gate created it) but holds no in-flight
+        // state: its exchange was never recorded, carries are empty, and
+        // an ordinary sweep finalizes it like any idle session.
+        assert_eq!(t.get(&key).unwrap().request_count(), 0);
+        assert_eq!(t.carry_count(), 0);
+        let done = t.sweep(SimTime::from_hours(2));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request_count(), 0);
+        assert_eq!(t.live_count(), 0);
+        // And a commit is impossible by construction: the lease is gone.
+    }
+
+    #[test]
+    fn stale_lease_cannot_touch_a_reused_keys_new_incarnation() {
+        // Evict the leased entry, then let the SAME key start a fresh
+        // incarnation before the commit lands: the stale lease must take
+        // the lost path (incarnation mismatch), not fold into the
+        // imposter.
+        let cfg = TrackerConfig {
+            max_sessions: 1,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Tally> = ShardedTracker::new(cfg);
+        let r = req(47, "A", "http://h/1", None);
+        let lease = lease_out(&t, &r, SimTime::ZERO);
+        // Evict it with another key...
+        t.observe_with(
+            &req(48, "A", "http://h/1", None),
+            Some(&ok()),
+            SimTime::from_secs(1),
+            |_, _| (),
+        );
+        // ...then revive the original key as a NEW incarnation.
+        t.observe_with(&r, Some(&ok()), SimTime::from_secs(2), |_, _| ());
+        let took_lost_path = t.commit(
+            lease,
+            &r,
+            SimTime::from_secs(3),
+            |_| false,
+            |successor, _| {
+                let (session, ext) = successor.expect("new incarnation is live");
+                assert_eq!(session.request_count(), 1);
+                ext.touched += 1;
+                true
+            },
+        );
+        assert!(took_lost_path, "stale incarnation must not re-bind");
+        let key = SessionKey::of(&r);
+        assert_eq!(
+            t.get(&key).unwrap().request_count(),
+            1,
+            "the stale lease recorded nothing into the new incarnation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "did not mint it")]
+    fn a_lease_cannot_commit_against_a_different_tracker() {
+        // Incarnation stamps are only unique per tracker; a lease minted
+        // by tracker A must be rejected by tracker B outright rather
+        // than re-binding into an unrelated session that happens to
+        // share the stamp.
+        let a: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let b: ShardedTracker<Tally> = ShardedTracker::new(TrackerConfig::default());
+        let r = req(49, "A", "http://h/1", None);
+        let lease = lease_out(&a, &r, SimTime::ZERO);
+        // Give B a same-key entry so a silent re-bind would be possible
+        // if only incarnations were compared.
+        b.observe_with(&r, Some(&ok()), SimTime::ZERO, |_, _| ());
+        b.commit(lease, &r, SimTime::from_secs(1), |_| (), |_, _| ());
+    }
+
+    #[test]
+    fn carry_bound_is_configurable_and_deterministic() {
+        let cfg = TrackerConfig {
+            max_carries_per_shard: 2,
+            shards: 1,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Tally> = ShardedTracker::new(cfg);
+        for ip in [5u32, 3, 9] {
+            let key = SessionKey::of(&req(ip, "A", "http://h/1", None));
+            t.with_entry_and_carry(&key, |_, slot| *slot = Some(u64::from(ip)));
+        }
+        // Bound 2: inserting the third dropped the smallest key (ip 3).
+        assert_eq!(t.carry_count(), 2);
+        let (_, kept) = t.observe_with(
+            &req(5, "A", "http://h/1", None),
+            Some(&ok()),
+            SimTime::ZERO,
+            |_, e| e.touched,
+        );
+        assert_eq!(kept, 5, "surviving carry is absorbed");
+        let (_, dropped) = t.observe_with(
+            &req(3, "A", "http://h/1", None),
+            Some(&ok()),
+            SimTime::ZERO,
+            |_, e| e.touched,
+        );
+        assert_eq!(dropped, 0, "smallest key lost its carry at the bound");
+    }
+
+    #[test]
+    fn zero_carry_bound_disables_parking() {
+        let cfg = TrackerConfig {
+            max_carries_per_shard: 0,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Tally> = ShardedTracker::new(cfg);
+        let key = SessionKey::of(&req(50, "A", "http://h/1", None));
+        t.with_entry_and_carry(&key, |_, slot| *slot = Some(1));
+        assert_eq!(t.carry_count(), 0);
+    }
+
+    /// Extension whose gauge reports its `touched` count in column 0 and
+    /// whether it is a rollover successor in column 1.
+    #[derive(Debug, Default)]
+    struct Gauged {
+        touched: u64,
+        carried: bool,
+    }
+
+    impl SessionExt for Gauged {
+        type Carry = ();
+
+        fn on_rollover(&self) -> Gauged {
+            Gauged {
+                touched: 0,
+                carried: true,
+            }
+        }
+
+        fn gauge(&self) -> [u64; EXT_GAUGES] {
+            [self.touched, u64::from(self.carried)]
+        }
+    }
+
+    #[test]
+    fn gauges_track_live_census_through_mutation_rollover_and_flush() {
+        let t: ShardedTracker<Gauged> = ShardedTracker::new(TrackerConfig::default());
+        let a = req(60, "A", "http://h/1", None);
+        let b = req(61, "A", "http://h/1", None);
+        t.observe_with(&a, Some(&ok()), SimTime::ZERO, |_, e| e.touched = 3);
+        t.observe_with(&b, Some(&ok()), SimTime::ZERO, |_, e| e.touched = 4);
+        assert_eq!(t.gauge_totals(), [7, 0]);
+        // Mutation through with_entry moves the gauge.
+        t.with_entry(&SessionKey::of(&a), |_, e| e.touched = 1);
+        assert_eq!(t.gauge_totals(), [5, 0]);
+        // Rollover: the old census leaves with the finalized entry; the
+        // successor contributes its own (carried) column.
+        t.observe_with(&a, Some(&ok()), SimTime::from_hours(2), |_, e| {
+            e.touched = 10
+        });
+        assert_eq!(t.gauge_totals(), [14, 1]);
+        // Sweep flushes the idle remainder (b) and the rollover casualty.
+        let done = t.sweep(SimTime::from_hours(2) + 1);
+        assert_eq!(done.len(), 2);
+        assert_eq!(t.gauge_totals(), [10, 1]);
+        // Drain empties everything; the gauges return to zero.
+        t.drain();
+        assert_eq!(t.gauge_totals(), [0, 0]);
+    }
+
+    #[test]
+    fn gauges_match_a_full_fold_after_mixed_traffic() {
+        let cfg = TrackerConfig {
+            max_sessions: 30,
+            shards: 4,
+            ..TrackerConfig::default()
+        };
+        let t: ShardedTracker<Gauged> = ShardedTracker::new(cfg);
+        for i in 0..200u32 {
+            let r = req(i % 40, "A", "http://h/1", None);
+            t.observe_with(&r, Some(&ok()), SimTime::from_secs(u64::from(i)), |_, e| {
+                e.touched = u64::from(i % 5)
+            });
+        }
+        t.sweep(SimTime::from_secs(90));
+        let folded = t.fold_entries([0u64, 0], |acc, _, e| {
+            let g = e.gauge();
+            [acc[0] + g[0], acc[1] + g[1]]
+        });
+        assert_eq!(t.gauge_totals(), folded, "gauges must mirror the fold");
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use botwall::gateway::{Decision, Gateway, Origin};
+use botwall::gateway::{Decision, Gateway, Origin, PendingServe};
 use botwall::http::request::ClientIp;
 use botwall::http::{Method, Request};
 use botwall::sessions::SimTime;
@@ -11,6 +11,9 @@ use botwall::sessions::SimTime;
 const HTML: &str = "<html><head><title>demo</title></head><body><p>hello</p></body></html>";
 
 /// Every exchange — page, probe, or beacon — goes through the same door.
+/// The origin closure runs with no gateway lock held (a slow origin
+/// stalls only its own request); `handle_deferred` below shows the same
+/// two phases split apart.
 fn fetch(gw: &Gateway, ip: u32, uri: &str, ua: &str, at_secs: u64) -> Decision {
     let req = Request::builder(Method::Get, uri)
         .header("User-Agent", ua)
@@ -85,4 +88,22 @@ fn main() {
         "\ngateway stats: {} requests ({} probe), {} bytes ({} instrumentation)",
         stats.requests, stats.probe_requests, stats.total_bytes, stats.instrumentation_bytes
     );
+
+    // The same request path, split for async/executor embedders: gate
+    // now, fetch the origin whenever (no lock is held while the token
+    // is outstanding), commit later.
+    let gw = Gateway::builder().seed(2006).build();
+    let req = Request::builder(Method::Get, page)
+        .header("User-Agent", ua)
+        .client(ClientIp::new(3))
+        .build()
+        .expect("valid uri");
+    match gw.handle_deferred(&req, SimTime::ZERO) {
+        PendingServe::AwaitingOrigin(pending) => {
+            // ...origin fetch happens here, on any thread...
+            let d = gw.complete(pending, Origin::Page(HTML.to_string()), SimTime::ZERO);
+            println!("\ndeferred serve: {:?}", d.status());
+        }
+        PendingServe::Ready(d) => println!("\ndecided without the origin: {:?}", d.status()),
+    }
 }

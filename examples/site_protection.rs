@@ -23,6 +23,9 @@ use rand_chacha::ChaCha8Rng;
 /// The agent-facing world: one origin site with a gateway in front.
 /// All the world does is build requests and adapt `Decision`s — the
 /// instrumentation, detection, and policy all live inside the gateway.
+/// The `resolve` origin hook runs between the gateway's two critical
+/// sections with no lock held, so a slow site would stall only its own
+/// request, never the sessions sharing its tracker shard.
 struct ProtectedSite<'a> {
     gateway: &'a Gateway,
     web: &'a Web,

@@ -296,3 +296,51 @@ fn shared_gateway_handles_traffic_from_multiple_threads() {
     );
     assert_eq!(gw.drain().len(), 4);
 }
+
+/// The deferred two-phase surface: `handle_deferred` gates now and
+/// returns a `PendingServe` token; the origin fetch happens on a
+/// *different thread* (the token is `Send`), and `complete` commits the
+/// result back into the session — the integration shape an
+/// async/executor-driven embedder uses.
+#[test]
+fn deferred_pending_serve_crosses_threads_and_commits() {
+    use botwall::gateway::PendingServe;
+    use std::sync::Arc;
+    let gw = Arc::new(Gateway::builder().seed(77).build());
+    let r = req(300, "http://h.example/index.html", "Mozilla/5.0");
+    let pending = match gw.handle_deferred(&r, SimTime::ZERO) {
+        PendingServe::AwaitingOrigin(p) => p,
+        PendingServe::Ready(d) => panic!("ordinary first request needs the origin: {d:?}"),
+    };
+    // Ship the token to a worker thread that "fetches" the origin and
+    // commits; no gateway lock is held anywhere in between.
+    let worker = {
+        let gw = Arc::clone(&gw);
+        std::thread::spawn(move || {
+            gw.complete(pending, Origin::Page(HTML.into()), SimTime::from_secs(1))
+        })
+    };
+    let d = worker.join().unwrap();
+    let Decision::Serve {
+        manifest, verdict, ..
+    } = d
+    else {
+        panic!("committed page must serve");
+    };
+    assert_eq!(verdict, Verdict::Undecided);
+    let manifest = manifest.expect("page was instrumented at commit");
+    // The instrumentation issued at commit time is live session state:
+    // the mouse beacon redeems exactly as in the fused flow.
+    let beacon = manifest.mouse_beacon.expect("mouse beacon");
+    let d = gw.handle(
+        &req(300, &beacon.to_string(), "Mozilla/5.0"),
+        SimTime::from_secs(2),
+    );
+    assert_eq!(d.verdict(), Some(Verdict::Human(Reason::MouseActivity)));
+    let stats = gw.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.served, 2);
+    let done = gw.drain();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].label, Label::Human);
+}

@@ -219,6 +219,103 @@ fn beacon_redemptions_stay_exact_while_traffic_flows_on_8_threads() {
 }
 
 #[test]
+fn slow_origin_does_not_stall_same_shard_neighbors() {
+    // The PR-5 guarantee: the origin callback runs with NO shard lock
+    // held. One session's origin hangs (blocked on a channel) while a
+    // *same-shard* neighbor completes an entire workload — under the
+    // PR-4 fused path this rendezvous would deadlock, because the
+    // neighbor's requests need the shard mutex the sleeping origin
+    // would be holding. Ledger totals stay exact throughout.
+    use botwall::sessions::SessionKey;
+    use std::sync::mpsc;
+
+    let gw = Arc::new(Gateway::builder().seed(5050).build());
+    let ua = "Mozilla/5.0 (slow-origin) Firefox/1.5";
+    let shards = gw.stats().shard_count as u64;
+    let shard_of = |ip: u32| {
+        SessionKey::of(&req(ip, "http://stress.example/x.html", ua)).shard_hash() % shards
+    };
+    let slow_ip = 60_000u32;
+    let neighbor_ip = (60_001..70_000u32)
+        .find(|ip| shard_of(*ip) == shard_of(slow_ip))
+        .expect("some nearby ip lands on the same shard");
+
+    // Prove the neighbor human first so its steady-state loop is pure
+    // origin serves (never throttled by the no-signal promotion).
+    let d = gw.handle_with(
+        &req(neighbor_ip, "http://stress.example/index.html", ua),
+        SimTime::ZERO,
+        |_| Origin::Page(HTML.into()),
+    );
+    let beacon = match d {
+        Decision::Serve { manifest, .. } => manifest.unwrap().mouse_beacon.unwrap(),
+        other => panic!("{other:?}"),
+    };
+    let d = gw.handle(
+        &req(neighbor_ip, &beacon.to_string(), ua),
+        SimTime::from_secs(1),
+    );
+    assert!(matches!(d.verdict(), Some(v) if v.is_final()));
+
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let slow = {
+        let gw = Arc::clone(&gw);
+        std::thread::spawn(move || {
+            #[cfg(debug_assertions)]
+            botwall::sessions::sync::counters::reset();
+            let d = gw.handle_with(
+                &req(slow_ip, "http://stress.example/slow.html", ua),
+                SimTime::from_secs(2),
+                |_| {
+                    entered_tx.send(()).unwrap();
+                    // The origin "hangs" until the neighbor's whole
+                    // workload has completed on the same shard.
+                    release_rx.recv().unwrap();
+                    Origin::Page(HTML.into())
+                },
+            );
+            assert!(d.is_serve(), "slow origin still serves: {d:?}");
+            #[cfg(debug_assertions)]
+            assert_eq!(
+                botwall::sessions::sync::counters::snapshot(),
+                (2, 0),
+                "slow origin serve = exactly (gate, commit), no lock spans the fetch"
+            );
+        })
+    };
+    entered_rx.recv().unwrap(); // the slow fetch is now in flight
+    #[cfg(debug_assertions)]
+    botwall::sessions::sync::counters::reset();
+    let rounds = 50u64;
+    for i in 0..rounds {
+        let d = gw.handle_with(
+            &req(neighbor_ip, &format!("http://stress.example/n{i}.html"), ua),
+            SimTime::from_secs(3 + i),
+            |_| Origin::Response(Response::empty(StatusCode::OK)),
+        );
+        assert!(d.is_serve(), "same-shard neighbor proceeds: {d:?}");
+    }
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        botwall::sessions::sync::counters::snapshot(),
+        (2 * rounds, 0),
+        "every neighbor serve costs exactly two shard locks, zero global"
+    );
+    release_tx.send(()).unwrap();
+    slow.join().unwrap();
+
+    let stats = gw.stats();
+    assert_eq!(stats.requests, rounds + 3, "page + beacon + slow + rounds");
+    assert_eq!(
+        stats.requests,
+        stats.served + stats.throttled + stats.blocked + stats.challenged
+    );
+    assert_eq!(stats.served, rounds + 3, "nothing throttled or dropped");
+    assert_eq!(gw.drain().len(), 2);
+}
+
+#[test]
 fn under_attack_flips_while_traffic_is_in_flight() {
     use botwall::captcha::ServingPolicy;
     // The PR-3 bugfix: `set_under_attack` is an atomic `&self` toggle an
