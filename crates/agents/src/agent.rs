@@ -36,6 +36,19 @@ pub enum AgentKind {
     SmartBot,
     /// A DDoS zombie flooding one target.
     DdosZombie,
+    /// A headless-browser imitator: runs the probe JS path and
+    /// synthesizes mouse entropy, but leaks the automation-framework
+    /// signals (webdriver flag, empty plugin list).
+    HeadlessBrowser,
+    /// A headless imitator that also patches over the automation leaks
+    /// (the honest upper bound on this detector family).
+    StealthHeadless,
+    /// A coordinated fleet member sharing harvested probe URLs and
+    /// solved CAPTCHA pairs with its peers.
+    FleetBot,
+    /// An LLM-driven browsing agent: human-like pacing, systematic
+    /// non-human traversal, no probe execution.
+    LlmAgent,
 }
 
 impl AgentKind {
@@ -58,6 +71,10 @@ impl AgentKind {
             AgentKind::OfflineBrowser => "offline-browser",
             AgentKind::SmartBot => "smart-bot",
             AgentKind::DdosZombie => "ddos-zombie",
+            AgentKind::HeadlessBrowser => "headless-browser",
+            AgentKind::StealthHeadless => "stealth-headless",
+            AgentKind::FleetBot => "fleet-bot",
+            AgentKind::LlmAgent => "llm-agent",
         }
     }
 
@@ -72,6 +89,7 @@ impl AgentKind {
                 | AgentKind::PasswordCracker
                 | AgentKind::DdosZombie
                 | AgentKind::EmailHarvester
+                | AgentKind::FleetBot
         )
     }
 }
@@ -116,6 +134,10 @@ mod tests {
             AgentKind::OfflineBrowser,
             AgentKind::SmartBot,
             AgentKind::DdosZombie,
+            AgentKind::HeadlessBrowser,
+            AgentKind::StealthHeadless,
+            AgentKind::FleetBot,
+            AgentKind::LlmAgent,
         ];
         let names: HashSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

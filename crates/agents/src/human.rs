@@ -123,10 +123,12 @@ impl Agent for HumanAgent {
                         world.fetch(FetchSpec::get_with_referer(js.clone(), page_url.clone()));
                     }
                     // …and execute it: the agent reporter fires with the
-                    // *true* canonicalized agent string.
+                    // *true* canonicalized agent string plus the benign
+                    // environment facts every real desktop browser
+                    // reports — no webdriver, a populated plugin list.
                     if let Some(agent) = &manifest.agent_beacon {
                         let reported = UserAgent::canonicalize(&self.user_agent());
-                        let url = format!("{agent}?agent={reported}");
+                        let url = format!("{agent}?agent={reported}&wd=0&pl=3");
                         if let Ok(uri) = url.parse() {
                             world.fetch(FetchSpec::get_with_referer(uri, page_url.clone()));
                         }

@@ -11,15 +11,19 @@ use crate::agent::Agent;
 use crate::browser::BrowserProfile;
 use crate::human::{HumanAgent, HumanConfig};
 use crate::robots::crawler::CrawlerConfig;
+use crate::robots::fleet::{FleetCache, FleetConfig};
+use crate::robots::headless::HeadlessConfig;
+use crate::robots::llm_agent::LlmAgentConfig;
 use crate::robots::smart_bot::SmartBotConfig;
 use crate::robots::{
-    ClickFraudBot, CrawlerBot, DdosZombie, EmailHarvester, OfflineBrowser, PasswordCracker,
-    PoliteSpider, ReferrerSpammer, SmartBot, VulnScanner,
+    ClickFraudBot, CrawlerBot, DdosZombie, EmailHarvester, FleetBot, HeadlessBrowser, LlmAgent,
+    OfflineBrowser, PasswordCracker, PoliteSpider, ReferrerSpammer, SmartBot, VulnScanner,
 };
 use botwall_captcha::SolverProfile;
 use botwall_http::BrowserFamily;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Mutex};
 
 /// A recipe for one agent kind, with enough configuration to build it.
 #[derive(Debug, Clone)]
@@ -53,6 +57,18 @@ pub enum AgentSpec {
     SmartBot(SmartBotConfig),
     /// The DDoS zombie.
     DdosZombie,
+    /// The headless-browser imitator (leaky or stealth per its config).
+    Headless(HeadlessConfig),
+    /// A coordinated fleet member; every spec built from this entry
+    /// shares the one cache, so sessions pool their loot.
+    Fleet {
+        /// Behaviour knobs.
+        config: FleetConfig,
+        /// The fleet-wide shared cache.
+        cache: Arc<Mutex<FleetCache>>,
+    },
+    /// The LLM-driven browsing agent.
+    LlmAgent(LlmAgentConfig),
 }
 
 impl AgentSpec {
@@ -82,6 +98,11 @@ impl AgentSpec {
             AgentSpec::OfflineBrowser => Box::new(OfflineBrowser::default()),
             AgentSpec::SmartBot(c) => Box::new(SmartBot::new(*c)),
             AgentSpec::DdosZombie => Box::new(DdosZombie::default()),
+            AgentSpec::Headless(c) => Box::new(HeadlessBrowser::new(*c)),
+            AgentSpec::Fleet { config, cache } => {
+                Box::new(FleetBot::new(*config, Arc::clone(cache)))
+            }
+            AgentSpec::LlmAgent(c) => Box::new(LlmAgent::new(*c)),
         }
     }
 }
@@ -210,6 +231,35 @@ impl Population {
         p
     }
 
+    /// The adversary-escalation mix: the human population and the
+    /// polite-spider baseline, plus the modern adversaries — leaky and
+    /// stealth headless imitators, one coordinated fleet (all members
+    /// share a single loot cache), and the LLM browsing agent. Drives
+    /// the per-adversary detection-rate eval.
+    pub fn escalation() -> Population {
+        let fleet_cache = Arc::new(Mutex::new(FleetCache::default()));
+        let mut p = Population::new();
+        p.add(Self::table1_human_spec(), 40.0);
+        p.add(AgentSpec::PoliteSpider, 15.0);
+        p.add(AgentSpec::Headless(HeadlessConfig::default()), 12.0);
+        p.add(
+            AgentSpec::Headless(HeadlessConfig {
+                stealth: true,
+                ..HeadlessConfig::default()
+            }),
+            8.0,
+        );
+        p.add(
+            AgentSpec::Fleet {
+                config: FleetConfig::default(),
+                cache: fleet_cache,
+            },
+            15.0,
+        );
+        p.add(AgentSpec::LlmAgent(LlmAgentConfig::default()), 10.0);
+        p
+    }
+
     /// A small balanced mix for quick demos and tests.
     pub fn demo() -> Population {
         let mut p = Population::new();
@@ -263,6 +313,38 @@ mod tests {
         }
         let share = humans as f64 / n as f64;
         assert!((share - 0.235).abs() < 0.02, "human share {share}");
+    }
+
+    #[test]
+    fn escalation_mix_covers_every_new_adversary() {
+        let p = Population::escalation();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut seen: HashMap<&'static str, u32> = HashMap::new();
+        for _ in 0..800 {
+            *seen.entry(p.sample(&mut rng).kind().name()).or_default() += 1;
+        }
+        for name in [
+            "human",
+            "polite-spider",
+            "headless-browser",
+            "stealth-headless",
+            "fleet-bot",
+            "llm-agent",
+        ] {
+            assert!(seen[name] > 20, "{name} underrepresented: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn fleet_members_share_one_cache() {
+        let p = Population::escalation();
+        let fleets: Vec<_> = (0..p.len())
+            .filter_map(|i| match &p.entries[i].0 {
+                AgentSpec::Fleet { cache, .. } => Some(Arc::clone(cache)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fleets.len(), 1, "one fleet entry");
     }
 
     #[test]

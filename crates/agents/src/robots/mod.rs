@@ -8,6 +8,9 @@ pub mod click_fraud;
 pub mod crawler;
 pub mod ddos_zombie;
 pub mod email_harvester;
+pub mod fleet;
+pub mod headless;
+pub mod llm_agent;
 pub mod offline_browser;
 pub mod password_cracker;
 pub mod polite_spider;
@@ -19,6 +22,9 @@ pub use click_fraud::ClickFraudBot;
 pub use crawler::CrawlerBot;
 pub use ddos_zombie::DdosZombie;
 pub use email_harvester::EmailHarvester;
+pub use fleet::{FleetBot, FleetCache};
+pub use headless::HeadlessBrowser;
+pub use llm_agent::LlmAgent;
 pub use offline_browser::OfflineBrowser;
 pub use password_cracker::PasswordCracker;
 pub use polite_spider::PoliteSpider;

@@ -28,6 +28,9 @@ pub struct MockWorld {
     pub decoy_hits: u64,
     /// Replayed beacon fetches.
     pub replay_hits: u64,
+    /// Beacon-shaped fetches whose key was never issued here (forgeries
+    /// or cross-session theft).
+    pub unknown_beacon_hits: u64,
     /// CSS probe fetches.
     pub css_probe_hits: u64,
     /// Generated-script downloads.
@@ -71,6 +74,7 @@ impl MockWorld {
             mouse_beacon_hits: 0,
             decoy_hits: 0,
             replay_hits: 0,
+            unknown_beacon_hits: 0,
             css_probe_hits: 0,
             js_file_hits: 0,
             agent_beacon_hits: 0,
@@ -124,7 +128,7 @@ impl ClientWorld for MockWorld {
                     KeyOutcome::Valid => self.mouse_beacon_hits += 1,
                     KeyOutcome::Decoy => self.decoy_hits += 1,
                     KeyOutcome::Replay => self.replay_hits += 1,
-                    KeyOutcome::Unknown => {}
+                    KeyOutcome::Unknown => self.unknown_beacon_hits += 1,
                 }
                 let resp = self.instrumenter.respond(&classified).expect("beacon");
                 return FetchOutcome {

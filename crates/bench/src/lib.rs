@@ -8,8 +8,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod corpus;
+pub mod escalation;
 pub mod experiments;
 
+pub use capacity::{capacity_request, prefill, touch, zipf_traffic, Zipf};
 pub use corpus::{build_ml_corpus, CorpusConfig};
+pub use escalation::{run_escalation_eval, AdversaryRow, EvalReport};
 pub use experiments::*;

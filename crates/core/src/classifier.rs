@@ -46,6 +46,9 @@ pub enum Reason {
     HiddenLink,
     /// JavaScript-reported agent contradicts the User-Agent header.
     BrowserTypeMismatch,
+    /// The executing script leaked an automation-framework signal
+    /// (`navigator.webdriver` set, or a headless-shaped plugin list).
+    AutomationLeak,
     /// No positive browser/human evidence appeared at all.
     NoBrowserSignals,
     /// A boundary classifier (the §4.1 machine-learning stage) decided,
@@ -144,6 +147,10 @@ pub fn classify_hard(evidence: &EvidenceSet) -> Option<Verdict> {
     }
     if evidence.has(EvidenceKind::UaMismatch) {
         return Some(Verdict::Robot(Reason::BrowserTypeMismatch));
+    }
+    if evidence.has(EvidenceKind::AutomationFlag) || evidence.has(EvidenceKind::HeadlessFingerprint)
+    {
+        return Some(Verdict::Robot(Reason::AutomationLeak));
     }
     // Hard human evidence.
     if evidence.has(EvidenceKind::MouseEvent) {
@@ -268,6 +275,8 @@ mod tests {
             vec![ReplayedBeacon],
             vec![HiddenLinkFollowed],
             vec![UaMismatch],
+            vec![AutomationFlag],
+            vec![HeadlessFingerprint],
             vec![MouseEvent],
             vec![PassedCaptcha],
             vec![DownloadedCss, HiddenLinkFollowed, MouseEvent],
@@ -275,6 +284,19 @@ mod tests {
             let e = ev(&kinds);
             assert_eq!(classify_hard(&e), Some(classify_online(&e)), "{kinds:?}");
         }
+    }
+
+    #[test]
+    fn automation_leak_beats_synthesized_mouse_entropy() {
+        use EvidenceKind::*;
+        // A headless imitator that redeems a mouse beacon but admits
+        // `navigator.webdriver` is still a robot.
+        let e = ev(&[DownloadedCss, ExecutedJs, MouseEvent, AutomationFlag]);
+        assert_eq!(classify_final(&e), Label::Robot);
+        assert_eq!(classify_online(&e), Verdict::Robot(Reason::AutomationLeak));
+        let e = ev(&[MouseEvent, HeadlessFingerprint]);
+        assert_eq!(classify_final(&e), Label::Robot);
+        assert_eq!(classify_online(&e), Verdict::Robot(Reason::AutomationLeak));
     }
 
     #[test]
@@ -326,6 +348,8 @@ mod tests {
             HiddenLinkFollowed,
             UaMismatch,
             PassedCaptcha,
+            AutomationFlag,
+            HeadlessFingerprint,
         ];
         for mask in 0u32..(1 << all.len()) {
             let kinds: Vec<EvidenceKind> = all

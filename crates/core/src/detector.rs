@@ -786,6 +786,17 @@ fn fold_exchange(
                         hard |= state.accumulate(EvidenceKind::UaMismatch, index, now);
                     }
                 }
+                if let Some(auto) = &hit.automation {
+                    // The "Detecting Bot Detection" leaks: an admitted
+                    // webdriver flag or a headless-shaped empty plugin
+                    // list are hard robot evidence on their own.
+                    if auto.webdriver {
+                        hard |= state.accumulate(EvidenceKind::AutomationFlag, index, now);
+                    }
+                    if auto.plugins == 0 {
+                        hard |= state.accumulate(EvidenceKind::HeadlessFingerprint, index, now);
+                    }
+                }
             }
             ProbeKind::HiddenLink => {
                 hard |= state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
@@ -921,6 +932,63 @@ mod tests {
         let c = ins.classify(&r, SimTime::ZERO);
         let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
         assert_eq!(out.verdict, Verdict::Robot(Reason::BrowserTypeMismatch));
+    }
+
+    #[test]
+    fn automation_leak_detected_via_agent_beacon() {
+        let (mut ins, det) = pipeline();
+        let ua = "Mozilla/5.0 (Windows) Firefox/1.5";
+        let page: Uri = "http://h/index.html".parse().unwrap();
+        // Webdriver flag admitted: hard robot even with a matching agent.
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            ClientIp::new(31),
+            SimTime::ZERO,
+        );
+        let agent_url = manifest.agent_beacon.unwrap();
+        let fetch = format!(
+            "{agent_url}?agent={}&wd=1&pl=3",
+            UserAgent::canonicalize(ua)
+        );
+        let r = req(31, &fetch, ua);
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::AutomationLeak));
+
+        // Empty plugin list: the headless fingerprint also decides alone.
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            ClientIp::new(32),
+            SimTime::ZERO,
+        );
+        let agent_url = manifest.agent_beacon.unwrap();
+        let fetch = format!(
+            "{agent_url}?agent={}&wd=0&pl=0",
+            UserAgent::canonicalize(ua)
+        );
+        let r = req(32, &fetch, ua);
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Robot(Reason::AutomationLeak));
+
+        // A clean report (webdriver off, plugins present) stays soft.
+        let (_, manifest) = ins.instrument_page(
+            "<html><head></head><body></body></html>",
+            &page,
+            ClientIp::new(33),
+            SimTime::ZERO,
+        );
+        let agent_url = manifest.agent_beacon.unwrap();
+        let fetch = format!(
+            "{agent_url}?agent={}&wd=0&pl=3",
+            UserAgent::canonicalize(ua)
+        );
+        let r = req(33, &fetch, ua);
+        let c = ins.classify(&r, SimTime::ZERO);
+        let out = det.observe(&r, &ok(), &c, SimTime::ZERO);
+        assert_eq!(out.verdict, Verdict::Undecided);
     }
 
     #[test]

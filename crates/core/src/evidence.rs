@@ -33,6 +33,14 @@ pub enum EvidenceKind {
     UaMismatch,
     /// Passed a CAPTCHA challenge (ground-truth human, §3.1).
     PassedCaptcha,
+    /// The executing script admitted automation control
+    /// (`navigator.webdriver` was truthy) — the flag WebDriver-compliant
+    /// frameworks must raise and naive headless drivers forget to hide.
+    AutomationFlag,
+    /// The executing script reported a headless-shaped environment (an
+    /// empty `navigator.plugins` array), the classic headless-browser
+    /// fingerprint real desktop browsers of the era never exhibit.
+    HeadlessFingerprint,
 }
 
 impl EvidenceKind {
@@ -45,6 +53,8 @@ impl EvidenceKind {
                 | EvidenceKind::ForgedBeacon
                 | EvidenceKind::HiddenLinkFollowed
                 | EvidenceKind::UaMismatch
+                | EvidenceKind::AutomationFlag
+                | EvidenceKind::HeadlessFingerprint
         )
     }
 
@@ -188,6 +198,8 @@ mod tests {
         assert!(EvidenceKind::UaMismatch.is_hard_robot_evidence());
         assert!(EvidenceKind::ReplayedBeacon.is_hard_robot_evidence());
         assert!(EvidenceKind::ForgedBeacon.is_hard_robot_evidence());
+        assert!(EvidenceKind::AutomationFlag.is_hard_robot_evidence());
+        assert!(EvidenceKind::HeadlessFingerprint.is_hard_robot_evidence());
         // Soft signals are neither.
         for k in [
             EvidenceKind::DownloadedCss,

@@ -31,7 +31,7 @@
 
 use crate::beacon;
 use crate::jsgen::{self, GeneratedJs, JsSpec};
-use crate::probe::{ProbeHit, ProbeKind};
+use crate::probe::{AutomationReport, ProbeHit, ProbeKind};
 use crate::rewrite::{Classified, InstrumentConfig, ProbeManifest};
 use crate::token::{BeaconKey, TokenState};
 use botwall_http::{Request, Response, StatusCode, Uri};
@@ -299,19 +299,36 @@ impl RewriteEngine {
         if kind.extension() != ext {
             return Sighting::Ordinary;
         }
-        let reported_agent = if kind == ProbeKind::AgentBeacon {
-            uri.query().and_then(|q| {
-                q.split('&')
-                    .find_map(|kv| kv.strip_prefix("agent="))
-                    .map(|v| v.to_string())
-            })
+        let (reported_agent, automation) = if kind == ProbeKind::AgentBeacon {
+            let param = |name: &str| {
+                uri.query().and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix(name))
+                        .map(|v| v.to_string())
+                })
+            };
+            let agent = param("agent=");
+            // The webdriver and plugin-count parameters travel together;
+            // both must parse for the report to count.
+            let automation = match (
+                param("wd=").and_then(|v| v.parse::<u8>().ok()),
+                param("pl=").and_then(|v| v.parse::<u32>().ok()),
+            ) {
+                (Some(wd), Some(plugins)) => Some(AutomationReport {
+                    webdriver: wd != 0,
+                    plugins,
+                }),
+                _ => None,
+            };
+            (agent, automation)
         } else {
-            None
+            (None, None)
         };
         Sighting::Probe(ProbeHit {
             kind,
             nonce,
             reported_agent,
+            automation,
         })
     }
 
@@ -674,6 +691,48 @@ mod tests {
         }
         match e.classify(&get(&url.to_string()), SimTime::ZERO) {
             Sighting::Probe(hit) => assert_eq!(hit.reported_agent, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_beacon_carries_automation_report() {
+        let e = engine();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (url, _) = e.probe_url(ProbeKind::AgentBeacon, "h", SimTime::ZERO, &mut rng);
+        // A leaky automation framework: webdriver on, empty plugin list.
+        let leaky = format!("{url}?agent=mozilla/5.0&wd=1&pl=0");
+        match e.classify(&get(&leaky), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(
+                hit.automation,
+                Some(AutomationReport {
+                    webdriver: true,
+                    plugins: 0
+                })
+            ),
+            other => panic!("{other:?}"),
+        }
+        // A real browser: webdriver off, plugins present.
+        let clean = format!("{url}?agent=mozilla/5.0&wd=0&pl=3");
+        match e.classify(&get(&clean), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(
+                hit.automation,
+                Some(AutomationReport {
+                    webdriver: false,
+                    plugins: 3
+                })
+            ),
+            other => panic!("{other:?}"),
+        }
+        // Pre-upgrade beacons (no wd/pl params) and half reports omit it.
+        let legacy = format!("{url}?agent=mozilla/5.0");
+        match e.classify(&get(&legacy), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(hit.automation, None),
+            other => panic!("{other:?}"),
+        }
+        let half = format!("{url}?agent=mozilla/5.0&wd=1");
+        match e.classify(&get(&half), SimTime::ZERO) {
+            Sighting::Probe(hit) => assert_eq!(hit.automation, None),
             other => panic!("{other:?}"),
         }
     }

@@ -149,7 +149,9 @@ pub fn generate<R: Rng>(spec: &JsSpec, rng: &mut R) -> GeneratedJs {
     let _ = writeln!(out, "var {rep} = new Image();");
     let _ = writeln!(
         out,
-        "{rep}.src = {agent_expr} + \"?agent=\" + {agent_fn}();"
+        "{rep}.src = {agent_expr} + \"?agent=\" + {agent_fn}() + \
+         \"&wd=\" + (navigator.webdriver ? 1 : 0) + \
+         \"&pl=\" + navigator.plugins.length;"
     );
 
     // Pad with comment noise to the target size.

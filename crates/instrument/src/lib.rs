@@ -58,6 +58,6 @@ pub mod token;
 
 pub use engine::{BuiltPage, IssuedPageToken, RewriteEngine, Sighting};
 pub use jsgen::Obfuscation;
-pub use probe::{ProbeHit, ProbeKind};
+pub use probe::{AutomationReport, ProbeHit, ProbeKind};
 pub use rewrite::{Classified, InstrumentConfig, Instrumenter, InstrumenterStats, ProbeManifest};
 pub use token::{BeaconKey, KeyOutcome, TokenState, TokenTable, TokenTableConfig};

@@ -49,6 +49,19 @@ impl ProbeKind {
     }
 }
 
+/// Automation-environment facts the agent-beacon script reports alongside
+/// the canonicalized agent string: whether `navigator.webdriver` was
+/// truthy and how many entries `navigator.plugins` held. Automation
+/// frameworks leak exactly these signals; real desktop browsers report
+/// `webdriver = false` and a non-empty plugin list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutomationReport {
+    /// `navigator.webdriver` as reported by the executing script.
+    pub webdriver: bool,
+    /// `navigator.plugins.length` as reported by the executing script.
+    pub plugins: u32,
+}
+
 /// A classified probe hit.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProbeHit {
@@ -59,4 +72,8 @@ pub struct ProbeHit {
     /// For [`ProbeKind::AgentBeacon`] hits: the agent string the script
     /// reported (already canonicalized by the client-side code).
     pub reported_agent: Option<String>,
+    /// For [`ProbeKind::AgentBeacon`] hits: the automation-environment
+    /// report, when the executing script included one. Clients running
+    /// instrumentation minted before this field existed simply omit it.
+    pub automation: Option<AutomationReport>,
 }

@@ -1,0 +1,129 @@
+//! The population-scale proof obligation (ROADMAP: "millions of
+//! users"): one `Arc<Gateway>` holds over a million live sessions
+//! in-process, keeps serving Zipf traffic at that occupancy, sweeps the
+//! full live set without evicting anything, and drains it all back out
+//! with the ledger balanced.
+//!
+//! Release builds hold the literal ≥ 1M line; debug builds scale the
+//! population down (the same code paths, ~10× fewer keys) so plain
+//! `cargo test` stays tractable. The throughput numbers live in
+//! `benches/capacity.rs` / `BENCH_baseline.json`; this test holds the
+//! *correctness* properties at scale.
+
+use botwall::detect::DetectorConfig;
+use botwall::gateway::Gateway;
+use botwall::sessions::{SimTime, TrackerConfig};
+use botwall_bench::{touch, zipf_traffic, Zipf};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Live-session floor: the full million in release, scaled down (same
+/// paths, fewer keys) under debug assertions.
+fn target() -> u32 {
+    if cfg!(debug_assertions) {
+        120_000
+    } else {
+        1_200_000
+    }
+}
+
+fn capacity_gateway(target: u32) -> Arc<Gateway> {
+    // Headroom above the floor so prefill never triggers eviction.
+    let cap = target as usize + target as usize / 8;
+    Arc::new(
+        Gateway::builder()
+            .seed(2006)
+            .detector(DetectorConfig {
+                tracker: TrackerConfig {
+                    max_sessions: cap,
+                    ..TrackerConfig::default()
+                },
+            })
+            .build(),
+    )
+}
+
+/// Concurrent prefill over disjoint IP ranges — the multi-core ingest
+/// shape — then every capacity property in sequence against the same
+/// populated gateway (prefilling a million sessions is the expensive
+/// part; do it once).
+#[test]
+fn million_session_occupancy_traffic_sweep_and_drain() {
+    let n = target();
+    let gw = capacity_gateway(n);
+    let threads = 8u32;
+    let span_ms = 60_000u64;
+
+    // Prefill from `threads` workers, each owning a disjoint IP range,
+    // with arrivals spread over a minute so idle ordering is
+    // non-degenerate.
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let gw = &gw;
+            s.spawn(move || {
+                let lo = t * (n / threads);
+                let hi = if t == threads - 1 {
+                    n
+                } else {
+                    lo + n / threads
+                };
+                for ip in lo..hi {
+                    let at = SimTime::ZERO + (u64::from(ip) * span_ms) / u64::from(n);
+                    touch(gw, ip, at);
+                }
+            });
+        }
+    });
+    let now = SimTime::ZERO + span_ms;
+
+    let stats = gw.stats();
+    assert!(
+        stats.live_sessions >= n as usize,
+        "live-session floor: {} < {n}",
+        stats.live_sessions
+    );
+    assert_eq!(
+        stats.requests,
+        u64::from(n),
+        "one exchange per prefilled client"
+    );
+
+    // Zipf traffic at occupancy: the head of the distribution hammers a
+    // few hot sessions, the tail touches cold ones — no session is
+    // created or lost by revisits.
+    let zipf = Zipf::new(n as usize, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(72);
+    let extra = 50_000u64;
+    zipf_traffic(&gw, &zipf, extra, now, &mut rng);
+    let stats = gw.stats();
+    assert_eq!(stats.live_sessions, n as usize, "revisits create nothing");
+    assert_eq!(stats.requests, u64::from(n) + extra);
+
+    // Sweep with nothing idle past the timeout: a pure full scan that
+    // must finalize nothing and leave occupancy untouched.
+    let swept = gw.sweep(now);
+    assert!(
+        swept.is_empty(),
+        "nothing is idle: sweep finalized {}",
+        swept.len()
+    );
+    assert_eq!(gw.stats().live_sessions, n as usize);
+
+    // Stats/fold parity: the O(1) gauge agrees with an actual walk over
+    // every shard.
+    let folded = gw.detector().fold_key_states(0usize, |acc, _, _| acc + 1);
+    assert_eq!(folded, n as usize, "live gauge vs shard walk");
+
+    // Drain conservation: every live session comes back exactly once,
+    // request counts are conserved, and the tracker empties.
+    let drained = gw.drain();
+    assert_eq!(drained.len(), n as usize, "drain returns every session");
+    let drained_requests: u64 = drained.iter().map(|c| c.session.request_count()).sum();
+    assert_eq!(
+        drained_requests,
+        u64::from(n) + extra,
+        "request ledger conserved through drain"
+    );
+    assert_eq!(gw.stats().live_sessions, 0, "drain empties the tracker");
+}

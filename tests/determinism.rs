@@ -135,3 +135,56 @@ fn beacon_redemptions_interleaved_across_shards_byte_lock() {
     assert_eq!(a, b, "identical gateway runs must render byte-identically");
     assert_ne!(render_gateway_beacon_run(1), a, "seed must matter");
 }
+
+/// The adversary-escalation eval report is a pure function of
+/// `(sessions, seed)`: the whole rendered report — every per-kind
+/// detection percentage, the human FPR, the session counts — byte-locks
+/// across runs. This is the guardrail on the escalation population
+/// (shared fleet cache included: the `Arc<Mutex<FleetCache>>` must not
+/// leak wall-clock or allocation order into the scores).
+fn render_escalation_eval(sessions: u32, seed: u64) -> Vec<u8> {
+    let report = botwall_bench::run_escalation_eval(sessions, seed);
+    format!("{report:#?}").into_bytes()
+}
+
+#[test]
+fn escalation_eval_report_is_byte_identical_across_runs() {
+    let a = render_escalation_eval(160, 20_060_530);
+    let b = render_escalation_eval(160, 20_060_530);
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "eval report sizes diverged — nondeterminism upstream of rendering"
+    );
+    if let Some(pos) = a.iter().zip(&b).position(|(x, y)| x != y) {
+        let lo = pos.saturating_sub(80);
+        panic!(
+            "eval reports diverge at byte {pos}:\n  a: …{}…\n  b: …{}…",
+            String::from_utf8_lossy(&a[lo..(pos + 80).min(a.len())]),
+            String::from_utf8_lossy(&b[lo..(pos + 80).min(b.len())]),
+        );
+    }
+    assert_ne!(
+        render_escalation_eval(160, 1),
+        a,
+        "the eval must not ignore its seed"
+    );
+}
+
+proptest::proptest! {
+    /// Determinism holds across the seed space, not just at the pinned
+    /// seed above: for any small seed, two eval runs (and their rendered
+    /// reports) are identical. Sessions are kept small — the vendored
+    /// proptest shim has no per-test case-count override, so each case
+    /// must stay cheap.
+    #[test]
+    fn escalation_eval_is_deterministic_for_any_seed(seed in 0u64..64) {
+        let a = botwall_bench::run_escalation_eval(48, seed);
+        let b = botwall_bench::run_escalation_eval(48, seed);
+        proptest::prop_assert_eq!(&a, &b);
+        proptest::prop_assert_eq!(
+            format!("{a:#?}").into_bytes(),
+            format!("{b:#?}").into_bytes()
+        );
+    }
+}

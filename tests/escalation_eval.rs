@@ -1,0 +1,73 @@
+//! The adversary-escalation acceptance line: every modern adversary is
+//! detected at least as well as the paper-era polite spider, the
+//! automation-leak channel turns headless and fleet traffic into *hard*
+//! evidence the spider never produced, and none of it costs a single
+//! human false positive.
+
+use botwall_bench::{run_escalation_eval, SEED};
+
+#[test]
+fn every_escalated_adversary_beats_the_polite_spider_baseline() {
+    let report = run_escalation_eval(300, SEED);
+
+    let baseline = report
+        .row("polite-spider")
+        .expect("the paper-era baseline ran");
+    assert!(baseline.sessions > 0);
+
+    // The new adversaries, each at least as detected as the baseline.
+    for kind in ["headless-browser", "llm-agent"] {
+        let row = report.row(kind).expect(kind);
+        assert!(row.sessions > 0, "{kind} must appear in the mix");
+        assert!(
+            row.detected_pct >= baseline.detected_pct,
+            "{kind} detected {:.1}% < baseline {:.1}%",
+            row.detected_pct,
+            baseline.detected_pct
+        );
+    }
+
+    // The fleet has one structural escape: its first member solves the
+    // offered CAPTCHA honestly to harvest the `(id, answer)` pair for
+    // the cache — the CAPTCHA-farm shape — and a solved CAPTCHA is
+    // ground-truth human by the paper's own rules. Every *replaying*
+    // member must be caught, so the rate is bounded below by the mix
+    // minus that sacrificial solver.
+    let fleet = report.row("fleet-bot").expect("fleet ran");
+    assert!(fleet.sessions > 0);
+    assert!(
+        fleet.detected_pct >= 95.0,
+        "all but the sacrificial solver must be caught: {:.1}%",
+        fleet.detected_pct
+    );
+
+    // The polite spider never produced hard evidence — it fetched no
+    // decoys, forged no beacons, leaked no automation flags. The leaky
+    // headless browser and the replaying fleet must.
+    assert_eq!(
+        baseline.hard_detected_pct, 0.0,
+        "the polite spider is the soft-evidence baseline"
+    );
+    for kind in ["headless-browser", "fleet-bot"] {
+        let row = report.row(kind).expect(kind);
+        assert!(
+            row.hard_detected_pct > baseline.hard_detected_pct,
+            "{kind} must convert to hard evidence: {:.1}%",
+            row.hard_detected_pct
+        );
+    }
+
+    // The stealth variant is the honest evader: it executes the probe
+    // path and lies cleanly about its environment, so per the paper's
+    // own threat model it evades — the row exists to keep the gap
+    // visible, not to assert detection.
+    let stealth = report.row("stealth-headless").expect("stealth ran");
+    assert!(stealth.sessions > 0);
+
+    // Zero human-FPR regression: the new detectors cost nothing.
+    assert!(report.human_sessions > 0);
+    assert_eq!(
+        report.human_false_positive_pct, 0.0,
+        "automation-leak detection must not flag humans"
+    );
+}

@@ -20,6 +20,8 @@ fn arb_kind() -> impl Strategy<Value = EvidenceKind> {
         Just(EvidenceKind::ForgedBeacon),
         Just(EvidenceKind::HiddenLinkFollowed),
         Just(EvidenceKind::UaMismatch),
+        Just(EvidenceKind::AutomationFlag),
+        Just(EvidenceKind::HeadlessFingerprint),
         Just(EvidenceKind::PassedCaptcha),
     ]
 }
