@@ -1,0 +1,57 @@
+//! The front door on the scale: one full loopback round trip per
+//! iteration — TCP connect is amortised away by keep-alive, so the row
+//! prices accept-to-answer latency through the event loop, the HTTP
+//! framing, the gateway's deferred two-phase protocol, and the origin
+//! fetch over a second non-blocking connection.
+//!
+//! Every iteration uses a fresh User-Agent, so each request creates its
+//! own session and takes the first-contact path (session insert +
+//! page instrumentation) — the worst-case row, not the warm-cache one.
+
+use botwall_gateway::Gateway;
+use botwall_http::{Method, Request};
+use botwall_serve::{client, MockOrigin, ServeConfig, Server};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const PAGE: &str = "<html><head><title>bench</title></head>\
+<body><p>loopback page</p><a href=\"/about.html\">about</a></body></html>";
+
+fn bench_loopback_roundtrip(c: &mut Criterion) {
+    let origin = MockOrigin::new().page("/index.html", PAGE).start().unwrap();
+    let gateway = Arc::new(Gateway::builder().seed(91).build());
+    let config = ServeConfig {
+        origin: Some(origin.addr()),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&gateway), config).unwrap();
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run());
+
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("serve_loopback", |b| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let request = Request::builder(Method::Get, "/index.html")
+                .header("User-Agent", format!("bench/{i}"))
+                .header("Host", "bench.example")
+                .build()
+                .unwrap();
+            let response = client::roundtrip(&mut conn, &request).unwrap();
+            assert!(response.status().is_success());
+        })
+    });
+    group.finish();
+
+    shutdown.shutdown();
+    join.join().unwrap().unwrap();
+    drop(origin);
+}
+
+criterion_group!(benches, bench_loopback_roundtrip);
+criterion_main!(benches);

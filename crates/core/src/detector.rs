@@ -177,6 +177,14 @@ pub struct KeyState {
     /// (diagnostic; absorbed from [`KeyCarry::lost_exchanges`] or bumped
     /// directly when the lost commit finds a live successor).
     pub lost_commits: u32,
+    /// Leased exchanges currently in flight (origin fetch outstanding):
+    /// incremented when [`Detector::gate`] leases, decremented when
+    /// [`Detector::commit_exchange`] folds the fetch back in. The gate
+    /// folds this into the behavioural thresholds so a burst riding a
+    /// slow origin is seen *before* its commits land (an abandoned lease
+    /// leaks its count until the incarnation rolls over — erring toward
+    /// enforcement, never under it).
+    pub in_flight: u32,
 }
 
 impl Default for KeyState {
@@ -188,6 +196,7 @@ impl Default for KeyState {
             tokens: TokenState::default(),
             challenge: None,
             lost_commits: 0,
+            in_flight: 0,
         }
     }
 }
@@ -430,18 +439,18 @@ impl Detector {
     /// is free — reentering the detector (even for the same key) is
     /// safe.
     ///
-    /// **Enforcement lag under concurrent leases.** The gate consumes
-    /// the session's rate-bucket token immediately (so N concurrent
+    /// **Enforcement under concurrent leases.** The gate consumes the
+    /// session's rate-bucket token immediately (so N concurrent
     /// requests still burn N tokens and the rate limit engages
-    /// mid-burst), but leased exchanges are *recorded* only at commit:
-    /// the recorded-history signals — error/CGI ratios, the sustained
-    /// request rate, verdict promotions — see an in-flight burst only
-    /// after its commits land, so behavioural blocking can lag by the
-    /// number of leases in flight (it grows with origin latency ×
-    /// concurrency). The PR-4 fused path serialized fold-before-next-
-    /// gate and had no such window; this is the deliberate price of not
-    /// holding the shard across the fetch (ROADMAP notes the in-flight
-    /// counter mitigation if it ever matters in practice).
+    /// mid-burst), and [`KeyState::in_flight`] counts the leases still
+    /// awaiting their origin: the gate folds it into the behavioural
+    /// thresholds (history gate and sustained rate — see
+    /// [`PolicyEngine::decide`]), so a robot-classified burst riding a
+    /// slow origin is blocked *while* its fetches are outstanding, not
+    /// origin-latency × concurrency later. What still waits for commits
+    /// is whatever needs the exchanges' *outcomes*: error/CGI ratios
+    /// and evidence-driven verdict promotions — those signals do not
+    /// exist until the origin answers.
     pub fn gate<T>(
         &self,
         request: &Request,
@@ -474,11 +483,29 @@ impl Detector {
                         Action::Allow
                     }
                 } else {
+                    // Leases outstanding are requests the session has
+                    // already issued: count them in the sustained rate
+                    // (span extended to `now` — they arrived after the
+                    // last recorded exchange) so behavioural blocking
+                    // engages mid-burst instead of lagging until the
+                    // commits land.
+                    let session_rate = if state.in_flight == 0 {
+                        session.request_rate()
+                    } else {
+                        let span_ms = now.since(session.started());
+                        if span_ms == 0 {
+                            0.0
+                        } else {
+                            (session.counters().total + u64::from(state.in_flight)) as f64 * 1000.0
+                                / span_ms as f64
+                        }
+                    };
                     policy.decide(
                         &mut state.policy,
                         state.verdict,
                         session.counters(),
-                        session.request_rate(),
+                        session_rate,
+                        state.in_flight,
                         now,
                     )
                 }
@@ -515,6 +542,11 @@ impl Detector {
                 }
                 GateRespond::NeedsOrigin => {
                     let (session, state) = entry.parts();
+                    // The lease is in flight from this moment: later
+                    // gates for the same key fold it into their
+                    // thresholds even though it commits only when the
+                    // origin answers.
+                    state.in_flight += 1;
                     Gate::Lease(Phase1::Lease(
                         action,
                         classified,
@@ -596,6 +628,13 @@ impl Detector {
             |entry| {
                 let (response, value) = {
                     let (session, state) = entry.parts();
+                    // The fetch is back: this lease no longer counts
+                    // toward the in-flight burst. Saturating because a
+                    // rollover mid-fetch resets the counter to zero and
+                    // this commit would then land on the lost path —
+                    // but a racing same-key re-gate between those two
+                    // steps must never underflow.
+                    state.in_flight = state.in_flight.saturating_sub(1);
                     respond(session, state)
                 };
                 entry.record(request, Some(&response), now);
@@ -1387,6 +1426,91 @@ mod tests {
         assert_eq!(response.status(), StatusCode::OK);
         assert_eq!(out.request_index, 2);
         assert_eq!(det.tracker().get(&out.key).unwrap().request_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_leased_burst_is_blocked_while_its_origins_hang() {
+        use crate::classifier::Reason;
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        let det = Detector::new(DetectorConfig::default());
+        // A loose robot bucket so the token-bucket throttle cannot mask
+        // the behavioural threshold under test; rate threshold at the
+        // default 10 req/s.
+        let policy = PolicyEngine::new(PolicyConfig {
+            robot_rate_per_sec: 100.0,
+            robot_burst: 100.0,
+            ..PolicyConfig::default()
+        });
+        let r = req(44, "http://h/a.html", "wget/1.0");
+        // Recorded history: 6 exchanges over 2 s (3 req/s — under the
+        // threshold), then classify the session as a robot.
+        let mut key = None;
+        for i in 0..6u64 {
+            let out = det.observe(
+                &r,
+                &ok(),
+                &Classified::Ordinary,
+                SimTime::from_millis(i * 400),
+            );
+            key = Some(out.key);
+        }
+        let key = key.unwrap();
+        det.with_key_state(&key, |_, state| {
+            state.verdict = Verdict::Robot(Reason::DecoyFetched);
+        });
+        // A concurrent burst at t=2s: every request leases (slow origin,
+        // nothing commits). Without the in-flight fold the recorded rate
+        // stays 3 req/s for the whole burst and all 30 would pass; with
+        // it the gate sees (6 + in_flight) / 2s and blocks mid-burst.
+        let now = SimTime::from_secs(2);
+        let mut leases = Vec::new();
+        let mut blocked_at = None;
+        for i in 0..30u32 {
+            let gated = det.gate(
+                &r,
+                &Sighting::Ordinary,
+                now,
+                true,
+                &policy,
+                |action, _, _, _| {
+                    if action == Action::Allow {
+                        GateRespond::<()>::NeedsOrigin
+                    } else {
+                        GateRespond::Respond(Response::empty(StatusCode::FORBIDDEN), ())
+                    }
+                },
+            );
+            match gated {
+                Gated::NeedsOrigin(lease) => leases.push(lease),
+                Gated::Done { action, .. } => {
+                    assert_eq!(action, Action::Block, "burst must block, not throttle");
+                    blocked_at = Some(i);
+                    break;
+                }
+            }
+        }
+        // (6 + i) / 2s crosses 10 req/s at the 16th in-flight lease.
+        assert_eq!(
+            blocked_at,
+            Some(15),
+            "behavioural blocking engages mid-burst, before any commit lands"
+        );
+        assert_eq!(
+            det.with_key_state(&key, |_, state| state.in_flight),
+            Some(15)
+        );
+        // The hanging origins answer: every commit folds its lease back
+        // in and the in-flight census drains to zero.
+        for lease in leases {
+            let (_, response, ()) =
+                det.commit_exchange(lease, &r, now + 100, |_, _| (ok(), ()), || (ok(), ()));
+            assert_eq!(response.status(), StatusCode::OK);
+        }
+        assert_eq!(
+            det.with_key_state(&key, |_, state| state.in_flight),
+            Some(0),
+            "commits drain the in-flight census"
+        );
     }
 
     #[test]

@@ -167,6 +167,7 @@ impl PolicyState {
 ///     Verdict::Human(Reason::MouseActivity),
 ///     &counters,
 ///     0.0,
+///     0,
 ///     SimTime::ZERO,
 /// );
 /// assert_eq!(action, Action::Allow);
@@ -192,13 +193,23 @@ impl PolicyEngine {
     /// enforcement state, updating the state in place.
     ///
     /// `session_rate` is the session's sustained request rate in req/s
-    /// (see [`botwall_sessions::Session::request_rate`]).
+    /// (see [`botwall_sessions::Session::request_rate`]); callers with
+    /// leases outstanding pass a rate that already counts them.
+    ///
+    /// `in_flight` is the number of leased exchanges currently awaiting
+    /// their origin fetch: they are not in `counters` yet (recording
+    /// happens at commit), but they are real requests the session has
+    /// already issued, so the history gate counts them — without it, a
+    /// burst riding a slow origin stays under
+    /// `min_requests_for_thresholds` until the first commits land and
+    /// behavioural blocking lags by origin latency × concurrency.
     pub fn decide(
         &self,
         state: &mut PolicyState,
         verdict: Verdict,
         counters: &SessionCounters,
         session_rate: f64,
+        in_flight: u32,
         now: SimTime,
     ) -> Action {
         if state.blocked {
@@ -206,8 +217,9 @@ impl PolicyEngine {
         }
         let is_robot = matches!(verdict, Verdict::Robot(_) | Verdict::ProvisionalRobot(_));
         // Behavioural blocking thresholds apply to robot-classified
-        // sessions with enough history.
-        if is_robot && counters.total >= self.config.min_requests_for_thresholds {
+        // sessions with enough history — recorded or in flight.
+        let effective_total = counters.total + u64::from(in_flight);
+        if is_robot && effective_total >= self.config.min_requests_for_thresholds {
             let over_cgi = counters.cgi_ratio() > self.config.cgi_ratio_threshold;
             let over_err = counters.error_ratio() > self.config.error_ratio_threshold;
             let over_rate = session_rate > self.config.rate_threshold;
@@ -304,6 +316,7 @@ mod tests {
                     Verdict::Human(Reason::MouseActivity),
                     &c,
                     100.0,
+                    0,
                     SimTime::ZERO
                 ),
                 Action::Allow
@@ -324,6 +337,7 @@ mod tests {
                 Verdict::Robot(Reason::DecoyFetched),
                 &c,
                 1.0,
+                0,
                 SimTime::ZERO,
             ) == Action::Throttle
             {
@@ -344,7 +358,7 @@ mod tests {
         let c = SessionCounters::new();
         for _ in 0..10 {
             assert_eq!(
-                e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO),
+                e.decide(&mut s, Verdict::Undecided, &c, 1.0, 0, SimTime::ZERO),
                 Action::Allow
             );
         }
@@ -355,6 +369,7 @@ mod tests {
                 Verdict::ProvisionalRobot(Reason::NoBrowserSignals),
                 &c,
                 1.0,
+                0,
                 SimTime::ZERO,
             ) == Action::Allow
             {
@@ -376,13 +391,21 @@ mod tests {
             Verdict::Robot(Reason::NoBrowserSignals),
             &c,
             1.0,
+            0,
             SimTime::ZERO,
         );
         assert_eq!(a, Action::Block);
         assert!(s.is_blocked());
         // Subsequent requests stay blocked.
         assert_eq!(
-            e.decide(&mut s, Verdict::Undecided, &c, 0.0, SimTime::from_secs(9)),
+            e.decide(
+                &mut s,
+                Verdict::Undecided,
+                &c,
+                0.0,
+                0,
+                SimTime::from_secs(9)
+            ),
             Action::Block
         );
     }
@@ -400,6 +423,7 @@ mod tests {
                 Verdict::ProvisionalRobot(Reason::JsWithoutMouse),
                 &c,
                 0.1,
+                0,
                 SimTime::ZERO
             ),
             Action::Block
@@ -418,6 +442,7 @@ mod tests {
                 Verdict::Robot(Reason::HiddenLink),
                 &c,
                 50.0,
+                0,
                 SimTime::ZERO
             ),
             Action::Block
@@ -436,6 +461,7 @@ mod tests {
             Verdict::Robot(Reason::NoBrowserSignals),
             &c,
             1.0,
+            0,
             SimTime::ZERO,
         );
         assert_ne!(a, Action::Block, "not enough history to block");
@@ -454,6 +480,7 @@ mod tests {
                 Verdict::Human(Reason::MouseActivity),
                 &c,
                 50.0,
+                0,
                 SimTime::ZERO
             ),
             Action::Allow,
@@ -477,7 +504,7 @@ mod tests {
         let mut s = PolicyState::default();
         let c = SessionCounters::new();
         // Provision a bucket, then block.
-        e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO);
+        e.decide(&mut s, Verdict::Undecided, &c, 1.0, 0, SimTime::ZERO);
         assert!(s.bucket.is_some());
         e.block(&mut s);
         let next = s.carry_over();
@@ -494,7 +521,7 @@ mod tests {
         let c = SessionCounters::new();
         let mut throttled = 0;
         for _ in 0..100 {
-            if e.decide(&mut s, Verdict::Undecided, &c, 1.0, SimTime::ZERO) == Action::Throttle {
+            if e.decide(&mut s, Verdict::Undecided, &c, 1.0, 0, SimTime::ZERO) == Action::Throttle {
                 throttled += 1;
             }
         }

@@ -41,6 +41,8 @@ impl StatusCode {
     pub const FORBIDDEN: StatusCode = StatusCode(403);
     /// `404 Not Found`.
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// `408 Request Timeout` (client took too long to send its request).
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
     /// `429 Too Many Requests` (what the rate limiter returns).
     pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
     /// `500 Internal Server Error`.
@@ -49,6 +51,8 @@ impl StatusCode {
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
     /// `503 Service Unavailable`.
     pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// `504 Gateway Timeout` (origin did not answer in time).
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
 
     /// Creates a status code, rejecting values outside `100..=599`.
     ///

@@ -1,0 +1,50 @@
+//! A minimal blocking HTTP/1.1 client for exercising the front door
+//! from tests, benches, and the binary's smoke mode. One function per
+//! concern: put a request on a stream, read one framed response back.
+
+use crate::frame::{measure, Framing};
+use botwall_http::{wire, HttpError, Request, Response};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Writes `request` to the stream in wire format.
+pub fn send_request(conn: &mut TcpStream, request: &Request) -> io::Result<()> {
+    conn.write_all(&wire::serialize_request(request))
+}
+
+/// Reads exactly one response off the stream, honoring `Content-Length`
+/// framing (and falling back to read-to-EOF when the server closes a
+/// response without one).
+pub fn read_response(conn: &mut TcpStream) -> io::Result<Response> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let frame = loop {
+        match measure(&buf) {
+            Ok(Framing::Complete { len }) => break len,
+            Ok(_) => {}
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+        match conn.read(&mut chunk)? {
+            0 => break buf.len(), // close-delimited
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    parse(&buf[..frame])
+}
+
+/// One request/response round trip on an existing connection.
+pub fn roundtrip(conn: &mut TcpStream, request: &Request) -> io::Result<Response> {
+    send_request(conn, request)?;
+    read_response(conn)
+}
+
+fn parse(raw: &[u8]) -> io::Result<Response> {
+    if raw.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before any response bytes",
+        ));
+    }
+    wire::parse_response(raw)
+        .map_err(|e: HttpError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}

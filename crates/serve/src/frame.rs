@@ -1,0 +1,141 @@
+//! Incremental HTTP/1.x framing over a byte stream.
+//!
+//! [`botwall_http::wire`] parses complete messages; a socket delivers
+//! fragments. This module answers the one question the codec cannot:
+//! *how many buffered bytes make up the next complete message?* A frame
+//! is the header block (terminated by the blank line) plus a body of
+//! exactly `Content-Length` bytes (zero when absent — chunked transfer
+//! is out of scope for the whole workspace). Responses without a
+//! `Content-Length` are instead delimited by connection close, which the
+//! server handles at its EOF path.
+
+use botwall_http::HttpError;
+
+/// Cap on the header block of one message. A peer that streams more
+/// header bytes without ever finishing the block is attacking, not slow.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Cap on one whole message (head + declared body).
+pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// How far the buffered prefix of a message stream has progressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Framing {
+    /// The header block is not complete yet; keep reading.
+    Partial,
+    /// The message is `len` bytes; the buffer holds at least that many.
+    Complete {
+        /// Total message length in bytes (head + body).
+        len: usize,
+    },
+    /// The header block is complete but the body needs `len` total bytes.
+    NeedsBody {
+        /// Total message length in bytes once the body arrives.
+        len: usize,
+    },
+}
+
+/// Measures the next message in `buf`. `Err` means the peer is framing
+/// garbage (oversized head, unparseable or oversized `Content-Length`)
+/// and the connection should answer 400 / close.
+pub fn measure(buf: &[u8]) -> Result<Framing, HttpError> {
+    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::InvalidHeader(format!(
+                "header block exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        return Ok(Framing::Partial);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::InvalidHeader(format!(
+            "header block exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("Content-Length") {
+                let value = value.trim();
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::InvalidContentLength(value.to_string()))?;
+                break; // first Content-Length wins, matching the codec
+            }
+        }
+    }
+    let len = head_end + 4 + content_length;
+    if len > MAX_FRAME_BYTES {
+        return Err(HttpError::InvalidContentLength(format!(
+            "message of {len} bytes exceeds {MAX_FRAME_BYTES}"
+        )));
+    }
+    if buf.len() >= len {
+        Ok(Framing::Complete { len })
+    } else {
+        Ok(Framing::NeedsBody { len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_until_blank_line() {
+        assert_eq!(
+            measure(b"GET / HTTP/1.1\r\nHost: h\r\n"),
+            Ok(Framing::Partial)
+        );
+        assert_eq!(measure(b""), Ok(Framing::Partial));
+    }
+
+    #[test]
+    fn bodyless_message_ends_at_blank_line() {
+        let raw = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+        assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
+    }
+
+    #[test]
+    fn content_length_extends_the_frame() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab";
+        assert_eq!(measure(raw), Ok(Framing::NeedsBody { len: raw.len() + 3 }));
+        let full = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nabcde";
+        assert_eq!(measure(full), Ok(Framing::Complete { len: full.len() }));
+    }
+
+    #[test]
+    fn pipelined_second_request_is_not_swallowed() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let Ok(Framing::Complete { len }) = measure(raw) else {
+            panic!("first frame complete");
+        };
+        assert_eq!(&raw[len..], b"GET /b HTTP/1.1\r\n\r\n");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_even_unterminated() {
+        let raw = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(measure(&raw).is_err());
+    }
+
+    #[test]
+    fn bad_content_length_is_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(matches!(
+            measure(raw),
+            Err(HttpError::InvalidContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn declared_body_over_frame_cap_is_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_FRAME_BYTES
+        );
+        assert!(measure(raw.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! A real TCP front door for the botwall gateway.
+//!
+//! Everything below the gateway in this workspace is deterministic and
+//! in-process; this crate is where it meets actual sockets. A
+//! single-threaded epoll event loop (the offline [`reactor`] shim —
+//! standing in for tokio/mio) accepts connections, speaks enough
+//! HTTP/1.1 (incremental parsing, `Content-Length` framing, keep-alive),
+//! and drives every request through the gateway's **deferred two-phase
+//! protocol**: requests the gate can answer alone finish immediately,
+//! and requests that need origin content park the client while the
+//! origin is fetched over a second non-blocking connection on the same
+//! loop — the concurrency story PR 5 built the lease/commit split for,
+//! now exercised over real file descriptors.
+//!
+//! * [`Server`] — the event loop; [`ServeConfig`] tunes the connection
+//!   cap, timeouts, keep-alive, and the upstream origin address.
+//! * [`MockOrigin`] — a deliberately blocking loopback origin with
+//!   per-path latency, for tests/benches/the binary's `--mock-origin`.
+//! * [`client`] — a minimal blocking HTTP client used by the end-to-end
+//!   tests, the loopback bench, and the binary's `--smoke` mode.
+//! * `/admin/stats` — the operator plane: one JSON snapshot of
+//!   [`botwall_gateway::GatewayStats`], rendered by [`stats::stats_json`].
+//!
+//! The `botwall-serve` binary wires a SIGTERM/SIGINT handler to the
+//! reactor's waker, so a signal turns into a clean drain: stop
+//! accepting, finish in-flight exchanges, flush every session through
+//! the classifier, exit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod mock;
+pub mod server;
+pub mod stats;
+
+pub use mock::{MockOrigin, MockOriginHandle};
+pub use server::{ServeConfig, ServeReport, Server, ShutdownHandle};

@@ -1,0 +1,189 @@
+//! A loopback origin for tests, benches, and the `--mock-origin` mode
+//! of the binary: a deliberately *blocking*, thread-per-connection HTTP
+//! server with configurable per-path latency. Its slowness is the test
+//! fixture — the front door must keep other connections moving while
+//! this origin sits on one.
+
+use crate::frame::{measure, Framing};
+use botwall_http::request::ClientIp;
+use botwall_http::{wire, Response, StatusCode};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Builder for a mock origin server.
+#[derive(Debug, Default)]
+pub struct MockOrigin {
+    pages: HashMap<String, String>,
+    latency: HashMap<String, Duration>,
+}
+
+impl MockOrigin {
+    /// An origin with no pages (every path 404s).
+    pub fn new() -> MockOrigin {
+        MockOrigin::default()
+    }
+
+    /// Registers an HTML page at `path`.
+    pub fn page(mut self, path: impl Into<String>, html: impl Into<String>) -> MockOrigin {
+        self.pages.insert(path.into(), html.into());
+        self
+    }
+
+    /// Delays every response for `path` by `by` — the "one slow CGI
+    /// script" of the paper's deployment, in miniature.
+    pub fn latency(mut self, path: impl Into<String>, by: Duration) -> MockOrigin {
+        self.latency.insert(path.into(), by);
+        self
+    }
+
+    /// Binds a loopback port and starts serving on background threads.
+    pub fn start(self) -> std::io::Result<MockOriginHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let hits = Arc::new(AtomicU64::new(0));
+        let shared = Arc::new(self);
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let hits = Arc::clone(&hits);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    let origin = Arc::clone(&shared);
+                    let hits = Arc::clone(&hits);
+                    std::thread::spawn(move || origin.serve_conn(conn, &hits));
+                }
+            })
+        };
+        Ok(MockOriginHandle {
+            addr,
+            stop,
+            hits,
+            accept: Some(accept),
+        })
+    }
+
+    /// One connection: read one request, answer it, close. (The front
+    /// door opens a fresh origin connection per fetch.)
+    fn serve_conn(&self, mut conn: TcpStream, hits: &AtomicU64) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let frame = loop {
+            match measure(&buf) {
+                Ok(Framing::Complete { len }) => break len,
+                Ok(_) => {}
+                Err(_) => return,
+            }
+            match conn.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let Ok(request) = wire::parse_request(&buf[..frame], ClientIp::new(0)) else {
+            return;
+        };
+        let path = request.uri().path().to_string();
+        if let Some(by) = self.latency.get(&path) {
+            std::thread::sleep(*by);
+        }
+        hits.fetch_add(1, Ordering::SeqCst);
+        let response = match self.pages.get(&path) {
+            Some(html) => Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/html")
+                .body_bytes(html.clone().into_bytes())
+                .build(),
+            None => Response::builder(StatusCode::NOT_FOUND)
+                .header("Content-Length", "0")
+                .build(),
+        };
+        let _ = conn.write_all(&wire::serialize_response(&response));
+    }
+}
+
+/// A running mock origin. Dropping it stops the accept loop.
+#[derive(Debug)]
+pub struct MockOriginHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    hits: Arc<AtomicU64>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MockOriginHandle {
+    /// The loopback address the origin listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (after any configured latency).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for MockOriginHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use botwall_http::{Method, Request};
+    use std::time::Instant;
+
+    fn get(addr: SocketAddr, path: &str) -> Response {
+        let request = Request::builder(Method::Get, path).build().unwrap();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(&wire::serialize_request(&request)).unwrap();
+        let mut raw = Vec::new();
+        conn.read_to_end(&mut raw).unwrap();
+        wire::parse_response(&raw).unwrap()
+    }
+
+    #[test]
+    fn serves_pages_and_404s() {
+        let origin = MockOrigin::new()
+            .page("/index.html", "<html><body>hi</body></html>")
+            .start()
+            .unwrap();
+        let ok = get(origin.addr(), "/index.html");
+        assert_eq!(ok.status(), StatusCode::OK);
+        assert_eq!(ok.body(), b"<html><body>hi</body></html>");
+        assert_eq!(
+            get(origin.addr(), "/missing").status(),
+            StatusCode::NOT_FOUND
+        );
+        assert_eq!(origin.hits(), 2);
+    }
+
+    #[test]
+    fn latency_delays_only_the_configured_path() {
+        let origin = MockOrigin::new()
+            .page("/slow.html", "<html></html>")
+            .page("/fast.html", "<html></html>")
+            .latency("/slow.html", Duration::from_millis(300))
+            .start()
+            .unwrap();
+        let t = Instant::now();
+        get(origin.addr(), "/fast.html");
+        assert!(t.elapsed() < Duration::from_millis(200));
+        let t = Instant::now();
+        get(origin.addr(), "/slow.html");
+        assert!(t.elapsed() >= Duration::from_millis(300));
+    }
+}

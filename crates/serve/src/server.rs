@@ -1,0 +1,767 @@
+//! The event loop: one thread, one [`Reactor`], every connection a
+//! small state machine.
+//!
+//! # How a request flows
+//!
+//! A client connection reads until [`crate::frame`] reports a complete
+//! message, parses it with the wire codec, and hands it to
+//! [`Gateway::handle_deferred`]. Decisions that need no origin
+//! ([`PendingServe::Ready`]) serialize straight back. An allowed
+//! ordinary request comes back as a [`PendingServe::AwaitingOrigin`]
+//! lease: the server opens a **second non-blocking connection** to the
+//! origin through the same reactor, parks the client, and only when the
+//! origin's response (or its deadline) arrives does
+//! [`Gateway::complete`] commit the exchange and wake the client with
+//! the final bytes. No gateway lock and no event-loop stall spans the
+//! fetch — one slow origin delays exactly the connections waiting on
+//! *that* fetch, never their neighbors.
+//!
+//! # Timeouts and shutdown
+//!
+//! Each client connection carries a read deadline (idle keep-alive
+//! connections close quietly; half-sent requests answer 408) and each
+//! origin fetch carries its own deadline that completes the lease with a
+//! synthesized 504 — completing rather than dropping, so the session's
+//! in-flight lease count comes back down and enforcement stays exact.
+//! On shutdown (SIGTERM in the binary, [`ShutdownHandle`] anywhere) the
+//! listener closes first, idle connections drop, in-flight exchanges
+//! finish, and [`Server::run`] returns after draining the gateway so
+//! every observed session reaches its final classification.
+
+use crate::frame::{self, Framing};
+use crate::stats::stats_json;
+use botwall_gateway::{Gateway, Origin, PendingServe};
+use botwall_http::request::ClientIp;
+use botwall_http::{wire, Request, Response, StatusCode};
+use botwall_sessions::SimTime;
+use reactor::{net, signals, Event, Interest, Reactor, Token, Waker};
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tuning for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Concurrent-connection cap; excess accepts answer 503 and close.
+    pub max_connections: usize,
+    /// How long a connection may sit without completing a request (idle
+    /// keep-alive closes quietly, a half-sent request answers 408).
+    pub read_timeout: Duration,
+    /// How long an origin fetch may run before the lease completes with
+    /// a synthesized 504.
+    pub origin_timeout: Duration,
+    /// Whether connections may carry more than one request.
+    pub keep_alive: bool,
+    /// The upstream origin. `None` serves the gateway's instrumentation
+    /// traffic and 404s everything ordinary.
+    pub origin: Option<SocketAddr>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            max_connections: 256,
+            read_timeout: Duration::from_secs(10),
+            origin_timeout: Duration::from_secs(10),
+            keep_alive: true,
+            origin: None,
+        }
+    }
+}
+
+/// What one [`Server::run`] did, reported after drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted (cap rejections not included).
+    pub connections: u64,
+    /// HTTP requests parsed off those connections.
+    pub requests: u64,
+    /// Sessions flushed by the final gateway drain.
+    pub drained_sessions: usize,
+}
+
+/// Requests a running server stop: close the listener, finish in-flight
+/// exchanges, drain the gateway. Cloneable and usable from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    waker: Waker,
+    waker_fd: i32,
+}
+
+impl ShutdownHandle {
+    /// Triggers the drain.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    /// The raw waker fd, for wiring a signal handler (see
+    /// [`reactor::signals::install_term_handler`]).
+    pub fn waker_fd(&self) -> i32 {
+        self.waker_fd
+    }
+}
+
+/// The listener's reserved token; connection slots start at 1.
+const LISTENER: Token = Token(0);
+
+fn token_of(slot: usize) -> Token {
+    Token(slot + 1)
+}
+
+/// One entry in the connection slab.
+enum Slot {
+    Client(ClientConn),
+    OriginFetch(Box<OriginConn>),
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    peer: ClientIp,
+    buf: Vec<u8>,
+    state: ClientState,
+}
+
+enum ClientState {
+    /// Accumulating the next request.
+    Reading,
+    /// Parked while slot `origin_slot` fetches this request's origin.
+    Awaiting { origin_slot: usize },
+    /// Flushing a serialized response.
+    Writing {
+        out: Vec<u8>,
+        pos: usize,
+        close_after: bool,
+    },
+}
+
+struct OriginConn {
+    stream: TcpStream,
+    /// Serialized upstream request, then how much of it has gone out.
+    out: Vec<u8>,
+    pos: usize,
+    buf: Vec<u8>,
+    client_slot: usize,
+    /// Whether to close the *client* connection after this response.
+    close_after: bool,
+    /// The leased exchange; always completed, never dropped.
+    pending: Option<botwall_gateway::PendingOrigin>,
+    connected: bool,
+}
+
+enum WriteStep {
+    Done,
+    Blocked,
+    Dead,
+}
+
+/// A real TCP front door over a [`Gateway`]: accepts connections, speaks
+/// HTTP/1.1 with keep-alive, and drives every decision through the
+/// deferred two-phase protocol on a single-threaded epoll loop.
+pub struct Server {
+    reactor: Reactor,
+    listener: Option<TcpListener>,
+    local_addr: SocketAddr,
+    gateway: Arc<Gateway>,
+    config: ServeConfig,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// Slots freed during the current event batch; merged into `free`
+    /// only after the batch so a stale event cannot hit a reused slot.
+    pending_free: Vec<usize>,
+    clients: usize,
+    shutdown: Arc<AtomicBool>,
+    draining: bool,
+    connections_total: u64,
+    requests_total: u64,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and prepares the event loop.
+    pub fn bind(addr: &str, gateway: Arc<Gateway>, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let mut reactor = Reactor::new()?;
+        reactor.register(&listener, LISTENER, Interest::READABLE)?;
+        Ok(Server {
+            reactor,
+            listener: Some(listener),
+            local_addr,
+            gateway,
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            pending_free: Vec::new(),
+            clients: 0,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            draining: false,
+            connections_total: 0,
+            requests_total: 0,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            waker: self.reactor.waker(),
+            waker_fd: self.reactor.waker_fd(),
+        }
+    }
+
+    /// The wall-clock of this server's reactor as the workspace's
+    /// simulated-time type: milliseconds since the server started.
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.reactor.now_ms())
+    }
+
+    /// Runs the event loop until shutdown completes, then drains the
+    /// gateway and reports.
+    pub fn run(&mut self) -> io::Result<ServeReport> {
+        let mut events = Vec::new();
+        loop {
+            if (self.shutdown.load(Ordering::SeqCst) || signals::terminated()) && !self.draining {
+                self.begin_drain();
+            }
+            if self.draining && self.clients == 0 {
+                break;
+            }
+            self.reactor
+                .poll(&mut events, Some(Duration::from_millis(500)))?;
+            for event in events.iter().copied() {
+                self.on_event(event);
+            }
+            self.free.append(&mut self.pending_free);
+        }
+        let drained_sessions = self.gateway.drain().len();
+        Ok(ServeReport {
+            connections: self.connections_total,
+            requests: self.requests_total,
+            drained_sessions,
+        })
+    }
+
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        // Closing the listener deregisters it and refuses new work.
+        self.listener = None;
+        // Idle keep-alive connections have nothing in flight: drop now.
+        for slot in 0..self.slots.len() {
+            let idle = matches!(
+                &self.slots[slot],
+                Some(Slot::Client(c)) if matches!(c.state, ClientState::Reading) && c.buf.is_empty()
+            );
+            if idle {
+                let Some(Slot::Client(c)) = self.slots[slot].take() else {
+                    unreachable!("checked above");
+                };
+                self.release_client(slot, c);
+            }
+        }
+    }
+
+    fn on_event(&mut self, ev: Event) {
+        if ev.token == LISTENER {
+            self.accept_ready();
+            return;
+        }
+        let slot = ev.token.0 - 1;
+        // A slot freed earlier in this batch may still have queued
+        // events; they are stale.
+        let Some(taken) = self.slots.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        match taken {
+            Slot::Client(c) => self.drive_client(slot, c, ev),
+            Slot::OriginFetch(o) => self.drive_origin(slot, *o, ev),
+        }
+    }
+
+    fn alloc_slot(&mut self) -> usize {
+        if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            self.slots.push(None);
+            self.slots.len() - 1
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            let (stream, peer) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if self.clients >= self.config.max_connections {
+                // Over the cap: a terse 503 and the door closes. The
+                // write is best-effort — a client that cannot even take
+                // one packet gets a bare close.
+                let resp = Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+                    .header("Connection", "close")
+                    .header("Content-Length", "0")
+                    .build();
+                let _ = (&stream).write(&wire::serialize_response(&resp));
+                continue;
+            }
+            let slot = self.alloc_slot();
+            if self
+                .reactor
+                .register(&stream, token_of(slot), Interest::READABLE)
+                .is_err()
+            {
+                self.free.push(slot);
+                continue;
+            }
+            self.reactor
+                .deadline(token_of(slot), self.config.read_timeout);
+            self.slots[slot] = Some(Slot::Client(ClientConn {
+                stream,
+                peer: client_ip(peer),
+                buf: Vec::new(),
+                state: ClientState::Reading,
+            }));
+            self.clients += 1;
+            self.connections_total += 1;
+        }
+    }
+
+    fn drive_client(&mut self, slot: usize, mut c: ClientConn, ev: Event) {
+        if ev.timer {
+            match &c.state {
+                // Idle keep-alive: close quietly. Half a request: 408.
+                ClientState::Reading if c.buf.is_empty() => {
+                    self.release_client(slot, c);
+                    return;
+                }
+                ClientState::Reading => {
+                    self.set_response(
+                        slot,
+                        &mut c,
+                        Response::empty(StatusCode::REQUEST_TIMEOUT),
+                        true,
+                    );
+                    if self.pump(slot, &mut c, false) {
+                        self.slots[slot] = Some(Slot::Client(c));
+                    } else {
+                        self.release_client(slot, c);
+                    }
+                    return;
+                }
+                // A write that outlives the read timeout is a stuck
+                // client; the origin deadline covers `Awaiting`.
+                ClientState::Writing { .. } => {
+                    self.release_client(slot, c);
+                    return;
+                }
+                ClientState::Awaiting { .. } => {
+                    self.slots[slot] = Some(Slot::Client(c));
+                    return;
+                }
+            }
+        }
+        let mut eof = false;
+        if matches!(c.state, ClientState::Reading) && (ev.readable || ev.closed) {
+            eof = read_available(&mut c.stream, &mut c.buf);
+        } else if ev.closed {
+            // Peer hung up while parked or mid-write: nothing sensible
+            // left to send them.
+            self.release_client(slot, c);
+            return;
+        }
+        if self.pump(slot, &mut c, eof) {
+            self.slots[slot] = Some(Slot::Client(c));
+        } else {
+            self.release_client(slot, c);
+        }
+    }
+
+    /// Advances a client's state machine until it blocks. Returns
+    /// `false` when the connection is finished (caller releases it).
+    fn pump(&mut self, slot: usize, c: &mut ClientConn, eof: bool) -> bool {
+        loop {
+            match &mut c.state {
+                ClientState::Reading => match frame::measure(&c.buf) {
+                    Ok(Framing::Complete { len }) => {
+                        let raw: Vec<u8> = c.buf.drain(..len).collect();
+                        self.requests_total += 1;
+                        match wire::parse_request(&raw, c.peer) {
+                            Ok(request) => self.dispatch(slot, c, request),
+                            Err(_) => self.set_response(
+                                slot,
+                                c,
+                                Response::empty(StatusCode::BAD_REQUEST),
+                                true,
+                            ),
+                        }
+                    }
+                    Ok(_) => {
+                        if eof {
+                            return false;
+                        }
+                        // Waiting for more bytes: refresh the idle clock.
+                        self.reactor
+                            .deadline(token_of(slot), self.config.read_timeout);
+                        let _ =
+                            self.reactor
+                                .reregister(&c.stream, token_of(slot), Interest::READABLE);
+                        return true;
+                    }
+                    Err(_) => {
+                        self.set_response(slot, c, Response::empty(StatusCode::BAD_REQUEST), true)
+                    }
+                },
+                ClientState::Awaiting { .. } => return !eof,
+                ClientState::Writing {
+                    out,
+                    pos,
+                    close_after,
+                } => match write_available(&mut c.stream, out, pos) {
+                    WriteStep::Done => {
+                        if *close_after || self.draining {
+                            return false;
+                        }
+                        c.state = ClientState::Reading;
+                        // Loop again: pipelined bytes may already hold
+                        // the next complete request.
+                    }
+                    WriteStep::Blocked => {
+                        self.reactor
+                            .deadline(token_of(slot), self.config.read_timeout);
+                        let _ =
+                            self.reactor
+                                .reregister(&c.stream, token_of(slot), Interest::WRITABLE);
+                        return true;
+                    }
+                    WriteStep::Dead => return false,
+                },
+            }
+        }
+    }
+
+    /// Routes one parsed request: the admin plane answers directly,
+    /// everything else goes through the gateway's two-phase protocol.
+    fn dispatch(&mut self, slot: usize, c: &mut ClientConn, request: Request) {
+        let close_after = !(self.config.keep_alive && !self.draining && wants_keep_alive(&request));
+        if request.uri().path() == "/admin/stats" {
+            let body = stats_json(&self.gateway.stats());
+            let resp = Response::builder(StatusCode::OK)
+                .header("Content-Type", "application/json")
+                .body_bytes(body.into_bytes())
+                .build();
+            self.set_response(slot, c, resp, close_after);
+            return;
+        }
+        let now = self.now();
+        match self.gateway.handle_deferred(&request, now) {
+            PendingServe::Ready(decision) => {
+                self.set_response(slot, c, decision.into_response(), close_after)
+            }
+            PendingServe::AwaitingOrigin(pending) => {
+                let Some(origin_addr) = self.config.origin else {
+                    let d = self.gateway.complete(pending, Origin::NotFound, now);
+                    self.set_response(slot, c, d.into_response(), close_after);
+                    return;
+                };
+                let stream = match net::tcp_connect_nonblocking(origin_addr) {
+                    Ok(stream) => stream,
+                    Err(_) => {
+                        // Origin unreachable before the fetch even
+                        // started: complete (never drop) the lease so
+                        // enforcement's in-flight count stays exact.
+                        let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+                        let d = self.gateway.complete(pending, gone, now);
+                        self.set_response(slot, c, d.into_response(), close_after);
+                        return;
+                    }
+                };
+                let origin_slot = self.alloc_slot();
+                if self
+                    .reactor
+                    .register(&stream, token_of(origin_slot), Interest::WRITABLE)
+                    .is_err()
+                {
+                    self.free.push(origin_slot);
+                    let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+                    let d = self.gateway.complete(pending, gone, now);
+                    self.set_response(slot, c, d.into_response(), close_after);
+                    return;
+                }
+                self.reactor
+                    .deadline(token_of(origin_slot), self.config.origin_timeout);
+                let out = wire::serialize_request(pending.request());
+                self.slots[origin_slot] = Some(Slot::OriginFetch(Box::new(OriginConn {
+                    stream,
+                    out,
+                    pos: 0,
+                    buf: Vec::new(),
+                    client_slot: slot,
+                    close_after,
+                    pending: Some(pending),
+                    connected: false,
+                })));
+                // Park the client: no read interest (level-triggered
+                // epoll would spin on pipelined bytes), hang-up only.
+                c.state = ClientState::Awaiting { origin_slot };
+                self.reactor.cancel_deadline(token_of(slot));
+                let _ = self
+                    .reactor
+                    .reregister(&c.stream, token_of(slot), Interest::NONE);
+            }
+        }
+    }
+
+    /// Stages a response for writing. Framing is made explicit so
+    /// keep-alive clients always know where the message ends.
+    fn set_response(
+        &mut self,
+        slot: usize,
+        c: &mut ClientConn,
+        mut response: Response,
+        close_after: bool,
+    ) {
+        if !response.headers().contains("Content-Length") {
+            let len = response.body().len();
+            response
+                .headers_mut()
+                .set("Content-Length", len.to_string());
+        }
+        response.headers_mut().set(
+            "Connection",
+            if close_after { "close" } else { "keep-alive" },
+        );
+        c.state = ClientState::Writing {
+            out: wire::serialize_response(&response),
+            pos: 0,
+            close_after,
+        };
+        self.reactor
+            .deadline(token_of(slot), self.config.read_timeout);
+    }
+
+    /// Tears a client down, aborting (by *completing*) any origin fetch
+    /// it was waiting on.
+    fn release_client(&mut self, slot: usize, c: ClientConn) {
+        if let ClientState::Awaiting { origin_slot } = c.state {
+            if let Some(Slot::OriginFetch(o)) =
+                self.slots.get_mut(origin_slot).and_then(Option::take)
+            {
+                self.abandon_origin(origin_slot, *o);
+            }
+        }
+        self.reactor.cancel_deadline(token_of(slot));
+        self.pending_free.push(slot);
+        self.clients -= 1;
+        // Dropping the stream closes the fd; the kernel deregisters it.
+        drop(c);
+    }
+
+    /// The client is gone but the lease must still be committed —
+    /// dropping it would leak the session's in-flight count until
+    /// rollover. A synthesized 504 records "the exchange died on us".
+    fn abandon_origin(&mut self, origin_slot: usize, mut o: OriginConn) {
+        self.reactor.cancel_deadline(token_of(origin_slot));
+        self.pending_free.push(origin_slot);
+        if let Some(pending) = o.pending.take() {
+            let gone = Origin::Response(Response::empty(StatusCode::GATEWAY_TIMEOUT));
+            let now = self.now();
+            let _ = self.gateway.complete(pending, gone, now);
+        }
+    }
+
+    fn drive_origin(&mut self, slot: usize, mut o: OriginConn, ev: Event) {
+        if ev.timer {
+            // Origin took too long: the lease completes with a 504 and
+            // the client learns the truth. The fetch connection drops.
+            self.finish_origin(
+                slot,
+                o,
+                Origin::Response(Response::empty(StatusCode::GATEWAY_TIMEOUT)),
+            );
+            return;
+        }
+        if !o.connected {
+            match o.stream.take_error() {
+                Ok(None) => o.connected = true,
+                _ => {
+                    self.finish_origin(
+                        slot,
+                        o,
+                        Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                    );
+                    return;
+                }
+            }
+        }
+        if o.pos < o.out.len() && (ev.writable || ev.closed) {
+            match write_available(&mut o.stream, &o.out, &mut o.pos) {
+                WriteStep::Done => {
+                    let _ = self
+                        .reactor
+                        .reregister(&o.stream, token_of(slot), Interest::READABLE);
+                }
+                WriteStep::Blocked => {}
+                WriteStep::Dead => {
+                    self.finish_origin(
+                        slot,
+                        o,
+                        Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                    );
+                    return;
+                }
+            }
+        }
+        let mut eof = false;
+        if ev.readable || ev.closed {
+            eof = read_available(&mut o.stream, &mut o.buf);
+        }
+        match frame::measure(&o.buf) {
+            Ok(Framing::Complete { len }) => {
+                let origin = classify_origin(&o.buf[..len]);
+                self.finish_origin(slot, o, origin);
+            }
+            Ok(_) if eof => {
+                // Close-delimited response (no Content-Length): the
+                // connection's end is the frame's end.
+                let origin = if o.buf.is_empty() {
+                    Origin::Response(Response::empty(StatusCode::BAD_GATEWAY))
+                } else {
+                    classify_origin(&o.buf)
+                };
+                self.finish_origin(slot, o, origin);
+            }
+            Ok(_) => {
+                self.slots[slot] = Some(Slot::OriginFetch(Box::new(o)));
+            }
+            Err(_) => {
+                self.finish_origin(
+                    slot,
+                    o,
+                    Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                );
+            }
+        }
+    }
+
+    /// Commits an origin outcome into the leased exchange and wakes the
+    /// waiting client with the final decision.
+    fn finish_origin(&mut self, origin_slot: usize, mut o: OriginConn, origin: Origin) {
+        self.reactor.cancel_deadline(token_of(origin_slot));
+        self.pending_free.push(origin_slot);
+        let pending = o.pending.take().expect("finish runs once per fetch");
+        let now = self.now();
+        let decision = self.gateway.complete(pending, origin, now);
+        let client_slot = o.client_slot;
+        let close_after = o.close_after;
+        drop(o);
+        // The client may have died in this same batch; its teardown
+        // already completed the lease path above, so just drop the
+        // decision if nobody is waiting.
+        let Some(Slot::Client(mut c)) = self.slots.get_mut(client_slot).and_then(Option::take)
+        else {
+            return;
+        };
+        self.set_response(client_slot, &mut c, decision.into_response(), close_after);
+        if self.pump(client_slot, &mut c, false) {
+            self.slots[client_slot] = Some(Slot::Client(c));
+        } else {
+            self.release_client(client_slot, c);
+        }
+    }
+}
+
+/// Maps a peer socket address to the session-key [`ClientIp`]. IPv4
+/// octets pack big-endian; loopback tests therefore share one IP and
+/// distinguish sessions by User-Agent (exactly the paper's session key).
+fn client_ip(peer: SocketAddr) -> ClientIp {
+    match peer.ip() {
+        IpAddr::V4(v4) => ClientIp::new(u32::from(v4)),
+        IpAddr::V6(v6) => {
+            let octets = v6.octets();
+            ClientIp::new(u32::from_be_bytes([
+                octets[12], octets[13], octets[14], octets[15],
+            ]))
+        }
+    }
+}
+
+/// HTTP/1.1 defaults to keep-alive unless `Connection: close`; HTTP/1.0
+/// opts in with `Connection: keep-alive`.
+fn wants_keep_alive(request: &Request) -> bool {
+    let connection = request
+        .headers()
+        .get("Connection")
+        .map(|v| v.to_ascii_lowercase());
+    if request.version() == "HTTP/1.1" {
+        connection.as_deref() != Some("close")
+    } else {
+        connection.as_deref() == Some("keep-alive")
+    }
+}
+
+/// Reads until the socket would block. Returns `true` at EOF/reset.
+fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>) -> bool {
+    let mut chunk = [0u8; 8192];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return true,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Writes until done or the socket would block.
+fn write_available(stream: &mut TcpStream, out: &[u8], pos: &mut usize) -> WriteStep {
+    while *pos < out.len() {
+        match stream.write(&out[*pos..]) {
+            Ok(0) => return WriteStep::Dead,
+            Ok(n) => *pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return WriteStep::Blocked,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return WriteStep::Dead,
+        }
+    }
+    WriteStep::Done
+}
+
+/// Maps a parsed origin response to the gateway's [`Origin`] taxonomy:
+/// HTML pages get instrumented, 404s map to `NotFound`, everything else
+/// passes through untouched.
+fn classify_origin(raw: &[u8]) -> Origin {
+    let Ok(response) = wire::parse_response(raw) else {
+        return Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+    };
+    if response.status() == StatusCode::NOT_FOUND {
+        return Origin::NotFound;
+    }
+    let is_html = response
+        .content_type()
+        .is_some_and(|ct| ct.starts_with("text/html"));
+    if response.status() == StatusCode::OK && is_html {
+        match String::from_utf8(response.body().to_vec()) {
+            Ok(html) => Origin::Page(html),
+            Err(_) => Origin::Response(response),
+        }
+    } else {
+        Origin::Response(response)
+    }
+}

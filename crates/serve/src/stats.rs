@@ -1,0 +1,94 @@
+//! The `/admin/stats` rendering: [`GatewayStats`] as a JSON object.
+//!
+//! Formatted by hand because the workspace's serde is a no-op marker
+//! shim — there is no serializer to drive. The field list is pinned by a
+//! test so a new `GatewayStats` column cannot silently go missing here.
+
+use botwall_gateway::GatewayStats;
+
+/// Renders a stats snapshot as one line of JSON.
+pub fn stats_json(s: &GatewayStats) -> String {
+    format!(
+        concat!(
+            "{{\"requests\":{},\"served\":{},\"throttled\":{},\"blocked\":{},",
+            "\"challenged\":{},\"probe_requests\":{},\"completed_sessions\":{},",
+            "\"ml_overrides\":{},\"live_sessions\":{},\"shard_count\":{},",
+            "\"total_bytes\":{},\"instrumentation_bytes\":{},\"captcha_issued\":{},",
+            "\"captcha_passed\":{},\"captcha_failed\":{},\"pending_challenges\":{},",
+            "\"token_entries\":{}}}"
+        ),
+        s.requests,
+        s.served,
+        s.throttled,
+        s.blocked,
+        s.challenged,
+        s.probe_requests,
+        s.completed_sessions,
+        s.ml_overrides,
+        s.live_sessions,
+        s.shard_count,
+        s.total_bytes,
+        s.instrumentation_bytes,
+        s.captcha_issued,
+        s.captcha_passed,
+        s.captcha_failed,
+        s.pending_challenges,
+        s.token_entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_gateway_stats_field() {
+        let stats = GatewayStats {
+            requests: 1,
+            served: 2,
+            throttled: 3,
+            blocked: 4,
+            challenged: 5,
+            probe_requests: 6,
+            completed_sessions: 7,
+            ml_overrides: 8,
+            live_sessions: 9,
+            shard_count: 10,
+            total_bytes: 11,
+            instrumentation_bytes: 12,
+            captcha_issued: 13,
+            captcha_passed: 14,
+            captcha_failed: 15,
+            pending_challenges: 16,
+            token_entries: 17,
+        };
+        let json = stats_json(&stats);
+        // Struct-update from a fully-listed literal: adding a field to
+        // GatewayStats breaks this literal, forcing the JSON to follow.
+        for (field, value) in [
+            ("requests", 1u64),
+            ("served", 2),
+            ("throttled", 3),
+            ("blocked", 4),
+            ("challenged", 5),
+            ("probe_requests", 6),
+            ("completed_sessions", 7),
+            ("ml_overrides", 8),
+            ("live_sessions", 9),
+            ("shard_count", 10),
+            ("total_bytes", 11),
+            ("instrumentation_bytes", 12),
+            ("captcha_issued", 13),
+            ("captcha_passed", 14),
+            ("captcha_failed", 15),
+            ("pending_challenges", 16),
+            ("token_entries", 17),
+        ] {
+            assert!(
+                json.contains(&format!("\"{field}\":{value}")),
+                "{field} missing from {json}"
+            );
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,0 +1,493 @@
+//! End-to-end loopback exercises of the TCP front door: a real server
+//! thread, a real (deliberately blocking) mock origin, and real client
+//! sockets. Sessions are keyed (ClientIp, User-Agent); every connection
+//! here shares 127.0.0.1, so each test scenario gets its own User-Agent.
+
+use botwall_core::classifier::{Reason, Verdict};
+use botwall_gateway::Gateway;
+use botwall_http::request::ClientIp;
+use botwall_http::{Method, Request, Response, StatusCode};
+use botwall_serve::{client, MockOrigin, MockOriginHandle, ServeConfig, Server, ShutdownHandle};
+use botwall_sessions::SessionKey;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const PAGE: &str = "<html><head><title>t</title></head>\
+<body><p>content</p><a href=\"/about.html\">about</a></body></html>";
+
+struct Fixture {
+    gateway: Arc<Gateway>,
+    addr: SocketAddr,
+    shutdown: ShutdownHandle,
+    server: JoinHandle<std::io::Result<botwall_serve::ServeReport>>,
+    _origin: Option<MockOriginHandle>,
+}
+
+impl Fixture {
+    /// Default gateway + mock origin serving `PAGE` at /index.html.
+    fn standard() -> Fixture {
+        let origin = MockOrigin::new().page("/index.html", PAGE).start().unwrap();
+        let origin_addr = origin.addr();
+        Fixture::with(
+            Gateway::builder().seed(42).build(),
+            |config| config.origin = Some(origin_addr),
+            Some(origin),
+        )
+    }
+
+    fn with(
+        gateway: Gateway,
+        tune: impl FnOnce(&mut ServeConfig),
+        origin: Option<MockOriginHandle>,
+    ) -> Fixture {
+        let gateway = Arc::new(gateway);
+        let mut config = ServeConfig::default();
+        tune(&mut config);
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&gateway), config).unwrap();
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let server = std::thread::spawn(move || server.run());
+        Fixture {
+            gateway,
+            addr,
+            shutdown,
+            server,
+            _origin: origin,
+        }
+    }
+
+    fn finish(self) -> botwall_serve::ServeReport {
+        self.shutdown.shutdown();
+        self.server.join().unwrap().unwrap()
+    }
+}
+
+fn request(path: &str, ua: &str) -> Request {
+    Request::builder(Method::Get, path)
+        .header("User-Agent", ua)
+        .header("Host", "site.example")
+        .build()
+        .unwrap()
+}
+
+/// The session key the server derives for loopback traffic with `ua`.
+fn loopback_key(ua: &str) -> SessionKey {
+    let probe = Request::builder(Method::Get, "/")
+        .header("User-Agent", ua)
+        .client(ClientIp::new(u32::from_be_bytes([127, 0, 0, 1])))
+        .build()
+        .unwrap();
+    SessionKey::of(&probe)
+}
+
+fn get_on(conn: &mut TcpStream, path: &str, ua: &str) -> Response {
+    client::roundtrip(conn, &request(path, ua)).unwrap()
+}
+
+fn get(addr: SocketAddr, path: &str, ua: &str) -> Response {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    get_on(&mut conn, path, ua)
+}
+
+/// Every `quote`-delimited absolute URL in `text`, reduced to its
+/// path-and-query — the shapes a browser would request back. HTML
+/// attributes use double quotes; the generated JS uses single quotes.
+fn quoted_paths(text: &str, quote: char) -> Vec<String> {
+    let mut out = Vec::new();
+    for chunk in text.split(quote).skip(1).step_by(2) {
+        if let Some(rest) = chunk.split("://").nth(1) {
+            if let Some(slash) = rest.find('/') {
+                out.push(rest[slash..].to_string());
+            }
+        }
+    }
+    out
+}
+
+/// What a browser does on mouse movement: read the handler name out of
+/// the page's `onmousemove` attribute, find that function in the
+/// generated script, and return the beacon URL it fetches.
+fn mouse_beacon_path(html: &str, js: &str) -> String {
+    let handler = html
+        .split("onmousemove=\"return ")
+        .nth(1)
+        .and_then(|rest| rest.split('(').next())
+        .unwrap_or_else(|| panic!("page wires an onmousemove handler: {html}"));
+    let body = js
+        .split(&format!("function {handler}()"))
+        .nth(1)
+        .map(|rest| rest.split("function ").next().unwrap_or(rest))
+        .unwrap_or_else(|| panic!("script defines the handler {handler}: {js}"));
+    quoted_paths(body, '\'')
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("handler {handler} fetches a beacon image: {body}"))
+}
+
+fn body_str(response: &Response) -> String {
+    String::from_utf8(response.body().to_vec()).unwrap()
+}
+
+#[test]
+fn serves_an_instrumented_page_end_to_end() {
+    let fx = Fixture::standard();
+    let response = get(fx.addr, "/index.html", "Mozilla/5.0 e2e-page");
+    assert_eq!(response.status(), StatusCode::OK);
+    let body = body_str(&response);
+    assert!(body.contains("content"), "origin HTML survives: {body}");
+    assert!(
+        body.contains("onmousemove"),
+        "page is instrumented on the way out: {body}"
+    );
+    assert_eq!(
+        response.headers().content_length(),
+        Some(response.body().len()),
+        "explicit framing for keep-alive clients"
+    );
+    let stats = fx.gateway.stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.served, 1);
+    assert!(stats.instrumentation_bytes > 0);
+    fx.finish();
+}
+
+#[test]
+fn human_beacon_flow_flips_the_verdict_over_the_wire() {
+    let fx = Fixture::standard();
+    let ua = "Mozilla/5.0 e2e-human";
+    let body = body_str(&get(fx.addr, "/index.html", ua));
+
+    // Act like a browser: fetch the generated script, then fire the
+    // beacon the page's onmousemove handler points at.
+    let js_path = quoted_paths(&body, '"')
+        .into_iter()
+        .find(|p| p.ends_with(".js"))
+        .expect("instrumented page links a generated script");
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    let js = get_on(&mut conn, &js_path, ua);
+    assert_eq!(js.status(), StatusCode::OK);
+    let js_body = body_str(&js);
+    assert!(js_body.contains("new Image()"), "{js_body}");
+
+    let beacon_path = mouse_beacon_path(&body, &js_body);
+    let beacon = get_on(&mut conn, &beacon_path, ua);
+    assert_eq!(beacon.status(), StatusCode::OK);
+
+    assert_eq!(
+        fx.gateway.verdict(&loopback_key(ua)),
+        Verdict::Human(Reason::MouseActivity),
+        "mouse beacon round-trip proves the human"
+    );
+    assert!(fx.gateway.stats().probe_requests >= 2);
+    fx.finish();
+}
+
+#[test]
+fn decoy_fetch_convicts_then_throttles_then_blocks() {
+    let fx = Fixture::standard();
+    let ua = "scraper/1.0 e2e-robot";
+    let body = body_str(&get(fx.addr, "/index.html", ua));
+
+    // A crawler follows every link — including the invisible decoy the
+    // instrumenter planted (a 20-digit nonce .html).
+    let decoy = quoted_paths(&body, '"')
+        .into_iter()
+        .find(|p| {
+            p.ends_with(".html")
+                && p.trim_start_matches('/')
+                    .trim_end_matches(".html")
+                    .bytes()
+                    .all(|b| b.is_ascii_digit())
+        })
+        .expect("instrumented page plants a decoy link");
+    get(fx.addr, &decoy, ua);
+    let key = loopback_key(ua);
+    assert!(
+        matches!(fx.gateway.verdict(&key), Verdict::Robot(_)),
+        "decoy fetch convicts: {:?}",
+        fx.gateway.verdict(&key)
+    );
+
+    // A convicted robot runs on the tight robot bucket (burst 2): a few
+    // more rapid requests and the wire starts answering 429.
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    let mut throttled = 0;
+    for i in 0..6 {
+        let response = get_on(&mut conn, &format!("/p{i}.html"), ua);
+        if response.status() == StatusCode::TOO_MANY_REQUESTS {
+            throttled += 1;
+        }
+    }
+    assert!(throttled > 0, "robot bucket must bite within six requests");
+    assert_eq!(fx.gateway.stats().throttled, throttled);
+
+    // Operator escalates to a block; the wire answers 403 from then on.
+    fx.gateway
+        .detector()
+        .with_key_state(&key, |_, state| state.policy.block());
+    let blocked = get(fx.addr, "/index.html", ua);
+    assert_eq!(blocked.status(), StatusCode::FORBIDDEN);
+    assert_eq!(fx.gateway.stats().blocked, 1);
+    fx.finish();
+}
+
+#[test]
+fn burst_past_the_rate_threshold_draws_403s() {
+    let fx = Fixture::standard();
+    let ua = "wget/1.0 e2e-burst";
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    let mut pushed_back = 0;
+    for i in 0..80 {
+        let response = get_on(&mut conn, &format!("/p{i}.html"), ua);
+        match response.status() {
+            // The rate threshold convicts and blocks; the robot bucket
+            // may squeeze in a 429 first depending on timing.
+            StatusCode::FORBIDDEN | StatusCode::TOO_MANY_REQUESTS => pushed_back += 1,
+            StatusCode::NOT_FOUND | StatusCode::OK => {}
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(
+        pushed_back > 0,
+        "a same-second 80-request burst must draw enforcement"
+    );
+    let stats = fx.gateway.stats();
+    assert_eq!(stats.blocked + stats.throttled, pushed_back);
+    assert!(stats.blocked > 0, "the hard rate threshold blocks outright");
+    assert!(
+        fx.gateway.is_blocked(&loopback_key(ua)),
+        "the block is durable session policy, not a one-off answer"
+    );
+    fx.finish();
+}
+
+#[test]
+fn mandatory_challenge_mode_serves_the_interstitial() {
+    let origin = MockOrigin::new().page("/index.html", PAGE).start().unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder()
+            .seed(7)
+            .captcha(botwall_captcha::ServingPolicy::MandatoryUnderAttack)
+            .build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    fx.gateway.set_under_attack(true);
+    let response = get(fx.addr, "/index.html", "Mozilla/5.0 e2e-challenge");
+    assert_eq!(response.status(), StatusCode::FORBIDDEN);
+    assert!(
+        body_str(&response).contains("solve to continue"),
+        "the 403 carries the challenge interstitial"
+    );
+    assert_eq!(fx.gateway.stats().challenged, 1);
+    fx.finish();
+}
+
+#[test]
+fn keep_alive_carries_many_requests_on_one_connection() {
+    let fx = Fixture::standard();
+    let ua = "Mozilla/5.0 e2e-keepalive";
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    for _ in 0..3 {
+        let response = get_on(&mut conn, "/index.html", ua);
+        assert_eq!(response.status(), StatusCode::OK);
+        assert_eq!(response.headers().get("Connection"), Some("keep-alive"));
+    }
+    drop(conn);
+    let report = fx.finish();
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.connections, 1, "one socket served all three");
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let fx = Fixture::standard();
+    let ua = "Mozilla/5.0 e2e-pipeline";
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    // Both requests in one write; responses must come back one by one.
+    let mut batch = Vec::new();
+    batch.extend_from_slice(&botwall_http::wire::serialize_request(&request(
+        "/index.html",
+        ua,
+    )));
+    batch.extend_from_slice(&botwall_http::wire::serialize_request(&request(
+        "/missing.html",
+        ua,
+    )));
+    conn.write_all(&batch).unwrap();
+    let first = client::read_response(&mut conn).unwrap();
+    let second = client::read_response(&mut conn).unwrap();
+    assert_eq!(first.status(), StatusCode::OK);
+    assert_eq!(second.status(), StatusCode::NOT_FOUND);
+    fx.finish();
+}
+
+#[test]
+fn one_slow_origin_stalls_only_its_own_connection() {
+    let origin = MockOrigin::new()
+        .page("/slow.html", PAGE)
+        .page("/fast.html", PAGE)
+        .latency("/slow.html", Duration::from_millis(1500))
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(3).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let addr = fx.addr;
+    let slow = std::thread::spawn(move || {
+        let started = Instant::now();
+        let response = get(addr, "/slow.html", "Mozilla/5.0 e2e-slow");
+        (response.status(), started.elapsed())
+    });
+    // Give the slow request time to reach its origin fetch.
+    std::thread::sleep(Duration::from_millis(200));
+    let started = Instant::now();
+    let fast = get(addr, "/fast.html", "Mozilla/5.0 e2e-fast");
+    let fast_elapsed = started.elapsed();
+    assert_eq!(fast.status(), StatusCode::OK);
+    assert!(
+        fast_elapsed < Duration::from_millis(1000),
+        "neighbor finished in {fast_elapsed:?} while the slow origin hung"
+    );
+    let (slow_status, slow_elapsed) = slow.join().unwrap();
+    assert_eq!(slow_status, StatusCode::OK, "the slow request still lands");
+    assert!(
+        slow_elapsed >= Duration::from_millis(1400),
+        "{slow_elapsed:?}"
+    );
+    fx.finish();
+}
+
+#[test]
+fn origin_timeout_answers_504_and_releases_the_lease() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .latency("/index.html", Duration::from_millis(3000))
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(4).build(),
+        |config| {
+            config.origin = Some(origin_addr);
+            config.origin_timeout = Duration::from_millis(300);
+        },
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 e2e-504";
+    let started = Instant::now();
+    let response = get(fx.addr, "/index.html", ua);
+    assert_eq!(response.status(), StatusCode::GATEWAY_TIMEOUT);
+    assert!(
+        started.elapsed() < Duration::from_millis(2000),
+        "the deadline, not the origin, ended the wait"
+    );
+    // The lease completed (with the synthesized 504) instead of being
+    // dropped: the session's in-flight count is back to zero, so
+    // enforcement math stays exact.
+    let in_flight = fx
+        .gateway
+        .detector()
+        .with_key_state(&loopback_key(ua), |_, state| state.in_flight)
+        .expect("session exists");
+    assert_eq!(in_flight, 0);
+    fx.finish();
+}
+
+#[test]
+fn admin_stats_serves_a_json_snapshot() {
+    let fx = Fixture::standard();
+    let ua = "Mozilla/5.0 e2e-admin";
+    get(fx.addr, "/index.html", ua);
+    let response = get(fx.addr, "/admin/stats", ua);
+    assert_eq!(response.status(), StatusCode::OK);
+    assert_eq!(response.content_type(), Some("application/json"));
+    let body = body_str(&response);
+    assert!(body.contains("\"requests\":1"), "{body}");
+    assert!(body.contains("\"live_sessions\":"), "{body}");
+    // The admin plane is not gateway traffic: it never counts itself.
+    assert_eq!(fx.gateway.stats().requests, 1);
+    fx.finish();
+}
+
+#[test]
+fn connections_over_the_cap_answer_503() {
+    let fx = Fixture::with(
+        Gateway::builder().seed(5).build(),
+        |config| config.max_connections = 1,
+        None,
+    );
+    let mut first = TcpStream::connect(fx.addr).unwrap();
+    // Complete a round trip so the first connection is fully accepted.
+    let response = get_on(&mut first, "/index.html", "Mozilla/5.0 e2e-cap-a");
+    assert_eq!(response.status(), StatusCode::NOT_FOUND); // no origin wired
+    let mut second = TcpStream::connect(fx.addr).unwrap();
+    let rejected = client::read_response(&mut second).unwrap();
+    assert_eq!(rejected.status(), StatusCode::SERVICE_UNAVAILABLE);
+    assert_eq!(rejected.headers().get("Connection"), Some("close"));
+    fx.finish();
+}
+
+#[test]
+fn malformed_requests_answer_400_and_close() {
+    let fx = Fixture::standard();
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    conn.write_all(b"NOT AN HTTP LINE\r\n\r\n").unwrap();
+    let response = client::read_response(&mut conn).unwrap();
+    assert_eq!(response.status(), StatusCode::BAD_REQUEST);
+    assert_eq!(response.headers().get("Connection"), Some("close"));
+    fx.finish();
+}
+
+#[test]
+fn a_half_sent_request_times_out_with_408() {
+    let fx = Fixture::with(
+        Gateway::builder().seed(6).build(),
+        |config| config.read_timeout = Duration::from_millis(150),
+        None,
+    );
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    conn.write_all(b"GET /index.html HTTP/1.1\r\nUser-Agent: slow")
+        .unwrap();
+    let response = client::read_response(&mut conn).unwrap();
+    assert_eq!(response.status(), StatusCode::REQUEST_TIMEOUT);
+    fx.finish();
+}
+
+#[test]
+fn shutdown_drains_every_observed_session_exactly_once() {
+    let fx = Fixture::standard();
+    let agents = [
+        "Mozilla/5.0 e2e-drain-a",
+        "Mozilla/5.0 e2e-drain-b",
+        "wget/1.0 e2e-drain-c",
+    ];
+    for ua in agents {
+        let response = get(fx.addr, "/index.html", ua);
+        assert_eq!(response.status(), StatusCode::OK);
+    }
+    let addr = fx.addr;
+    let report = fx.finish();
+    assert_eq!(report.requests, agents.len() as u64);
+    assert_eq!(
+        report.drained_sessions,
+        agents.len(),
+        "conservation: every session observed on the wire is classified at drain"
+    );
+    // The listener is gone: new connections are refused (or reset).
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(300));
+    assert!(
+        refused.is_err() || {
+            let mut conn = refused.unwrap();
+            client::roundtrip(&mut conn, &request("/index.html", "late/1.0")).is_err()
+        },
+        "the drained server must not accept new work"
+    );
+}

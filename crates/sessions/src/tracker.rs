@@ -26,6 +26,7 @@ use botwall_http::{Request, Response};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::ops::Deref;
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -248,13 +249,22 @@ struct Entry<E> {
 }
 
 /// One shard: an independent live map, the finalized sessions (rollover
-/// and eviction casualties) not yet collected by sweep/drain, and the
-/// deferred carries awaiting their key's next incarnation.
+/// and eviction casualties) not yet collected by sweep/drain, the
+/// deferred carries awaiting their key's next incarnation, and the
+/// eviction candidate queue (keys in creation order — see
+/// [`ShardedTracker::evict_most_idle`]).
 #[derive(Debug)]
 struct Shard<E: SessionExt> {
     live: HashMap<SessionKey, Entry<E>>,
     finalized: Vec<Finalized<E>>,
     carry: HashMap<SessionKey, E::Carry>,
+    /// Eviction candidates in creation order. Every live key appears at
+    /// least once (pushed when its entry is created); keys whose entry
+    /// is gone are dropped lazily when an eviction pops them, and the
+    /// queue is compacted (dead keys and duplicates removed) when it
+    /// outgrows the live map. Order never depends on `HashMap`
+    /// iteration, so sampling from it is deterministic.
+    cands: VecDeque<SessionKey>,
 }
 
 impl<E: SessionExt> Default for Shard<E> {
@@ -263,9 +273,35 @@ impl<E: SessionExt> Default for Shard<E> {
             live: HashMap::new(),
             finalized: Vec::new(),
             carry: HashMap::new(),
+            cands: VecDeque::new(),
         }
     }
 }
+
+impl<E: SessionExt> Shard<E> {
+    /// Drops dead keys and duplicate occurrences from the candidate
+    /// queue, preserving first-occurrence order. Amortized against the
+    /// creations that grew the queue past its bound.
+    fn compact_cands(&mut self) {
+        let mut seen: std::collections::HashSet<SessionKey> =
+            std::collections::HashSet::with_capacity(self.live.len());
+        self.cands
+            .retain(|k| self.live.contains_key(k) && seen.insert(k.clone()));
+    }
+}
+
+/// Exact-scan bound: shards at or below this many live entries are
+/// scanned in full, so small trackers keep the globally-most-idle
+/// victim choice (see [`ShardedTracker`]'s `evict_most_idle`).
+const EVICT_EXACT_BOUND: usize = 32;
+
+/// Per-shard candidate sample for shards past the exact bound: each
+/// eviction examines this many live keys popped from the shard's
+/// creation-order queue. Small enough that an insert at the session cap
+/// costs O(shards × sample) instead of O(live); rotation (survivors are
+/// pushed to the back) still reaches every entry across successive
+/// evictions.
+const EVICT_SAMPLE_PER_SHARD: usize = 8;
 
 fn insert_carry_bounded<C>(
     carries: &mut HashMap<SessionKey, C>,
@@ -569,7 +605,8 @@ impl<E: SessionExt> ShardedTracker<E> {
         let idx = self.shard_index(&key);
         // Best-effort capacity bound, resolved BEFORE the entry's
         // critical section: when the store is full and this key is not
-        // already live, evict the globally most-idle session first (the
+        // already live, evict the most-idle session of a bounded,
+        // deterministically-ordered candidate sample first (the
         // eviction walk takes shard locks one at a time — never two at
         // once, so lock order cannot deadlock). Exactly one attempt,
         // then the insert proceeds regardless: the bound is a memory
@@ -656,7 +693,17 @@ impl<E: SessionExt> ShardedTracker<E> {
                 )
             }
         };
-        self.gauge_apply(idx, gauge_before, entry.ext.gauge());
+        let gauge_after = entry.ext.gauge();
+        // A freshly created entry joins the eviction candidate queue;
+        // compaction (amortized against the creations that grew the
+        // queue) keeps it within a constant factor of the live map.
+        if created {
+            shard.cands.push_back(key.clone());
+            if shard.cands.len() > shard.live.len() * 2 + 64 {
+                shard.compact_cands();
+            }
+        }
+        self.gauge_apply(idx, gauge_before, gauge_after);
         (key, begun)
     }
 
@@ -928,6 +975,9 @@ impl<E: SessionExt> ShardedTracker<E> {
     pub fn drain(&self) -> Vec<Finalized<E>> {
         let mut out = Vec::new();
         for idx in 0..self.shards.len() {
+            self.lock_shard(idx).cands.clear();
+        }
+        for idx in 0..self.shards.len() {
             let mut shard = self.lock_shard(idx);
             out.append(&mut shard.finalized);
         }
@@ -954,27 +1004,63 @@ impl<E: SessionExt> ShardedTracker<E> {
         session.request_count() > self.config.min_requests_to_classify
     }
 
-    /// Finalizes the globally most-idle session (ties broken by key so
-    /// eviction does not depend on map iteration order). Scans shards one
-    /// lock at a time; under concurrent ingest the choice is best-effort.
+    /// Finalizes the most-idle session among a bounded candidate set
+    /// (ties broken by key so eviction does not depend on map iteration
+    /// order). Scans shards one lock at a time; under concurrent ingest
+    /// the choice is best-effort.
+    ///
+    /// Shards holding at most [`EVICT_EXACT_BOUND`] entries are
+    /// scanned exactly — small trackers keep the seed's globally-most-
+    /// idle victim choice bit for bit. Larger shards examine up to
+    /// [`EVICT_SAMPLE_PER_SHARD`] *live* candidates popped from the front of the shard's
+    /// creation-order queue, pushing each examined survivor to the back:
+    /// successive evictions round-robin through the whole shard, so no
+    /// entry is ever unreachable, while the per-insert cost at the cap
+    /// drops from O(live) to O(shards × sample). Dead keys (evicted,
+    /// swept, rolled over) are dropped as they surface. The queue order
+    /// is a deterministic function of the operation history, so repeated
+    /// runs pick identical victims.
     fn evict_most_idle(&self) {
+        fn better(best: &Option<(SimTime, SessionKey)>, t: SimTime, k: &SessionKey) -> bool {
+            match best {
+                None => true,
+                Some((bt, bk)) => t < *bt || (t == *bt && *k < *bk),
+            }
+        }
         let mut best: Option<(SimTime, SessionKey)> = None;
         for idx in 0..self.shards.len() {
-            let shard = self.lock_shard(idx);
-            for (k, e) in shard.live.iter() {
-                let s = &e.session;
-                let better = match &best {
-                    None => true,
-                    Some((t, bk)) => s.last_seen() < *t || (s.last_seen() == *t && *k < *bk),
-                };
-                if better {
-                    best = Some((s.last_seen(), k.clone()));
+            let mut shard = self.lock_shard(idx);
+            let shard = &mut *shard;
+            if shard.live.len() <= EVICT_EXACT_BOUND {
+                for (k, e) in shard.live.iter() {
+                    let t = e.session.last_seen();
+                    if better(&best, t, k) {
+                        best = Some((t, k.clone()));
+                    }
+                }
+            } else {
+                let mut examined = 0;
+                let mut budget = shard.cands.len();
+                while examined < EVICT_SAMPLE_PER_SHARD && budget > 0 {
+                    budget -= 1;
+                    let Some(k) = shard.cands.pop_front() else {
+                        break;
+                    };
+                    if let Some(e) = shard.live.get(&k) {
+                        let t = e.session.last_seen();
+                        if better(&best, t, &k) {
+                            best = Some((t, k.clone()));
+                        }
+                        shard.cands.push_back(k);
+                        examined += 1;
+                    }
                 }
             }
         }
         if let Some((last_seen, key)) = best {
             let idx = self.shard_index(&key);
             let mut shard = self.lock_shard(idx);
+            let shard = &mut *shard;
             // Re-check under the lock: the victim may have been touched
             // (or evicted by a racing thread) since the scan.
             let still_victim = shard
@@ -982,12 +1068,68 @@ impl<E: SessionExt> ShardedTracker<E> {
                 .get(&key)
                 .is_some_and(|e| e.session.last_seen() == last_seen);
             if still_victim {
-                let Entry { session, ext, .. } = shard.live.remove(&key).expect("checked live");
-                self.live_total.fetch_sub(1, Ordering::Relaxed);
-                self.gauge_remove(idx, ext.gauge());
-                shard.finalized.push(Finalized { session, ext });
+                self.remove_locked(idx, shard, &key);
+            } else {
+                // A racing evictor beat us to the victim (or the victim
+                // was touched mid-flight). Rather than let the pending
+                // insert overshoot the bound, fall back to the best
+                // candidate of this shard, chosen and removed under the
+                // lock we already hold — this cannot race away.
+                self.evict_locked(idx, shard);
             }
         }
+    }
+
+    /// Picks and removes the most-idle candidate of one *locked* shard
+    /// (bounded sample, exact below the sample bound — same selection
+    /// rule as the cross-shard scan). No-op on an empty shard.
+    fn evict_locked(&self, idx: usize, shard: &mut Shard<E>) {
+        let mut best: Option<(SimTime, SessionKey)> = None;
+        if shard.live.len() <= EVICT_EXACT_BOUND {
+            for (k, e) in shard.live.iter() {
+                let t = e.session.last_seen();
+                let beats = match &best {
+                    None => true,
+                    Some((bt, bk)) => t < *bt || (t == *bt && *k < *bk),
+                };
+                if beats {
+                    best = Some((t, k.clone()));
+                }
+            }
+        } else {
+            let mut examined = 0;
+            let mut budget = shard.cands.len();
+            while examined < EVICT_SAMPLE_PER_SHARD && budget > 0 {
+                budget -= 1;
+                let Some(k) = shard.cands.pop_front() else {
+                    break;
+                };
+                if shard.live.contains_key(&k) {
+                    let t = shard.live[&k].session.last_seen();
+                    let beats = match &best {
+                        None => true,
+                        Some((bt, bk)) => t < *bt || (t == *bt && k < *bk),
+                    };
+                    if beats {
+                        best = Some((t, k.clone()));
+                    }
+                    shard.cands.push_back(k);
+                    examined += 1;
+                }
+            }
+        }
+        if let Some((_, key)) = best {
+            self.remove_locked(idx, shard, &key);
+        }
+    }
+
+    /// Finalizes one live entry of a *locked* shard as an eviction
+    /// casualty.
+    fn remove_locked(&self, idx: usize, shard: &mut Shard<E>, key: &SessionKey) {
+        let Entry { session, ext, .. } = shard.live.remove(key).expect("checked live");
+        self.live_total.fetch_sub(1, Ordering::Relaxed);
+        self.gauge_remove(idx, ext.gauge());
+        shard.finalized.push(Finalized { session, ext });
     }
 }
 

@@ -139,6 +139,44 @@ fn concurrent_inserts_past_cap_bound_live_and_conserve_requests() {
     assert_eq!(t.live_count(), 0, "drain empties the tracker");
 }
 
+/// Past the exact-scan bound (a shard larger than the per-shard sample
+/// of 32), eviction samples the creation-order candidate queue instead
+/// of walking the whole live map: the live bound holds at every insert,
+/// every victim is drawn from the idle prefill (never a fresh insert),
+/// and two trackers fed the identical history pick identical victim
+/// sequences — queue order, not map iteration order.
+#[test]
+fn bounded_eviction_is_deterministic_and_targets_the_idle() {
+    const CAP: usize = 100; // one shard, well past the sample bound
+    fn run() -> Vec<SessionKey> {
+        let t: ShardedTracker<()> = ShardedTracker::new(TrackerConfig {
+            max_sessions: CAP,
+            shards: 1,
+            ..TrackerConfig::default()
+        });
+        // Staggered arrivals: smaller ip ⇒ more idle.
+        for ip in 0..CAP as u32 {
+            t.observe(&req(ip, 0), &ok(), SimTime::ZERO + u64::from(ip));
+        }
+        let prefill_end = SimTime::ZERO + CAP as u64;
+        let now = SimTime::from_secs(60);
+        for ip in CAP as u32..(CAP as u32 + 50) {
+            t.observe(&req(ip, 0), &ok(), now);
+            assert_eq!(t.live_count(), CAP, "live bound holds at every insert");
+        }
+        let casualties = t.sweep(now);
+        assert_eq!(casualties.len(), 50, "one casualty per insert past cap");
+        for c in &casualties {
+            assert!(
+                c.last_seen() < prefill_end,
+                "victims come from the idle prefill, not the fresh inserts"
+            );
+        }
+        casualties.iter().map(|c| c.key().clone()).collect()
+    }
+    assert_eq!(run(), run(), "identical history, identical victims");
+}
+
 /// A gauged extension for fold-parity checks: each session contributes
 /// a deterministic occupancy to both gauge columns.
 #[derive(Debug, Default)]

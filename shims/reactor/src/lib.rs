@@ -1,0 +1,688 @@
+//! A minimal epoll-backed readiness event loop.
+//!
+//! The build environment has no tokio or mio, so this shim provides the
+//! smallest reactor the workspace needs to drive real sockets: register
+//! non-blocking file descriptors for read/write interest, block in
+//! [`Reactor::poll`] until something is ready, and arm per-token
+//! deadlines on a coarse timer wheel. It is deliberately level-triggered
+//! and single-threaded — one event loop owns the reactor; other threads
+//! (or signal handlers, via [`Reactor::waker_fd`]) interrupt a blocked
+//! poll through a [`Waker`] pipe, never through shared locked state, so
+//! there is no mutex to poison.
+//!
+//! The syscall surface is declared directly against the system libc
+//! (`epoll_create1` / `epoll_ctl` / `epoll_wait` / `close`), which every
+//! Linux Rust binary already links — no external crate required.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::io::{self, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+mod ffi {
+    use std::os::raw::c_int;
+
+    // x86_64 packs epoll_event to 12 bytes; other Linux targets keep
+    // natural alignment. Matching the kernel ABI exactly is the whole
+    // point of the cfg dance.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+pub mod net {
+    //! Non-blocking TCP connect, the one socket operation `std` cannot
+    //! start without blocking. The returned stream is already
+    //! non-blocking and mid-handshake: register it for write interest
+    //! and check [`std::net::TcpStream::take_error`] when writability
+    //! arrives to learn whether the connect succeeded.
+
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::FromRawFd;
+    use std::os::raw::c_int;
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_NONBLOCK: c_int = 0o4000;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const EINPROGRESS: i32 = 115;
+
+    /// `struct sockaddr_in` (port and address in network byte order).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn connect(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Starts a TCP connect without blocking. IPv4 only — the workspace
+    /// talks to loopback origins.
+    pub fn tcp_connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "only IPv4 origins are supported",
+            ));
+        };
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        let rc = unsafe { connect(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            // A loopback connect may even complete synchronously; only
+            // EINPROGRESS means "in flight", anything else is fatal.
+            if err.raw_os_error() != Some(EINPROGRESS) {
+                unsafe { close(fd) };
+                return Err(err);
+            }
+        }
+        Ok(unsafe { TcpStream::from_raw_fd(fd) })
+    }
+}
+
+pub mod signals {
+    //! Termination signals as a reactor wakeup. The handler does only
+    //! async-signal-safe work: set a flag, write one byte into the
+    //! reactor's waker pipe (see [`crate::Reactor::waker_fd`]).
+
+    use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+    static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+        let fd = WAKE_FD.load(Ordering::SeqCst);
+        if fd >= 0 {
+            let byte = 1u8;
+            unsafe { write(fd, &byte, 1) };
+        }
+    }
+
+    /// Installs SIGTERM/SIGINT handlers that set the [`terminated`] flag
+    /// and poke `wake_fd` so a blocked poll notices immediately.
+    pub fn install_term_handler(wake_fd: i32) {
+        WAKE_FD.store(wake_fd, Ordering::SeqCst);
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    /// Whether a termination signal has been delivered.
+    pub fn terminated() -> bool {
+        TERMINATED.load(Ordering::SeqCst)
+    }
+}
+
+/// Identifies one registration (or deadline) to its event loop. The
+/// reactor never interprets the value; callers typically use a slab or
+/// connection index. `Token(usize::MAX)` is reserved for the internal
+/// waker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// The reserved internal waker token.
+const WAKER: usize = usize::MAX;
+
+/// Readiness interest for a registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+}
+
+impl Interest {
+    /// Read-readiness only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Hang-up/error notifications only — for parked descriptors that
+    /// must still report a peer close without spinning on buffered data.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut b = ffi::EPOLLRDHUP;
+        if self.readable {
+            b |= ffi::EPOLLIN;
+        }
+        if self.writable {
+            b |= ffi::EPOLLOUT;
+        }
+        b
+    }
+}
+
+/// One readiness (or deadline) delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration (or deadline) this event belongs to.
+    pub token: Token,
+    /// The descriptor is readable (includes a peer close with data
+    /// still buffered — read to EOF to find out).
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored (`EPOLLHUP` /
+    /// `EPOLLRDHUP` / `EPOLLERR`).
+    pub closed: bool,
+    /// This is a deadline expiry from [`Reactor::deadline`], not an I/O
+    /// readiness event.
+    pub timer: bool,
+}
+
+/// Wakes a blocked [`Reactor::poll`] from another thread. Writing one
+/// byte into a pre-opened pipe is lock-free and async-signal-safe, so a
+/// waker can be triggered from a signal handler (via the raw fd — see
+/// [`Reactor::waker_fd`]) without any poisoning hazard.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Interrupts the reactor's current (or next) poll. Errors are
+    /// swallowed: a full pipe already guarantees a pending wakeup.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// Granularity of the timer wheel: deadlines fire on 10 ms ticks —
+/// coarse on purpose, connection timeouts are hundreds of milliseconds.
+const TICK_MS: u64 = 10;
+
+// Not `derive(Debug)`: the scratch buffer holds raw kernel events with
+// no useful rendering (and a packed struct cannot derive Debug anyway).
+/// A minimal epoll event loop: registrations, one poll call, a coarse
+/// timer wheel, and a cross-thread waker.
+///
+/// # Examples
+///
+/// ```no_run
+/// use reactor::{Interest, Reactor, Token};
+/// use std::net::TcpListener;
+///
+/// let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+/// listener.set_nonblocking(true).unwrap();
+/// let mut r = Reactor::new().unwrap();
+/// r.register(&listener, Token(0), Interest::READABLE).unwrap();
+/// let mut events = Vec::new();
+/// r.poll(&mut events, None).unwrap();
+/// for ev in &events {
+///     assert_eq!(ev.token, Token(0)); // accept() is now non-blocking
+/// }
+/// ```
+pub struct Reactor {
+    epfd: RawFd,
+    waker_rx: UnixStream,
+    waker_tx: Arc<UnixStream>,
+    origin: Instant,
+    /// Timer wheel: tick → tokens due that tick.
+    wheel: BTreeMap<u64, Vec<Token>>,
+    /// The authoritative deadline per token (re-arming moves it; a
+    /// stale wheel slot whose token no longer maps to it is skipped).
+    armed: HashMap<Token, u64>,
+    /// Scratch buffer for epoll_wait.
+    scratch: Vec<ffi::EpollEvent>,
+}
+
+impl fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reactor")
+            .field("epfd", &self.epfd)
+            .field("armed", &self.armed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Reactor {
+    /// Opens the epoll instance and the waker pipe.
+    pub fn new() -> io::Result<Reactor> {
+        let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (waker_rx, waker_tx) = match UnixStream::pair() {
+            Ok(pair) => pair,
+            Err(e) => {
+                unsafe { ffi::close(epfd) };
+                return Err(e);
+            }
+        };
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let r = Reactor {
+            epfd,
+            waker_rx,
+            waker_tx: Arc::new(waker_tx),
+            origin: Instant::now(),
+            wheel: BTreeMap::new(),
+            armed: HashMap::new(),
+            scratch: vec![ffi::EpollEvent { events: 0, data: 0 }; 256],
+        };
+        r.ctl(
+            ffi::EPOLL_CTL_ADD,
+            r.waker_rx.as_raw_fd(),
+            Some((Token(WAKER), Interest::READABLE)),
+        )?;
+        Ok(r)
+    }
+
+    /// Milliseconds since this reactor was created — the monotonic clock
+    /// the timer wheel runs on, exposed so callers can stamp their own
+    /// state on the same time base.
+    pub fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// A handle that wakes a blocked [`Reactor::poll`] from any thread.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            tx: Arc::clone(&self.waker_tx),
+        }
+    }
+
+    /// The raw write end of the waker pipe, for async-signal-safe wakeups
+    /// from a signal handler (`write(fd, "\1", 1)` is on the safe list;
+    /// taking a lock is not).
+    pub fn waker_fd(&self) -> RawFd {
+        self.waker_tx.as_raw_fd()
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, spec: Option<(Token, Interest)>) -> io::Result<()> {
+        let mut ev = spec.map(|(token, interest)| ffi::EpollEvent {
+            events: interest.bits(),
+            data: token.0 as u64,
+        });
+        let ptr = ev
+            .as_mut()
+            .map(|e| e as *mut ffi::EpollEvent)
+            .unwrap_or(std::ptr::null_mut());
+        if unsafe { ffi::epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers a non-blocking descriptor under `token`. The caller
+    /// must have set the descriptor non-blocking; the reactor is
+    /// level-triggered, so unread readiness is re-delivered on the next
+    /// poll.
+    pub fn register(
+        &mut self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        assert_ne!(
+            token.0, WAKER,
+            "Token(usize::MAX) is reserved for the waker"
+        );
+        self.ctl(ffi::EPOLL_CTL_ADD, fd.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Changes the interest (or token) of an existing registration.
+    pub fn reregister(
+        &mut self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        assert_ne!(
+            token.0, WAKER,
+            "Token(usize::MAX) is reserved for the waker"
+        );
+        self.ctl(ffi::EPOLL_CTL_MOD, fd.as_raw_fd(), Some((token, interest)))
+    }
+
+    /// Removes a registration. The kernel drops it automatically when
+    /// the descriptor closes, so this is only needed to stop events for
+    /// a descriptor that stays open.
+    pub fn deregister(&mut self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(ffi::EPOLL_CTL_DEL, fd.as_raw_fd(), None)
+    }
+
+    /// Arms (or re-arms) a deadline for `token`, `after` from now. One
+    /// deadline per token: re-arming supersedes the previous one. The
+    /// wheel is coarse — expiry is delivered on the next 10 ms tick at
+    /// or after the requested instant.
+    pub fn deadline(&mut self, token: Token, after: Duration) {
+        let tick = (self.now_ms() + after.as_millis() as u64).div_ceil(TICK_MS);
+        self.armed.insert(token, tick);
+        self.wheel.entry(tick).or_default().push(token);
+    }
+
+    /// Disarms `token`'s deadline, if any.
+    pub fn cancel_deadline(&mut self, token: Token) {
+        self.armed.remove(&token);
+    }
+
+    /// Blocks until I/O readiness, a deadline expiry, a wakeup, or
+    /// `timeout`, and appends the deliveries to `events` (which is
+    /// cleared first). Waker wakeups produce an empty delivery set —
+    /// callers re-check their own flags after every poll. A signal
+    /// interrupting the wait is treated as a wakeup, not an error.
+    pub fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        // The wait is bounded by the nearest armed deadline.
+        let now = self.now_ms();
+        let next_tick_ms = self
+            .wheel
+            .keys()
+            .next()
+            .map(|t| (t * TICK_MS).saturating_sub(now));
+        let wait_ms = match (timeout.map(|d| d.as_millis() as u64), next_tick_ms) {
+            (Some(a), Some(b)) => a.min(b) as i64,
+            (Some(a), None) => a as i64,
+            (None, Some(b)) => b as i64,
+            (None, None) => -1,
+        };
+        let wait_ms = if wait_ms < 0 {
+            -1
+        } else {
+            wait_ms.min(i32::MAX as i64) as i32 as i64
+        };
+        let n = unsafe {
+            ffi::epoll_wait(
+                self.epfd,
+                self.scratch.as_mut_ptr(),
+                self.scratch.len() as i32,
+                wait_ms as i32,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        } else {
+            for raw in &self.scratch[..n as usize] {
+                let (bits, data) = (raw.events, raw.data);
+                if data == WAKER as u64 {
+                    self.drain_waker();
+                    continue;
+                }
+                events.push(Event {
+                    token: Token(data as usize),
+                    readable: bits & ffi::EPOLLIN != 0,
+                    writable: bits & ffi::EPOLLOUT != 0,
+                    closed: bits & (ffi::EPOLLERR | ffi::EPOLLHUP | ffi::EPOLLRDHUP) != 0,
+                    timer: false,
+                });
+            }
+        }
+        // Expired wheel slots fire after I/O: a token whose armed tick
+        // moved (re-armed) or vanished (cancelled) is skipped.
+        let now_tick = self.now_ms() / TICK_MS;
+        let due: Vec<u64> = self.wheel.range(..=now_tick).map(|(t, _)| *t).collect();
+        for tick in due {
+            for token in self.wheel.remove(&tick).unwrap_or_default() {
+                if self.armed.get(&token) == Some(&tick) {
+                    self.armed.remove(&token);
+                    events.push(Event {
+                        token,
+                        readable: false,
+                        writable: false,
+                        closed: false,
+                        timer: true,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn drain_waker(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.waker_rx).read(&mut buf) {
+            if n < buf.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        unsafe { ffi::close(self.epfd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::{TcpListener, TcpStream};
+
+    fn reactor() -> Reactor {
+        Reactor::new().expect("epoll available")
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut r = reactor();
+        r.register(&listener, Token(7), Interest::READABLE).unwrap();
+
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == Token(7) && e.readable),
+            "pending accept must surface as readability: {events:?}"
+        );
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+    }
+
+    #[test]
+    fn stream_readability_and_peer_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut r = reactor();
+        r.register(&server, Token(1), Interest::READABLE).unwrap();
+
+        use std::io::Write as _;
+        (&client).write_all(b"ping").unwrap();
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == Token(1) && e.readable));
+        let mut buf = [0u8; 8];
+        assert_eq!((&server).read(&mut buf).unwrap(), 4);
+
+        drop(client);
+        r.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.token == Token(1))
+            .expect("peer close is delivered");
+        assert!(
+            ev.closed || ev.readable,
+            "close surfaces as HUP or EOF-readable"
+        );
+    }
+
+    #[test]
+    fn write_interest_fires_when_buffer_has_room() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let _server = listener.accept().unwrap();
+
+        let mut r = reactor();
+        r.register(&client, Token(3), Interest::WRITABLE).unwrap();
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == Token(3) && e.writable));
+    }
+
+    #[test]
+    fn deadlines_fire_in_order_and_rearm_supersedes() {
+        let mut r = reactor();
+        r.deadline(Token(10), Duration::from_millis(30));
+        r.deadline(Token(11), Duration::from_millis(80));
+        // Re-arm token 10 later than token 11: the original slot is stale.
+        r.deadline(Token(10), Duration::from_millis(150));
+
+        let mut events = Vec::new();
+        let mut fired = Vec::new();
+        let start = Instant::now();
+        while fired.len() < 2 && start.elapsed() < Duration::from_secs(5) {
+            r.poll(&mut events, Some(Duration::from_millis(500)))
+                .unwrap();
+            fired.extend(events.iter().filter(|e| e.timer).map(|e| e.token));
+        }
+        assert_eq!(
+            fired,
+            vec![Token(11), Token(10)],
+            "re-armed deadline fires last"
+        );
+    }
+
+    #[test]
+    fn cancelled_deadline_never_fires() {
+        let mut r = reactor();
+        r.deadline(Token(5), Duration::from_millis(20));
+        r.cancel_deadline(Token(5));
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_millis(60)))
+            .unwrap();
+        assert!(
+            events.iter().all(|e| !e.timer),
+            "cancelled deadline must not fire: {events:?}"
+        );
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        let mut r = reactor();
+        let waker = r.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        // Without the wakeup this poll would sleep the full 10 s.
+        r.poll(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "waker must interrupt the wait"
+        );
+        assert!(events.is_empty(), "wakeups deliver no events");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_through_the_reactor() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = net::tcp_connect_nonblocking(addr).expect("connect starts");
+        let mut r = reactor();
+        r.register(&stream, Token(9), Interest::WRITABLE).unwrap();
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(events.iter().any(|e| e.token == Token(9) && e.writable));
+        assert!(
+            stream.take_error().unwrap().is_none(),
+            "handshake succeeded"
+        );
+        let (_conn, peer) = listener.accept().unwrap();
+        assert_eq!(peer, stream.local_addr().unwrap());
+    }
+
+    #[test]
+    fn deregister_stops_deliveries() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut r = reactor();
+        r.register(&server, Token(2), Interest::READABLE).unwrap();
+        r.deregister(&server).unwrap();
+        use std::io::Write as _;
+        (&client).write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        r.poll(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd delivers nothing");
+    }
+}
