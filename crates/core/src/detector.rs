@@ -667,6 +667,23 @@ impl Detector {
         )
     }
 
+    /// Runs `f` against a leased session's live state **without
+    /// consuming the lease**. This is the streaming serve's begin hook:
+    /// when the origin response head arrives, the gateway mints this
+    /// page's instrumentation into the session (token issue, RNG draw)
+    /// while the body is still in flight, then commits the exchange via
+    /// [`Detector::commit_exchange`] once the body finishes. `None`
+    /// when the leased incarnation is gone (evicted or rolled over
+    /// mid-fetch) — the caller degrades to an uninstrumented stream and
+    /// the eventual commit takes the lost path. One shard lock.
+    pub fn with_lease_state<R>(
+        &self,
+        lease: &OriginLease,
+        f: impl FnOnce(&Session, &mut KeyState) -> R,
+    ) -> Option<R> {
+        self.tracker.inspect_lease(&lease.lease, f)
+    }
+
     /// Records a CAPTCHA pass for a session (ground-truth human).
     ///
     /// A key the tracker has never seen is a no-op: there is no session

@@ -54,7 +54,7 @@ use botwall_core::{
     KeyCarry, KeyState, OriginLease, PendingCaptchaPass, PolicyEngine,
 };
 use botwall_http::{Request, Response, StatusCode};
-use botwall_instrument::{Classified, ProbeKind, RewriteEngine};
+use botwall_instrument::{Classified, ProbeKind, ProbeManifest, RewriteEngine, StreamingRewrite};
 use botwall_sessions::{Session, SessionKey, SimTime};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
@@ -213,6 +213,57 @@ impl PendingOrigin {
     pub fn key(&self) -> &SessionKey {
         self.lease.key()
     }
+}
+
+/// An HTML page serve streaming through the rewriter, produced by
+/// [`Gateway::begin_page_stream`] once the origin response head turns
+/// out to be a page: origin body chunks go in via [`PageStream::write`],
+/// rewritten bytes come out as they resolve, and
+/// [`Gateway::finish_page_stream`] commits the exchange when the body
+/// ends. Holds no lock and no engine borrow — it rides inside a
+/// connection slot across event-loop turns.
+#[derive(Debug)]
+pub struct PageStream {
+    /// `None` when the lease died before the stream began: the page
+    /// passes through uninstrumented, like the buffered lost path.
+    rewrite: Option<StreamingRewrite>,
+}
+
+impl PageStream {
+    /// Whether this stream is actually instrumenting (false on the
+    /// lost-lease passthrough).
+    pub fn instrumented(&self) -> bool {
+        self.rewrite.is_some()
+    }
+
+    /// Feeds one origin body chunk; rewritten output is appended to
+    /// `out` as soon as it resolves.
+    pub fn write(&mut self, chunk: &[u8], out: &mut Vec<u8>) {
+        match &mut self.rewrite {
+            Some(rewrite) => rewrite.write(chunk, out),
+            None => out.extend_from_slice(chunk),
+        }
+    }
+
+    /// High-water mark of bytes the rewriter has held back — the
+    /// O(chunk)-memory gauge (0 for passthrough streams).
+    pub fn peak_buffered(&self) -> usize {
+        self.rewrite.as_ref().map_or(0, |r| r.peak_buffered())
+    }
+}
+
+/// What a finished streaming serve amounted to, returned by
+/// [`Gateway::finish_page_stream`] (the streaming counterpart of
+/// [`Decision::Serve`] — the body itself already went to the client).
+#[derive(Debug)]
+pub struct StreamedServe {
+    /// The session served.
+    pub key: SessionKey,
+    /// The session's verdict after folding the exchange.
+    pub verdict: Verdict,
+    /// The injected-probe manifest (`None` on the lost-lease
+    /// passthrough — nothing was injected).
+    pub manifest: Option<ProbeManifest>,
 }
 
 /// The single front door over the detection core.
@@ -424,6 +475,112 @@ impl Gateway {
     pub fn complete(&self, pending: PendingOrigin, fetched: Origin, now: SimTime) -> Decision {
         let PendingOrigin { lease, request } = pending;
         self.commit_phase(lease, &request, fetched, now)
+    }
+
+    /// Phase two, **streaming** variant — begin. Called when the origin
+    /// response head reveals an HTML page: one short critical section
+    /// re-binds the lease to mint this page's instrumentation — the RNG
+    /// draw, probe URLs, generated script, and the beacon token *issued
+    /// into the session immediately*, so a fast browser redeeming a
+    /// probe mid-stream already hits live state — and returns a
+    /// [`PageStream`] to pump origin body chunks through. The rewrite
+    /// is byte-identical to the buffered path ([`Origin::Page`] via
+    /// [`Gateway::complete`]) for the same session state.
+    ///
+    /// A lease whose incarnation died mid-fetch degrades to a
+    /// passthrough stream (the page goes out uninstrumented, exactly
+    /// like the buffered lost-lease path); the eventual
+    /// [`Gateway::finish_page_stream`] then commits through the
+    /// deferred-carry channel. Streaming costs three shard acquisitions
+    /// per serve (gate, begin, commit) against the buffered path's two
+    /// — the price of never materializing the page.
+    pub fn begin_page_stream(&self, pending: &PendingOrigin, now: SimTime) -> PageStream {
+        let rewrite = self
+            .detector
+            .with_lease_state(&pending.lease, |session, state| {
+                let seed = self
+                    .engine
+                    .session_stream_seed(session.key().shard_hash(), session.started());
+                let stream = {
+                    let rng = state.tokens.rng_seeded(seed);
+                    self.engine.begin_stream(pending.request.uri(), now, rng)
+                };
+                if let Some(tok) = stream.token() {
+                    state.tokens.issue(
+                        pending.request.uri().path(),
+                        tok.key,
+                        tok.decoys.clone(),
+                        Some((tok.js_nonce, tok.js.source.clone())),
+                        now,
+                        self.engine.config().token_table.max_entries_per_ip,
+                    );
+                }
+                stream
+            });
+        PageStream { rewrite }
+    }
+
+    /// Phase two, **streaming** variant — commit. The origin body has
+    /// finished (or died): flush the rewriter's held tail into `out`,
+    /// record the exchange, and fold its evidence exactly as the
+    /// buffered commit does. `wire_bytes` is what the caller already
+    /// put on the wire for this response (head + encoded chunks); the
+    /// tail flushed here is added to the byte ledger on top.
+    ///
+    /// The recorded response is a synthesized `200 text/html` head —
+    /// the body bytes are long gone to the client, which is the point
+    /// of streaming. Evidence folding only reads the status line and
+    /// headers, so detection is unaffected; the per-page byte ledger is
+    /// kept by the `wire_bytes` tally instead of `Response::wire_len`.
+    pub fn finish_page_stream(
+        &self,
+        pending: PendingOrigin,
+        stream: PageStream,
+        out: &mut Vec<u8>,
+        wire_bytes: u64,
+        now: SimTime,
+    ) -> StreamedServe {
+        let PendingOrigin { lease, request } = pending;
+        let key = lease.key().clone();
+        let cell = self.counters.cell(&key);
+        let tail_start = out.len();
+        let manifest = match stream.rewrite {
+            Some(rewrite) => {
+                let finished = rewrite.finish(out);
+                cell.instrumentation_bytes
+                    .fetch_add(finished.manifest.html_overhead as u64, Ordering::Relaxed);
+                Some(finished.manifest)
+            }
+            None => None,
+        };
+        let respond = || {
+            let mut response = Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/html")
+                .build();
+            RewriteEngine::mark_uncacheable(&mut response);
+            response
+        };
+        let (outcome, _, ()) = self.detector.commit_exchange(
+            lease,
+            &request,
+            now,
+            |_, state| {
+                // Mirrors the buffered serve closure minus the page
+                // (already streamed); in_flight bookkeeping and
+                // recording happen inside commit_exchange.
+                let _ = state;
+                (respond(), ())
+            },
+            || (respond(), ()),
+        );
+        let bytes = request.wire_len() as u64 + wire_bytes + (out.len() - tail_start) as u64;
+        cell.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+        cell.served.fetch_add(1, Ordering::Relaxed);
+        StreamedServe {
+            key,
+            verdict: outcome.verdict,
+            manifest,
+        }
     }
 
     /// Phase one: one shard critical section covering the policy gate,
@@ -865,6 +1022,79 @@ mod tests {
         assert_eq!(stats.served, 1);
         assert!(stats.instrumentation_bytes > 0);
         assert!(stats.total_bytes > stats.instrumentation_bytes);
+    }
+
+    #[test]
+    fn streamed_page_is_byte_identical_to_buffered_serve() {
+        // Two gateways with the same seed, one fresh equivalent session
+        // each: the buffered commit and the streaming commit must put
+        // the exact same bytes on the wire.
+        let buffered = match page_decision(
+            &Gateway::builder().seed(11).build(),
+            9,
+            "Mozilla/5.0",
+            SimTime::ZERO,
+        ) {
+            Decision::Serve { body, .. } => body.unwrap(),
+            other => panic!("{other:?}"),
+        };
+
+        let gw = Gateway::builder().seed(11).build();
+        let r = req(9, "http://site.example/index.html", "Mozilla/5.0");
+        let PendingServe::AwaitingOrigin(pending) = gw.handle_deferred(&r, SimTime::ZERO) else {
+            panic!("ordinary request leases");
+        };
+        let mut stream = gw.begin_page_stream(&pending, SimTime::ZERO);
+        assert!(stream.instrumented());
+        let mut out = Vec::new();
+        // Arbitrary small chunks, boundaries inside tags.
+        for chunk in HTML.as_bytes().chunks(3) {
+            stream.write(chunk, &mut out);
+        }
+        let streamed = gw.finish_page_stream(pending, stream, &mut out, 0, SimTime::ZERO);
+        assert_eq!(String::from_utf8(out).unwrap(), buffered);
+        let manifest = streamed.manifest.unwrap();
+        assert!(manifest.mouse_beacon.is_some());
+        assert!(manifest.html_overhead > 0);
+        let stats = gw.stats();
+        assert_eq!(stats.served, 1);
+        assert!(stats.instrumentation_bytes > 0);
+    }
+
+    #[test]
+    fn streamed_page_token_redeems_mid_stream() {
+        // The beacon token is issued at begin_page_stream, before the
+        // body has streamed: a fast browser can redeem a probe while the
+        // page is still going out.
+        let gw = Gateway::builder().seed(12).build();
+        let r = req(10, "http://site.example/index.html", "Mozilla/5.0");
+        let PendingServe::AwaitingOrigin(pending) = gw.handle_deferred(&r, SimTime::ZERO) else {
+            panic!("ordinary request leases");
+        };
+        let mut stream = gw.begin_page_stream(&pending, SimTime::ZERO);
+        let mut out = Vec::new();
+        stream.write(&HTML.as_bytes()[..10], &mut out); // body mid-flight
+        let js_uri = {
+            // The generated script probe is live in the session already.
+            let streamed_manifest = gw
+                .detector
+                .with_lease_state(&pending.lease, |_, state| state.tokens.len())
+                .unwrap();
+            assert_eq!(streamed_manifest, 1);
+            let finished = gw.finish_page_stream(pending, stream, &mut out, 0, SimTime::ZERO);
+            finished.manifest.unwrap().js_file.unwrap()
+        };
+        // And the script URL classifies + serves as a probe afterwards.
+        let probe_req = req(10, &js_uri.to_string(), "Mozilla/5.0");
+        match gw.handle(&probe_req, SimTime::from_secs(1)) {
+            Decision::Serve {
+                probe, response, ..
+            } => {
+                assert!(probe);
+                assert!(!response.body().is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub mod gateway;
 pub use botwall_core::{BoundaryClassifier, CompletedSession};
 pub use config::{GatewayBuilder, GatewayConfig};
 pub use decision::{Decision, Origin};
-pub use gateway::{Gateway, GatewayStats, PendingOrigin, PendingServe};
+pub use gateway::{Gateway, GatewayStats, PageStream, PendingOrigin, PendingServe, StreamedServe};

@@ -33,6 +33,7 @@ use crate::beacon;
 use crate::jsgen::{self, GeneratedJs, JsSpec};
 use crate::probe::{AutomationReport, ProbeHit, ProbeKind};
 use crate::rewrite::{Classified, InstrumentConfig, ProbeManifest};
+use crate::stream::StreamingRewrite;
 use crate::token::{BeaconKey, TokenState};
 use botwall_http::{Request, Response, StatusCode, Uri};
 use botwall_sessions::SimTime;
@@ -332,18 +333,15 @@ impl RewriteEngine {
         })
     }
 
-    /// Rewrites one HTML page, drawing all randomness from `rng` and
-    /// returning the issued token for the caller to store (`now` stamps
-    /// the probe nonces' freshness window). This is the storage-agnostic
-    /// core; most callers want
-    /// [`RewriteEngine::instrument_session_page`].
-    pub fn build_page<R: Rng>(
-        &self,
-        html: &str,
-        page: &Uri,
-        now: SimTime,
-        rng: &mut R,
-    ) -> BuiltPage {
+    /// Begins a streaming page rewrite: mints this page's probes,
+    /// beacon token, and generated script up front (drawing all
+    /// randomness from `rng`, in the same order as the buffered path
+    /// always has), and returns a [`StreamingRewrite`] to feed origin
+    /// chunks through. The issued token is available immediately via
+    /// [`StreamingRewrite::token`] — streaming callers store it in the
+    /// session *before* the body has streamed, so a probe fetched by a
+    /// fast browser mid-stream already redeems.
+    pub fn begin_stream<R: Rng>(&self, page: &Uri, now: SimTime, rng: &mut R) -> StreamingRewrite {
         let host = page.host().unwrap_or("unknown.example");
         let mut manifest = ProbeManifest {
             page: page.clone(),
@@ -410,12 +408,38 @@ impl RewriteEngine {
             manifest.transparent_pixel = Some(pixel);
         }
 
-        let rewritten = inject(html, &head_inject, &body_attr, &body_inject);
-        manifest.html_overhead = rewritten.len().saturating_sub(html.len());
-        BuiltPage {
-            html: rewritten,
+        StreamingRewrite::new(
+            head_inject,
+            body_attr,
+            body_inject,
             manifest,
             token,
+            self.config.asset_proxy.as_ref(),
+        )
+    }
+
+    /// Rewrites one HTML page, drawing all randomness from `rng` and
+    /// returning the issued token for the caller to store (`now` stamps
+    /// the probe nonces' freshness window). A thin buffered wrapper over
+    /// [`RewriteEngine::begin_stream`] — one chunk in, everything out —
+    /// so the two paths are byte-identical by construction. This is the
+    /// storage-agnostic core; most callers want
+    /// [`RewriteEngine::instrument_session_page`].
+    pub fn build_page<R: Rng>(
+        &self,
+        html: &str,
+        page: &Uri,
+        now: SimTime,
+        rng: &mut R,
+    ) -> BuiltPage {
+        let mut stream = self.begin_stream(page, now, rng);
+        let mut out = Vec::with_capacity(html.len() + 512);
+        stream.write(html.as_bytes(), &mut out);
+        let finished = stream.finish(&mut out);
+        BuiltPage {
+            html: String::from_utf8(out).expect("the rewriter only injects ASCII at ASCII anchors"),
+            manifest: finished.manifest,
+            token: finished.token,
         }
     }
 
@@ -492,48 +516,6 @@ impl RewriteEngine {
             .headers_mut()
             .set("Cache-Control", "no-cache, no-store");
     }
-}
-
-/// Injects markup into an HTML document: `head_inject` before `</head>`,
-/// `body_attr` into the `<body>` tag, `body_inject` before `</body>`.
-/// Degrades gracefully when tags are missing.
-fn inject(html: &str, head_inject: &str, body_attr: &str, body_inject: &str) -> String {
-    let mut out = String::with_capacity(
-        html.len() + head_inject.len() + body_attr.len() + body_inject.len() + 16,
-    );
-    // Head injection.
-    let lower = html.to_ascii_lowercase();
-    let (pre, rest) = match lower.find("</head>") {
-        Some(i) => (&html[..i], &html[i..]),
-        None => match lower.find("<body") {
-            Some(i) => (&html[..i], &html[i..]),
-            None => ("", html),
-        },
-    };
-    out.push_str(pre);
-    out.push_str(head_inject);
-    // Body attribute injection.
-    let rest_lower = rest.to_ascii_lowercase();
-    if let Some(b) = rest_lower.find("<body") {
-        let after_tag_name = b + "<body".len();
-        out.push_str(&rest[..after_tag_name]);
-        out.push_str(body_attr);
-        let remaining = &rest[after_tag_name..];
-        // Body-end injection.
-        let rl = remaining.to_ascii_lowercase();
-        if let Some(e) = rl.rfind("</body>") {
-            out.push_str(&remaining[..e]);
-            out.push_str(body_inject);
-            out.push_str(&remaining[e..]);
-        } else {
-            out.push_str(remaining);
-            out.push_str(body_inject);
-        }
-    } else {
-        out.push_str(rest);
-        out.push_str(body_inject);
-    }
-    out
 }
 
 #[cfg(test)]

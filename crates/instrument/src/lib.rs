@@ -54,10 +54,12 @@ pub mod engine;
 pub mod jsgen;
 pub mod probe;
 pub mod rewrite;
+pub mod stream;
 pub mod token;
 
 pub use engine::{BuiltPage, IssuedPageToken, RewriteEngine, Sighting};
 pub use jsgen::Obfuscation;
 pub use probe::{AutomationReport, ProbeHit, ProbeKind};
 pub use rewrite::{Classified, InstrumentConfig, Instrumenter, InstrumenterStats, ProbeManifest};
+pub use stream::{AssetProxyConfig, FinishedStream, StreamingRewrite, MAX_HELD_BYTES};
 pub use token::{BeaconKey, KeyOutcome, TokenState, TokenTable, TokenTableConfig};

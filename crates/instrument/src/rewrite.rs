@@ -48,6 +48,11 @@ pub struct InstrumentConfig {
     /// Maximum generated scripts the [`Instrumenter`] harness retains
     /// for serving (the gateway stores scripts per-session instead).
     pub max_stored_scripts: usize,
+    /// First-party asset-proxy rewriting (the trusted-server attribute
+    /// surface: `src`/`href`, `srcset`/`imagesrcset`, CSS `url(...)`,
+    /// SVG `href`/`xlink:href`, `<object data>`). `None` leaves asset
+    /// URLs untouched.
+    pub asset_proxy: Option<crate::stream::AssetProxyConfig>,
 }
 
 impl Default for InstrumentConfig {
@@ -61,6 +66,7 @@ impl Default for InstrumentConfig {
             mouse_beacon: true,
             token_table: TokenTableConfig::default(),
             max_stored_scripts: 100_000,
+            asset_proxy: None,
         }
     }
 }

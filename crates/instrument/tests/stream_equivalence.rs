@@ -1,0 +1,128 @@
+//! The streaming contract: for any document and ANY chunking of it, the
+//! streaming rewriter produces byte-identical output to the buffered
+//! `build_page` under the same RNG seed — chunk boundaries in tag names,
+//! attribute values, srcset candidates, and multi-byte UTF-8 sequences
+//! included. Plus the O(chunk) memory claim: a 4MB page fed one byte at
+//! a time never buffers more than `MAX_HELD_BYTES`.
+
+use botwall_http::Uri;
+use botwall_instrument::{AssetProxyConfig, InstrumentConfig, RewriteEngine, MAX_HELD_BYTES};
+use botwall_sessions::SimTime;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn page_uri() -> Uri {
+    "http://prop.example/page.html".parse().unwrap()
+}
+
+fn engine(asset_proxy: bool) -> RewriteEngine {
+    let mut config = InstrumentConfig::default();
+    if asset_proxy {
+        config.asset_proxy = Some(AssetProxyConfig::new("/assets/fetch"));
+    }
+    RewriteEngine::new(config, 77)
+}
+
+/// Document fragments chosen to put chunk boundaries somewhere
+/// interesting: injection anchors, the attribute catalogue, srcset
+/// descriptor lists, `data:` commas, raw-text elements, comments, and
+/// multi-byte UTF-8.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("<head><title>t</title>".to_string()),
+        Just("</head>".to_string()),
+        Just("<body class=\"main\" data-x=\"1\">".to_string()),
+        Just("</body>".to_string()),
+        Just("<img src=\"http://cdn.example/a.png\" srcset=\"http://cdn.example/a.png 1x, b.png 2x\">".to_string()),
+        Just("<img srcset=\"data:image/png;base64,AAb=, http://cdn.example/c.png 640w\">".to_string()),
+        Just("<style>p{background:url('http://cdn.example/bg.png')}</style>".to_string()),
+        Just("<div style=\"background:url(http://cdn.example/d.png)\">x</div>".to_string()),
+        Just("<script>var s = '<img src=\"http://cdn.example/js.png\">';</script>".to_string()),
+        Just("<!-- <body> commented out </body> -->".to_string()),
+        Just("<svg><use xlink:href=\"http://cdn.example/i.svg#x\"/></svg>".to_string()),
+        Just("<source srcset=\"//cdn.example/v.webp 2x\"><object data=\"http://cdn.example/o.bin\">".to_string()),
+        Just("héllo wörld ☃ — 話しませんか ✓".to_string()),
+        "[ -~]{0,40}",
+    ]
+}
+
+proptest! {
+    /// Streaming == buffered for every chunking, with and without the
+    /// asset proxy; manifest, token, and overhead accounting agree.
+    #[test]
+    fn streaming_matches_buffered_for_any_chunking(
+        parts in vec(fragment(), 0..12),
+        chunk in 2usize..33,
+        seed in 0u64..1000,
+    ) {
+        let html: String = parts.concat();
+        for proxied in [false, true] {
+            let eng = engine(proxied);
+            let buffered = eng.build_page(
+                &html,
+                &page_uri(),
+                SimTime::ZERO,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            // The generated chunk size, plus 1-byte chunks always.
+            for size in [chunk, 1] {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut stream = eng.begin_stream(&page_uri(), SimTime::ZERO, &mut rng);
+                let token_up_front =
+                    stream.token().map(|t| (t.key, t.js_nonce));
+                let mut out = Vec::new();
+                for piece in html.as_bytes().chunks(size) {
+                    stream.write(piece, &mut out);
+                }
+                let finished = stream.finish(&mut out);
+                prop_assert_eq!(
+                    String::from_utf8(out.clone()).unwrap(),
+                    buffered.html.clone(),
+                    "chunk size {} diverged (proxy: {})", size, proxied
+                );
+                prop_assert_eq!(&finished.manifest, &buffered.manifest);
+                prop_assert_eq!(finished.manifest.html_overhead, out.len() - html.len());
+                // The token is available before any body bytes stream,
+                // and matches what the buffered path issued.
+                prop_assert_eq!(
+                    token_up_front,
+                    buffered.token.as_ref().map(|t| (t.key, t.js_nonce))
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn four_megabyte_page_in_one_byte_chunks_stays_under_the_hold_cap() {
+    let mut html = String::with_capacity(4 * 1024 * 1024 + 128);
+    html.push_str("<html><head><title>big</title></head><body>");
+    let para = "<p>lorem ipsum dolor sit amet consectetur</p>\
+                <img src=\"http://cdn.example/p.png\" srcset=\"q.png 1x\">";
+    while html.len() < 4 * 1024 * 1024 {
+        html.push_str(para);
+    }
+    html.push_str("</body></html>");
+
+    let eng = engine(true);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut stream = eng.begin_stream(&page_uri(), SimTime::ZERO, &mut rng);
+    let mut out = Vec::new();
+    for piece in html.as_bytes().chunks(1) {
+        stream.write(piece, &mut out);
+    }
+    let peak = stream.peak_buffered();
+    let finished = stream.finish(&mut out);
+
+    assert!(
+        peak <= MAX_HELD_BYTES,
+        "streaming a 4MB page buffered {peak} bytes (cap {MAX_HELD_BYTES})"
+    );
+    assert!(out.len() > html.len());
+    assert_eq!(finished.manifest.html_overhead, out.len() - html.len());
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("/assets/fetch?u=http%3A%2F%2Fcdn.example%2Fp.png"));
+    assert!(text.ends_with("</body></html>"));
+}

@@ -1,8 +1,13 @@
 //! A minimal blocking HTTP/1.1 client for exercising the front door
 //! from tests, benches, and the binary's smoke mode. One function per
 //! concern: put a request on a stream, read one framed response back.
+//!
+//! The reader understands all three response framings — `Content-Length`,
+//! `Transfer-Encoding: chunked` (decoded incrementally, so a multi-MB
+//! streamed page is not subject to the buffered-frame cap), and
+//! close-delimited.
 
-use crate::frame::{measure, Framing};
+use crate::frame::{self, BodyDecoder};
 use botwall_http::{wire, HttpError, Request, Response};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -13,23 +18,59 @@ pub fn send_request(conn: &mut TcpStream, request: &Request) -> io::Result<()> {
 }
 
 /// Reads exactly one response off the stream, honoring `Content-Length`
-/// framing (and falling back to read-to-EOF when the server closes a
-/// response without one).
+/// framing, decoding `Transfer-Encoding: chunked` bodies chunk by chunk
+/// (a half-sent chunked body at EOF is an error, not a short body), and
+/// falling back to read-to-EOF when the server closes a response with
+/// neither.
 pub fn read_response(conn: &mut TcpStream) -> io::Result<Response> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 8192];
-    let frame = loop {
-        match measure(&buf) {
-            Ok(Framing::Complete { len }) => break len,
-            Ok(_) => {}
-            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    let head = loop {
+        match frame::response_head(&buf) {
+            Ok(Some(head)) => break head,
+            Ok(None) => {}
+            Err(e) => return Err(invalid(e)),
         }
         match conn.read(&mut chunk)? {
-            0 => break buf.len(), // close-delimited
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    if buf.is_empty() {
+                        "connection closed before any response bytes"
+                    } else {
+                        "connection closed mid-header"
+                    },
+                ));
+            }
             n => buf.extend_from_slice(&chunk[..n]),
         }
     };
-    parse(&buf[..frame])
+    let head_text = String::from_utf8(buf[..head.len - 4].to_vec())
+        .expect("response_head validated the block as UTF-8");
+    let mut rest = buf.split_off(head.len);
+    let mut decoder = BodyDecoder::new(head.framing);
+    let mut body = Vec::new();
+    let mut done = decoder.push(&mut rest, &mut body).map_err(invalid)?;
+    while !done {
+        match conn.read(&mut chunk)? {
+            0 => {
+                if decoder.eof_ok() {
+                    break;
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body (truncated chunked stream)",
+                ));
+            }
+            n => {
+                rest.extend_from_slice(&chunk[..n]);
+                done = decoder.push(&mut rest, &mut body).map_err(invalid)?;
+            }
+        }
+    }
+    // The codec only parses identity framing; hand it the decoded body
+    // under its real Content-Length.
+    parse(&frame::identity_message(&head_text, &body))
 }
 
 /// One request/response round trip on an existing connection.
@@ -38,13 +79,10 @@ pub fn roundtrip(conn: &mut TcpStream, request: &Request) -> io::Result<Response
     read_response(conn)
 }
 
+fn invalid(e: HttpError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
 fn parse(raw: &[u8]) -> io::Result<Response> {
-    if raw.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before any response bytes",
-        ));
-    }
-    wire::parse_response(raw)
-        .map_err(|e: HttpError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    wire::parse_response(raw).map_err(invalid)
 }

@@ -4,10 +4,15 @@
 //! fragments. This module answers the one question the codec cannot:
 //! *how many buffered bytes make up the next complete message?* A frame
 //! is the header block (terminated by the blank line) plus a body of
-//! exactly `Content-Length` bytes (zero when absent — chunked transfer
-//! is out of scope for the whole workspace). Responses without a
-//! `Content-Length` are instead delimited by connection close, which the
-//! server handles at its EOF path.
+//! exactly `Content-Length` bytes, or — since PR 8 — a chunked
+//! (`Transfer-Encoding: chunked`) body, measured chunk by chunk to its
+//! terminal `0\r\n\r\n`. Responses without either are delimited by
+//! connection close, which the server handles at its EOF path.
+//!
+//! Buffered callers use [`measure`] (whole frame) and [`dechunk`]
+//! (rebuild a chunked message as identity-framed for the codec); the
+//! streaming path uses [`response_head`] + [`BodyDecoder`] to consume a
+//! body incrementally in O(chunk) memory.
 
 use botwall_http::HttpError;
 
@@ -17,6 +22,10 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
 /// Cap on one whole message (head + declared body).
 pub const MAX_FRAME_BYTES: usize = 1024 * 1024;
+
+/// Cap on one chunk-size line (hex size + extensions + CRLF). Real
+/// sizes fit in a dozen bytes; a peer streaming more is framing garbage.
+pub const MAX_CHUNK_LINE: usize = 64;
 
 /// How far the buffered prefix of a message stream has progressed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,48 +44,420 @@ pub enum Framing {
     },
 }
 
-/// Measures the next message in `buf`. `Err` means the peer is framing
-/// garbage (oversized head, unparseable or oversized `Content-Length`)
-/// and the connection should answer 400 / close.
-pub fn measure(buf: &[u8]) -> Result<Framing, HttpError> {
-    let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(HttpError::InvalidHeader(format!(
-                "header block exceeds {MAX_HEAD_BYTES} bytes"
-            )));
-        }
-        return Ok(Framing::Partial);
-    };
-    if head_end > MAX_HEAD_BYTES {
-        return Err(HttpError::InvalidHeader(format!(
-            "header block exceeds {MAX_HEAD_BYTES} bytes"
-        )));
-    }
-    let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
-    let mut content_length = 0usize;
+/// How a message's body is delimited, read off its header block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// `Content-Length: n` (n = 0 when the header is absent on
+    /// requests; bodyless responses too).
+    Length(usize),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+    /// No length, no chunking: the body runs to connection close
+    /// (responses only).
+    Close,
+}
+
+/// The parsed prefix of a response: how long the header block is and
+/// everything the streaming path needs to decide what to do with the
+/// body before the body exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// Header block length in bytes, including the blank line.
+    pub len: usize,
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` value, if present (lowercased, parameters
+    /// stripped: `text/html; charset=utf-8` reads as `text/html`).
+    pub content_type: Option<String>,
+    /// How the body is delimited.
+    pub framing: BodyFraming,
+}
+
+/// Scans one header block for the three framing-relevant headers.
+/// `Transfer-Encoding: chunked` wins over `Content-Length` (RFC 9112
+/// §6.3); absent both, `fallback` decides (close-delimited responses,
+/// zero-length requests).
+fn head_framing(head: &str, fallback: BodyFraming) -> Result<BodyFraming, HttpError> {
+    let mut framing = fallback;
+    let mut saw_length = false;
+    let mut chunked = false;
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("Content-Length") {
+            if name.eq_ignore_ascii_case("Transfer-Encoding") {
+                if value.to_ascii_lowercase().contains("chunked") {
+                    chunked = true;
+                }
+            } else if name.eq_ignore_ascii_case("Content-Length") && !saw_length {
                 let value = value.trim();
-                content_length = value
+                let n = value
                     .parse()
                     .map_err(|_| HttpError::InvalidContentLength(value.to_string()))?;
-                break; // first Content-Length wins, matching the codec
+                framing = BodyFraming::Length(n); // first Content-Length wins
+                saw_length = true;
             }
         }
     }
-    let len = head_end + 4 + content_length;
-    if len > MAX_FRAME_BYTES {
-        return Err(HttpError::InvalidContentLength(format!(
-            "message of {len} bytes exceeds {MAX_FRAME_BYTES}"
+    Ok(if chunked {
+        BodyFraming::Chunked
+    } else {
+        framing
+    })
+}
+
+/// Finds the end of the header block, enforcing [`MAX_HEAD_BYTES`].
+/// `Ok(None)` means keep reading.
+fn head_end(buf: &[u8]) -> Result<Option<usize>, HttpError> {
+    match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(end) if end <= MAX_HEAD_BYTES => Ok(Some(end)),
+        None if buf.len() <= MAX_HEAD_BYTES => Ok(None),
+        _ => Err(HttpError::InvalidHeader(format!(
+            "header block exceeds {MAX_HEAD_BYTES} bytes"
+        ))),
+    }
+}
+
+/// Walks the chunk framing of `buf[from..]`: `Ok(Some(end))` when the
+/// terminal chunk (and its trailer section) is fully buffered, `Ok(None)`
+/// when more bytes are needed, `Err` on garbage or oversize chunk
+/// headers.
+fn measure_chunks(buf: &[u8], from: usize) -> Result<Option<usize>, HttpError> {
+    let mut pos = from;
+    loop {
+        let Some((size, data_start)) = chunk_size_at(buf, pos)? else {
+            return Ok(None);
+        };
+        if size == 0 {
+            // Trailer section: lines until the blank line.
+            let mut t = data_start;
+            loop {
+                let Some(line_end) = crlf_at(buf, t, MAX_HEAD_BYTES)? else {
+                    return Ok(None);
+                };
+                if line_end == t {
+                    return Ok(Some(line_end + 2));
+                }
+                t = line_end + 2;
+            }
+        }
+        let data_end = data_start
+            .checked_add(size)
+            .ok_or_else(|| HttpError::InvalidContentLength(format!("chunk of {size} bytes")))?;
+        if buf.len() < data_end + 2 {
+            return Ok(None);
+        }
+        if &buf[data_end..data_end + 2] != b"\r\n" {
+            return Err(HttpError::InvalidHeader(
+                "chunk data not terminated by CRLF".to_string(),
+            ));
+        }
+        pos = data_end + 2;
+    }
+}
+
+/// Parses the chunk-size line at `buf[pos..]`: `Ok(Some((size, data
+/// start)))`, `Ok(None)` when the line is still incomplete, `Err` on a
+/// garbage or oversized size line.
+fn chunk_size_at(buf: &[u8], pos: usize) -> Result<Option<(usize, usize)>, HttpError> {
+    let Some(line_end) = crlf_at(buf, pos, MAX_CHUNK_LINE)? else {
+        return Ok(None);
+    };
+    let line = &buf[pos..line_end];
+    // Chunk extensions (`;name=value`) are tolerated and ignored.
+    let hex = line.split(|&b| b == b';').next().unwrap_or(b"");
+    let hex = std::str::from_utf8(hex)
+        .map_err(|_| HttpError::InvalidHeader("non-UTF8 chunk-size line".to_string()))?
+        .trim();
+    if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(HttpError::InvalidHeader(format!(
+            "bad chunk-size line {hex:?}"
         )));
     }
-    if buf.len() >= len {
-        Ok(Framing::Complete { len })
-    } else {
-        Ok(Framing::NeedsBody { len })
+    let size = usize::from_str_radix(hex, 16)
+        .map_err(|_| HttpError::InvalidContentLength(format!("chunk size {hex:?}")))?;
+    if size > MAX_FRAME_BYTES {
+        return Err(HttpError::InvalidContentLength(format!(
+            "chunk of {size} bytes exceeds {MAX_FRAME_BYTES}"
+        )));
     }
+    Ok(Some((size, line_end + 2)))
+}
+
+/// Finds the CRLF ending the line at `buf[pos..]` within `cap` bytes;
+/// `Ok(None)` = incomplete, `Err` = the line overran its cap.
+fn crlf_at(buf: &[u8], pos: usize, cap: usize) -> Result<Option<usize>, HttpError> {
+    let window = &buf[pos.min(buf.len())..];
+    match window.windows(2).take(cap).position(|w| w == b"\r\n") {
+        Some(p) => Ok(Some(pos + p)),
+        None if window.len() <= cap => Ok(None),
+        None => Err(HttpError::InvalidHeader(format!(
+            "chunk or trailer line exceeds {cap} bytes"
+        ))),
+    }
+}
+
+/// Measures the next message in `buf`. `Err` means the peer is framing
+/// garbage (oversized head, unparseable or oversized `Content-Length`,
+/// garbage chunk headers) and the connection should answer 400 / close.
+///
+/// Chunked messages measure to their terminal chunk; an incomplete
+/// chunked body reads as [`Framing::Partial`] (the total length is
+/// unknowable until the terminal chunk arrives).
+pub fn measure(buf: &[u8]) -> Result<Framing, HttpError> {
+    let Some(head_end) = head_end(buf)? else {
+        return Ok(Framing::Partial);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
+    let body_start = head_end + 4;
+    match head_framing(head, BodyFraming::Length(0))? {
+        BodyFraming::Chunked => match measure_chunks(buf, body_start)? {
+            Some(end) => {
+                if end > MAX_FRAME_BYTES {
+                    return Err(HttpError::InvalidContentLength(format!(
+                        "message of {end} bytes exceeds {MAX_FRAME_BYTES}"
+                    )));
+                }
+                Ok(Framing::Complete { len: end })
+            }
+            None => {
+                if buf.len() > MAX_FRAME_BYTES {
+                    return Err(HttpError::InvalidContentLength(format!(
+                        "chunked message exceeds {MAX_FRAME_BYTES} bytes"
+                    )));
+                }
+                Ok(Framing::Partial)
+            }
+        },
+        framing => {
+            let content_length = match framing {
+                BodyFraming::Length(n) => n,
+                _ => 0,
+            };
+            let len = body_start + content_length;
+            if len > MAX_FRAME_BYTES {
+                return Err(HttpError::InvalidContentLength(format!(
+                    "message of {len} bytes exceeds {MAX_FRAME_BYTES}"
+                )));
+            }
+            if buf.len() >= len {
+                Ok(Framing::Complete { len })
+            } else {
+                Ok(Framing::NeedsBody { len })
+            }
+        }
+    }
+}
+
+/// Parses the header block of a response if it is fully buffered.
+/// `Ok(None)` means keep reading; `Err` means the peer is framing
+/// garbage. Unlike [`measure`] this never waits for the body — it is
+/// the streaming path's first step, taken before any body byte exists.
+pub fn response_head(buf: &[u8]) -> Result<Option<ResponseHead>, HttpError> {
+    let Some(end) = head_end(buf)? else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..end])
+        .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
+    let status_line = head.split("\r\n").next().unwrap_or("");
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| HttpError::InvalidHeader(format!("bad status line {status_line:?}")))?;
+    let mut content_type = None;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("Content-Type") && content_type.is_none() {
+                let value = value.split(';').next().unwrap_or("").trim();
+                content_type = Some(value.to_ascii_lowercase());
+            }
+        }
+    }
+    // Responses without a declared length run to connection close.
+    let framing = head_framing(head, BodyFraming::Close)?;
+    Ok(Some(ResponseHead {
+        len: end + 4,
+        status,
+        content_type,
+        framing,
+    }))
+}
+
+/// Where an incremental body decode currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DecodeState {
+    /// Identity body: `remaining` bytes still owed.
+    Length { remaining: usize },
+    /// Close-delimited body: everything until EOF is body.
+    Close,
+    /// Chunked: waiting for the next chunk-size line.
+    ChunkSize,
+    /// Chunked: `remaining` data bytes of the current chunk still owed.
+    ChunkData { remaining: usize },
+    /// Chunked: the CRLF after a chunk's data.
+    ChunkEnd,
+    /// Chunked: trailer lines after the terminal chunk.
+    Trailers,
+    /// The body is complete.
+    Done,
+}
+
+/// Incremental body decoder: feed it raw socket bytes, it appends the
+/// decoded body and tells you when the message ends. Holds no body
+/// bytes itself — memory is bounded by whatever the caller buffers.
+#[derive(Debug)]
+pub struct BodyDecoder {
+    state: DecodeState,
+}
+
+impl BodyDecoder {
+    /// Starts a decoder for a body framed as `framing`.
+    pub fn new(framing: BodyFraming) -> Self {
+        let state = match framing {
+            BodyFraming::Length(0) => DecodeState::Done,
+            BodyFraming::Length(n) => DecodeState::Length { remaining: n },
+            BodyFraming::Chunked => DecodeState::ChunkSize,
+            BodyFraming::Close => DecodeState::Close,
+        };
+        BodyDecoder { state }
+    }
+
+    /// Consumes decodable bytes from the front of `buf` (draining them)
+    /// and appends the decoded body bytes to `out`. Returns `Ok(true)`
+    /// once the body is complete; further bytes in `buf` belong to the
+    /// next message (or are a framing error the caller may ignore at
+    /// EOF). `Err` means garbage chunk framing: answer 400 / close.
+    pub fn push(&mut self, buf: &mut Vec<u8>, out: &mut Vec<u8>) -> Result<bool, HttpError> {
+        let mut pos = 0usize;
+        let done = loop {
+            match self.state {
+                DecodeState::Done => break true,
+                DecodeState::Close => {
+                    out.extend_from_slice(&buf[pos..]);
+                    pos = buf.len();
+                    break false;
+                }
+                DecodeState::Length { remaining } => {
+                    let take = remaining.min(buf.len() - pos);
+                    out.extend_from_slice(&buf[pos..pos + take]);
+                    pos += take;
+                    if take == remaining {
+                        self.state = DecodeState::Done;
+                    } else {
+                        self.state = DecodeState::Length {
+                            remaining: remaining - take,
+                        };
+                        break false;
+                    }
+                }
+                DecodeState::ChunkSize => match chunk_size_at(buf, pos)? {
+                    None => break false,
+                    Some((0, data_start)) => {
+                        pos = data_start;
+                        self.state = DecodeState::Trailers;
+                    }
+                    Some((size, data_start)) => {
+                        pos = data_start;
+                        self.state = DecodeState::ChunkData { remaining: size };
+                    }
+                },
+                DecodeState::ChunkData { remaining } => {
+                    let take = remaining.min(buf.len() - pos);
+                    out.extend_from_slice(&buf[pos..pos + take]);
+                    pos += take;
+                    if take == remaining {
+                        self.state = DecodeState::ChunkEnd;
+                    } else {
+                        self.state = DecodeState::ChunkData {
+                            remaining: remaining - take,
+                        };
+                        break false;
+                    }
+                }
+                DecodeState::ChunkEnd => {
+                    if buf.len() - pos < 2 {
+                        break false;
+                    }
+                    if &buf[pos..pos + 2] != b"\r\n" {
+                        return Err(HttpError::InvalidHeader(
+                            "chunk data not terminated by CRLF".to_string(),
+                        ));
+                    }
+                    pos += 2;
+                    self.state = DecodeState::ChunkSize;
+                }
+                DecodeState::Trailers => {
+                    let Some(line_end) = crlf_at(buf, pos, MAX_HEAD_BYTES)? else {
+                        break false;
+                    };
+                    let blank = line_end == pos;
+                    pos = line_end + 2;
+                    if blank {
+                        self.state = DecodeState::Done;
+                    }
+                }
+            }
+        };
+        buf.drain(..pos);
+        Ok(done)
+    }
+
+    /// Whether connection close at this point is a clean end of body
+    /// (close-delimited or already complete) rather than truncation.
+    pub fn eof_ok(&self) -> bool {
+        matches!(self.state, DecodeState::Close | DecodeState::Done)
+    }
+}
+
+/// Rebuilds one complete chunked message as an identity-framed one the
+/// codec can parse: the body is de-chunked and the header block
+/// rewritten with its real `Content-Length` (any `Transfer-Encoding` /
+/// stale `Content-Length` lines dropped). Non-chunked messages pass
+/// through unchanged. `raw` must hold exactly one complete message —
+/// callers get that guarantee from [`measure`].
+pub fn dechunk(raw: &[u8]) -> Result<Vec<u8>, HttpError> {
+    let Some(end) = head_end(raw)? else {
+        return Err(HttpError::InvalidHeader(
+            "dechunk on incomplete header block".to_string(),
+        ));
+    };
+    let head = std::str::from_utf8(&raw[..end])
+        .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
+    if head_framing(head, BodyFraming::Length(0))? != BodyFraming::Chunked {
+        return Ok(raw.to_vec());
+    }
+    let mut decoder = BodyDecoder::new(BodyFraming::Chunked);
+    let mut rest = raw[end + 4..].to_vec();
+    let mut body = Vec::new();
+    if !decoder.push(&mut rest, &mut body)? {
+        return Err(HttpError::TruncatedBody {
+            expected: body.len() + 1,
+            actual: body.len(),
+        });
+    }
+    Ok(identity_message(head, &body))
+}
+
+/// Serializes `head` (one header block, no blank line) and `body` as an
+/// identity-framed message: any `Transfer-Encoding` / stale
+/// `Content-Length` lines are dropped and the body's real
+/// `Content-Length` written in their place.
+pub(crate) fn identity_message(head: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(head.len() + 64 + body.len());
+    for (i, line) in head.split("\r\n").enumerate() {
+        let drop = i > 0
+            && line.split_once(':').is_some_and(|(name, _)| {
+                name.eq_ignore_ascii_case("Transfer-Encoding")
+                    || name.eq_ignore_ascii_case("Content-Length")
+            });
+        if !drop {
+            out.extend_from_slice(line.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+    out.extend_from_slice(body);
+    out
 }
 
 #[cfg(test)]
@@ -137,5 +518,166 @@ mod tests {
             MAX_FRAME_BYTES
         );
         assert!(measure(raw.as_bytes()).is_err());
+    }
+
+    const CHUNKED: &[u8] = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+        4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n";
+
+    #[test]
+    fn chunked_measures_to_terminal_chunk() {
+        assert_eq!(
+            measure(CHUNKED),
+            Ok(Framing::Complete { len: CHUNKED.len() })
+        );
+        // Every proper prefix after the head is Partial, never an error.
+        let head = CHUNKED.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        for cut in head..CHUNKED.len() {
+            assert_eq!(
+                measure(&CHUNKED[..cut]),
+                Ok(Framing::Partial),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_wins_over_content_length() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 999\r\n\
+            Transfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
+    }
+
+    #[test]
+    fn garbage_chunk_size_line_is_rejected() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nnope\r\n";
+        assert!(matches!(measure(raw), Err(HttpError::InvalidHeader(_))));
+    }
+
+    #[test]
+    fn oversized_chunk_size_line_is_rejected() {
+        let mut raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[b'1'; MAX_CHUNK_LINE + 2]);
+        assert!(measure(&raw).is_err());
+    }
+
+    #[test]
+    fn oversized_chunk_declaration_is_rejected() {
+        let raw = format!(
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n{:x}\r\n",
+            MAX_FRAME_BYTES + 1
+        );
+        assert!(matches!(
+            measure(raw.as_bytes()),
+            Err(HttpError::InvalidContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_data_missing_crlf_is_rejected() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX";
+        assert!(matches!(measure(raw), Err(HttpError::InvalidHeader(_))));
+    }
+
+    #[test]
+    fn chunk_extensions_are_tolerated() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+            4;ext=1\r\nWiki\r\n0\r\n\r\n";
+        assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
+        assert_eq!(
+            dechunk(raw).unwrap(),
+            b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nWiki"
+        );
+    }
+
+    #[test]
+    fn dechunk_rebuilds_identity_message() {
+        let out = dechunk(CHUNKED).unwrap();
+        assert_eq!(
+            out,
+            b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nWikipedia"
+        );
+        let parsed = botwall_http::wire::parse_response(&out).unwrap();
+        assert_eq!(parsed.body(), b"Wikipedia");
+    }
+
+    #[test]
+    fn dechunk_passes_identity_messages_through() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
+        assert_eq!(dechunk(raw).unwrap(), raw);
+    }
+
+    #[test]
+    fn dechunk_preserves_trailers_as_gone() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+            2\r\nhi\r\n0\r\nX-Trailer: t\r\n\r\n";
+        assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
+        assert_eq!(
+            dechunk(raw).unwrap(),
+            b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"
+        );
+    }
+
+    #[test]
+    fn response_head_reads_status_type_and_framing() {
+        let head = response_head(CHUNKED).unwrap().unwrap();
+        assert_eq!(head.status, 200);
+        assert_eq!(head.framing, BodyFraming::Chunked);
+        assert_eq!(head.content_type, None);
+
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Type: text/HTML; charset=utf-8\r\n\
+            Content-Length: 3\r\n\r\nnot";
+        let head = response_head(raw).unwrap().unwrap();
+        assert_eq!(head.status, 404);
+        assert_eq!(head.content_type.as_deref(), Some("text/html"));
+        assert_eq!(head.framing, BodyFraming::Length(3));
+        assert_eq!(&raw[head.len..], b"not");
+
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\n";
+        let head = response_head(raw).unwrap().unwrap();
+        assert_eq!(head.framing, BodyFraming::Close);
+
+        assert_eq!(response_head(b"HTTP/1.1 200 OK\r\n"), Ok(None));
+        assert!(response_head(b"garbage\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn body_decoder_streams_chunked_across_arbitrary_splits() {
+        let body = &CHUNKED[CHUNKED.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4..];
+        for step in 1..=body.len() {
+            let mut decoder = BodyDecoder::new(BodyFraming::Chunked);
+            let mut buf = Vec::new();
+            let mut out = Vec::new();
+            let mut done = false;
+            for piece in body.chunks(step) {
+                assert!(!done, "decoder finished early");
+                buf.extend_from_slice(piece);
+                done = decoder.push(&mut buf, &mut out).unwrap();
+            }
+            assert!(done, "step {step} never finished");
+            assert!(decoder.eof_ok());
+            assert!(buf.is_empty());
+            assert_eq!(out, b"Wikipedia");
+        }
+    }
+
+    #[test]
+    fn body_decoder_handles_length_and_close() {
+        let mut decoder = BodyDecoder::new(BodyFraming::Length(4));
+        let mut buf = b"abcdEXTRA".to_vec();
+        let mut out = Vec::new();
+        assert!(decoder.push(&mut buf, &mut out).unwrap());
+        assert_eq!(out, b"abcd");
+        assert_eq!(buf, b"EXTRA");
+
+        let mut decoder = BodyDecoder::new(BodyFraming::Close);
+        assert!(decoder.eof_ok());
+        let mut buf = b"everything".to_vec();
+        let mut out = Vec::new();
+        assert!(!decoder.push(&mut buf, &mut out).unwrap());
+        assert_eq!(out, b"everything");
+        assert!(buf.is_empty());
+
+        let decoder = BodyDecoder::new(BodyFraming::Chunked);
+        assert!(!decoder.eof_ok(), "mid-chunked EOF is truncation");
     }
 }

@@ -20,6 +20,12 @@ use std::time::Duration;
 pub struct MockOrigin {
     pages: HashMap<String, String>,
     latency: HashMap<String, Duration>,
+    /// Pages served with `Transfer-Encoding: chunked`, in slices of the
+    /// mapped size.
+    chunked: HashMap<String, usize>,
+    /// Chunked pages whose connection drops after roughly this many
+    /// body bytes, without ever sending the terminal chunk.
+    truncate_after: HashMap<String, usize>,
 }
 
 impl MockOrigin {
@@ -38,6 +44,21 @@ impl MockOrigin {
     /// script" of the paper's deployment, in miniature.
     pub fn latency(mut self, path: impl Into<String>, by: Duration) -> MockOrigin {
         self.latency.insert(path.into(), by);
+        self
+    }
+
+    /// Serves `path`'s page with `Transfer-Encoding: chunked`, split
+    /// into chunks of `chunk_size` bytes.
+    pub fn chunked(mut self, path: impl Into<String>, chunk_size: usize) -> MockOrigin {
+        self.chunked.insert(path.into(), chunk_size.max(1));
+        self
+    }
+
+    /// Makes a [`chunked`](MockOrigin::chunked) page die mid-stream:
+    /// the connection drops after about `bytes` body bytes, terminal
+    /// chunk never sent.
+    pub fn truncate_after(mut self, path: impl Into<String>, bytes: usize) -> MockOrigin {
+        self.truncate_after.insert(path.into(), bytes);
         self
     }
 
@@ -96,16 +117,51 @@ impl MockOrigin {
         }
         hits.fetch_add(1, Ordering::SeqCst);
         let response = match self.pages.get(&path) {
-            Some(html) => Response::builder(StatusCode::OK)
-                .header("Content-Type", "text/html")
-                .body_bytes(html.clone().into_bytes())
-                .build(),
+            Some(html) => {
+                if let Some(&size) = self.chunked.get(&path) {
+                    let cut = self.truncate_after.get(&path).copied();
+                    let _ = write_chunked(&mut conn, html.as_bytes(), size, cut);
+                    return;
+                }
+                Response::builder(StatusCode::OK)
+                    .header("Content-Type", "text/html")
+                    .body_bytes(html.clone().into_bytes())
+                    .build()
+            }
             None => Response::builder(StatusCode::NOT_FOUND)
                 .header("Content-Length", "0")
                 .build(),
         };
         let _ = conn.write_all(&wire::serialize_response(&response));
     }
+}
+
+/// Writes `body` as a chunked `200 text/html` response in `size`-byte
+/// chunks. With `truncate_after`, the connection drops once that many
+/// body bytes have gone out — no terminal chunk, a mid-stream death.
+fn write_chunked(
+    conn: &mut TcpStream,
+    body: &[u8],
+    size: usize,
+    truncate_after: Option<usize>,
+) -> std::io::Result<()> {
+    conn.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nTransfer-Encoding: chunked\r\n\r\n",
+    )?;
+    let mut sent = 0usize;
+    for piece in body.chunks(size) {
+        if truncate_after.is_some_and(|cap| sent >= cap) {
+            return Ok(());
+        }
+        conn.write_all(format!("{:x}\r\n", piece.len()).as_bytes())?;
+        conn.write_all(piece)?;
+        conn.write_all(b"\r\n")?;
+        sent += piece.len();
+    }
+    if truncate_after.is_none() {
+        conn.write_all(b"0\r\n\r\n")?;
+    }
+    Ok(())
 }
 
 /// A running mock origin. Dropping it stops the accept loop.

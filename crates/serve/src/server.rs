@@ -16,6 +16,23 @@
 //! fetch — one slow origin delays exactly the connections waiting on
 //! *that* fetch, never their neighbors.
 //!
+//! # Streaming pages
+//!
+//! An origin response whose head reads `200` + `text/html` is not
+//! buffered at all: the server answers the client's head immediately
+//! with `Transfer-Encoding: chunked`, then pipes origin body bytes
+//! through the gateway's [`PageStream`] rewriter as they arrive —
+//! decode one origin chunk, rewrite it, chunk-encode it to the client.
+//! Memory per streamed page is bounded by the rewriter's constant
+//! hold-back plus the client's write backlog, never the page size, so a
+//! multi-MB page flows through in O(chunk). Backpressure is explicit: a
+//! client backlog over [`STREAM_HIGH_WATER`] parks the origin's read
+//! interest until the backlog drains below [`STREAM_LOW_WATER`]. A
+//! truncated origin (mid-body EOF, garbage chunk framing, stall past the
+//! origin timeout) still commits its lease, and the client's stream ends
+//! *without* the terminal chunk — truncation stays visible, never
+//! silently reframed as a complete page.
+//!
 //! # Timeouts and shutdown
 //!
 //! Each client connection carries a read deadline (idle keep-alive
@@ -28,9 +45,9 @@
 //! finish, and [`Server::run`] returns after draining the gateway so
 //! every observed session reaches its final classification.
 
-use crate::frame::{self, Framing};
+use crate::frame::{self, BodyDecoder, Framing};
 use crate::stats::stats_json;
-use botwall_gateway::{Gateway, Origin, PendingServe};
+use botwall_gateway::{Gateway, Origin, PageStream, PendingServe};
 use botwall_http::request::ClientIp;
 use botwall_http::{wire, Request, Response, StatusCode};
 use botwall_sessions::SimTime;
@@ -105,6 +122,13 @@ impl ShutdownHandle {
     }
 }
 
+/// Client write backlog (bytes staged but not yet accepted by the
+/// socket) above which a streaming origin's read interest is parked.
+pub const STREAM_HIGH_WATER: usize = 64 * 1024;
+
+/// Backlog below which a parked streaming origin resumes reading.
+pub const STREAM_LOW_WATER: usize = 16 * 1024;
+
 /// The listener's reserved token; connection slots start at 1.
 const LISTENER: Token = Token(0);
 
@@ -136,6 +160,30 @@ enum ClientState {
         pos: usize,
         close_after: bool,
     },
+    /// Relaying a chunk-encoded instrumented page as the origin streams
+    /// it. `out[pos..]` is the staged-but-unsent backlog.
+    Streaming {
+        /// The fetch feeding this stream; `None` once the origin side
+        /// has finished (cleanly or not) and only the flush remains.
+        origin_slot: Option<usize>,
+        out: Vec<u8>,
+        pos: usize,
+        close_after: bool,
+        end: StreamEnd,
+    },
+}
+
+/// How a client-side page stream ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamEnd {
+    /// The origin is still producing body bytes.
+    More,
+    /// The terminal chunk is staged; the message is complete.
+    Clean,
+    /// The origin died mid-body. Flush what is staged, then close the
+    /// connection without a terminal chunk so the client sees the
+    /// truncation.
+    Truncated,
 }
 
 struct OriginConn {
@@ -150,6 +198,23 @@ struct OriginConn {
     /// The leased exchange; always completed, never dropped.
     pending: Option<botwall_gateway::PendingOrigin>,
     connected: bool,
+    state: OriginState,
+}
+
+enum OriginState {
+    /// Head not yet decided, or a non-page response buffering whole.
+    Buffering,
+    /// A `200 text/html` response streaming through the rewriter.
+    Streaming(Box<StreamingFetch>),
+}
+
+struct StreamingFetch {
+    decoder: BodyDecoder,
+    page: PageStream,
+    /// Origin-side wire bytes observed so far, for the byte ledger.
+    wire_bytes: u64,
+    /// Read interest parked by client backpressure.
+    paused: bool,
 }
 
 enum WriteStep {
@@ -365,8 +430,10 @@ impl Server {
                     return;
                 }
                 // A write that outlives the read timeout is a stuck
-                // client; the origin deadline covers `Awaiting`.
-                ClientState::Writing { .. } => {
+                // client; the origin deadline covers `Awaiting`. The
+                // streaming deadline refreshes on every flushed byte, so
+                // firing here means the client stopped draining.
+                ClientState::Writing { .. } | ClientState::Streaming { .. } => {
                     self.release_client(slot, c);
                     return;
                 }
@@ -387,6 +454,7 @@ impl Server {
         }
         if self.pump(slot, &mut c, eof) {
             self.slots[slot] = Some(Slot::Client(c));
+            self.maybe_resume_origin(slot);
         } else {
             self.release_client(slot, c);
         }
@@ -401,7 +469,11 @@ impl Server {
                     Ok(Framing::Complete { len }) => {
                         let raw: Vec<u8> = c.buf.drain(..len).collect();
                         self.requests_total += 1;
-                        match wire::parse_request(&raw, c.peer) {
+                        // A chunked request body is reframed as identity
+                        // before the codec sees it; garbage chunk
+                        // framing answers 400 like any parse failure.
+                        match frame::dechunk(&raw).and_then(|raw| wire::parse_request(&raw, c.peer))
+                        {
                             Ok(request) => self.dispatch(slot, c, request),
                             Err(_) => self.set_response(
                                 slot,
@@ -441,6 +513,48 @@ impl Server {
                         // Loop again: pipelined bytes may already hold
                         // the next complete request.
                     }
+                    WriteStep::Blocked => {
+                        self.reactor
+                            .deadline(token_of(slot), self.config.read_timeout);
+                        let _ =
+                            self.reactor
+                                .reregister(&c.stream, token_of(slot), Interest::WRITABLE);
+                        return true;
+                    }
+                    WriteStep::Dead => return false,
+                },
+                ClientState::Streaming {
+                    origin_slot,
+                    out,
+                    pos,
+                    close_after,
+                    end,
+                } => match write_available(&mut c.stream, out, pos) {
+                    WriteStep::Done => match end {
+                        StreamEnd::More => {
+                            // Fully drained; the origin will push more.
+                            // Reclaim the backlog buffer and park until
+                            // then (hang-up detection only).
+                            out.clear();
+                            *pos = 0;
+                            self.reactor
+                                .deadline(token_of(slot), self.config.read_timeout);
+                            let _ =
+                                self.reactor
+                                    .reregister(&c.stream, token_of(slot), Interest::NONE);
+                            return true;
+                        }
+                        StreamEnd::Truncated => return false,
+                        StreamEnd::Clean => {
+                            debug_assert!(origin_slot.is_none(), "clean end frees the fetch");
+                            if *close_after || self.draining {
+                                return false;
+                            }
+                            c.state = ClientState::Reading;
+                            // Loop: pipelined bytes may already hold the
+                            // next complete request.
+                        }
+                    },
                     WriteStep::Blocked => {
                         self.reactor
                             .deadline(token_of(slot), self.config.read_timeout);
@@ -515,6 +629,7 @@ impl Server {
                     close_after,
                     pending: Some(pending),
                     connected: false,
+                    state: OriginState::Buffering,
                 })));
                 // Park the client: no read interest (level-triggered
                 // epoll would spin on pipelined bytes), hang-up only.
@@ -556,9 +671,17 @@ impl Server {
     }
 
     /// Tears a client down, aborting (by *completing*) any origin fetch
-    /// it was waiting on.
+    /// it was waiting on or streaming from.
     fn release_client(&mut self, slot: usize, c: ClientConn) {
-        if let ClientState::Awaiting { origin_slot } = c.state {
+        let fetch_slot = match c.state {
+            ClientState::Awaiting { origin_slot } => Some(origin_slot),
+            ClientState::Streaming { origin_slot, .. } => origin_slot,
+            _ => None,
+        };
+        if let Some(origin_slot) = fetch_slot {
+            // The fetch slot can be empty when the origin itself is
+            // mid-drive in this same batch; it notices the dead client
+            // when its delivery bounces and abandons itself.
             if let Some(Slot::OriginFetch(o)) =
                 self.slots.get_mut(origin_slot).and_then(Option::take)
             {
@@ -587,13 +710,18 @@ impl Server {
 
     fn drive_origin(&mut self, slot: usize, mut o: OriginConn, ev: Event) {
         if ev.timer {
-            // Origin took too long: the lease completes with a 504 and
-            // the client learns the truth. The fetch connection drops.
-            self.finish_origin(
-                slot,
-                o,
-                Origin::Response(Response::empty(StatusCode::GATEWAY_TIMEOUT)),
-            );
+            match o.state {
+                // A stalled stream cannot 504 — the head already went
+                // out. Commit the lease, truncate the client.
+                OriginState::Streaming(_) => self.truncate_stream(slot, o),
+                // Origin took too long: the lease completes with a 504
+                // and the client learns the truth.
+                OriginState::Buffering => self.finish_origin(
+                    slot,
+                    o,
+                    Origin::Response(Response::empty(StatusCode::GATEWAY_TIMEOUT)),
+                ),
+            }
             return;
         }
         if !o.connected {
@@ -628,8 +756,39 @@ impl Server {
             }
         }
         let mut eof = false;
+        let before = o.buf.len();
         if ev.readable || ev.closed {
             eof = read_available(&mut o.stream, &mut o.buf);
+        }
+        if let OriginState::Streaming(fetch) = &mut o.state {
+            fetch.wire_bytes += (o.buf.len() - before) as u64;
+            self.origin_stream_step(slot, o, eof);
+        } else {
+            self.origin_buffer_step(slot, o, eof);
+        }
+    }
+
+    /// An origin fetch whose response head is not yet decided (or is a
+    /// non-page response buffering whole).
+    fn origin_buffer_step(&mut self, slot: usize, o: OriginConn, eof: bool) {
+        // A `200 text/html` head upgrades to the streaming path the
+        // moment it is complete — the body is never buffered.
+        match frame::response_head(&o.buf) {
+            Ok(Some(head))
+                if head.status == 200 && head.content_type.as_deref() == Some("text/html") =>
+            {
+                self.begin_stream(slot, o, head, eof);
+                return;
+            }
+            Ok(_) => {}
+            Err(_) => {
+                self.finish_origin(
+                    slot,
+                    o,
+                    Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                );
+                return;
+            }
         }
         match frame::measure(&o.buf) {
             Ok(Framing::Complete { len }) => {
@@ -656,6 +815,239 @@ impl Server {
                     Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
                 );
             }
+        }
+    }
+
+    /// Upgrades a fetch to the streaming path: lease the rewriter,
+    /// answer the parked client's head with chunked framing, and run the
+    /// first stream step over whatever body bytes arrived with the head.
+    fn begin_stream(
+        &mut self,
+        slot: usize,
+        mut o: OriginConn,
+        head: frame::ResponseHead,
+        eof: bool,
+    ) {
+        let now = self.now();
+        let page = {
+            let pending = o.pending.as_ref().expect("lease pending until finish");
+            self.gateway.begin_page_stream(pending, now)
+        };
+        let decoder = BodyDecoder::new(head.framing);
+        o.buf.drain(..head.len);
+        let wire_bytes = (head.len + o.buf.len()) as u64;
+        o.state = OriginState::Streaming(Box::new(StreamingFetch {
+            decoder,
+            page,
+            wire_bytes,
+            paused: false,
+        }));
+        let Some(Slot::Client(mut c)) = self.slots.get_mut(o.client_slot).and_then(Option::take)
+        else {
+            // The client died earlier in this batch; the lease still
+            // commits on the abandon path.
+            self.abandon_origin(slot, o);
+            return;
+        };
+        c.state = ClientState::Streaming {
+            origin_slot: Some(slot),
+            out: streaming_head(o.close_after),
+            pos: 0,
+            close_after: o.close_after,
+            end: StreamEnd::More,
+        };
+        self.reactor
+            .deadline(token_of(o.client_slot), self.config.read_timeout);
+        let _ = self
+            .reactor
+            .reregister(&c.stream, token_of(o.client_slot), Interest::WRITABLE);
+        self.slots[o.client_slot] = Some(Slot::Client(c));
+        self.origin_stream_step(slot, o, eof);
+    }
+
+    /// One step of an active stream: decode what arrived, rewrite it,
+    /// chunk-encode it to the client, and settle the fetch's fate
+    /// (finished, truncated, or waiting for more).
+    fn origin_stream_step(&mut self, slot: usize, mut o: OriginConn, eof: bool) {
+        let OriginState::Streaming(fetch) = &mut o.state else {
+            unreachable!("caller checked the state");
+        };
+        let mut raw = Vec::new();
+        let done = match fetch.decoder.push(&mut o.buf, &mut raw) {
+            Ok(done) => done,
+            Err(_) => {
+                // Garbage chunk framing mid-stream.
+                self.truncate_stream(slot, o);
+                return;
+            }
+        };
+        let mut payload = Vec::new();
+        let mut rewritten = Vec::new();
+        fetch.page.write(&raw, &mut rewritten);
+        chunk_encode(&rewritten, &mut payload);
+        if done || (eof && fetch.decoder.eof_ok()) {
+            // Clean end of body: flush the rewriter's tail, commit the
+            // lease, and stage the terminal chunk.
+            let OriginState::Streaming(fetch) =
+                std::mem::replace(&mut o.state, OriginState::Buffering)
+            else {
+                unreachable!("matched above");
+            };
+            let pending = o.pending.take().expect("finish runs once per fetch");
+            let mut tail = Vec::new();
+            let now = self.now();
+            let _served = self.gateway.finish_page_stream(
+                pending,
+                fetch.page,
+                &mut tail,
+                fetch.wire_bytes,
+                now,
+            );
+            chunk_encode(&tail, &mut payload);
+            payload.extend_from_slice(b"0\r\n\r\n");
+            self.reactor.cancel_deadline(token_of(slot));
+            self.pending_free.push(slot);
+            let client_slot = o.client_slot;
+            drop(o);
+            self.deliver_stream(client_slot, payload, StreamEnd::Clean);
+            return;
+        }
+        if eof {
+            // The origin closed mid-body: truncation, not completion.
+            self.truncate_stream_with(slot, o, payload);
+            return;
+        }
+        let client_slot = o.client_slot;
+        let Some(backlog) = self.deliver_stream(client_slot, payload, StreamEnd::More) else {
+            // Client gone mid-stream: commit the lease, drop the fetch.
+            self.abandon_origin(slot, o);
+            return;
+        };
+        // Progress was made: refresh the stall deadline, then apply
+        // backpressure against the client's unsent backlog.
+        self.reactor
+            .deadline(token_of(slot), self.config.origin_timeout);
+        let OriginState::Streaming(fetch) = &mut o.state else {
+            unreachable!("state unchanged on the waiting path");
+        };
+        if backlog > STREAM_HIGH_WATER && !fetch.paused {
+            fetch.paused = true;
+            let _ = self
+                .reactor
+                .reregister(&o.stream, token_of(slot), Interest::NONE);
+        } else if fetch.paused && backlog < STREAM_LOW_WATER {
+            fetch.paused = false;
+            let _ = self
+                .reactor
+                .reregister(&o.stream, token_of(slot), Interest::READABLE);
+        }
+        self.slots[slot] = Some(Slot::OriginFetch(Box::new(o)));
+    }
+
+    /// Appends `payload` to a streaming client's backlog, records how
+    /// the stream ends, and pumps the write. Returns the remaining
+    /// backlog in bytes, or `None` when the client is gone.
+    fn deliver_stream(
+        &mut self,
+        client_slot: usize,
+        payload: Vec<u8>,
+        new_end: StreamEnd,
+    ) -> Option<usize> {
+        let Some(Slot::Client(mut c)) = self.slots.get_mut(client_slot).and_then(Option::take)
+        else {
+            return None;
+        };
+        let ClientState::Streaming {
+            origin_slot,
+            out,
+            end,
+            ..
+        } = &mut c.state
+        else {
+            // Only reachable if the client rotated states underneath the
+            // fetch, which the protocol never does; keep it intact.
+            self.slots[client_slot] = Some(Slot::Client(c));
+            return None;
+        };
+        out.extend_from_slice(&payload);
+        *end = new_end;
+        if new_end != StreamEnd::More {
+            *origin_slot = None;
+        }
+        if self.pump(client_slot, &mut c, false) {
+            let backlog = match &c.state {
+                ClientState::Streaming { out, pos, .. } => out.len() - pos,
+                _ => 0,
+            };
+            self.slots[client_slot] = Some(Slot::Client(c));
+            Some(backlog)
+        } else {
+            self.release_client(client_slot, c);
+            None
+        }
+    }
+
+    /// The origin died mid-stream (stall, reset, garbage framing, EOF
+    /// inside a chunk). The lease still commits — dropping it would leak
+    /// the session's in-flight count — and the client's stream ends
+    /// without a terminal chunk so the truncation stays visible.
+    fn truncate_stream(&mut self, slot: usize, o: OriginConn) {
+        self.truncate_stream_with(slot, o, Vec::new());
+    }
+
+    fn truncate_stream_with(&mut self, slot: usize, mut o: OriginConn, mut payload: Vec<u8>) {
+        self.reactor.cancel_deadline(token_of(slot));
+        self.pending_free.push(slot);
+        let client_slot = o.client_slot;
+        if let (Some(pending), OriginState::Streaming(fetch)) = (
+            o.pending.take(),
+            std::mem::replace(&mut o.state, OriginState::Buffering),
+        ) {
+            let mut tail = Vec::new();
+            let now = self.now();
+            let _ = self.gateway.finish_page_stream(
+                pending,
+                fetch.page,
+                &mut tail,
+                fetch.wire_bytes,
+                now,
+            );
+            chunk_encode(&tail, &mut payload);
+        }
+        drop(o);
+        self.deliver_stream(client_slot, payload, StreamEnd::Truncated);
+    }
+
+    /// After a client write drained some backlog, resume a paused
+    /// streaming origin once below the low-water mark.
+    fn maybe_resume_origin(&mut self, client_slot: usize) {
+        let Some(Some(Slot::Client(c))) = self.slots.get(client_slot) else {
+            return;
+        };
+        let ClientState::Streaming {
+            origin_slot: Some(origin_slot),
+            out,
+            pos,
+            ..
+        } = &c.state
+        else {
+            return;
+        };
+        let origin_slot = *origin_slot;
+        if out.len() - pos >= STREAM_LOW_WATER {
+            return;
+        }
+        let Some(Some(Slot::OriginFetch(o))) = self.slots.get_mut(origin_slot) else {
+            return;
+        };
+        let OriginState::Streaming(fetch) = &mut o.state else {
+            return;
+        };
+        if fetch.paused {
+            fetch.paused = false;
+            let _ = self
+                .reactor
+                .reregister(&o.stream, token_of(origin_slot), Interest::READABLE);
         }
     }
 
@@ -743,11 +1135,44 @@ fn write_available(stream: &mut TcpStream, out: &[u8], pos: &mut usize) -> Write
     WriteStep::Done
 }
 
+/// The client-side response head for a streamed page: the buffered
+/// path's headers (200, `text/html`, uncacheable) with chunked framing
+/// in place of a `Content-Length`.
+fn streaming_head(close_after: bool) -> Vec<u8> {
+    let response = Response::builder(StatusCode::OK)
+        .header("Content-Type", "text/html")
+        .header("Cache-Control", "no-cache, no-store")
+        .header("Transfer-Encoding", "chunked")
+        .header(
+            "Connection",
+            if close_after { "close" } else { "keep-alive" },
+        )
+        .build();
+    wire::serialize_response(&response)
+}
+
+/// Chunk-encodes `data` onto `out` in slices of at most
+/// [`STREAM_HIGH_WATER`] bytes (a fast origin can land far more than
+/// that in one event batch; unbounded chunk declarations are hostile to
+/// any receiver with a per-chunk sanity cap). Empty data encodes
+/// nothing — a zero-size chunk would terminate the stream early.
+fn chunk_encode(data: &[u8], out: &mut Vec<u8>) {
+    for piece in data.chunks(STREAM_HIGH_WATER) {
+        out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+        out.extend_from_slice(piece);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
 /// Maps a parsed origin response to the gateway's [`Origin`] taxonomy:
 /// HTML pages get instrumented, 404s map to `NotFound`, everything else
-/// passes through untouched.
+/// passes through untouched (chunked bodies reframed as identity first —
+/// the wire codec only parses `Content-Length`).
 fn classify_origin(raw: &[u8]) -> Origin {
-    let Ok(response) = wire::parse_response(raw) else {
+    let Ok(identity) = frame::dechunk(raw) else {
+        return Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+    };
+    let Ok(response) = wire::parse_response(&identity) else {
         return Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
     };
     if response.status() == StatusCode::NOT_FOUND {

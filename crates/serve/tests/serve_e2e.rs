@@ -142,15 +142,131 @@ fn serves_an_instrumented_page_end_to_end() {
         body.contains("onmousemove"),
         "page is instrumented on the way out: {body}"
     );
+    // Pages go out chunked; the test client decodes the stream and
+    // reframes it as identity, so the length here is the decoded body's.
     assert_eq!(
         response.headers().content_length(),
         Some(response.body().len()),
-        "explicit framing for keep-alive clients"
+        "client reframes the decoded stream with its real length"
     );
     let stats = fx.gateway.stats();
     assert_eq!(stats.requests, 1);
     assert_eq!(stats.served, 1);
     assert!(stats.instrumentation_bytes > 0);
+    fx.finish();
+}
+
+/// A page well past the buffered-frame cap (1 MB), chunk-fed by the
+/// origin, must flow through instrumented end to end — the streaming
+/// path never buffers the page whole on either hop.
+#[test]
+fn streams_a_multi_megabyte_page_chunked_end_to_end() {
+    let paragraph = "<p>the quick brown fox jumps over the lazy dog</p>\n";
+    let mut big = String::with_capacity(3 * 1024 * 1024 + 256);
+    big.push_str("<html><head><title>big</title></head><body>\n");
+    while big.len() < 3 * 1024 * 1024 {
+        big.push_str(paragraph);
+    }
+    big.push_str("<p>the-last-paragraph</p></body></html>");
+    let origin = MockOrigin::new()
+        .page("/big.html", big.clone())
+        .chunked("/big.html", 8 * 1024)
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(9).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let response = get(fx.addr, "/big.html", "Mozilla/5.0 e2e-big");
+    assert_eq!(response.status(), StatusCode::OK);
+    let body = body_str(&response);
+    assert!(body.len() > big.len(), "instrumentation only adds bytes");
+    assert!(
+        body.contains("the-last-paragraph"),
+        "the stream reaches the end of the page"
+    );
+    assert!(body.contains("onmousemove"), "the big page is instrumented");
+    let stats = fx.gateway.stats();
+    assert_eq!(stats.served, 1);
+    assert!(stats.instrumentation_bytes > 0);
+    assert_eq!(
+        stats.instrumentation_bytes as usize,
+        body.len() - big.len(),
+        "overhead accounting matches the observed growth exactly"
+    );
+    fx.finish();
+}
+
+/// On the wire (below the test client's reframing) a page really is
+/// `Transfer-Encoding: chunked` with a terminal chunk.
+#[test]
+fn pages_use_chunked_framing_on_the_wire() {
+    let fx = Fixture::standard();
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    let req = Request::builder(Method::Get, "/index.html")
+        .header("User-Agent", "Mozilla/5.0 e2e-wire")
+        .header("Host", "site.example")
+        .header("Connection", "close")
+        .build()
+        .unwrap();
+    conn.write_all(&botwall_http::wire::serialize_request(&req))
+        .unwrap();
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut conn, &mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.contains("Transfer-Encoding: chunked"),
+        "wire framing is chunked: {}",
+        &text[..text.len().min(300)]
+    );
+    assert!(
+        !text.to_ascii_lowercase().contains("content-length"),
+        "chunked and Content-Length never mix"
+    );
+    assert!(
+        raw.ends_with(b"0\r\n\r\n"),
+        "terminal chunk closes the stream"
+    );
+    fx.finish();
+}
+
+/// An origin that dies mid-body must stay visibly truncated: the client
+/// never sees a terminal chunk, and the leased exchange still completes
+/// so the session's in-flight count returns to zero.
+#[test]
+fn truncated_origin_stream_is_not_reframed_as_complete() {
+    let paragraph = "<p>soon to be cut off mid sentence</p>\n";
+    let mut page = String::from("<html><head></head><body>");
+    while page.len() < 256 * 1024 {
+        page.push_str(paragraph);
+    }
+    page.push_str("</body></html>");
+    let origin = MockOrigin::new()
+        .page("/dying.html", page)
+        .chunked("/dying.html", 4 * 1024)
+        .truncate_after("/dying.html", 64 * 1024)
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(10).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 e2e-truncated";
+    let mut conn = TcpStream::connect(fx.addr).unwrap();
+    let err = client::roundtrip(&mut conn, &request("/dying.html", ua))
+        .expect_err("a truncated stream must not parse as a complete response");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    // The lease completed despite the mid-stream death.
+    let in_flight = fx
+        .gateway
+        .detector()
+        .with_key_state(&loopback_key(ua), |_, state| state.in_flight)
+        .expect("session exists");
+    assert_eq!(in_flight, 0);
     fx.finish();
 }
 

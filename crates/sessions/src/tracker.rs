@@ -789,6 +789,39 @@ impl<E: SessionExt> ShardedTracker<E> {
         r
     }
 
+    /// Runs `f` against a leased session's entry **without consuming the
+    /// lease** — the same incarnation re-bind as
+    /// [`ShardedTracker::commit`], minus the exchange recording. This is
+    /// the streaming serve's mid-lease touch: instrumentation state is
+    /// minted into the session when the origin body *starts* flowing,
+    /// and the exchange itself still commits (or lands in the lost path)
+    /// when the body finishes. One shard lock.
+    ///
+    /// `None` when the leased incarnation is gone (evicted or rolled
+    /// over); the caller decides whether that degrades or aborts the
+    /// work it wanted the session state for.
+    pub fn inspect_lease<R>(
+        &self,
+        lease: &ExchangeLease,
+        f: impl FnOnce(&Session, &mut E) -> R,
+    ) -> Option<R> {
+        assert_eq!(
+            lease.tracker, self.tracker_id,
+            "ExchangeLease inspected against a tracker that did not mint it"
+        );
+        let mut shard = self.lock_shard(lease.shard);
+        let shard = &mut *shard;
+        let entry = shard
+            .live
+            .get_mut(&lease.key)
+            .filter(|entry| entry.incarnation == lease.incarnation)?;
+        let before = entry.ext.gauge();
+        let r = f(&entry.session, &mut entry.ext);
+        let after = entry.ext.gauge();
+        self.gauge_apply(lease.shard, before, after);
+        Some(r)
+    }
+
     /// Applies the census delta a critical section produced to one
     /// shard's gauge columns (called while that shard's lock is held).
     fn gauge_apply(&self, idx: usize, before: [u64; EXT_GAUGES], after: [u64; EXT_GAUGES]) {
