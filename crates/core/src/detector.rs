@@ -47,7 +47,7 @@
 //! deferred-carry channel ([`KeyCarry`]) to the key's next incarnation.
 
 use crate::classifier::{self, Label, Reason, Verdict};
-use crate::evidence::{EvidenceKind, EvidenceSet};
+use crate::evidence::{EvidenceKind, EvidenceKinds, EvidenceSet};
 use crate::policy::{Action, PolicyEngine, PolicyState};
 use botwall_http::{Request, Response, UserAgent};
 use botwall_instrument::{Classified, KeyOutcome, ProbeKind, Sighting, TokenState};
@@ -145,6 +145,14 @@ pub struct KeyCarry {
     /// Origin exchanges whose leased entry was gone by commit time; the
     /// successor absorbs the count into [`KeyState::lost_commits`].
     pub lost_exchanges: u32,
+    /// The evidence kinds those lost exchanges classified, merged
+    /// across all of them. A decoy fetch or forged beacon committed
+    /// into the carry enforces on the successor exactly as if it had
+    /// been recorded live — eviction mid-fetch cannot launder evidence.
+    pub lost_kinds: EvidenceKinds,
+    /// When the most recent evidence-bearing lost exchange committed
+    /// (the observation timestamp the successor records).
+    pub lost_at: SimTime,
 }
 
 impl From<PendingCaptchaPass> for KeyCarry {
@@ -226,6 +234,11 @@ impl SessionExt for KeyState {
             self.record_captcha_pass(session.request_count() as u32, pass.at);
         }
         self.lost_commits += carry.lost_exchanges;
+        self.absorb_lost_evidence(
+            carry.lost_kinds,
+            session.request_count() as u32,
+            carry.lost_at,
+        );
     }
 
     /// The occupancy this state reports into the tracker's per-shard
@@ -257,6 +270,23 @@ impl KeyState {
     fn accumulate(&mut self, kind: EvidenceKind, index: u32, now: SimTime) -> bool {
         self.evidence.record(kind, index, now);
         kind.is_hard_robot_evidence() || kind.is_hard_human_evidence()
+    }
+
+    /// Folds the merged evidence kinds of lost leased exchanges into
+    /// this incarnation: records each kind at `index`/`at` and re-runs
+    /// the hard classifier if any is decisive. Carried evidence
+    /// enforces exactly like evidence recorded live — only the original
+    /// observation index and time are gone (replaced by the absorb
+    /// point), never the signal itself.
+    fn absorb_lost_evidence(&mut self, kinds: EvidenceKinds, index: u32, at: SimTime) {
+        let mut hard = false;
+        for kind in kinds.iter() {
+            hard |= self.accumulate(kind, index, at);
+        }
+        if hard {
+            self.verdict =
+                classifier::classify_hard(&self.evidence).expect("hard evidence just recorded");
+        }
     }
 
     /// Whether a browser-test signal the set algebra credits (CSS
@@ -645,10 +675,22 @@ impl Detector {
             },
             |successor, slot| {
                 let (response, value) = lost();
+                // The classified evidence survives the eviction: a live
+                // successor absorbs it now, otherwise it parks in the
+                // carry for the next incarnation. Either way a decoy
+                // fetch or forged beacon still enforces — losing the
+                // incarnation mid-fetch is not an evidence laundry.
+                let kinds = classified_kinds(&classified, request);
                 match successor {
-                    Some((_, state)) => state.lost_commits += 1,
+                    Some((session, state)) => {
+                        state.lost_commits += 1;
+                        state.absorb_lost_evidence(kinds, session.request_count() as u32, now);
+                    }
                     None => {
-                        slot.get_or_insert_with(KeyCarry::default).lost_exchanges += 1;
+                        let carry = slot.get_or_insert_with(KeyCarry::default);
+                        carry.lost_exchanges += 1;
+                        carry.lost_kinds.merge(kinds);
+                        carry.lost_at = now;
                     }
                 }
                 // Best available observation: the pre-exchange snapshot.
@@ -799,6 +841,54 @@ impl Detector {
     }
 }
 
+/// Maps one classified exchange to the evidence kinds it proves — the
+/// single source of truth shared by the live fold ([`fold_exchange`])
+/// and the lost-commit carry, so an exchange committed after its
+/// incarnation's eviction yields exactly the kinds it would have
+/// recorded live. Declaration order of [`EvidenceKind::ALL`] matches
+/// the recording order the live path always used.
+fn classified_kinds(classified: &Classified, request: &Request) -> EvidenceKinds {
+    let mut kinds = EvidenceKinds::EMPTY;
+    match classified {
+        Classified::MouseBeacon { outcome, .. } => {
+            kinds.insert(match outcome {
+                KeyOutcome::Valid => EvidenceKind::MouseEvent,
+                KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
+                KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
+                KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
+            });
+        }
+        Classified::Probe(hit) => match hit.kind {
+            ProbeKind::CssProbe => kinds.insert(EvidenceKind::DownloadedCss),
+            ProbeKind::JsFile => kinds.insert(EvidenceKind::DownloadedJsFile),
+            ProbeKind::AgentBeacon => {
+                kinds.insert(EvidenceKind::ExecutedJs);
+                if let Some(reported) = &hit.reported_agent {
+                    let header = request.user_agent().unwrap_or("");
+                    if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
+                        kinds.insert(EvidenceKind::UaMismatch);
+                    }
+                }
+                if let Some(auto) = &hit.automation {
+                    // The "Detecting Bot Detection" leaks: an admitted
+                    // webdriver flag or a headless-shaped empty plugin
+                    // list are hard robot evidence on their own.
+                    if auto.webdriver {
+                        kinds.insert(EvidenceKind::AutomationFlag);
+                    }
+                    if auto.plugins == 0 {
+                        kinds.insert(EvidenceKind::HeadlessFingerprint);
+                    }
+                }
+            }
+            ProbeKind::HiddenLink => kinds.insert(EvidenceKind::HiddenLinkFollowed),
+            ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
+        },
+        Classified::Ordinary => {}
+    }
+    kinds
+}
+
 /// Folds one recorded exchange's evidence into the key state and updates
 /// the fast-path verdict. Runs under the session's shard lock (called
 /// from both [`Detector::observe`] and [`Detector::gate_and_observe`]);
@@ -817,49 +907,8 @@ fn fold_exchange(
     let prev = state.verdict;
 
     let mut hard = false;
-    match classified {
-        Classified::MouseBeacon { outcome, .. } => {
-            let kind = match outcome {
-                KeyOutcome::Valid => EvidenceKind::MouseEvent,
-                KeyOutcome::Replay => EvidenceKind::ReplayedBeacon,
-                KeyOutcome::Decoy => EvidenceKind::FetchedDecoy,
-                KeyOutcome::Unknown => EvidenceKind::ForgedBeacon,
-            };
-            hard |= state.accumulate(kind, index, now);
-        }
-        Classified::Probe(hit) => match hit.kind {
-            ProbeKind::CssProbe => {
-                hard |= state.accumulate(EvidenceKind::DownloadedCss, index, now);
-            }
-            ProbeKind::JsFile => {
-                hard |= state.accumulate(EvidenceKind::DownloadedJsFile, index, now);
-            }
-            ProbeKind::AgentBeacon => {
-                hard |= state.accumulate(EvidenceKind::ExecutedJs, index, now);
-                if let Some(reported) = &hit.reported_agent {
-                    let header = request.user_agent().unwrap_or("");
-                    if !reported.is_empty() && UserAgent::canonicalize(header) != *reported {
-                        hard |= state.accumulate(EvidenceKind::UaMismatch, index, now);
-                    }
-                }
-                if let Some(auto) = &hit.automation {
-                    // The "Detecting Bot Detection" leaks: an admitted
-                    // webdriver flag or a headless-shaped empty plugin
-                    // list are hard robot evidence on their own.
-                    if auto.webdriver {
-                        hard |= state.accumulate(EvidenceKind::AutomationFlag, index, now);
-                    }
-                    if auto.plugins == 0 {
-                        hard |= state.accumulate(EvidenceKind::HeadlessFingerprint, index, now);
-                    }
-                }
-            }
-            ProbeKind::HiddenLink => {
-                hard |= state.accumulate(EvidenceKind::HiddenLinkFollowed, index, now);
-            }
-            ProbeKind::TransparentPixel | ProbeKind::MouseBeacon => {}
-        },
-        Classified::Ordinary => {}
+    for kind in classified_kinds(classified, request).iter() {
+        hard |= state.accumulate(kind, index, now);
     }
 
     if hard {
@@ -1569,6 +1618,95 @@ mod tests {
             det.with_key_state(&next.key, |_, state| state.lost_commits),
             Some(1)
         );
+    }
+
+    #[test]
+    fn lost_commit_carries_hard_evidence_to_the_next_incarnation() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        use botwall_instrument::{ProbeHit, ProbeKind};
+        let cfg = DetectorConfig {
+            tracker: TrackerConfig {
+                max_sessions: 1,
+                ..TrackerConfig::default()
+            },
+        };
+        let det = Detector::new(cfg);
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        // The exchange caught mid-flight is a hidden-link follow — hard
+        // robot evidence.
+        let r = req(45, "http://h/trap.html", "Mozilla/5.0");
+        let hit = Sighting::Probe(ProbeHit {
+            kind: ProbeKind::HiddenLink,
+            nonce: 7,
+            reported_agent: None,
+            automation: None,
+        });
+        let lease = leased(
+            det.gate(&r, &hit, SimTime::ZERO, true, &policy, |_, _, _, _| {
+                GateRespond::<()>::NeedsOrigin
+            }),
+        );
+        // Another key evicts the leased session while the fetch runs.
+        let other = req(46, "http://h/b.html", "Mozilla/5.0");
+        det.observe(&other, &ok(), &Classified::Ordinary, SimTime::from_secs(1));
+        let (out, _, ()) = det.commit_exchange(
+            lease,
+            &r,
+            SimTime::from_secs(2),
+            |_, _| panic!("evicted lease must not fold"),
+            || (ok(), ()),
+        );
+        assert_eq!(out.verdict, Verdict::Undecided);
+        // The eviction must not launder the evidence: the key's next
+        // incarnation inherits the hidden-link signal, not just a
+        // lost-commit count, and is convicted on arrival.
+        let next = det.observe(&r, &ok(), &Classified::Ordinary, SimTime::from_secs(3));
+        assert_eq!(next.verdict, Verdict::Robot(Reason::HiddenLink));
+        det.with_key_state(&next.key, |_, state| {
+            assert_eq!(state.lost_commits, 1);
+            assert!(state.evidence.has(EvidenceKind::HiddenLinkFollowed));
+            assert_eq!(state.verdict, Verdict::Robot(Reason::HiddenLink));
+        })
+        .expect("next incarnation is live");
+    }
+
+    #[test]
+    fn lost_commit_with_a_live_successor_convicts_it_immediately() {
+        use crate::policy::{PolicyConfig, PolicyEngine};
+        use botwall_instrument::{ProbeHit, ProbeKind};
+        let det = Detector::new(DetectorConfig::default());
+        let policy = PolicyEngine::new(PolicyConfig::default());
+        let r = req(47, "http://h/trap.html", "Mozilla/5.0");
+        let hit = Sighting::Probe(ProbeHit {
+            kind: ProbeKind::HiddenLink,
+            nonce: 9,
+            reported_agent: None,
+            automation: None,
+        });
+        let lease = leased(
+            det.gate(&r, &hit, SimTime::ZERO, true, &policy, |_, _, _, _| {
+                GateRespond::<()>::NeedsOrigin
+            }),
+        );
+        // The key returns after the idle timeout mid-fetch: a successor
+        // incarnation is live when the commit finally lands.
+        let later = SimTime::from_hours(2);
+        let successor = det.observe(&r, &ok(), &Classified::Ordinary, later);
+        det.commit_exchange(
+            lease,
+            &r,
+            later + 1,
+            |_, _| panic!("rolled-over lease must not fold into the successor"),
+            || (ok(), ()),
+        );
+        // The successor takes the evidence directly at commit time — no
+        // further request needed to convict it.
+        det.with_key_state(&successor.key, |_, state| {
+            assert_eq!(state.lost_commits, 1);
+            assert!(state.evidence.has(EvidenceKind::HiddenLinkFollowed));
+            assert_eq!(state.verdict, Verdict::Robot(Reason::HiddenLink));
+        })
+        .expect("successor is live");
     }
 
     #[test]

@@ -62,6 +62,64 @@ impl EvidenceKind {
     pub fn is_hard_human_evidence(self) -> bool {
         matches!(self, EvidenceKind::MouseEvent | EvidenceKind::PassedCaptcha)
     }
+
+    /// Every kind, in declaration order — the bit positions of
+    /// [`EvidenceKinds`] and the recording order when a carried set is
+    /// folded back into an [`EvidenceSet`].
+    pub const ALL: [EvidenceKind; 12] = [
+        EvidenceKind::DownloadedCss,
+        EvidenceKind::DownloadedJsFile,
+        EvidenceKind::ExecutedJs,
+        EvidenceKind::MouseEvent,
+        EvidenceKind::FetchedDecoy,
+        EvidenceKind::ReplayedBeacon,
+        EvidenceKind::ForgedBeacon,
+        EvidenceKind::HiddenLinkFollowed,
+        EvidenceKind::UaMismatch,
+        EvidenceKind::PassedCaptcha,
+        EvidenceKind::AutomationFlag,
+        EvidenceKind::HeadlessFingerprint,
+    ];
+}
+
+/// A compact set of evidence *kinds* — no observation indices or
+/// timestamps, just which signals fired. `Copy` and two bytes wide, so
+/// it can ride the detector's deferred-carry payload when a leased
+/// exchange outlives its session incarnation: the kinds survive the
+/// eviction and fold into the successor's [`EvidenceSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvidenceKinds(u16);
+
+impl EvidenceKinds {
+    /// The empty set.
+    pub const EMPTY: EvidenceKinds = EvidenceKinds(0);
+
+    /// Adds one kind (idempotent).
+    pub fn insert(&mut self, kind: EvidenceKind) {
+        self.0 |= 1 << kind as u16;
+    }
+
+    /// Whether `kind` is in the set.
+    pub fn contains(self, kind: EvidenceKind) -> bool {
+        self.0 & (1 << kind as u16) != 0
+    }
+
+    /// Unions `other` into this set.
+    pub fn merge(&mut self, other: EvidenceKinds) {
+        self.0 |= other.0;
+    }
+
+    /// Whether no kind is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The kinds present, in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = EvidenceKind> {
+        EvidenceKind::ALL
+            .into_iter()
+            .filter(move |&kind| self.contains(kind))
+    }
 }
 
 /// First observation of one evidence kind.

@@ -12,7 +12,6 @@ use crate::method::Method;
 use crate::request::{ClientIp, Request};
 use crate::response::Response;
 use crate::status::StatusCode;
-use bytes::{BufMut, BytesMut};
 
 /// Serializes a request to HTTP/1.x wire format.
 ///
@@ -25,40 +24,71 @@ use bytes::{BufMut, BytesMut};
 /// assert!(bytes.starts_with(b"GET http://h/x HTTP/1.1\r\n"));
 /// ```
 pub fn serialize_request(req: &Request) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(req.wire_len());
-    buf.put_slice(req.method().as_str().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(req.uri().to_string().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(req.version().as_bytes());
-    buf.put_slice(b"\r\n");
-    put_headers(&mut buf, req.headers());
-    buf.put_slice(b"\r\n");
-    buf.put_slice(req.body());
-    buf.to_vec()
+    let mut buf = Vec::with_capacity(req.wire_len());
+    serialize_request_into(req, &mut buf);
+    buf
+}
+
+/// Appends a request's wire bytes to `out` without an intermediate
+/// buffer — the zero-copy sibling of [`serialize_request`] for callers
+/// that serialize into a pooled buffer.
+pub fn serialize_request_into(req: &Request, out: &mut Vec<u8>) {
+    out.reserve(req.wire_len());
+    out.extend_from_slice(req.method().as_str().as_bytes());
+    out.push(b' ');
+    // `Uri` renders via `Display`; `write!` into the byte buffer avoids
+    // the intermediate `String`.
+    use std::io::Write;
+    let _ = write!(out, "{}", req.uri());
+    out.push(b' ');
+    out.extend_from_slice(req.version().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    put_headers(out, req.headers());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(req.body());
 }
 
 /// Serializes a response to HTTP/1.x wire format.
 pub fn serialize_response(resp: &Response) -> Vec<u8> {
-    let mut buf = BytesMut::with_capacity(resp.wire_len());
-    buf.put_slice(resp.version().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(resp.status().to_string().as_bytes());
-    buf.put_u8(b' ');
-    buf.put_slice(resp.status().reason().as_bytes());
-    buf.put_slice(b"\r\n");
-    put_headers(&mut buf, resp.headers());
-    buf.put_slice(b"\r\n");
-    buf.put_slice(resp.body());
-    buf.to_vec()
+    let mut buf = Vec::with_capacity(resp.wire_len());
+    serialize_response_into(resp, &mut buf);
+    buf
 }
 
-fn put_headers(buf: &mut BytesMut, headers: &Headers) {
+/// Appends a response's wire bytes to `out` — head serialized directly
+/// into the caller's buffer, body copied once after it. Callers with a
+/// pooled write buffer use this to stage an entire response for a
+/// single `write` without the build-then-copy of
+/// [`serialize_response`].
+pub fn serialize_response_into(resp: &Response, out: &mut Vec<u8>) {
+    out.reserve(resp.wire_len());
+    out.extend_from_slice(resp.version().as_bytes());
+    out.push(b' ');
+    let mut code = [0u8; 3];
+    out.extend_from_slice(format_u16(resp.status().as_u16(), &mut code));
+    out.push(b' ');
+    out.extend_from_slice(resp.status().reason().as_bytes());
+    out.extend_from_slice(b"\r\n");
+    put_headers(out, resp.headers());
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(resp.body());
+}
+
+/// Renders a status code (always three digits) without allocating.
+fn format_u16(mut n: u16, buf: &mut [u8; 3]) -> &[u8] {
+    for slot in buf.iter_mut().rev() {
+        *slot = b'0' + (n % 10) as u8;
+        n /= 10;
+    }
+    &buf[..]
+}
+
+fn put_headers(buf: &mut Vec<u8>, headers: &Headers) {
     for (n, v) in headers.iter() {
-        buf.put_slice(n.as_bytes());
-        buf.put_slice(b": ");
-        buf.put_slice(v.as_bytes());
-        buf.put_slice(b"\r\n");
+        buf.extend_from_slice(n.as_bytes());
+        buf.extend_from_slice(b": ");
+        buf.extend_from_slice(v.as_bytes());
+        buf.extend_from_slice(b"\r\n");
     }
 }
 

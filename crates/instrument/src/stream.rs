@@ -172,13 +172,19 @@ impl Injector {
     }
 
     fn push(&mut self, data: &[u8], out: &mut Vec<u8>) {
-        if self.phase == Phase::Passthrough && self.held.is_empty() {
+        if self.is_passthrough() {
             out.extend_from_slice(data);
             return;
         }
         self.held.extend_from_slice(data);
         self.peak_held = self.peak_held.max(self.held.len());
         self.drain(out, false);
+    }
+
+    /// Every injection point resolved and nothing held back: `push` is
+    /// a pure copy.
+    fn is_passthrough(&self) -> bool {
+        self.phase == Phase::Passthrough && self.held.is_empty()
     }
 
     fn finish(&mut self, out: &mut Vec<u8>) {
@@ -386,8 +392,9 @@ fn percent_encode(raw: &str) -> String {
 }
 
 /// Internal slice size for [`AssetRewriter::push`]: large writes are
-/// processed in pieces this big so per-token buffer compaction stays
-/// O(chunk) even when the caller hands over a whole page at once.
+/// processed in pieces this big so the working buffer (and with it the
+/// `peak_held` gauge) stays chunk-sized even when the caller hands over
+/// a whole page at once.
 const PUSH_SLICE: usize = 16 * 1024;
 
 /// Scanner state of the asset-rewriting layer.
@@ -411,11 +418,17 @@ enum AState {
 struct AssetRewriter {
     endpoint: String,
     state: AState,
-    /// Unconsumed input (only ever one unfinished token deep).
+    /// Working buffer; `pending[start..]` is the unconsumed input (only
+    /// ever one unfinished token deep).
     pending: Vec<u8>,
+    /// Consumed offset into `pending`. Emitting a token advances this
+    /// instead of `drain`ing the tail down — one memmove per processed
+    /// chunk instead of one per token. Zero between calls.
+    start: usize,
     /// Quote state while scanning a tag for its terminator.
     quote: Option<u8>,
-    /// Scan cursor into `pending` for the current token.
+    /// Absolute scan cursor into `pending` for the current token
+    /// (always `>= start`).
     cursor: usize,
     /// Raw-text terminator (`</style`, `</script`, `-->`) and whether the
     /// content is CSS to rewrite (style) or opaque (script, comment).
@@ -432,6 +445,7 @@ impl AssetRewriter {
             endpoint: config.endpoint.clone(),
             state: AState::Text,
             pending: Vec::new(),
+            start: 0,
             quote: None,
             cursor: 0,
             raw_end: b"",
@@ -442,11 +456,10 @@ impl AssetRewriter {
     }
 
     fn push(&mut self, data: &[u8], out: &mut Vec<u8>) {
-        // Consuming a token `drain`s the unconsumed tail of `pending`
-        // down — an O(pending) memmove per token. Feeding one huge
-        // buffer (the buffered `build_page` path) whole would make that
-        // quadratic, so keep the working buffer chunk-sized regardless
-        // of how the caller batches its writes.
+        // The working buffer stays chunk-sized regardless of how the
+        // caller batches its writes, so `peak_held` keeps measuring
+        // held-back bytes (not caller batch size) even when the
+        // buffered `build_page` path hands a whole page over at once.
         for piece in data.chunks(PUSH_SLICE.max(1)) {
             self.pending.extend_from_slice(piece);
             self.peak_held = self.peak_held.max(self.pending.len());
@@ -463,35 +476,52 @@ impl AssetRewriter {
     }
 
     fn process(&mut self, out: &mut Vec<u8>, eof: bool) {
+        self.scan(out, eof);
+        // Tokens advanced `start` through the buffer without touching
+        // the tail; shift the unconsumed remainder down once per call —
+        // O(chunk) total, instead of the former O(pending) `drain`
+        // memmove on every emitted token.
+        if self.start > 0 {
+            self.pending.drain(..self.start);
+            self.cursor = self.cursor.saturating_sub(self.start);
+            self.start = 0;
+        }
+    }
+
+    fn scan(&mut self, out: &mut Vec<u8>, eof: bool) {
         loop {
             match self.state {
-                AState::Text => match self.pending.iter().position(|&b| b == b'<') {
+                AState::Text => match self.pending[self.start..].iter().position(|&b| b == b'<') {
                     None => {
-                        out.extend_from_slice(&self.pending);
+                        out.extend_from_slice(&self.pending[self.start..]);
                         self.pending.clear();
+                        self.start = 0;
+                        self.cursor = 0;
                         return;
                     }
                     Some(p) => {
-                        out.extend_from_slice(&self.pending[..p]);
-                        self.pending.drain(..p);
+                        let lt = self.start + p;
+                        out.extend_from_slice(&self.pending[self.start..lt]);
+                        self.start = lt;
                         self.state = AState::Tag;
                         self.quote = None;
-                        self.cursor = 1;
+                        self.cursor = lt + 1;
                     }
                 },
                 AState::Tag => {
+                    let held = self.pending.len() - self.start;
                     // A comment is not a tag: `<!--` opens raw text that
                     // a quote-blind `>` scan would mis-terminate.
-                    if self.pending.len() >= 4 && self.pending.starts_with(b"<!--") {
+                    if held >= 4 && self.pending[self.start..].starts_with(b"<!--") {
                         out.extend_from_slice(b"<!--");
-                        self.pending.drain(..4);
+                        self.start += 4;
                         self.state = AState::RawText;
                         self.raw_end = b"-->";
                         self.raw_css = false;
-                        self.cursor = 0;
+                        self.cursor = self.start;
                         continue;
                     }
-                    if self.pending.len() < 4 && !eof {
+                    if held < 4 && !eof {
                         return; // could still become `<!--`
                     }
                     match self.tag_terminator() {
@@ -500,9 +530,10 @@ impl AssetRewriter {
                             continue;
                         }
                         None => {
-                            if self.pending.len() >= MAX_HELD_BYTES {
-                                out.extend_from_slice(&self.pending);
+                            if self.pending.len() - self.start >= MAX_HELD_BYTES {
+                                out.extend_from_slice(&self.pending[self.start..]);
                                 self.pending.clear();
+                                self.start = 0;
                                 self.cursor = 0;
                                 self.state = AState::TagOverflow;
                                 continue;
@@ -513,14 +544,15 @@ impl AssetRewriter {
                 }
                 AState::TagOverflow => match self.tag_terminator() {
                     Some(end) => {
-                        out.extend_from_slice(&self.pending[..end]);
-                        self.pending.drain(..end);
-                        self.cursor = 0;
+                        out.extend_from_slice(&self.pending[self.start..end]);
+                        self.start = end;
+                        self.cursor = end;
                         self.state = AState::Text;
                     }
                     None => {
-                        out.extend_from_slice(&self.pending);
+                        out.extend_from_slice(&self.pending[self.start..]);
                         self.pending.clear();
+                        self.start = 0;
                         self.cursor = 0;
                         return;
                     }
@@ -528,33 +560,38 @@ impl AssetRewriter {
                 AState::RawText => {
                     if let Some(p) = find_ci(&self.pending, self.cursor, self.raw_end) {
                         if self.raw_css {
-                            let content = std::str::from_utf8(&self.pending[..p])
+                            let content = std::str::from_utf8(&self.pending[self.start..p])
                                 .ok()
                                 .and_then(|css| self.rewrite_css(css));
                             match content {
                                 Some(rewritten) => {
-                                    self.grown += rewritten.len() - p;
+                                    self.grown += rewritten.len() - (p - self.start);
                                     out.extend_from_slice(rewritten.as_bytes());
                                 }
-                                None => out.extend_from_slice(&self.pending[..p]),
+                                None => out.extend_from_slice(&self.pending[self.start..p]),
                             }
                         } else {
-                            out.extend_from_slice(&self.pending[..p]);
+                            out.extend_from_slice(&self.pending[self.start..p]);
                         }
-                        self.pending.drain(..p);
-                        self.cursor = 0;
+                        self.start = p;
+                        self.cursor = p;
                         // The terminator re-enters through Text: `</style`
                         // and `</script` parse as ordinary closing tags,
                         // `-->` is plain text.
                         self.state = AState::Text;
                         continue;
                     }
-                    self.cursor = self.pending.len().saturating_sub(self.raw_end.len() - 1);
+                    self.cursor = self
+                        .pending
+                        .len()
+                        .saturating_sub(self.raw_end.len() - 1)
+                        .max(self.start);
                     if self.raw_css {
-                        if self.pending.len() >= MAX_HELD_BYTES {
+                        if self.pending.len() - self.start >= MAX_HELD_BYTES {
                             // Oversized style block: stream it raw.
-                            out.extend_from_slice(&self.pending);
+                            out.extend_from_slice(&self.pending[self.start..]);
                             self.pending.clear();
+                            self.start = 0;
                             self.cursor = 0;
                             self.raw_css = false;
                         }
@@ -562,16 +599,15 @@ impl AssetRewriter {
                     }
                     // Opaque raw text streams, holding back only a
                     // possible terminator prefix.
-                    out.extend_from_slice(&self.pending[..self.cursor]);
-                    self.pending.drain(..self.cursor);
-                    self.cursor = 0;
+                    out.extend_from_slice(&self.pending[self.start..self.cursor]);
+                    self.start = self.cursor;
                     return;
                 }
             }
         }
     }
 
-    /// Quote-aware scan for the `>` ending the tag at `pending[0]`;
+    /// Quote-aware scan for the `>` ending the tag at `pending[start..]`;
     /// returns the end offset (one past `>`). Persists progress in
     /// `cursor`/`quote` across chunks.
     fn tag_terminator(&mut self) -> Option<usize> {
@@ -594,24 +630,25 @@ impl AssetRewriter {
         None
     }
 
-    /// A complete tag sits in `pending[..end]`: rewrite its catalogued
+    /// A complete tag sits in `pending[start..end]`: rewrite its catalogued
     /// attributes, emit it, and transition (style/script open raw text).
     fn emit_tag(&mut self, end: usize, out: &mut Vec<u8>) {
-        let (name, closing) = tag_name(&self.pending[..end]);
+        let tag_len = end - self.start;
+        let (name, closing) = tag_name(&self.pending[self.start..end]);
         let name = name.to_vec();
-        let self_closing = end >= 2 && self.pending[end - 2] == b'/';
+        let self_closing = tag_len >= 2 && self.pending[end - 2] == b'/';
         if !closing {
-            if let Some(rewritten) = self.rewrite_tag(&name, &self.pending[..end]) {
-                self.grown += rewritten.len() - end;
+            if let Some(rewritten) = self.rewrite_tag(&name, &self.pending[self.start..end]) {
+                self.grown += rewritten.len() - tag_len;
                 out.extend_from_slice(&rewritten);
             } else {
-                out.extend_from_slice(&self.pending[..end]);
+                out.extend_from_slice(&self.pending[self.start..end]);
             }
         } else {
-            out.extend_from_slice(&self.pending[..end]);
+            out.extend_from_slice(&self.pending[self.start..end]);
         }
-        self.pending.drain(..end);
-        self.cursor = 0;
+        self.start = end;
+        self.cursor = end;
         self.quote = None;
         if !closing && !self_closing && name.eq_ignore_ascii_case(b"style") {
             self.state = AState::RawText;
@@ -869,6 +906,10 @@ impl StreamingRewrite {
     /// as soon as they are resolved.
     pub fn write(&mut self, chunk: &[u8], out: &mut Vec<u8>) {
         match &mut self.assets {
+            // Once the injector has placed everything and holds nothing,
+            // its `push` is a pure copy — let the asset layer write
+            // straight into `out` and skip the scratch hop.
+            Some(assets) if self.injector.is_passthrough() => assets.push(chunk, out),
             Some(assets) => {
                 self.scratch.clear();
                 assets.push(chunk, &mut self.scratch);

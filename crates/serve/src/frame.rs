@@ -413,9 +413,10 @@ impl BodyDecoder {
 /// codec can parse: the body is de-chunked and the header block
 /// rewritten with its real `Content-Length` (any `Transfer-Encoding` /
 /// stale `Content-Length` lines dropped). Non-chunked messages pass
-/// through unchanged. `raw` must hold exactly one complete message —
-/// callers get that guarantee from [`measure`].
-pub fn dechunk(raw: &[u8]) -> Result<Vec<u8>, HttpError> {
+/// through unchanged — borrowed, not copied, so the identity-framed
+/// common case costs nothing. `raw` must hold exactly one complete
+/// message — callers get that guarantee from [`measure`].
+pub fn dechunk(raw: &[u8]) -> Result<std::borrow::Cow<'_, [u8]>, HttpError> {
     let Some(end) = head_end(raw)? else {
         return Err(HttpError::InvalidHeader(
             "dechunk on incomplete header block".to_string(),
@@ -424,7 +425,7 @@ pub fn dechunk(raw: &[u8]) -> Result<Vec<u8>, HttpError> {
     let head = std::str::from_utf8(&raw[..end])
         .map_err(|_| HttpError::InvalidHeader("non-UTF8 header block".to_string()))?;
     if head_framing(head, BodyFraming::Length(0))? != BodyFraming::Chunked {
-        return Ok(raw.to_vec());
+        return Ok(std::borrow::Cow::Borrowed(raw));
     }
     let mut decoder = BodyDecoder::new(BodyFraming::Chunked);
     let mut rest = raw[end + 4..].to_vec();
@@ -435,7 +436,7 @@ pub fn dechunk(raw: &[u8]) -> Result<Vec<u8>, HttpError> {
             actual: body.len(),
         });
     }
-    Ok(identity_message(head, &body))
+    Ok(std::borrow::Cow::Owned(identity_message(head, &body)))
 }
 
 /// Serializes `head` (one header block, no blank line) and `body` as an
@@ -584,7 +585,7 @@ mod tests {
             4;ext=1\r\nWiki\r\n0\r\n\r\n";
         assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
         assert_eq!(
-            dechunk(raw).unwrap(),
+            &*dechunk(raw).unwrap(),
             b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nWiki"
         );
     }
@@ -593,7 +594,7 @@ mod tests {
     fn dechunk_rebuilds_identity_message() {
         let out = dechunk(CHUNKED).unwrap();
         assert_eq!(
-            out,
+            &*out,
             b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nWikipedia"
         );
         let parsed = botwall_http::wire::parse_response(&out).unwrap();
@@ -603,7 +604,7 @@ mod tests {
     #[test]
     fn dechunk_passes_identity_messages_through() {
         let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi";
-        assert_eq!(dechunk(raw).unwrap(), raw);
+        assert_eq!(&*dechunk(raw).unwrap(), raw);
     }
 
     #[test]
@@ -612,7 +613,7 @@ mod tests {
             2\r\nhi\r\n0\r\nX-Trailer: t\r\n\r\n";
         assert_eq!(measure(raw), Ok(Framing::Complete { len: raw.len() }));
         assert_eq!(
-            dechunk(raw).unwrap(),
+            &*dechunk(raw).unwrap(),
             b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi"
         );
     }

@@ -1,8 +1,8 @@
 //! A real TCP front door for the botwall gateway.
 //!
 //! Everything below the gateway in this workspace is deterministic and
-//! in-process; this crate is where it meets actual sockets. A
-//! single-threaded epoll event loop (the offline [`reactor`] shim —
+//! in-process; this crate is where it meets actual sockets. One epoll
+//! event loop per configured thread (the offline [`reactor`] shim —
 //! standing in for tokio/mio) accepts connections, speaks enough
 //! HTTP/1.1 (incremental parsing, `Content-Length` framing, keep-alive),
 //! and drives every request through the gateway's **deferred two-phase
@@ -10,7 +10,12 @@
 //! and requests that need origin content park the client while the
 //! origin is fetched over a second non-blocking connection on the same
 //! loop — the concurrency story PR 5 built the lease/commit split for,
-//! now exercised over real file descriptors.
+//! now exercised over real file descriptors. With `threads > 1` the
+//! reactors share the listen address through `SO_REUSEPORT` (the kernel
+//! shards accepts) and one `Arc<Gateway>`; the connection cap and the
+//! served totals stay global through a handful of shared atomics, and
+//! the default of 1 thread behaves exactly as the single-threaded
+//! server always has.
 //!
 //! * [`Server`] — the event loop; [`ServeConfig`] tunes the connection
 //!   cap, timeouts, keep-alive, and the upstream origin address.

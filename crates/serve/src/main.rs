@@ -30,6 +30,7 @@ struct Args {
     read_timeout_ms: u64,
     origin_timeout_ms: u64,
     keep_alive: bool,
+    threads: usize,
 }
 
 impl Args {
@@ -44,6 +45,7 @@ impl Args {
             read_timeout_ms: 10_000,
             origin_timeout_ms: 10_000,
             keep_alive: true,
+            threads: 1,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -78,6 +80,13 @@ impl Args {
                         .map_err(|_| "--origin-timeout-ms takes milliseconds".to_string())?
                 }
                 "--no-keep-alive" => args.keep_alive = false,
+                "--threads" => {
+                    args.threads = value("--threads")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--threads takes an integer >= 1".to_string())?
+                }
                 "--help" | "-h" => {
                     println!(
                         "botwall-serve: HTTP front door over the botwall gateway\n\n\
@@ -89,7 +98,8 @@ impl Args {
                          --max-conns N            concurrent connection cap (default 256)\n\
                          --read-timeout-ms N      client read/idle timeout (default 10000)\n\
                          --origin-timeout-ms N    origin fetch timeout (default 10000)\n\
-                         --no-keep-alive          one request per connection"
+                         --no-keep-alive          one request per connection\n\
+                         --threads N              reactor threads sharing the port via SO_REUSEPORT (default 1)"
                     );
                     std::process::exit(0);
                 }
@@ -151,6 +161,7 @@ fn main() -> ExitCode {
         origin_timeout: Duration::from_millis(args.origin_timeout_ms),
         keep_alive: args.keep_alive,
         origin,
+        threads: args.threads,
     };
     let gateway = Arc::new(Gateway::builder().seed(args.seed).build());
     let mut server = match Server::bind(&args.listen, Arc::clone(&gateway), config) {

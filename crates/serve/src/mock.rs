@@ -68,6 +68,12 @@ impl MockOrigin {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let hits = Arc::new(AtomicU64::new(0));
+        // A connection only needs its own thread when a response can
+        // *block* (configured latency). A latency-free origin answers
+        // inline on the accept thread — each response is microseconds,
+        // and skipping a thread spawn per fetch keeps the fixture's
+        // fixed cost out of every front-door measurement.
+        let spawn_per_conn = !self.latency.is_empty();
         let shared = Arc::new(self);
         let accept = {
             let stop = Arc::clone(&stop);
@@ -78,9 +84,13 @@ impl MockOrigin {
                         break;
                     }
                     let Ok(conn) = conn else { continue };
-                    let origin = Arc::clone(&shared);
-                    let hits = Arc::clone(&hits);
-                    std::thread::spawn(move || origin.serve_conn(conn, &hits));
+                    if spawn_per_conn {
+                        let origin = Arc::clone(&shared);
+                        let hits = Arc::clone(&hits);
+                        std::thread::spawn(move || origin.serve_conn(conn, &hits));
+                    } else {
+                        shared.serve_conn(conn, &hits);
+                    }
                 }
             })
         };

@@ -1,5 +1,5 @@
-//! The event loop: one thread, one [`Reactor`], every connection a
-//! small state machine.
+//! The event loop: N reactor threads, every connection a small state
+//! machine, one shared [`Gateway`] underneath.
 //!
 //! # How a request flows
 //!
@@ -15,6 +15,33 @@
 //! the final bytes. No gateway lock and no event-loop stall spans the
 //! fetch — one slow origin delays exactly the connections waiting on
 //! *that* fetch, never their neighbors.
+//!
+//! # Multi-reactor serving
+//!
+//! With `threads > 1` the server runs one full event loop per thread:
+//! each worker owns its own [`Reactor`], connection slab, and
+//! `SO_REUSEPORT` listener bound to the same address, so the kernel
+//! shards accepts across reactors with no shared accept lock. The
+//! [`Gateway`] has been `&self` + shard-parallel since PR 3 — one
+//! `Arc<Gateway>` serves every reactor. The only cross-reactor state is
+//! a handful of atomics: the live-connection count (the 503 cap is
+//! global, not per-reactor) and the served/accepted totals that merge
+//! into [`ServeReport`] and `/admin/stats`. `threads == 1` (the
+//! default) takes exactly the single-threaded path this server has
+//! always had: a plain listener, one reactor, no extra threads.
+//!
+//! # Per-request memory
+//!
+//! A connection slot's read buffer and write buffer live on the slot,
+//! not the request: keep-alive requests reuse them, and released slots
+//! return them to a per-worker pool for the next accept. A response is
+//! serialized head-first straight into the slot's pooled write buffer
+//! with the body appended once — the whole message leaves in one
+//! `write` when the socket accepts it. Origin-side connections draw
+//! from the same pool, and the streaming relay reuses per-worker
+//! scratch for its decode → rewrite → chunk-encode hops. The epoll
+//! interest of every descriptor is cached on its slot, so a request
+//! that completes within one readiness batch re-arms nothing.
 //!
 //! # Streaming pages
 //!
@@ -41,12 +68,14 @@
 //! synthesized 504 — completing rather than dropping, so the session's
 //! in-flight lease count comes back down and enforcement stays exact.
 //! On shutdown (SIGTERM in the binary, [`ShutdownHandle`] anywhere) the
-//! listener closes first, idle connections drop, in-flight exchanges
-//! finish, and [`Server::run`] returns after draining the gateway so
-//! every observed session reaches its final classification.
+//! first reactor to notice fans the signal out through every sibling's
+//! waker; each closes its listener, drops idle connections, and finishes
+//! its in-flight exchanges. [`Server::run`] drains the gateway exactly
+//! once, after every worker has stopped, so every observed session
+//! reaches its final classification no matter which reactor carried it.
 
 use crate::frame::{self, BodyDecoder, Framing};
-use crate::stats::stats_json;
+use crate::stats::serve_stats_json;
 use botwall_gateway::{Gateway, Origin, PageStream, PendingServe};
 use botwall_http::request::ClientIp;
 use botwall_http::{wire, Request, Response, StatusCode};
@@ -54,14 +83,15 @@ use botwall_sessions::SimTime;
 use reactor::{net, signals, Event, Interest, Reactor, Token, Waker};
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Tuning for one [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Concurrent-connection cap; excess accepts answer 503 and close.
+    /// Concurrent-connection cap across every reactor; excess accepts
+    /// answer 503 and close.
     pub max_connections: usize,
     /// How long a connection may sit without completing a request (idle
     /// keep-alive closes quietly, a half-sent request answers 408).
@@ -74,6 +104,10 @@ pub struct ServeConfig {
     /// The upstream origin. `None` serves the gateway's instrumentation
     /// traffic and 404s everything ordinary.
     pub origin: Option<SocketAddr>,
+    /// Event-loop threads. `1` binds a plain listener and runs on the
+    /// calling thread exactly as before; more bind one `SO_REUSEPORT`
+    /// listener per reactor thread.
+    pub threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +118,7 @@ impl Default for ServeConfig {
             origin_timeout: Duration::from_secs(10),
             keep_alive: true,
             origin: None,
+            threads: 1,
         }
     }
 }
@@ -91,7 +126,8 @@ impl Default for ServeConfig {
 /// What one [`Server::run`] did, reported after drain.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeReport {
-    /// Connections accepted (cap rejections not included).
+    /// Connections accepted across all reactors (cap rejections not
+    /// included).
     pub connections: u64,
     /// HTTP requests parsed off those connections.
     pub requests: u64,
@@ -99,24 +135,39 @@ pub struct ServeReport {
     pub drained_sessions: usize,
 }
 
-/// Requests a running server stop: close the listener, finish in-flight
-/// exchanges, drain the gateway. Cloneable and usable from any thread.
+/// Counters shared by every reactor thread. The live-connection count
+/// is the 503 cap's source of truth — global on purpose, so N reactors
+/// can never admit more than the cap together.
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    pub(crate) live: AtomicUsize,
+    pub(crate) connections_total: AtomicU64,
+    pub(crate) requests_total: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// Requests a running server stop: close every listener, finish
+/// in-flight exchanges, drain the gateway. Cloneable and usable from
+/// any thread.
 #[derive(Debug, Clone)]
 pub struct ShutdownHandle {
-    flag: Arc<AtomicBool>,
-    waker: Waker,
+    shared: Arc<SharedCounters>,
+    wakers: Vec<Waker>,
     waker_fd: i32,
 }
 
 impl ShutdownHandle {
-    /// Triggers the drain.
+    /// Triggers the drain on every reactor.
     pub fn shutdown(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-        self.waker.wake();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.wakers {
+            waker.wake();
+        }
     }
 
-    /// The raw waker fd, for wiring a signal handler (see
-    /// [`reactor::signals::install_term_handler`]).
+    /// The first reactor's raw waker fd, for wiring a signal handler
+    /// (see [`reactor::signals::install_term_handler`]). The woken
+    /// reactor fans the shutdown out to its siblings.
     pub fn waker_fd(&self) -> i32 {
         self.waker_fd
     }
@@ -128,6 +179,14 @@ pub const STREAM_HIGH_WATER: usize = 64 * 1024;
 
 /// Backlog below which a parked streaming origin resumes reading.
 pub const STREAM_LOW_WATER: usize = 16 * 1024;
+
+/// Recycled buffers above this capacity are dropped instead of pooled,
+/// so one multi-megabyte streamed page cannot pin its backlog buffer
+/// forever.
+const POOL_BUF_CAP: usize = 64 * 1024;
+
+/// Cap on pooled buffers per worker (each is at most [`POOL_BUF_CAP`]).
+const POOL_MAX: usize = 128;
 
 /// The listener's reserved token; connection slots start at 1.
 const LISTENER: Token = Token(0);
@@ -145,7 +204,17 @@ enum Slot {
 struct ClientConn {
     stream: TcpStream,
     peer: ClientIp,
+    /// Read accumulation; survives keep-alive requests and is pooled
+    /// across connections.
     buf: Vec<u8>,
+    /// Response / stream-backlog staging (`out[pos..]` unsent); same
+    /// lifetime as `buf`.
+    out: Vec<u8>,
+    pos: usize,
+    /// The interest currently armed in epoll — writes to the reactor go
+    /// through [`set_interest`], which skips the syscall when nothing
+    /// changes.
+    interest: Interest,
     state: ClientState,
 }
 
@@ -154,20 +223,14 @@ enum ClientState {
     Reading,
     /// Parked while slot `origin_slot` fetches this request's origin.
     Awaiting { origin_slot: usize },
-    /// Flushing a serialized response.
-    Writing {
-        out: Vec<u8>,
-        pos: usize,
-        close_after: bool,
-    },
+    /// Flushing the staged response in `out`.
+    Writing { close_after: bool },
     /// Relaying a chunk-encoded instrumented page as the origin streams
-    /// it. `out[pos..]` is the staged-but-unsent backlog.
+    /// it into `out`.
     Streaming {
         /// The fetch feeding this stream; `None` once the origin side
         /// has finished (cleanly or not) and only the flush remains.
         origin_slot: Option<usize>,
-        out: Vec<u8>,
-        pos: usize,
         close_after: bool,
         end: StreamEnd,
     },
@@ -198,6 +261,8 @@ struct OriginConn {
     /// The leased exchange; always completed, never dropped.
     pending: Option<botwall_gateway::PendingOrigin>,
     connected: bool,
+    /// Cached epoll interest, as on [`ClientConn`].
+    interest: Interest,
     state: OriginState,
 }
 
@@ -223,49 +288,128 @@ enum WriteStep {
     Dead,
 }
 
+/// Re-arms a descriptor's epoll interest only when it actually changed;
+/// the cached state makes the common completes-in-one-batch request
+/// cost zero `epoll_ctl` calls.
+fn set_interest(
+    reactor: &mut Reactor,
+    stream: &TcpStream,
+    token: Token,
+    cached: &mut Interest,
+    want: Interest,
+) {
+    if *cached != want && reactor.reregister(stream, token, want).is_ok() {
+        *cached = want;
+    }
+}
+
 /// A real TCP front door over a [`Gateway`]: accepts connections, speaks
 /// HTTP/1.1 with keep-alive, and drives every decision through the
-/// deferred two-phase protocol on a single-threaded epoll loop.
+/// deferred two-phase protocol on one epoll loop per configured thread.
 pub struct Server {
-    reactor: Reactor,
-    listener: Option<TcpListener>,
+    workers: Vec<Worker>,
     local_addr: SocketAddr,
     gateway: Arc<Gateway>,
+    shared: Arc<SharedCounters>,
+    wakers: Vec<Waker>,
+    waker_fd: i32,
+}
+
+/// One reactor thread's whole world: its listener, slab, buffer pool,
+/// and scratch. Everything shared with sibling workers lives behind
+/// `gateway` and `shared`.
+struct Worker {
+    reactor: Reactor,
+    listener: Option<TcpListener>,
+    gateway: Arc<Gateway>,
     config: ServeConfig,
+    shared: Arc<SharedCounters>,
+    /// Every worker's waker (own included): whichever reactor notices
+    /// shutdown first fans it out so siblings drain promptly.
+    peer_wakers: Vec<Waker>,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     /// Slots freed during the current event batch; merged into `free`
     /// only after the batch so a stale event cannot hit a reused slot.
     pending_free: Vec<usize>,
+    /// Connections live on *this* reactor (loop-exit accounting; the
+    /// cap reads the global atomic).
     clients: usize,
-    shutdown: Arc<AtomicBool>,
     draining: bool,
-    connections_total: u64,
-    requests_total: u64,
+    /// Recycled connection buffers.
+    pool: Vec<Vec<u8>>,
+    /// Streaming-relay scratch: decoded origin payload, rewritten
+    /// output, and the chunk-encoded client payload — reused per step.
+    decode_scratch: Vec<u8>,
+    rewrite_scratch: Vec<u8>,
+    payload_scratch: Vec<u8>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and prepares the event loop.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and prepares one event loop
+    /// per configured thread. With `threads == 1` this is a plain
+    /// listener; otherwise each worker binds its own `SO_REUSEPORT`
+    /// listener on the same address.
     pub fn bind(addr: &str, gateway: Arc<Gateway>, config: ServeConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
-        let mut reactor = Reactor::new()?;
-        reactor.register(&listener, LISTENER, Interest::READABLE)?;
+        let threads = config.threads.max(1);
+        let mut listeners = Vec::with_capacity(threads);
+        let local_addr;
+        if threads == 1 {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            local_addr = listener.local_addr()?;
+            listeners.push(listener);
+        } else {
+            let requested: SocketAddr = addr
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+            let first = net::tcp_listen_reuseport(requested)?;
+            // Port 0 resolves on the first bind; siblings share it.
+            local_addr = first.local_addr()?;
+            listeners.push(first);
+            for _ in 1..threads {
+                listeners.push(net::tcp_listen_reuseport(local_addr)?);
+            }
+        }
+        let shared = Arc::new(SharedCounters::default());
+        let mut workers = Vec::with_capacity(threads);
+        let mut wakers = Vec::with_capacity(threads);
+        let mut waker_fd = -1;
+        for listener in listeners {
+            let mut reactor = Reactor::new()?;
+            reactor.register(&listener, LISTENER, Interest::READABLE)?;
+            if waker_fd < 0 {
+                waker_fd = reactor.waker_fd();
+            }
+            wakers.push(reactor.waker());
+            workers.push(Worker {
+                reactor,
+                listener: Some(listener),
+                gateway: Arc::clone(&gateway),
+                config: config.clone(),
+                shared: Arc::clone(&shared),
+                peer_wakers: Vec::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                pending_free: Vec::new(),
+                clients: 0,
+                draining: false,
+                pool: Vec::new(),
+                decode_scratch: Vec::new(),
+                rewrite_scratch: Vec::new(),
+                payload_scratch: Vec::new(),
+            });
+        }
+        for worker in &mut workers {
+            worker.peer_wakers = wakers.clone();
+        }
         Ok(Server {
-            reactor,
-            listener: Some(listener),
+            workers,
             local_addr,
             gateway,
-            config,
-            slots: Vec::new(),
-            free: Vec::new(),
-            pending_free: Vec::new(),
-            clients: 0,
-            shutdown: Arc::new(AtomicBool::new(false)),
-            draining: false,
-            connections_total: 0,
-            requests_total: 0,
+            shared,
+            wakers,
+            waker_fd,
         })
     }
 
@@ -277,28 +421,75 @@ impl Server {
     /// A handle that stops this server from another thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
-            flag: Arc::clone(&self.shutdown),
-            waker: self.reactor.waker(),
-            waker_fd: self.reactor.waker_fd(),
+            shared: Arc::clone(&self.shared),
+            wakers: self.wakers.clone(),
+            waker_fd: self.waker_fd,
         }
     }
 
-    /// The wall-clock of this server's reactor as the workspace's
-    /// simulated-time type: milliseconds since the server started.
+    /// Runs every event loop until shutdown completes, then drains the
+    /// gateway (once, after all reactors have stopped) and reports
+    /// merged totals.
+    pub fn run(&mut self) -> io::Result<ServeReport> {
+        let mut workers = std::mem::take(&mut self.workers);
+        let result = if workers.len() == 1 {
+            workers[0].run()
+        } else {
+            let mut rest = workers.split_off(1);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = rest
+                    .iter_mut()
+                    .map(|worker| scope.spawn(move || worker.run()))
+                    .collect();
+                let mut result = workers[0].run();
+                for handle in handles {
+                    let joined = handle.join().expect("worker thread panicked");
+                    if result.is_ok() {
+                        result = joined;
+                    }
+                }
+                result
+            })
+        };
+        result?;
+        let drained_sessions = self.gateway.drain().len();
+        Ok(ServeReport {
+            connections: self.shared.connections_total.load(Ordering::SeqCst),
+            requests: self.shared.requests_total.load(Ordering::SeqCst),
+            drained_sessions,
+        })
+    }
+}
+
+impl Worker {
+    /// The wall-clock of this worker's reactor as the workspace's
+    /// simulated-time type: milliseconds since the reactor started.
     fn now(&self) -> SimTime {
         SimTime::from_millis(self.reactor.now_ms())
     }
 
-    /// Runs the event loop until shutdown completes, then drains the
-    /// gateway and reports.
-    pub fn run(&mut self) -> io::Result<ServeReport> {
+    fn run(&mut self) -> io::Result<()> {
+        let result = self.run_loop();
+        if result.is_err() {
+            // A dying reactor must not strand its siblings mid-drain.
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            for waker in &self.peer_wakers {
+                waker.wake();
+            }
+        }
+        result
+    }
+
+    fn run_loop(&mut self) -> io::Result<()> {
         let mut events = Vec::new();
         loop {
-            if (self.shutdown.load(Ordering::SeqCst) || signals::terminated()) && !self.draining {
+            if (self.shared.shutdown.load(Ordering::SeqCst) || signals::terminated())
+                && !self.draining
+            {
                 self.begin_drain();
             }
             if self.draining && self.clients == 0 {
-                break;
+                return Ok(());
             }
             self.reactor
                 .poll(&mut events, Some(Duration::from_millis(500)))?;
@@ -307,16 +498,16 @@ impl Server {
             }
             self.free.append(&mut self.pending_free);
         }
-        let drained_sessions = self.gateway.drain().len();
-        Ok(ServeReport {
-            connections: self.connections_total,
-            requests: self.requests_total,
-            drained_sessions,
-        })
     }
 
     fn begin_drain(&mut self) {
         self.draining = true;
+        // Whichever waker the signal handler (or handle) reached first,
+        // every sibling reactor must notice too.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for waker in &self.peer_wakers {
+            waker.wake();
+        }
         // Closing the listener deregisters it and refuses new work.
         self.listener = None;
         // Idle keep-alive connections have nothing in flight: drop now.
@@ -360,6 +551,20 @@ impl Server {
         }
     }
 
+    /// A pooled buffer (empty, capacity warm from its last connection).
+    fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool unless it grew past the retention
+    /// cap.
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        if buf.capacity() <= POOL_BUF_CAP && self.pool.len() < POOL_MAX {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
     fn accept_ready(&mut self) {
         loop {
             let Some(listener) = &self.listener else {
@@ -374,7 +579,11 @@ impl Server {
             if stream.set_nonblocking(true).is_err() {
                 continue;
             }
-            if self.clients >= self.config.max_connections {
+            // Reserve against the *global* cap, backing out on
+            // overshoot, so concurrent reactors can never admit more
+            // than the cap together.
+            if self.shared.live.fetch_add(1, Ordering::AcqRel) >= self.config.max_connections {
+                self.shared.live.fetch_sub(1, Ordering::AcqRel);
                 // Over the cap: a terse 503 and the door closes. The
                 // write is best-effort — a client that cannot even take
                 // one packet gets a bare close.
@@ -391,19 +600,27 @@ impl Server {
                 .register(&stream, token_of(slot), Interest::READABLE)
                 .is_err()
             {
+                self.shared.live.fetch_sub(1, Ordering::AcqRel);
                 self.free.push(slot);
                 continue;
             }
             self.reactor
                 .deadline(token_of(slot), self.config.read_timeout);
+            let buf = self.take_buf();
+            let out = self.take_buf();
             self.slots[slot] = Some(Slot::Client(ClientConn {
                 stream,
                 peer: client_ip(peer),
-                buf: Vec::new(),
+                buf,
+                out,
+                pos: 0,
+                interest: Interest::READABLE,
                 state: ClientState::Reading,
             }));
             self.clients += 1;
-            self.connections_total += 1;
+            self.shared
+                .connections_total
+                .fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -467,13 +684,15 @@ impl Server {
             match &mut c.state {
                 ClientState::Reading => match frame::measure(&c.buf) {
                     Ok(Framing::Complete { len }) => {
-                        let raw: Vec<u8> = c.buf.drain(..len).collect();
-                        self.requests_total += 1;
+                        self.shared.requests_total.fetch_add(1, Ordering::Relaxed);
                         // A chunked request body is reframed as identity
-                        // before the codec sees it; garbage chunk
+                        // before the codec sees it (identity requests
+                        // parse in place, zero-copy); garbage chunk
                         // framing answers 400 like any parse failure.
-                        match frame::dechunk(&raw).and_then(|raw| wire::parse_request(&raw, c.peer))
-                        {
+                        let parsed = frame::dechunk(&c.buf[..len])
+                            .and_then(|raw| wire::parse_request(&raw, c.peer));
+                        c.buf.drain(..len);
+                        match parsed {
                             Ok(request) => self.dispatch(slot, c, request),
                             Err(_) => self.set_response(
                                 slot,
@@ -490,9 +709,13 @@ impl Server {
                         // Waiting for more bytes: refresh the idle clock.
                         self.reactor
                             .deadline(token_of(slot), self.config.read_timeout);
-                        let _ =
-                            self.reactor
-                                .reregister(&c.stream, token_of(slot), Interest::READABLE);
+                        set_interest(
+                            &mut self.reactor,
+                            &c.stream,
+                            token_of(slot),
+                            &mut c.interest,
+                            Interest::READABLE,
+                        );
                         return true;
                     }
                     Err(_) => {
@@ -500,71 +723,90 @@ impl Server {
                     }
                 },
                 ClientState::Awaiting { .. } => return !eof,
-                ClientState::Writing {
-                    out,
-                    pos,
-                    close_after,
-                } => match write_available(&mut c.stream, out, pos) {
-                    WriteStep::Done => {
-                        if *close_after || self.draining {
-                            return false;
-                        }
-                        c.state = ClientState::Reading;
-                        // Loop again: pipelined bytes may already hold
-                        // the next complete request.
-                    }
-                    WriteStep::Blocked => {
-                        self.reactor
-                            .deadline(token_of(slot), self.config.read_timeout);
-                        let _ =
-                            self.reactor
-                                .reregister(&c.stream, token_of(slot), Interest::WRITABLE);
-                        return true;
-                    }
-                    WriteStep::Dead => return false,
-                },
-                ClientState::Streaming {
-                    origin_slot,
-                    out,
-                    pos,
-                    close_after,
-                    end,
-                } => match write_available(&mut c.stream, out, pos) {
-                    WriteStep::Done => match end {
-                        StreamEnd::More => {
-                            // Fully drained; the origin will push more.
-                            // Reclaim the backlog buffer and park until
-                            // then (hang-up detection only).
-                            out.clear();
-                            *pos = 0;
-                            self.reactor
-                                .deadline(token_of(slot), self.config.read_timeout);
-                            let _ =
-                                self.reactor
-                                    .reregister(&c.stream, token_of(slot), Interest::NONE);
-                            return true;
-                        }
-                        StreamEnd::Truncated => return false,
-                        StreamEnd::Clean => {
-                            debug_assert!(origin_slot.is_none(), "clean end frees the fetch");
-                            if *close_after || self.draining {
+                ClientState::Writing { close_after } => {
+                    let close_after = *close_after;
+                    match write_available(&mut c.stream, &c.out, &mut c.pos) {
+                        WriteStep::Done => {
+                            if close_after || self.draining {
                                 return false;
                             }
+                            c.out.clear();
+                            c.pos = 0;
                             c.state = ClientState::Reading;
-                            // Loop: pipelined bytes may already hold the
-                            // next complete request.
+                            // Loop again: pipelined bytes may already
+                            // hold the next complete request.
                         }
-                    },
-                    WriteStep::Blocked => {
-                        self.reactor
-                            .deadline(token_of(slot), self.config.read_timeout);
-                        let _ =
+                        WriteStep::Blocked => {
                             self.reactor
-                                .reregister(&c.stream, token_of(slot), Interest::WRITABLE);
-                        return true;
+                                .deadline(token_of(slot), self.config.read_timeout);
+                            set_interest(
+                                &mut self.reactor,
+                                &c.stream,
+                                token_of(slot),
+                                &mut c.interest,
+                                Interest::WRITABLE,
+                            );
+                            return true;
+                        }
+                        WriteStep::Dead => return false,
                     }
-                    WriteStep::Dead => return false,
-                },
+                }
+                ClientState::Streaming {
+                    origin_slot,
+                    close_after,
+                    end,
+                } => {
+                    let fetch_done = origin_slot.is_none();
+                    let close_after = *close_after;
+                    let end = *end;
+                    match write_available(&mut c.stream, &c.out, &mut c.pos) {
+                        WriteStep::Done => match end {
+                            StreamEnd::More => {
+                                // Fully drained; the origin will push
+                                // more. Reclaim the backlog buffer and
+                                // park until then (hang-up detection
+                                // only).
+                                c.out.clear();
+                                c.pos = 0;
+                                self.reactor
+                                    .deadline(token_of(slot), self.config.read_timeout);
+                                set_interest(
+                                    &mut self.reactor,
+                                    &c.stream,
+                                    token_of(slot),
+                                    &mut c.interest,
+                                    Interest::NONE,
+                                );
+                                return true;
+                            }
+                            StreamEnd::Truncated => return false,
+                            StreamEnd::Clean => {
+                                debug_assert!(fetch_done, "clean end frees the fetch");
+                                if close_after || self.draining {
+                                    return false;
+                                }
+                                c.out.clear();
+                                c.pos = 0;
+                                c.state = ClientState::Reading;
+                                // Loop: pipelined bytes may already hold
+                                // the next complete request.
+                            }
+                        },
+                        WriteStep::Blocked => {
+                            self.reactor
+                                .deadline(token_of(slot), self.config.read_timeout);
+                            set_interest(
+                                &mut self.reactor,
+                                &c.stream,
+                                token_of(slot),
+                                &mut c.interest,
+                                Interest::WRITABLE,
+                            );
+                            return true;
+                        }
+                        WriteStep::Dead => return false,
+                    }
+                }
             }
         }
     }
@@ -574,7 +816,7 @@ impl Server {
     fn dispatch(&mut self, slot: usize, c: &mut ClientConn, request: Request) {
         let close_after = !(self.config.keep_alive && !self.draining && wants_keep_alive(&request));
         if request.uri().path() == "/admin/stats" {
-            let body = stats_json(&self.gateway.stats());
+            let body = serve_stats_json(&self.gateway.stats(), &self.shared, self.config.threads);
             let resp = Response::builder(StatusCode::OK)
                 .header("Content-Type", "application/json")
                 .body_bytes(body.into_bytes())
@@ -605,13 +847,27 @@ impl Server {
                         return;
                     }
                 };
+                let mut out = self.take_buf();
+                wire::serialize_request_into(pending.request(), &mut out);
+                // A loopback connect often completes synchronously;
+                // writing optimistically skips a whole poll round trip
+                // when it did. A still-connecting socket just reports
+                // `WouldBlock` and takes the writable-event path.
+                let mut stream = stream;
+                let mut pos = 0;
+                let (connected, interest) = match write_available(&mut stream, &out, &mut pos) {
+                    WriteStep::Done => (true, Interest::READABLE),
+                    WriteStep::Blocked if pos > 0 => (true, Interest::WRITABLE),
+                    _ => (false, Interest::WRITABLE),
+                };
                 let origin_slot = self.alloc_slot();
                 if self
                     .reactor
-                    .register(&stream, token_of(origin_slot), Interest::WRITABLE)
+                    .register(&stream, token_of(origin_slot), interest)
                     .is_err()
                 {
                     self.free.push(origin_slot);
+                    self.recycle(out);
                     let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
                     let d = self.gateway.complete(pending, gone, now);
                     self.set_response(slot, c, d.into_response(), close_after);
@@ -619,31 +875,39 @@ impl Server {
                 }
                 self.reactor
                     .deadline(token_of(origin_slot), self.config.origin_timeout);
-                let out = wire::serialize_request(pending.request());
+                let buf = self.take_buf();
                 self.slots[origin_slot] = Some(Slot::OriginFetch(Box::new(OriginConn {
                     stream,
                     out,
-                    pos: 0,
-                    buf: Vec::new(),
+                    pos,
+                    buf,
                     client_slot: slot,
                     close_after,
                     pending: Some(pending),
-                    connected: false,
+                    connected,
+                    interest,
                     state: OriginState::Buffering,
                 })));
                 // Park the client: no read interest (level-triggered
                 // epoll would spin on pipelined bytes), hang-up only.
                 c.state = ClientState::Awaiting { origin_slot };
                 self.reactor.cancel_deadline(token_of(slot));
-                let _ = self
-                    .reactor
-                    .reregister(&c.stream, token_of(slot), Interest::NONE);
+                set_interest(
+                    &mut self.reactor,
+                    &c.stream,
+                    token_of(slot),
+                    &mut c.interest,
+                    Interest::NONE,
+                );
             }
         }
     }
 
-    /// Stages a response for writing. Framing is made explicit so
-    /// keep-alive clients always know where the message ends.
+    /// Stages a response for writing: framing made explicit so
+    /// keep-alive clients always know where the message ends, head
+    /// serialized straight into the slot's pooled write buffer with the
+    /// body behind it — one buffer, one `write` when the socket takes
+    /// it whole.
     fn set_response(
         &mut self,
         slot: usize,
@@ -661,11 +925,10 @@ impl Server {
             "Connection",
             if close_after { "close" } else { "keep-alive" },
         );
-        c.state = ClientState::Writing {
-            out: wire::serialize_response(&response),
-            pos: 0,
-            close_after,
-        };
+        c.out.clear();
+        c.pos = 0;
+        wire::serialize_response_into(&response, &mut c.out);
+        c.state = ClientState::Writing { close_after };
         self.reactor
             .deadline(token_of(slot), self.config.read_timeout);
     }
@@ -691,8 +954,11 @@ impl Server {
         self.reactor.cancel_deadline(token_of(slot));
         self.pending_free.push(slot);
         self.clients -= 1;
-        // Dropping the stream closes the fd; the kernel deregisters it.
-        drop(c);
+        self.shared.live.fetch_sub(1, Ordering::AcqRel);
+        let ClientConn { buf, out, .. } = c;
+        // Dropping the stream closed the fd; the kernel deregistered it.
+        self.recycle(buf);
+        self.recycle(out);
     }
 
     /// The client is gone but the lease must still be committed —
@@ -706,6 +972,9 @@ impl Server {
             let now = self.now();
             let _ = self.gateway.complete(pending, gone, now);
         }
+        let OriginConn { buf, out, .. } = o;
+        self.recycle(buf);
+        self.recycle(out);
     }
 
     fn drive_origin(&mut self, slot: usize, mut o: OriginConn, ev: Event) {
@@ -740,9 +1009,13 @@ impl Server {
         if o.pos < o.out.len() && (ev.writable || ev.closed) {
             match write_available(&mut o.stream, &o.out, &mut o.pos) {
                 WriteStep::Done => {
-                    let _ = self
-                        .reactor
-                        .reregister(&o.stream, token_of(slot), Interest::READABLE);
+                    set_interest(
+                        &mut self.reactor,
+                        &o.stream,
+                        token_of(slot),
+                        &mut o.interest,
+                        Interest::READABLE,
+                    );
                 }
                 WriteStep::Blocked => {}
                 WriteStep::Dead => {
@@ -849,31 +1122,37 @@ impl Server {
             self.abandon_origin(slot, o);
             return;
         };
+        c.out.clear();
+        c.pos = 0;
+        streaming_head(o.close_after, &mut c.out);
         c.state = ClientState::Streaming {
             origin_slot: Some(slot),
-            out: streaming_head(o.close_after),
-            pos: 0,
             close_after: o.close_after,
             end: StreamEnd::More,
         };
         self.reactor
             .deadline(token_of(o.client_slot), self.config.read_timeout);
-        let _ = self
-            .reactor
-            .reregister(&c.stream, token_of(o.client_slot), Interest::WRITABLE);
+        set_interest(
+            &mut self.reactor,
+            &c.stream,
+            token_of(o.client_slot),
+            &mut c.interest,
+            Interest::WRITABLE,
+        );
         self.slots[o.client_slot] = Some(Slot::Client(c));
         self.origin_stream_step(slot, o, eof);
     }
 
     /// One step of an active stream: decode what arrived, rewrite it,
     /// chunk-encode it to the client, and settle the fetch's fate
-    /// (finished, truncated, or waiting for more).
+    /// (finished, truncated, or waiting for more). All three hops run
+    /// through per-worker scratch buffers — nothing allocates per step.
     fn origin_stream_step(&mut self, slot: usize, mut o: OriginConn, eof: bool) {
         let OriginState::Streaming(fetch) = &mut o.state else {
             unreachable!("caller checked the state");
         };
-        let mut raw = Vec::new();
-        let done = match fetch.decoder.push(&mut o.buf, &mut raw) {
+        self.decode_scratch.clear();
+        let done = match fetch.decoder.push(&mut o.buf, &mut self.decode_scratch) {
             Ok(done) => done,
             Err(_) => {
                 // Garbage chunk framing mid-stream.
@@ -881,10 +1160,13 @@ impl Server {
                 return;
             }
         };
-        let mut payload = Vec::new();
-        let mut rewritten = Vec::new();
-        fetch.page.write(&raw, &mut rewritten);
-        chunk_encode(&rewritten, &mut payload);
+        self.rewrite_scratch.clear();
+        fetch
+            .page
+            .write(&self.decode_scratch, &mut self.rewrite_scratch);
+        let mut payload = std::mem::take(&mut self.payload_scratch);
+        payload.clear();
+        chunk_encode(&self.rewrite_scratch, &mut payload);
         if done || (eof && fetch.decoder.eof_ok()) {
             // Clean end of body: flush the rewriter's tail, commit the
             // lease, and stage the terminal chunk.
@@ -894,22 +1176,25 @@ impl Server {
                 unreachable!("matched above");
             };
             let pending = o.pending.take().expect("finish runs once per fetch");
-            let mut tail = Vec::new();
+            // The rewritten bytes are already chunk-encoded into
+            // `payload`; the rewrite scratch is free to hold the tail.
+            self.rewrite_scratch.clear();
             let now = self.now();
             let _served = self.gateway.finish_page_stream(
                 pending,
                 fetch.page,
-                &mut tail,
+                &mut self.rewrite_scratch,
                 fetch.wire_bytes,
                 now,
             );
-            chunk_encode(&tail, &mut payload);
+            chunk_encode(&self.rewrite_scratch, &mut payload);
             payload.extend_from_slice(b"0\r\n\r\n");
             self.reactor.cancel_deadline(token_of(slot));
             self.pending_free.push(slot);
             let client_slot = o.client_slot;
-            drop(o);
-            self.deliver_stream(client_slot, payload, StreamEnd::Clean);
+            self.retire_origin(o);
+            self.deliver_stream(client_slot, &payload, StreamEnd::Clean);
+            self.payload_scratch = payload;
             return;
         }
         if eof {
@@ -918,7 +1203,9 @@ impl Server {
             return;
         }
         let client_slot = o.client_slot;
-        let Some(backlog) = self.deliver_stream(client_slot, payload, StreamEnd::More) else {
+        let delivered = self.deliver_stream(client_slot, &payload, StreamEnd::More);
+        self.payload_scratch = payload;
+        let Some(backlog) = delivered else {
             // Client gone mid-stream: commit the lease, drop the fetch.
             self.abandon_origin(slot, o);
             return;
@@ -932,16 +1219,32 @@ impl Server {
         };
         if backlog > STREAM_HIGH_WATER && !fetch.paused {
             fetch.paused = true;
-            let _ = self
-                .reactor
-                .reregister(&o.stream, token_of(slot), Interest::NONE);
+            set_interest(
+                &mut self.reactor,
+                &o.stream,
+                token_of(slot),
+                &mut o.interest,
+                Interest::NONE,
+            );
         } else if fetch.paused && backlog < STREAM_LOW_WATER {
             fetch.paused = false;
-            let _ = self
-                .reactor
-                .reregister(&o.stream, token_of(slot), Interest::READABLE);
+            set_interest(
+                &mut self.reactor,
+                &o.stream,
+                token_of(slot),
+                &mut o.interest,
+                Interest::READABLE,
+            );
         }
         self.slots[slot] = Some(Slot::OriginFetch(Box::new(o)));
+    }
+
+    /// Drops a finished origin connection, returning its buffers to the
+    /// pool.
+    fn retire_origin(&mut self, o: OriginConn) {
+        let OriginConn { buf, out, .. } = o;
+        self.recycle(buf);
+        self.recycle(out);
     }
 
     /// Appends `payload` to a streaming client's backlog, records how
@@ -950,7 +1253,7 @@ impl Server {
     fn deliver_stream(
         &mut self,
         client_slot: usize,
-        payload: Vec<u8>,
+        payload: &[u8],
         new_end: StreamEnd,
     ) -> Option<usize> {
         let Some(Slot::Client(mut c)) = self.slots.get_mut(client_slot).and_then(Option::take)
@@ -958,10 +1261,7 @@ impl Server {
             return None;
         };
         let ClientState::Streaming {
-            origin_slot,
-            out,
-            end,
-            ..
+            origin_slot, end, ..
         } = &mut c.state
         else {
             // Only reachable if the client rotated states underneath the
@@ -969,14 +1269,14 @@ impl Server {
             self.slots[client_slot] = Some(Slot::Client(c));
             return None;
         };
-        out.extend_from_slice(&payload);
         *end = new_end;
         if new_end != StreamEnd::More {
             *origin_slot = None;
         }
+        c.out.extend_from_slice(payload);
         if self.pump(client_slot, &mut c, false) {
             let backlog = match &c.state {
-                ClientState::Streaming { out, pos, .. } => out.len() - pos,
+                ClientState::Streaming { .. } => c.out.len() - c.pos,
                 _ => 0,
             };
             self.slots[client_slot] = Some(Slot::Client(c));
@@ -1014,8 +1314,8 @@ impl Server {
             );
             chunk_encode(&tail, &mut payload);
         }
-        drop(o);
-        self.deliver_stream(client_slot, payload, StreamEnd::Truncated);
+        self.retire_origin(o);
+        self.deliver_stream(client_slot, &payload, StreamEnd::Truncated);
     }
 
     /// After a client write drained some backlog, resume a paused
@@ -1026,15 +1326,13 @@ impl Server {
         };
         let ClientState::Streaming {
             origin_slot: Some(origin_slot),
-            out,
-            pos,
             ..
         } = &c.state
         else {
             return;
         };
         let origin_slot = *origin_slot;
-        if out.len() - pos >= STREAM_LOW_WATER {
+        if c.out.len() - c.pos >= STREAM_LOW_WATER {
             return;
         }
         let Some(Some(Slot::OriginFetch(o))) = self.slots.get_mut(origin_slot) else {
@@ -1048,6 +1346,7 @@ impl Server {
             let _ = self
                 .reactor
                 .reregister(&o.stream, token_of(origin_slot), Interest::READABLE);
+            o.interest = Interest::READABLE;
         }
     }
 
@@ -1061,7 +1360,7 @@ impl Server {
         let decision = self.gateway.complete(pending, origin, now);
         let client_slot = o.client_slot;
         let close_after = o.close_after;
-        drop(o);
+        self.retire_origin(o);
         // The client may have died in this same batch; its teardown
         // already completed the lease path above, so just drop the
         // decision if nobody is waiting.
@@ -1135,20 +1434,20 @@ fn write_available(stream: &mut TcpStream, out: &[u8], pos: &mut usize) -> Write
     WriteStep::Done
 }
 
-/// The client-side response head for a streamed page: the buffered
-/// path's headers (200, `text/html`, uncacheable) with chunked framing
-/// in place of a `Content-Length`.
-fn streaming_head(close_after: bool) -> Vec<u8> {
-    let response = Response::builder(StatusCode::OK)
-        .header("Content-Type", "text/html")
-        .header("Cache-Control", "no-cache, no-store")
-        .header("Transfer-Encoding", "chunked")
-        .header(
-            "Connection",
-            if close_after { "close" } else { "keep-alive" },
-        )
-        .build();
-    wire::serialize_response(&response)
+/// Appends the client-side response head for a streamed page: the
+/// buffered path's headers (200, `text/html`, uncacheable) with chunked
+/// framing in place of a `Content-Length`. The head is invariant per
+/// connection mode, so it lives as wire bytes — nothing builds or
+/// serializes a `Response` on the streaming hot path.
+fn streaming_head(close_after: bool, out: &mut Vec<u8>) {
+    const HEAD: &[u8] = b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n\
+        Cache-Control: no-cache, no-store\r\nTransfer-Encoding: chunked\r\nConnection: ";
+    out.extend_from_slice(HEAD);
+    out.extend_from_slice(if close_after {
+        b"close\r\n\r\n".as_slice()
+    } else {
+        b"keep-alive\r\n\r\n".as_slice()
+    });
 }
 
 /// Chunk-encodes `data` onto `out` in slices of at most
@@ -1158,10 +1457,26 @@ fn streaming_head(close_after: bool) -> Vec<u8> {
 /// nothing — a zero-size chunk would terminate the stream early.
 fn chunk_encode(data: &[u8], out: &mut Vec<u8>) {
     for piece in data.chunks(STREAM_HIGH_WATER) {
-        out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+        let mut hex = [0u8; 16];
+        out.extend_from_slice(format_hex(piece.len(), &mut hex));
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(piece);
         out.extend_from_slice(b"\r\n");
     }
+}
+
+/// Renders a lowercase hex length without allocating.
+fn format_hex(mut n: usize, buf: &mut [u8; 16]) -> &[u8] {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b"0123456789abcdef"[n & 0xf];
+        n >>= 4;
+        if n == 0 {
+            break;
+        }
+    }
+    &buf[i..]
 }
 
 /// Maps a parsed origin response to the gateway's [`Origin`] taxonomy:

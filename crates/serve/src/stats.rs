@@ -4,7 +4,25 @@
 //! shim — there is no serializer to drive. The field list is pinned by a
 //! test so a new `GatewayStats` column cannot silently go missing here.
 
+use crate::server::SharedCounters;
 use botwall_gateway::GatewayStats;
+use std::sync::atomic::Ordering;
+
+/// Renders the gateway snapshot plus the front door's own merged
+/// counters (connections/requests across every reactor thread) as one
+/// JSON object — the `/admin/stats` body.
+pub(crate) fn serve_stats_json(s: &GatewayStats, serve: &SharedCounters, threads: usize) -> String {
+    let mut json = stats_json(s);
+    json.pop();
+    json.push_str(&format!(
+        ",\"serve_connections\":{},\"serve_requests\":{},\"serve_live\":{},\"serve_threads\":{}}}",
+        serve.connections_total.load(Ordering::Relaxed),
+        serve.requests_total.load(Ordering::Relaxed),
+        serve.live.load(Ordering::Relaxed),
+        threads,
+    ));
+    json
+}
 
 /// Renders a stats snapshot as one line of JSON.
 pub fn stats_json(s: &GatewayStats) -> String {

@@ -67,7 +67,7 @@ pub mod net {
     //! arrives to learn whether the connect succeeded.
 
     use std::io;
-    use std::net::{SocketAddr, TcpStream};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
     use std::os::fd::FromRawFd;
     use std::os::raw::c_int;
 
@@ -76,6 +76,10 @@ pub mod net {
     const SOCK_NONBLOCK: c_int = 0o4000;
     const SOCK_CLOEXEC: c_int = 0o2000000;
     const EINPROGRESS: i32 = 115;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+    const SO_REUSEPORT: c_int = 15;
+    const SOMAXCONN_BACKLOG: c_int = 1024;
 
     /// `struct sockaddr_in` (port and address in network byte order).
     #[repr(C)]
@@ -89,6 +93,10 @@ pub mod net {
     extern "C" {
         fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
         fn connect(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+        fn setsockopt(fd: c_int, level: c_int, name: c_int, value: *const c_int, len: u32)
+            -> c_int;
         fn close(fd: c_int) -> c_int;
     }
 
@@ -122,6 +130,59 @@ pub mod net {
             }
         }
         Ok(unsafe { TcpStream::from_raw_fd(fd) })
+    }
+
+    /// Binds a non-blocking `SO_REUSEPORT` listener on `addr`. Several
+    /// listeners bound this way to the same address share the accept
+    /// queue — the kernel shards incoming connections across them, one
+    /// per reactor thread, with no user-space accept lock. IPv4 only,
+    /// like [`tcp_connect_nonblocking`]. Use
+    /// [`std::net::TcpListener::local_addr`] on the first listener to
+    /// resolve port 0 before binding its siblings.
+    pub fn tcp_listen_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "only IPv4 listeners are supported",
+            ));
+        };
+        let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: c_int| {
+            let err = io::Error::last_os_error();
+            unsafe { close(fd) };
+            Err(err)
+        };
+        let one: c_int = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            let rc = unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    &one,
+                    std::mem::size_of::<c_int>() as u32,
+                )
+            };
+            if rc < 0 {
+                return fail(fd);
+            }
+        }
+        let sa = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if unsafe { bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) } < 0 {
+            return fail(fd);
+        }
+        if unsafe { listen(fd, SOMAXCONN_BACKLOG) } < 0 {
+            return fail(fd);
+        }
+        Ok(unsafe { TcpListener::from_raw_fd(fd) })
     }
 }
 
