@@ -7,6 +7,14 @@
 //! Every iteration uses a fresh User-Agent, so each request creates its
 //! own session and takes the first-contact path (session insert +
 //! page instrumentation) — the worst-case row, not the warm-cache one.
+//!
+//! The serial row comes in two variants that differ only in upstream
+//! connection handling: `serve_loopback` pins `origin_pool: 0` against a
+//! close-per-request origin (a fresh TCP connect inside every
+//! iteration), and `serve_loopback_pooled` runs the pooled default
+//! against a keep-alive origin (after the first iteration every fetch
+//! rides the parked connection). The gap between the rows is the price
+//! of an origin connect on this loopback.
 
 use botwall_gateway::Gateway;
 use botwall_http::{Method, Request};
@@ -21,38 +29,52 @@ const PAGE: &str = "<html><head><title>bench</title></head>\
 <body><p>loopback page</p><a href=\"/about.html\">about</a></body></html>";
 
 fn bench_loopback_roundtrip(c: &mut Criterion) {
-    let origin = MockOrigin::new().page("/index.html", PAGE).start().unwrap();
-    let gateway = Arc::new(Gateway::builder().seed(91).build());
-    let config = ServeConfig {
-        origin: Some(origin.addr()),
-        ..ServeConfig::default()
-    };
-    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&gateway), config).unwrap();
-    let addr = server.local_addr();
-    let shutdown = server.shutdown_handle();
-    let join = std::thread::spawn(move || server.run());
-
     let mut group = c.benchmark_group("serve");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("serve_loopback", |b| {
-        let mut conn = TcpStream::connect(addr).unwrap();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let request = Request::builder(Method::Get, "/index.html")
-                .header("User-Agent", format!("bench/{i}"))
-                .header("Host", "bench.example")
-                .build()
-                .unwrap();
-            let response = client::roundtrip(&mut conn, &request).unwrap();
-            assert!(response.status().is_success());
-        })
-    });
-    group.finish();
+    for (name, keep_alive_origin, origin_pool) in [
+        ("serve_loopback", false, 0usize),
+        (
+            "serve_loopback_pooled",
+            true,
+            ServeConfig::default().origin_pool,
+        ),
+    ] {
+        let mut origin = MockOrigin::new().page("/index.html", PAGE);
+        if keep_alive_origin {
+            origin = origin.keep_alive();
+        }
+        let origin = origin.start().unwrap();
+        let gateway = Arc::new(Gateway::builder().seed(91).build());
+        let config = ServeConfig {
+            origin: Some(origin.addr()),
+            origin_pool,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::bind("127.0.0.1:0", Arc::clone(&gateway), config).unwrap();
+        let addr = server.local_addr();
+        let shutdown = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run());
 
-    shutdown.shutdown();
-    join.join().unwrap().unwrap();
-    drop(origin);
+        group.bench_function(name, |b| {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let request = Request::builder(Method::Get, "/index.html")
+                    .header("User-Agent", format!("bench/{i}"))
+                    .header("Host", "bench.example")
+                    .build()
+                    .unwrap();
+                let response = client::roundtrip(&mut conn, &request).unwrap();
+                assert!(response.status().is_success());
+            })
+        });
+
+        shutdown.shutdown();
+        join.join().unwrap().unwrap();
+        drop(origin);
+    }
+    group.finish();
 }
 
 /// The same round trip under concurrency: four keep-alive client

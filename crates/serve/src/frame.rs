@@ -71,6 +71,10 @@ pub struct ResponseHead {
     pub content_type: Option<String>,
     /// How the body is delimited.
     pub framing: BodyFraming,
+    /// Whether the peer announced `Connection: close` (matched
+    /// case-insensitively, token by token) — after this response the
+    /// connection must not be reused.
+    pub connection_close: bool,
 }
 
 /// Scans one header block for the three framing-relevant headers.
@@ -265,11 +269,18 @@ pub fn response_head(buf: &[u8]) -> Result<Option<ResponseHead>, HttpError> {
         .and_then(|code| code.parse().ok())
         .ok_or_else(|| HttpError::InvalidHeader(format!("bad status line {status_line:?}")))?;
     let mut content_type = None;
+    let mut connection_close = false;
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("Content-Type") && content_type.is_none() {
                 let value = value.split(';').next().unwrap_or("").trim();
                 content_type = Some(value.to_ascii_lowercase());
+            } else if name.eq_ignore_ascii_case("Connection")
+                && value
+                    .split(',')
+                    .any(|token| token.trim().eq_ignore_ascii_case("close"))
+            {
+                connection_close = true;
             }
         }
     }
@@ -280,6 +291,7 @@ pub fn response_head(buf: &[u8]) -> Result<Option<ResponseHead>, HttpError> {
         status,
         content_type,
         framing,
+        connection_close,
     }))
 }
 
@@ -639,6 +651,25 @@ mod tests {
 
         assert_eq!(response_head(b"HTTP/1.1 200 OK\r\n"), Ok(None));
         assert!(response_head(b"garbage\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_head_reads_connection_close_case_insensitively() {
+        let plain = response_head(CHUNKED).unwrap().unwrap();
+        assert!(!plain.connection_close, "no Connection header");
+
+        let raw = b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+        assert!(!response_head(raw).unwrap().unwrap().connection_close);
+
+        for close in [
+            "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 0\r\n\r\n".to_string(),
+            "HTTP/1.1 200 OK\r\nCONNECTION: Close\r\nContent-Length: 0\r\n\r\n".to_string(),
+            "HTTP/1.1 200 OK\r\nconnection: Keep-Alive, CLOSE\r\nContent-Length: 0\r\n\r\n"
+                .to_string(),
+        ] {
+            let head = response_head(close.as_bytes()).unwrap().unwrap();
+            assert!(head.connection_close, "{close:?} announces close");
+        }
     }
 
     #[test]

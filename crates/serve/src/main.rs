@@ -31,6 +31,8 @@ struct Args {
     origin_timeout_ms: u64,
     keep_alive: bool,
     threads: usize,
+    origin_pool: usize,
+    origin_pool_idle_ms: u64,
 }
 
 impl Args {
@@ -46,6 +48,8 @@ impl Args {
             origin_timeout_ms: 10_000,
             keep_alive: true,
             threads: 1,
+            origin_pool: 8,
+            origin_pool_idle_ms: 10_000,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -80,6 +84,16 @@ impl Args {
                         .map_err(|_| "--origin-timeout-ms takes milliseconds".to_string())?
                 }
                 "--no-keep-alive" => args.keep_alive = false,
+                "--origin-pool" => {
+                    args.origin_pool = value("--origin-pool")?
+                        .parse()
+                        .map_err(|_| "--origin-pool takes an integer".to_string())?
+                }
+                "--origin-pool-idle-ms" => {
+                    args.origin_pool_idle_ms = value("--origin-pool-idle-ms")?
+                        .parse()
+                        .map_err(|_| "--origin-pool-idle-ms takes milliseconds".to_string())?
+                }
                 "--threads" => {
                     args.threads = value("--threads")?
                         .parse()
@@ -99,6 +113,8 @@ impl Args {
                          --read-timeout-ms N      client read/idle timeout (default 10000)\n\
                          --origin-timeout-ms N    origin fetch timeout (default 10000)\n\
                          --no-keep-alive          one request per connection\n\
+                         --origin-pool N          idle origin connections kept per reactor, 0 disables (default 8)\n\
+                         --origin-pool-idle-ms N  how long a parked origin connection may idle (default 10000)\n\
                          --threads N              reactor threads sharing the port via SO_REUSEPORT (default 1)"
                     );
                     std::process::exit(0);
@@ -131,6 +147,7 @@ fn main() -> ExitCode {
         match MockOrigin::new()
             .page("/index.html", DEMO_PAGE)
             .page("/about.html", DEMO_PAGE)
+            .keep_alive()
             .start()
         {
             Ok(handle) => Some(handle),
@@ -162,6 +179,8 @@ fn main() -> ExitCode {
         keep_alive: args.keep_alive,
         origin,
         threads: args.threads,
+        origin_pool: args.origin_pool,
+        origin_pool_idle: Duration::from_millis(args.origin_pool_idle_ms),
     };
     let gateway = Arc::new(Gateway::builder().seed(args.seed).build());
     let mut server = match Server::bind(&args.listen, Arc::clone(&gateway), config) {
@@ -211,8 +230,14 @@ fn main() -> ExitCode {
     };
     println!("{}", stats::stats_json(&gateway.stats()));
     eprintln!(
-        "botwall-serve: drained — {} connections, {} requests, {} sessions classified",
-        report.connections, report.requests, report.drained_sessions
+        "botwall-serve: drained — {} connections, {} requests, {} sessions classified, \
+         origin {} connects / {} reuses / {} retries",
+        report.connections,
+        report.requests,
+        report.drained_sessions,
+        report.origin_connects,
+        report.origin_reuses,
+        report.origin_retries,
     );
     if let Some(join) = smoke {
         match join.join() {

@@ -10,7 +10,7 @@ use botwall_http::{wire, Response, StatusCode};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -26,6 +26,17 @@ pub struct MockOrigin {
     /// Chunked pages whose connection drops after roughly this many
     /// body bytes, without ever sending the terminal chunk.
     truncate_after: HashMap<String, usize>,
+    /// Serve multiple requests per connection (loop until EOF or a
+    /// `Connection: close` request).
+    keep_alive: bool,
+    /// In keep-alive mode, answer at most this many requests per
+    /// connection; the next request on that connection closes it
+    /// *without* a response — the deterministic stale-pool race.
+    close_after: Option<usize>,
+    /// In keep-alive mode, write these bytes 50ms after each response
+    /// and close — unsolicited garbage on a connection a pool may have
+    /// parked.
+    garbage_after: Option<Vec<u8>>,
 }
 
 impl MockOrigin {
@@ -62,22 +73,54 @@ impl MockOrigin {
         self
     }
 
+    /// Serves multiple requests per connection: read → respond in a
+    /// loop until EOF or a request bearing `Connection: close`. (The
+    /// default remains one response per connection, matching an origin
+    /// that refuses reuse.)
+    pub fn keep_alive(mut self) -> MockOrigin {
+        self.keep_alive = true;
+        self
+    }
+
+    /// With [`keep_alive`](MockOrigin::keep_alive): each connection
+    /// answers at most `n` requests; when one more request arrives on
+    /// it, the connection closes without responding. A pool that parked
+    /// the connection sees a socket that probes live but dies the
+    /// moment it is reused — the stale race, on demand.
+    pub fn close_after_responses(mut self, n: usize) -> MockOrigin {
+        self.close_after = Some(n);
+        self
+    }
+
+    /// With [`keep_alive`](MockOrigin::keep_alive): 50ms after each
+    /// response the connection emits `bytes` unsolicited and closes.
+    /// The delay lets a pool park the connection first, so the garbage
+    /// lands on a parked socket.
+    pub fn garbage_after(mut self, bytes: impl Into<Vec<u8>>) -> MockOrigin {
+        self.garbage_after = Some(bytes.into());
+        self
+    }
+
     /// Binds a loopback port and starts serving on background threads.
     pub fn start(self) -> std::io::Result<MockOriginHandle> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let hits = Arc::new(AtomicU64::new(0));
-        // A connection only needs its own thread when a response can
-        // *block* (configured latency). A latency-free origin answers
-        // inline on the accept thread — each response is microseconds,
-        // and skipping a thread spawn per fetch keeps the fixture's
-        // fixed cost out of every front-door measurement.
-        let spawn_per_conn = !self.latency.is_empty();
+        let live = Arc::new(AtomicUsize::new(0));
+        // A connection only needs its own thread when serving it can
+        // *block*: configured latency, or a keep-alive connection that
+        // sits in its read loop between requests (serving that inline
+        // would wedge the accept loop). A latency-free one-shot origin
+        // answers inline on the accept thread — each response is
+        // microseconds, and skipping a thread spawn per fetch keeps the
+        // fixture's fixed cost out of every front-door measurement.
+        let spawn_per_conn = !self.latency.is_empty() || self.keep_alive;
         let shared = Arc::new(self);
         let accept = {
             let stop = Arc::clone(&stop);
             let hits = Arc::clone(&hits);
+            let live = Arc::clone(&live);
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -87,9 +130,10 @@ impl MockOrigin {
                     if spawn_per_conn {
                         let origin = Arc::clone(&shared);
                         let hits = Arc::clone(&hits);
-                        std::thread::spawn(move || origin.serve_conn(conn, &hits));
+                        let live = Arc::clone(&live);
+                        std::thread::spawn(move || origin.serve_conn(conn, &hits, &live));
                     } else {
-                        shared.serve_conn(conn, &hits);
+                        shared.serve_conn(conn, &hits, &live);
                     }
                 }
             })
@@ -98,51 +142,96 @@ impl MockOrigin {
             addr,
             stop,
             hits,
+            live,
             accept: Some(accept),
         })
     }
 
-    /// One connection: read one request, answer it, close. (The front
-    /// door opens a fresh origin connection per fetch.)
-    fn serve_conn(&self, mut conn: TcpStream, hits: &AtomicU64) {
+    /// One connection: read a request, answer it, and either loop
+    /// (keep-alive mode) or close. (The pool-less front door opens a
+    /// fresh origin connection per fetch.)
+    fn serve_conn(&self, mut conn: TcpStream, hits: &AtomicU64, live: &AtomicUsize) {
+        live.fetch_add(1, Ordering::SeqCst);
+        let _open = Gauge(live);
         let mut buf = Vec::new();
         let mut chunk = [0u8; 4096];
-        let frame = loop {
-            match measure(&buf) {
-                Ok(Framing::Complete { len }) => break len,
-                Ok(_) => {}
-                Err(_) => return,
-            }
-            match conn.read(&mut chunk) {
-                Ok(0) | Err(_) => return,
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            }
-        };
-        let Ok(request) = wire::parse_request(&buf[..frame], ClientIp::new(0)) else {
-            return;
-        };
-        let path = request.uri().path().to_string();
-        if let Some(by) = self.latency.get(&path) {
-            std::thread::sleep(*by);
-        }
-        hits.fetch_add(1, Ordering::SeqCst);
-        let response = match self.pages.get(&path) {
-            Some(html) => {
-                if let Some(&size) = self.chunked.get(&path) {
-                    let cut = self.truncate_after.get(&path).copied();
-                    let _ = write_chunked(&mut conn, html.as_bytes(), size, cut);
-                    return;
+        let mut served = 0usize;
+        loop {
+            let frame = loop {
+                match measure(&buf) {
+                    Ok(Framing::Complete { len }) => break len,
+                    Ok(_) => {}
+                    Err(_) => return,
                 }
-                Response::builder(StatusCode::OK)
-                    .header("Content-Type", "text/html")
-                    .body_bytes(html.clone().into_bytes())
-                    .build()
+                match conn.read(&mut chunk) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                }
+            };
+            // Past the per-connection response budget, the *arrival* of
+            // the next request closes the connection unanswered — so a
+            // parked pooled socket looks perfectly healthy right up to
+            // the moment something reuses it.
+            if self.close_after.is_some_and(|cap| served >= cap) {
+                return;
             }
-            None => Response::builder(StatusCode::NOT_FOUND)
-                .header("Content-Length", "0")
-                .build(),
-        };
-        let _ = conn.write_all(&wire::serialize_response(&response));
+            let Ok(request) = wire::parse_request(&buf[..frame], ClientIp::new(0)) else {
+                return;
+            };
+            buf.drain(..frame);
+            let path = request.uri().path().to_string();
+            if let Some(by) = self.latency.get(&path) {
+                std::thread::sleep(*by);
+            }
+            hits.fetch_add(1, Ordering::SeqCst);
+            served += 1;
+            let response = match self.pages.get(&path) {
+                Some(html) => {
+                    if let Some(&size) = self.chunked.get(&path) {
+                        let cut = self.truncate_after.get(&path).copied();
+                        let _ = write_chunked(&mut conn, html.as_bytes(), size, cut);
+                        // Chunked pages keep their one-shot close-after
+                        // semantics: the stream's end is the test.
+                        return;
+                    }
+                    Response::builder(StatusCode::OK)
+                        .header("Content-Type", "text/html")
+                        .body_bytes(html.clone().into_bytes())
+                        .build()
+                }
+                None => Response::builder(StatusCode::NOT_FOUND)
+                    .header("Content-Length", "0")
+                    .build(),
+            };
+            if conn
+                .write_all(&wire::serialize_response(&response))
+                .is_err()
+            {
+                return;
+            }
+            let close_requested = request
+                .headers()
+                .get("Connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+            if !self.keep_alive || close_requested {
+                return;
+            }
+            if let Some(garbage) = &self.garbage_after {
+                // Give the peer time to park the connection first.
+                std::thread::sleep(Duration::from_millis(50));
+                let _ = conn.write_all(garbage);
+                return;
+            }
+        }
+    }
+}
+
+/// Decrements a gauge when dropped, however `serve_conn` returns.
+struct Gauge<'a>(&'a AtomicUsize);
+
+impl Drop for Gauge<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -180,6 +269,7 @@ pub struct MockOriginHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     hits: Arc<AtomicU64>,
+    live: Arc<AtomicUsize>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -192,6 +282,13 @@ impl MockOriginHandle {
     /// Requests answered so far (after any configured latency).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently being served — with keep-alive, exactly the
+    /// connections the peer is holding open (parked pool sockets
+    /// included), so tests can watch cap and idle eviction directly.
+    pub fn live_conns(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
     }
 }
 

@@ -16,6 +16,25 @@
 //! fetch — one slow origin delays exactly the connections waiting on
 //! *that* fetch, never their neighbors.
 //!
+//! # Origin connection pool
+//!
+//! A finished fetch whose response permits reuse (self-delimiting
+//! framing, no `Connection: close`) parks its connection in a
+//! per-worker idle pool instead of closing it; the next lease pops the
+//! warmest parked socket and writes its request without a connect, a
+//! register, or (usually) any `epoll_ctl` at all. Parked connections
+//! stay registered readable so a FIN or stray byte while idle retires
+//! them immediately, each carries an idle deadline on the reactor's
+//! timer wheel, and takeout probes liveness with one non-blocking read
+//! — a poisoned socket is never handed to a lease. Reuse still races
+//! the origin's own close: a reused fetch that dies **before any
+//! response byte** transparently retries exactly once on a fresh
+//! connection, while a failure after the first byte takes the ordinary
+//! 502/504-through-[`Gateway::complete`] path, so the session's
+//! in-flight lease gauge returns to zero either way. `origin_pool: 0`
+//! disables parking and restores the one-connection-per-fetch behavior
+//! byte for byte.
+//!
 //! # Multi-reactor serving
 //!
 //! With `threads > 1` the server runs one full event loop per thread:
@@ -74,7 +93,7 @@
 //! once, after every worker has stopped, so every observed session
 //! reaches its final classification no matter which reactor carried it.
 
-use crate::frame::{self, BodyDecoder, Framing};
+use crate::frame::{self, BodyDecoder, BodyFraming, Framing};
 use crate::stats::serve_stats_json;
 use botwall_gateway::{Gateway, Origin, PageStream, PendingServe};
 use botwall_http::request::ClientIp;
@@ -108,6 +127,13 @@ pub struct ServeConfig {
     /// calling thread exactly as before; more bind one `SO_REUSEPORT`
     /// listener per reactor thread.
     pub threads: usize,
+    /// How many idle origin connections each worker may keep parked for
+    /// reuse. `0` disables pooling: every origin fetch opens (and
+    /// closes) its own connection, exactly the pre-pool behavior.
+    pub origin_pool: usize,
+    /// How long a parked origin connection may sit unused before it is
+    /// closed (armed on the reactor's timer wheel at park time).
+    pub origin_pool_idle: Duration,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +145,8 @@ impl Default for ServeConfig {
             keep_alive: true,
             origin: None,
             threads: 1,
+            origin_pool: 8,
+            origin_pool_idle: Duration::from_secs(10),
         }
     }
 }
@@ -133,6 +161,13 @@ pub struct ServeReport {
     pub requests: u64,
     /// Sessions flushed by the final gateway drain.
     pub drained_sessions: usize,
+    /// Fresh TCP connections opened to the origin (retries included).
+    pub origin_connects: u64,
+    /// Origin fetches that picked up a parked pooled connection.
+    pub origin_reuses: u64,
+    /// Pooled fetches that died before any response byte and were
+    /// transparently retried on a fresh connection.
+    pub origin_retries: u64,
 }
 
 /// Counters shared by every reactor thread. The live-connection count
@@ -143,6 +178,9 @@ pub(crate) struct SharedCounters {
     pub(crate) live: AtomicUsize,
     pub(crate) connections_total: AtomicU64,
     pub(crate) requests_total: AtomicU64,
+    pub(crate) origin_connects: AtomicU64,
+    pub(crate) origin_reuses: AtomicU64,
+    pub(crate) origin_retries: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -199,6 +237,8 @@ fn token_of(slot: usize) -> Token {
 enum Slot {
     Client(ClientConn),
     OriginFetch(Box<OriginConn>),
+    /// A finished origin connection parked for reuse by the next fetch.
+    IdleOrigin(IdleOrigin),
 }
 
 struct ClientConn {
@@ -263,7 +303,27 @@ struct OriginConn {
     connected: bool,
     /// Cached epoll interest, as on [`ClientConn`].
     interest: Interest,
+    /// Riding a pooled connection. A reused fetch that dies before any
+    /// response byte retries once on a fresh connection (the parked
+    /// socket may have gone stale); a fresh fetch never retries.
+    reused: bool,
+    /// Whether any response byte has arrived — the retry window closes
+    /// the moment one does.
+    saw_byte: bool,
     state: OriginState,
+}
+
+/// A parked origin connection awaiting reuse. It stays registered
+/// readable under its slot's token: a FIN, a reset, or an unsolicited
+/// byte while idle retires it immediately, and its idle deadline on the
+/// reactor's timer wheel bounds how long it may wait.
+struct IdleOrigin {
+    stream: TcpStream,
+    /// The origin this socket is connected to; a lease for a different
+    /// address never picks it up.
+    addr: SocketAddr,
+    /// Cached epoll interest (READABLE while parked).
+    interest: Interest,
 }
 
 enum OriginState {
@@ -280,6 +340,10 @@ struct StreamingFetch {
     wire_bytes: u64,
     /// Read interest parked by client backpressure.
     paused: bool,
+    /// Whether the response head permits reusing the connection once
+    /// the body ends cleanly (self-delimiting framing, no
+    /// `Connection: close`).
+    reusable: bool,
 }
 
 enum WriteStep {
@@ -338,6 +402,11 @@ struct Worker {
     draining: bool,
     /// Recycled connection buffers.
     pool: Vec<Vec<u8>>,
+    /// Slots holding parked origin connections, most recently parked
+    /// last — takeout pops the warmest socket first. Strictly
+    /// per-worker: a connection registered with this reactor can only
+    /// ever be driven by this reactor.
+    idle_pool: Vec<usize>,
     /// Streaming-relay scratch: decoded origin payload, rewritten
     /// output, and the chunk-encoded client payload — reused per step.
     decode_scratch: Vec<u8>,
@@ -395,6 +464,7 @@ impl Server {
                 clients: 0,
                 draining: false,
                 pool: Vec::new(),
+                idle_pool: Vec::new(),
                 decode_scratch: Vec::new(),
                 rewrite_scratch: Vec::new(),
                 payload_scratch: Vec::new(),
@@ -457,6 +527,9 @@ impl Server {
             connections: self.shared.connections_total.load(Ordering::SeqCst),
             requests: self.shared.requests_total.load(Ordering::SeqCst),
             drained_sessions,
+            origin_connects: self.shared.origin_connects.load(Ordering::SeqCst),
+            origin_reuses: self.shared.origin_reuses.load(Ordering::SeqCst),
+            origin_retries: self.shared.origin_retries.load(Ordering::SeqCst),
         })
     }
 }
@@ -510,6 +583,14 @@ impl Worker {
         }
         // Closing the listener deregisters it and refuses new work.
         self.listener = None;
+        // Parked origin connections serve nobody during a drain.
+        for slot in std::mem::take(&mut self.idle_pool) {
+            if let Some(Slot::IdleOrigin(idle)) = self.slots.get_mut(slot).and_then(Option::take) {
+                self.reactor.cancel_deadline(token_of(slot));
+                self.pending_free.push(slot);
+                drop(idle);
+            }
+        }
         // Idle keep-alive connections have nothing in flight: drop now.
         for slot in 0..self.slots.len() {
             let idle = matches!(
@@ -539,7 +620,89 @@ impl Worker {
         match taken {
             Slot::Client(c) => self.drive_client(slot, c, ev),
             Slot::OriginFetch(o) => self.drive_origin(slot, *o, ev),
+            Slot::IdleOrigin(idle) => self.drop_idle(slot, idle),
         }
+    }
+
+    /// Any event on a parked origin connection retires it: readable
+    /// means EOF or an unsolicited byte (either poisons reuse), closed
+    /// means the peer reset, and the timer is the idle deadline.
+    fn drop_idle(&mut self, slot: usize, idle: IdleOrigin) {
+        self.reactor.cancel_deadline(token_of(slot));
+        self.idle_pool.retain(|&parked| parked != slot);
+        self.pending_free.push(slot);
+        drop(idle);
+    }
+
+    /// Pops the most recently parked live connection to `addr`. Each
+    /// candidate is probed with a non-blocking read: a live idle origin
+    /// has nothing to say (`WouldBlock`), while EOF, an error, or an
+    /// unsolicited byte retires the socket on the spot — a poisoned
+    /// connection is never handed to a lease.
+    fn take_pooled(&mut self, addr: SocketAddr) -> Option<(usize, TcpStream, Interest)> {
+        while let Some(slot) = self.idle_pool.pop() {
+            let Some(Slot::IdleOrigin(mut idle)) = self.slots.get_mut(slot).and_then(Option::take)
+            else {
+                continue;
+            };
+            self.reactor.cancel_deadline(token_of(slot));
+            let mut probe = [0u8; 1];
+            if idle.addr == addr
+                && matches!(
+                    idle.stream.read(&mut probe),
+                    Err(ref e) if e.kind() == io::ErrorKind::WouldBlock
+                )
+            {
+                return Some((slot, idle.stream, idle.interest));
+            }
+            // Dropping the stream closes the fd (the kernel deregisters
+            // it); the slot is reusable after this batch.
+            self.pending_free.push(slot);
+        }
+        None
+    }
+
+    /// Parks a finished origin connection for reuse when `reusable` and
+    /// the pool has room, or retires it. A connection with leftover
+    /// buffered bytes or an unfinished request write is never parked.
+    fn park_or_free(&mut self, slot: usize, o: OriginConn, reusable: bool) {
+        let addr = self.config.origin;
+        let park = reusable
+            && !self.draining
+            && self.idle_pool.len() < self.config.origin_pool
+            && o.buf.is_empty()
+            && o.pos == o.out.len();
+        let (Some(addr), true) = (addr, park) else {
+            self.pending_free.push(slot);
+            self.retire_origin(o);
+            return;
+        };
+        let OriginConn {
+            stream,
+            out,
+            buf,
+            mut interest,
+            ..
+        } = o;
+        // Parked connections stay registered readable: a FIN or stray
+        // byte while idle retires them before any lease can look.
+        set_interest(
+            &mut self.reactor,
+            &stream,
+            token_of(slot),
+            &mut interest,
+            Interest::READABLE,
+        );
+        self.reactor
+            .deadline(token_of(slot), self.config.origin_pool_idle);
+        self.recycle(out);
+        self.recycle(buf);
+        self.slots[slot] = Some(Slot::IdleOrigin(IdleOrigin {
+            stream,
+            addr,
+            interest,
+        }));
+        self.idle_pool.push(slot);
     }
 
     fn alloc_slot(&mut self) -> usize {
@@ -835,44 +998,92 @@ impl Worker {
                     self.set_response(slot, c, d.into_response(), close_after);
                     return;
                 };
-                let stream = match net::tcp_connect_nonblocking(origin_addr) {
-                    Ok(stream) => stream,
-                    Err(_) => {
-                        // Origin unreachable before the fetch even
-                        // started: complete (never drop) the lease so
-                        // enforcement's in-flight count stays exact.
-                        let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
-                        let d = self.gateway.complete(pending, gone, now);
-                        self.set_response(slot, c, d.into_response(), close_after);
-                        return;
-                    }
-                };
                 let mut out = self.take_buf();
                 wire::serialize_request_into(pending.request(), &mut out);
-                // A loopback connect often completes synchronously;
-                // writing optimistically skips a whole poll round trip
-                // when it did. A still-connecting socket just reports
-                // `WouldBlock` and takes the writable-event path.
-                let mut stream = stream;
-                let mut pos = 0;
-                let (connected, interest) = match write_available(&mut stream, &out, &mut pos) {
-                    WriteStep::Done => (true, Interest::READABLE),
-                    WriteStep::Blocked if pos > 0 => (true, Interest::WRITABLE),
-                    _ => (false, Interest::WRITABLE),
-                };
-                let origin_slot = self.alloc_slot();
-                if self
-                    .reactor
-                    .register(&stream, token_of(origin_slot), interest)
-                    .is_err()
+                // Pool first: a parked connection skips connect and
+                // register outright, and its cached READABLE interest is
+                // already what a written-out fetch wants — the common
+                // warm takeout costs one `write` and nothing else.
+                let mut reused = false;
+                let mut prepared = None;
+                if let Some((pooled_slot, mut stream, mut interest)) = self.take_pooled(origin_addr)
                 {
-                    self.free.push(origin_slot);
-                    self.recycle(out);
-                    let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
-                    let d = self.gateway.complete(pending, gone, now);
-                    self.set_response(slot, c, d.into_response(), close_after);
-                    return;
+                    self.shared.origin_reuses.fetch_add(1, Ordering::Relaxed);
+                    let mut pos = 0;
+                    match write_available(&mut stream, &out, &mut pos) {
+                        WriteStep::Dead => {
+                            // The parked socket died between the probe
+                            // and the write: retry on a fresh connection
+                            // right here — this *is* the one retry, so
+                            // the fresh fetch below is not `reused`.
+                            self.shared.origin_retries.fetch_add(1, Ordering::Relaxed);
+                            self.pending_free.push(pooled_slot);
+                            drop(stream);
+                        }
+                        step => {
+                            let want = match step {
+                                WriteStep::Done => Interest::READABLE,
+                                _ => Interest::WRITABLE,
+                            };
+                            set_interest(
+                                &mut self.reactor,
+                                &stream,
+                                token_of(pooled_slot),
+                                &mut interest,
+                                want,
+                            );
+                            reused = true;
+                            prepared = Some((pooled_slot, stream, pos, interest, true));
+                        }
+                    }
                 }
+                let (origin_slot, stream, pos, interest, connected) = match prepared {
+                    Some(prepared) => prepared,
+                    None => {
+                        let mut stream = match net::tcp_connect_nonblocking(origin_addr) {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Origin unreachable before the fetch
+                                // even started: complete (never drop)
+                                // the lease so enforcement's in-flight
+                                // count stays exact.
+                                self.recycle(out);
+                                let gone =
+                                    Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+                                let d = self.gateway.complete(pending, gone, now);
+                                self.set_response(slot, c, d.into_response(), close_after);
+                                return;
+                            }
+                        };
+                        // A loopback connect often completes
+                        // synchronously; writing optimistically skips a
+                        // whole poll round trip when it did. A
+                        // still-connecting socket just reports
+                        // `WouldBlock` and takes the writable-event path.
+                        let mut pos = 0;
+                        let (connected, interest) =
+                            match write_available(&mut stream, &out, &mut pos) {
+                                WriteStep::Done => (true, Interest::READABLE),
+                                WriteStep::Blocked if pos > 0 => (true, Interest::WRITABLE),
+                                _ => (false, Interest::WRITABLE),
+                            };
+                        let origin_slot = self.alloc_slot();
+                        if self
+                            .reactor
+                            .register(&stream, token_of(origin_slot), interest)
+                            .is_err()
+                        {
+                            self.free.push(origin_slot);
+                            self.recycle(out);
+                            let gone = Origin::Response(Response::empty(StatusCode::BAD_GATEWAY));
+                            let d = self.gateway.complete(pending, gone, now);
+                            self.set_response(slot, c, d.into_response(), close_after);
+                            return;
+                        }
+                        self.shared.origin_connects.fetch_add(1, Ordering::Relaxed);
+                        (origin_slot, stream, pos, interest, connected)
+                    }
+                };
                 self.reactor
                     .deadline(token_of(origin_slot), self.config.origin_timeout);
                 let buf = self.take_buf();
@@ -886,6 +1097,8 @@ impl Worker {
                     pending: Some(pending),
                     connected,
                     interest,
+                    reused,
+                    saw_byte: false,
                     state: OriginState::Buffering,
                 })));
                 // Park the client: no read interest (level-triggered
@@ -989,6 +1202,7 @@ impl Worker {
                     slot,
                     o,
                     Origin::Response(Response::empty(StatusCode::GATEWAY_TIMEOUT)),
+                    false,
                 ),
             }
             return;
@@ -1001,6 +1215,7 @@ impl Worker {
                         slot,
                         o,
                         Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                        false,
                     );
                     return;
                 }
@@ -1019,11 +1234,19 @@ impl Worker {
                 }
                 WriteStep::Blocked => {}
                 WriteStep::Dead => {
-                    self.finish_origin(
-                        slot,
-                        o,
-                        Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
-                    );
+                    // A pooled connection may have died while parked; a
+                    // write that fails before any response byte retries
+                    // once on a fresh socket.
+                    if o.reused && !o.saw_byte {
+                        self.retry_origin(slot, o);
+                    } else {
+                        self.finish_origin(
+                            slot,
+                            o,
+                            Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                            false,
+                        );
+                    }
                     return;
                 }
             }
@@ -1033,6 +1256,9 @@ impl Worker {
         if ev.readable || ev.closed {
             eof = read_available(&mut o.stream, &mut o.buf);
         }
+        if o.buf.len() > before {
+            o.saw_byte = true;
+        }
         if let OriginState::Streaming(fetch) = &mut o.state {
             fetch.wire_bytes += (o.buf.len() - before) as u64;
             self.origin_stream_step(slot, o, eof);
@@ -1041,32 +1267,99 @@ impl Worker {
         }
     }
 
-    /// An origin fetch whose response head is not yet decided (or is a
-    /// non-page response buffering whole).
-    fn origin_buffer_step(&mut self, slot: usize, o: OriginConn, eof: bool) {
-        // A `200 text/html` head upgrades to the streaming path the
-        // moment it is complete — the body is never buffered.
-        match frame::response_head(&o.buf) {
-            Ok(Some(head))
-                if head.status == 200 && head.content_type.as_deref() == Some("text/html") =>
-            {
-                self.begin_stream(slot, o, head, eof);
-                return;
-            }
-            Ok(_) => {}
+    /// A reused fetch died before the origin said anything: swap in a
+    /// fresh connection under the same slot and replay the request.
+    /// Runs at most once per fetch — the replacement is not `reused`,
+    /// so a second failure takes the ordinary 502 path.
+    fn retry_origin(&mut self, slot: usize, mut o: OriginConn) {
+        self.shared.origin_retries.fetch_add(1, Ordering::Relaxed);
+        let addr = self
+            .config
+            .origin
+            .expect("a fetch exists only with an origin configured");
+        let mut stream = match net::tcp_connect_nonblocking(addr) {
+            Ok(stream) => stream,
             Err(_) => {
                 self.finish_origin(
                     slot,
                     o,
                     Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                    false,
                 );
+                return;
+            }
+        };
+        o.pos = 0;
+        o.buf.clear();
+        let (connected, interest) = match write_available(&mut stream, &o.out, &mut o.pos) {
+            WriteStep::Done => (true, Interest::READABLE),
+            WriteStep::Blocked if o.pos > 0 => (true, Interest::WRITABLE),
+            _ => (false, Interest::WRITABLE),
+        };
+        // Dropping the dead socket closes it (the kernel deregisters);
+        // the fresh one takes over the same token.
+        drop(std::mem::replace(&mut o.stream, stream));
+        if self
+            .reactor
+            .register(&o.stream, token_of(slot), interest)
+            .is_err()
+        {
+            self.finish_origin(
+                slot,
+                o,
+                Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                false,
+            );
+            return;
+        }
+        self.shared.origin_connects.fetch_add(1, Ordering::Relaxed);
+        o.interest = interest;
+        o.connected = connected;
+        o.reused = false;
+        o.saw_byte = false;
+        self.reactor
+            .deadline(token_of(slot), self.config.origin_timeout);
+        self.slots[slot] = Some(Slot::OriginFetch(Box::new(o)));
+    }
+
+    /// An origin fetch whose response head is not yet decided (or is a
+    /// non-page response buffering whole).
+    fn origin_buffer_step(&mut self, slot: usize, o: OriginConn, eof: bool) {
+        // A reused connection the origin closed without a single
+        // response byte was stale in the pool: retry once, fresh.
+        if eof && o.reused && !o.saw_byte && o.buf.is_empty() {
+            self.retry_origin(slot, o);
+            return;
+        }
+        // A `200 text/html` head upgrades to the streaming path the
+        // moment it is complete — the body is never buffered.
+        let head = match frame::response_head(&o.buf) {
+            Ok(head) => head,
+            Err(_) => {
+                self.finish_origin(
+                    slot,
+                    o,
+                    Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                    false,
+                );
+                return;
+            }
+        };
+        if let Some(head) = &head {
+            if head.status == 200 && head.content_type.as_deref() == Some("text/html") {
+                let head = head.clone();
+                self.begin_stream(slot, o, head, eof);
                 return;
             }
         }
         match frame::measure(&o.buf) {
             Ok(Framing::Complete { len }) => {
+                // Reuse eligibility comes from the head: self-delimited
+                // framing, no `Connection: close`, and nothing buffered
+                // past the message's end.
+                let reusable = head.as_ref().is_some_and(reuse_allowed) && o.buf.len() == len;
                 let origin = classify_origin(&o.buf[..len]);
-                self.finish_origin(slot, o, origin);
+                self.finish_origin(slot, o, origin, reusable);
             }
             Ok(_) if eof => {
                 // Close-delimited response (no Content-Length): the
@@ -1076,7 +1369,7 @@ impl Worker {
                 } else {
                     classify_origin(&o.buf)
                 };
-                self.finish_origin(slot, o, origin);
+                self.finish_origin(slot, o, origin, false);
             }
             Ok(_) => {
                 self.slots[slot] = Some(Slot::OriginFetch(Box::new(o)));
@@ -1086,6 +1379,7 @@ impl Worker {
                     slot,
                     o,
                     Origin::Response(Response::empty(StatusCode::BAD_GATEWAY)),
+                    false,
                 );
             }
         }
@@ -1107,6 +1401,7 @@ impl Worker {
             self.gateway.begin_page_stream(pending, now)
         };
         let decoder = BodyDecoder::new(head.framing);
+        let reusable = reuse_allowed(&head);
         o.buf.drain(..head.len);
         let wire_bytes = (head.len + o.buf.len()) as u64;
         o.state = OriginState::Streaming(Box::new(StreamingFetch {
@@ -1114,6 +1409,7 @@ impl Worker {
             page,
             wire_bytes,
             paused: false,
+            reusable,
         }));
         let Some(Slot::Client(mut c)) = self.slots.get_mut(o.client_slot).and_then(Option::take)
         else {
@@ -1190,9 +1486,11 @@ impl Worker {
             chunk_encode(&self.rewrite_scratch, &mut payload);
             payload.extend_from_slice(b"0\r\n\r\n");
             self.reactor.cancel_deadline(token_of(slot));
-            self.pending_free.push(slot);
             let client_slot = o.client_slot;
-            self.retire_origin(o);
+            // A stream that ended by EOF closed its connection; one
+            // that ended by framing with a reuse-friendly head parks.
+            let reusable = fetch.reusable && !eof;
+            self.park_or_free(slot, o, reusable);
             self.deliver_stream(client_slot, &payload, StreamEnd::Clean);
             self.payload_scratch = payload;
             return;
@@ -1351,16 +1649,22 @@ impl Worker {
     }
 
     /// Commits an origin outcome into the leased exchange and wakes the
-    /// waiting client with the final decision.
-    fn finish_origin(&mut self, origin_slot: usize, mut o: OriginConn, origin: Origin) {
+    /// waiting client with the final decision. `reusable` parks the
+    /// origin connection for the next fetch when the pool has room.
+    fn finish_origin(
+        &mut self,
+        origin_slot: usize,
+        mut o: OriginConn,
+        origin: Origin,
+        reusable: bool,
+    ) {
         self.reactor.cancel_deadline(token_of(origin_slot));
-        self.pending_free.push(origin_slot);
         let pending = o.pending.take().expect("finish runs once per fetch");
         let now = self.now();
         let decision = self.gateway.complete(pending, origin, now);
         let client_slot = o.client_slot;
         let close_after = o.close_after;
-        self.retire_origin(o);
+        self.park_or_free(origin_slot, o, reusable);
         // The client may have died in this same batch; its teardown
         // already completed the lease path above, so just drop the
         // decision if nobody is waiting.
@@ -1477,6 +1781,14 @@ fn format_hex(mut n: usize, buf: &mut [u8; 16]) -> &[u8] {
         }
     }
     &buf[i..]
+}
+
+/// Whether a response head permits reusing its connection for another
+/// request: the body must be self-delimiting (`Content-Length` or
+/// chunked — a close-delimited body *is* the connection's end) and the
+/// origin must not have announced `Connection: close`.
+fn reuse_allowed(head: &frame::ResponseHead) -> bool {
+    !head.connection_close && !matches!(head.framing, BodyFraming::Close)
 }
 
 /// Maps a parsed origin response to the gateway's [`Origin`] taxonomy:

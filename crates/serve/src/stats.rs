@@ -9,17 +9,24 @@ use botwall_gateway::GatewayStats;
 use std::sync::atomic::Ordering;
 
 /// Renders the gateway snapshot plus the front door's own merged
-/// counters (connections/requests across every reactor thread) as one
-/// JSON object — the `/admin/stats` body.
+/// counters (connections/requests/origin-pool traffic across every
+/// reactor thread) as one JSON object — the `/admin/stats` body.
 pub(crate) fn serve_stats_json(s: &GatewayStats, serve: &SharedCounters, threads: usize) -> String {
     let mut json = stats_json(s);
     json.pop();
     json.push_str(&format!(
-        ",\"serve_connections\":{},\"serve_requests\":{},\"serve_live\":{},\"serve_threads\":{}}}",
+        concat!(
+            ",\"serve_connections\":{},\"serve_requests\":{},\"serve_live\":{},",
+            "\"serve_threads\":{},\"origin_connects\":{},\"origin_reuses\":{},",
+            "\"origin_retries\":{}}}"
+        ),
         serve.connections_total.load(Ordering::Relaxed),
         serve.requests_total.load(Ordering::Relaxed),
         serve.live.load(Ordering::Relaxed),
         threads,
+        serve.origin_connects.load(Ordering::Relaxed),
+        serve.origin_reuses.load(Ordering::Relaxed),
+        serve.origin_retries.load(Ordering::Relaxed),
     ));
     json
 }
@@ -101,6 +108,33 @@ mod tests {
             ("captcha_failed", 15),
             ("pending_challenges", 16),
             ("token_entries", 17),
+        ] {
+            assert!(
+                json.contains(&format!("\"{field}\":{value}")),
+                "{field} missing from {json}"
+            );
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn renders_every_serve_counter() {
+        let serve = SharedCounters::default();
+        serve.connections_total.store(21, Ordering::Relaxed);
+        serve.requests_total.store(22, Ordering::Relaxed);
+        serve.live.store(23, Ordering::Relaxed);
+        serve.origin_connects.store(24, Ordering::Relaxed);
+        serve.origin_reuses.store(25, Ordering::Relaxed);
+        serve.origin_retries.store(26, Ordering::Relaxed);
+        let json = serve_stats_json(&GatewayStats::default(), &serve, 4);
+        for (field, value) in [
+            ("serve_connections", 21u64),
+            ("serve_requests", 22),
+            ("serve_live", 23),
+            ("serve_threads", 4),
+            ("origin_connects", 24),
+            ("origin_reuses", 25),
+            ("origin_retries", 26),
         ] {
             assert!(
                 json.contains(&format!("\"{field}\":{value}")),

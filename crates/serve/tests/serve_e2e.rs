@@ -577,6 +577,206 @@ fn a_half_sent_request_times_out_with_408() {
     fx.finish();
 }
 
+/// Sequential page fetches against a keep-alive origin ride one
+/// upstream connection: the first fetch connects, every later one
+/// reuses the parked socket, and both `/admin/stats` and the final
+/// report show the arithmetic.
+#[test]
+fn origin_pool_reuses_one_connection_across_a_burst() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .keep_alive()
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(30).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 e2e-pool-reuse";
+    for _ in 0..4 {
+        let response = get(fx.addr, "/index.html", ua);
+        assert_eq!(response.status(), StatusCode::OK);
+        assert!(body_str(&response).contains("content"));
+    }
+    let stats = body_str(&get(fx.addr, "/admin/stats", ua));
+    assert!(stats.contains("\"origin_connects\":1"), "{stats}");
+    assert!(stats.contains("\"origin_reuses\":3"), "{stats}");
+    assert!(stats.contains("\"origin_retries\":0"), "{stats}");
+    let report = fx.finish();
+    assert_eq!(report.origin_connects, 1, "one socket fed every fetch");
+    assert_eq!(report.origin_reuses, 3);
+    assert_eq!(report.origin_retries, 0);
+}
+
+/// A parked connection the origin kills on reuse costs exactly one
+/// transparent retry — never a user-visible error, never a leaked
+/// lease. `close_after_responses(1)` makes the race deterministic: the
+/// parked socket looks healthy until the reused request arrives, then
+/// closes without answering.
+#[test]
+fn stale_pooled_connection_retries_once_and_serves() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .keep_alive()
+        .close_after_responses(1)
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(31).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 e2e-pool-stale";
+    for _ in 0..2 {
+        let response = get(fx.addr, "/index.html", ua);
+        assert_eq!(response.status(), StatusCode::OK, "retry is invisible");
+        assert!(body_str(&response).contains("content"));
+    }
+    // The retried exchange still completed its lease.
+    let in_flight = fx
+        .gateway
+        .detector()
+        .with_key_state(&loopback_key(ua), |_, state| state.in_flight)
+        .expect("session exists");
+    assert_eq!(in_flight, 0);
+    let report = fx.finish();
+    assert_eq!(report.origin_retries, 1, "exactly one retry");
+    assert_eq!(report.origin_reuses, 1, "the stale socket was picked up");
+    assert_eq!(report.origin_connects, 2, "initial connect + the retry");
+}
+
+/// Unsolicited bytes on a parked connection poison it: the pool retires
+/// the socket, and the garbage — though it parses as a complete HTTP
+/// response — is never served to any later request.
+#[test]
+fn garbage_on_a_parked_connection_never_bleeds_into_a_response() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .keep_alive()
+        .garbage_after(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nContent-Length: 5\r\n\r\nBLEED"
+                .as_slice(),
+        )
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(32).build(),
+        |config| config.origin = Some(origin_addr),
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 e2e-pool-garbage";
+    let first = get(fx.addr, "/index.html", ua);
+    assert_eq!(first.status(), StatusCode::OK);
+    // Let the origin's delayed garbage land on the now-parked socket.
+    std::thread::sleep(Duration::from_millis(200));
+    let second = get(fx.addr, "/index.html", ua);
+    assert_eq!(second.status(), StatusCode::OK);
+    let body = body_str(&second);
+    assert!(body.contains("content"), "real page served: {body}");
+    assert!(
+        !body.contains("BLEED"),
+        "parked garbage must never be parsed"
+    );
+    let report = fx.finish();
+    assert_eq!(report.origin_reuses, 0, "a poisoned socket is never reused");
+    assert_eq!(report.origin_connects, 2);
+    assert_eq!(report.origin_retries, 0);
+}
+
+/// The pool cap bounds how many idle connections survive a concurrent
+/// burst, and the idle deadline evicts even those: the origin's own
+/// live-connection gauge watches both happen.
+#[test]
+fn pool_cap_and_idle_deadline_bound_parked_connections() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .latency("/index.html", Duration::from_millis(200))
+        .keep_alive()
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let live = |origin: &MockOriginHandle| origin.live_conns();
+    let fx = Fixture::with(
+        Gateway::builder().seed(33).build(),
+        |config| {
+            config.origin = Some(origin_addr);
+            config.origin_pool = 2;
+            config.origin_pool_idle = Duration::from_millis(800);
+        },
+        None, // held locally so the test can watch live_conns
+    );
+    let addr = fx.addr;
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                get(
+                    addr,
+                    "/index.html",
+                    &format!("Mozilla/5.0 e2e-pool-cap-{i}"),
+                )
+            })
+        })
+        .collect();
+    for client in clients {
+        assert_eq!(client.join().unwrap().status(), StatusCode::OK);
+    }
+    // Connections over the cap close as they finish; at most two stay
+    // parked. (Give the origin's threads a beat to observe the closes.)
+    std::thread::sleep(Duration::from_millis(200));
+    let parked = live(&origin);
+    assert!(
+        (1..=2).contains(&parked),
+        "pool cap 2 must bound parked connections, saw {parked}"
+    );
+    // The idle deadline evicts the rest without any new traffic.
+    let deadline = Instant::now() + Duration::from_secs(3);
+    while live(&origin) > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(live(&origin), 0, "idle deadline evicts parked connections");
+    let report = fx.finish();
+    assert_eq!(report.origin_connects + report.origin_reuses, 4);
+    drop(origin);
+}
+
+/// Drain closes every parked origin connection: after shutdown the
+/// origin sees zero live connections, not a stranded keep-alive socket.
+#[test]
+fn drain_closes_parked_origin_connections() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .keep_alive()
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(34).build(),
+        |config| config.origin = Some(origin_addr),
+        None, // held locally so the test can watch live_conns
+    );
+    let ua = "Mozilla/5.0 e2e-pool-drain";
+    for _ in 0..2 {
+        assert_eq!(get(fx.addr, "/index.html", ua).status(), StatusCode::OK);
+    }
+    assert_eq!(origin.live_conns(), 1, "one connection parked in the pool");
+    let report = fx.finish();
+    assert_eq!(report.origin_reuses, 1);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while origin.live_conns() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(
+        origin.live_conns(),
+        0,
+        "drain must close the parked connection"
+    );
+    drop(origin);
+}
+
 #[test]
 fn shutdown_drains_every_observed_session_exactly_once() {
     let fx = Fixture::standard();

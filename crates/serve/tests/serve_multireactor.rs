@@ -247,6 +247,49 @@ fn slow_origin_stalls_no_other_reactor() {
     fx.finish();
 }
 
+/// Origin pools are per-worker: each reactor that handles traffic opens
+/// its own upstream connection (never borrows a neighbor's), so a burst
+/// of fresh client sockets spread over two reactors costs at most two
+/// origin connects — and the merged report's pool counters still add up
+/// to one upstream exchange per request.
+#[test]
+fn origin_pools_are_per_worker_and_counters_merge() {
+    let origin = MockOrigin::new()
+        .page("/index.html", PAGE)
+        .keep_alive()
+        .start()
+        .unwrap();
+    let origin_addr = origin.addr();
+    let fx = Fixture::with(
+        Gateway::builder().seed(25).build(),
+        |config| {
+            config.origin = Some(origin_addr);
+            config.threads = 2;
+        },
+        Some(origin),
+    );
+    let ua = "Mozilla/5.0 mr-pool";
+    // Fresh client connections, so the kernel shards them over both
+    // reactors; each reactor reuses whatever it has parked.
+    for _ in 0..8 {
+        let response = get(fx.addr, "/index.html", ua);
+        assert_eq!(response.status(), StatusCode::OK);
+        assert!(body_str(&response).contains("content"));
+    }
+    let report = fx.finish();
+    assert!(
+        (1..=2).contains(&report.origin_connects),
+        "at most one origin connect per reactor, saw {}",
+        report.origin_connects
+    );
+    assert_eq!(
+        report.origin_connects + report.origin_reuses,
+        8,
+        "counters merge: one upstream exchange per request"
+    );
+    assert_eq!(report.origin_retries, 0);
+}
+
 /// Shutdown fans out to every reactor, each drains its own connections,
 /// and exactly one drain pass classifies the shared session table:
 /// every session observed on any reactor is counted once, nothing is
